@@ -1,0 +1,481 @@
+//! The query-at-a-time baseline engine.
+//!
+//! The engine keeps a pool of worker threads; every submitted query is
+//! executed in isolation by one worker (the traditional model: "traditional
+//! database systems allocate a separate thread for each query", Section 3.5).
+//! Two profiles model the two comparison systems of the paper:
+//!
+//! * [`EngineProfile::Basic`] — MySQL-like: per-query execution with a work
+//!   penalty factor and a parallelism ceiling of 12 workers.
+//! * [`EngineProfile::Tuned`] — SystemX-like: the same executor with no
+//!   penalty and no ceiling (it scales with the configured worker count).
+//!
+//! The penalty factor models the less efficient execution of the weaker
+//! system by repeating predicate evaluation work; it does not change results.
+
+use crate::exec::{execute_plan, execute_update, QueryPlan};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use shareddb_common::{Error, Result, Tuple, Value};
+use shareddb_storage::{Catalog, UpdateOp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning profile of the baseline engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineProfile {
+    /// MySQL-like: modest constants, scalability capped at 12 workers.
+    Basic,
+    /// SystemX-like: efficient per-query execution, scales with workers.
+    Tuned,
+}
+
+impl EngineProfile {
+    /// Maximum number of worker threads that do useful work.
+    pub fn parallelism_cap(&self) -> usize {
+        match self {
+            EngineProfile::Basic => 12,
+            EngineProfile::Tuned => usize::MAX,
+        }
+    }
+
+    /// Work repetition factor modelling per-query execution efficiency.
+    pub fn work_factor(&self) -> usize {
+        match self {
+            EngineProfile::Basic => 3,
+            EngineProfile::Tuned => 1,
+        }
+    }
+
+    /// Human-readable system name used in benchmark output.
+    pub fn system_name(&self) -> &'static str {
+        match self {
+            EngineProfile::Basic => "MySQL-like",
+            EngineProfile::Tuned => "SystemX-like",
+        }
+    }
+}
+
+/// A registered baseline statement: either a query plan or an update template.
+#[derive(Debug, Clone)]
+pub enum BaselineStatement {
+    /// A read-only query.
+    Query(QueryPlan),
+    /// A parameterised insert (values are expressions over the parameters).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Value expressions.
+        values: Vec<shareddb_common::Expr>,
+    },
+    /// A parameterised update/delete.
+    Mutation {
+        /// Target table.
+        table: String,
+        /// Update template (predicates/assignments may contain parameters).
+        op: UpdateOp,
+    },
+}
+
+/// Statistics of the baseline engine.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineStats {
+    /// Completed queries.
+    pub queries: u64,
+    /// Completed updates.
+    pub updates: u64,
+    /// Failed statements.
+    pub failed: u64,
+    /// Mean end-to-end latency.
+    pub mean_latency: Duration,
+    /// Maximum end-to-end latency.
+    pub max_latency: Duration,
+}
+
+enum Job {
+    Execute {
+        statement: String,
+        params: Vec<Value>,
+        submitted: Instant,
+        reply: Sender<Result<Vec<Tuple>>>,
+    },
+    Shutdown,
+}
+
+struct Shared {
+    catalog: Arc<Catalog>,
+    statements: Mutex<HashMap<String, BaselineStatement>>,
+    profile: EngineProfile,
+    queries: AtomicU64,
+    updates: AtomicU64,
+    failed: AtomicU64,
+    latency_nanos: AtomicU64,
+    max_latency_nanos: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The query-at-a-time engine.
+pub struct ClassicEngine {
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ClassicEngine {
+    /// Starts the engine with `workers` worker threads. The effective
+    /// parallelism is capped by the profile (MySQL-like: 12).
+    pub fn start(catalog: Arc<Catalog>, profile: EngineProfile, workers: usize) -> Self {
+        let effective = workers.clamp(1, profile.parallelism_cap());
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            catalog,
+            statements: Mutex::new(HashMap::new()),
+            profile,
+            queries: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency_nanos: AtomicU64::new(0),
+            max_latency_nanos: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(effective);
+        for i in 0..effective {
+            let shared = Arc::clone(&shared);
+            let rx: Receiver<Job> = job_rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("baseline-worker-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn baseline worker"),
+            );
+        }
+        ClassicEngine {
+            shared,
+            job_tx,
+            workers: handles,
+        }
+    }
+
+    /// The profile the engine runs with.
+    pub fn profile(&self) -> EngineProfile {
+        self.shared.profile
+    }
+
+    /// Number of worker threads actually running.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registers a prepared statement.
+    pub fn register(&self, name: impl Into<String>, statement: BaselineStatement) {
+        self.shared
+            .statements
+            .lock()
+            .insert(name.into(), statement);
+    }
+
+    /// Submits a statement execution; returns a handle to wait on.
+    pub fn execute(&self, statement: &str, params: &[Value]) -> Result<BaselineHandle> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(Error::EngineShutdown);
+        }
+        if !self.shared.statements.lock().contains_key(statement) {
+            return Err(Error::UnknownStatement(statement.to_string()));
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        let submitted = Instant::now();
+        self.job_tx
+            .send(Job::Execute {
+                statement: statement.to_string(),
+                params: params.to_vec(),
+                submitted,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::EngineShutdown)?;
+        Ok(BaselineHandle {
+            receiver: reply_rx,
+            submitted,
+        })
+    }
+
+    /// Submits and waits for the result.
+    pub fn execute_sync(&self, statement: &str, params: &[Value]) -> Result<Vec<Tuple>> {
+        self.execute(statement, params)?.wait()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> BaselineStats {
+        let queries = self.shared.queries.load(Ordering::Relaxed);
+        let updates = self.shared.updates.load(Ordering::Relaxed);
+        let completed = queries + updates;
+        BaselineStats {
+            queries,
+            updates,
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            mean_latency: if completed == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(self.shared.latency_nanos.load(Ordering::Relaxed) / completed)
+            },
+            max_latency: Duration::from_nanos(
+                self.shared.max_latency_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Stops the workers and joins their threads.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(Job::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClassicEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handle to one submitted baseline statement.
+#[derive(Debug)]
+pub struct BaselineHandle {
+    receiver: Receiver<Result<Vec<Tuple>>>,
+    submitted: Instant,
+}
+
+impl BaselineHandle {
+    /// Time since submission.
+    pub fn elapsed(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+
+    /// Blocks until the result is available.
+    pub fn wait(self) -> Result<Vec<Tuple>> {
+        self.receiver.recv().map_err(|_| Error::EngineShutdown)?
+    }
+
+    /// Blocks with a deadline.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<Tuple>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(Error::DeadlineExceeded),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(Error::EngineShutdown),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        let Job::Execute {
+            statement,
+            params,
+            submitted,
+            reply,
+        } = job
+        else {
+            break;
+        };
+        let spec = shared.statements.lock().get(&statement).cloned();
+        let result = match spec {
+            None => Err(Error::UnknownStatement(statement)),
+            Some(BaselineStatement::Query(plan)) => {
+                let snapshot = shared.catalog.oracle().read_ts();
+                // The work factor models a less efficient executor by running
+                // the query repeatedly; only the last result is returned.
+                let mut result = Err(Error::Internal("work factor of zero".into()));
+                for _ in 0..shared.profile.work_factor().max(1) {
+                    result = execute_plan(&shared.catalog, &plan, &params, snapshot)
+                        .map(|r| r.rows);
+                }
+                result
+            }
+            Some(BaselineStatement::Insert { table, values }) => {
+                crate::exec::bind_insert_values(&values, &params)
+                    .and_then(|row| {
+                        shared
+                            .catalog
+                            .apply_batch(&[(table, UpdateOp::Insert { values: row })])
+                    })
+                    .map(|_| Vec::new())
+            }
+            Some(BaselineStatement::Mutation { table, op }) => {
+                execute_update(&shared.catalog, &table, &op, &params).map(|_| Vec::new())
+            }
+        };
+        let latency = submitted.elapsed().as_nanos() as u64;
+        shared.latency_nanos.fetch_add(latency, Ordering::Relaxed);
+        shared
+            .max_latency_nanos
+            .fetch_max(latency, Ordering::Relaxed);
+        match &result {
+            Ok(rows) => {
+                if rows.is_empty() {
+                    // Heuristic: updates return no rows; queries may as well,
+                    // but the distinction only matters for statistics.
+                    shared.updates.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.queries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let _ = reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareddb_common::{tuple, DataType, Expr};
+    use shareddb_storage::TableDef;
+
+    fn catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("ITEM")
+                    .column("I_ID", DataType::Int)
+                    .column("I_SUBJECT", DataType::Text)
+                    .primary_key(&["I_ID"]),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ITEM",
+                (0..200i64)
+                    .map(|i| tuple![i, if i % 2 == 0 { "A" } else { "B" }])
+                    .collect(),
+            )
+            .unwrap();
+        Arc::new(catalog)
+    }
+
+    #[test]
+    fn profiles_differ_in_cap_and_factor() {
+        assert_eq!(EngineProfile::Basic.parallelism_cap(), 12);
+        assert_eq!(EngineProfile::Tuned.parallelism_cap(), usize::MAX);
+        assert!(EngineProfile::Basic.work_factor() > EngineProfile::Tuned.work_factor());
+        assert_ne!(
+            EngineProfile::Basic.system_name(),
+            EngineProfile::Tuned.system_name()
+        );
+    }
+
+    #[test]
+    fn worker_count_respects_profile_cap() {
+        let engine = ClassicEngine::start(catalog(), EngineProfile::Basic, 48);
+        assert_eq!(engine.worker_count(), 12);
+        let engine = ClassicEngine::start(catalog(), EngineProfile::Tuned, 24);
+        assert_eq!(engine.worker_count(), 24);
+    }
+
+    #[test]
+    fn query_execution_and_stats() {
+        let engine = ClassicEngine::start(catalog(), EngineProfile::Tuned, 4);
+        engine.register(
+            "bySubject",
+            BaselineStatement::Query(QueryPlan::scan_where(
+                "ITEM",
+                Expr::col(1).eq(Expr::param(0)),
+            )),
+        );
+        let rows = engine.execute_sync("bySubject", &[Value::text("A")]).unwrap();
+        assert_eq!(rows.len(), 100);
+        let handles: Vec<_> = (0..20)
+            .map(|_| engine.execute("bySubject", &[Value::text("B")]).unwrap())
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().unwrap().len(), 100);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 21);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.mean_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_statement_rejected() {
+        let engine = ClassicEngine::start(catalog(), EngineProfile::Tuned, 1);
+        assert!(matches!(
+            engine.execute("nope", &[]),
+            Err(Error::UnknownStatement(_))
+        ));
+    }
+
+    #[test]
+    fn mutations_and_inserts() {
+        let engine = ClassicEngine::start(catalog(), EngineProfile::Tuned, 2);
+        engine.register(
+            "addItem",
+            BaselineStatement::Insert {
+                table: "ITEM".into(),
+                values: vec![Expr::param(0), Expr::param(1)],
+            },
+        );
+        engine.register(
+            "dropItem",
+            BaselineStatement::Mutation {
+                table: "ITEM".into(),
+                op: UpdateOp::Delete {
+                    predicate: Expr::col(0).eq(Expr::param(0)),
+                },
+            },
+        );
+        engine.register(
+            "all",
+            BaselineStatement::Query(QueryPlan::scan("ITEM")),
+        );
+        engine
+            .execute_sync("addItem", &[Value::Int(1000), Value::text("C")])
+            .unwrap();
+        assert_eq!(engine.execute_sync("all", &[]).unwrap().len(), 201);
+        engine.execute_sync("dropItem", &[Value::Int(1000)]).unwrap();
+        assert_eq!(engine.execute_sync("all", &[]).unwrap().len(), 200);
+        let stats = engine.stats();
+        assert!(stats.updates >= 2);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let mut engine = ClassicEngine::start(catalog(), EngineProfile::Basic, 2);
+        engine.register("all", BaselineStatement::Query(QueryPlan::scan("ITEM")));
+        engine.shutdown();
+        assert!(matches!(
+            engine.execute("all", &[]),
+            Err(Error::EngineShutdown)
+        ));
+    }
+
+    #[test]
+    fn basic_profile_does_more_work_than_tuned() {
+        // Not a timing assertion (flaky); verify the factor is applied by
+        // checking both produce identical results while Basic repeats work.
+        let c = catalog();
+        let basic = ClassicEngine::start(Arc::clone(&c), EngineProfile::Basic, 2);
+        let tuned = ClassicEngine::start(c, EngineProfile::Tuned, 2);
+        for e in [&basic, &tuned] {
+            e.register(
+                "bySubject",
+                BaselineStatement::Query(QueryPlan::scan_where(
+                    "ITEM",
+                    Expr::col(1).eq(Expr::param(0)),
+                )),
+            );
+        }
+        let a = basic.execute_sync("bySubject", &[Value::text("A")]).unwrap();
+        let b = tuned.execute_sync("bySubject", &[Value::text("A")]).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion micro benchmark reproducing the design decision of Section 3.1:
+//! the NF² `query_id` attribute is implemented as a **list** because it beat
+//! the bitmap representation in the authors' experiments. This bench compares
+//! both representations for the typical case (small sets out of a large id
+//! space) and the dense case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shareddb_common::queryset::{BitmapQuerySet, QuerySet};
+use shareddb_common::QueryId;
+
+fn sparse_ids(count: usize, stride: u32, offset: u32) -> Vec<QueryId> {
+    (0..count as u32).map(|i| QueryId(offset + i * stride)).collect()
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queryset_intersect");
+    for &size in &[4usize, 32, 256] {
+        let a_ids = sparse_ids(size, 7, 1);
+        let b_ids = sparse_ids(size, 5, 3);
+        let list_a: QuerySet = a_ids.iter().copied().collect();
+        let list_b: QuerySet = b_ids.iter().copied().collect();
+        let mut bm_a = BitmapQuerySet::with_capacity(0, 4096);
+        let mut bm_b = BitmapQuerySet::with_capacity(0, 4096);
+        for &id in &a_ids {
+            bm_a.insert(id);
+        }
+        for &id in &b_ids {
+            bm_b.insert(id);
+        }
+        group.bench_with_input(BenchmarkId::new("list", size), &size, |bench, _| {
+            bench.iter(|| list_a.intersect(&list_b).len())
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap", size), &size, |bench, _| {
+            bench.iter(|| bm_a.intersect(&bm_b).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_and_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queryset_build");
+    for &size in &[8usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("list_insert", size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut s = QuerySet::new();
+                for i in 0..size as u32 {
+                    s.insert(QueryId(i * 3));
+                }
+                s.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap_insert", size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut s = BitmapQuerySet::with_capacity(0, (size as u32) * 3 + 64);
+                for i in 0..size as u32 {
+                    s.insert(QueryId(i * 3));
+                }
+                s.len()
+            })
+        });
+    }
+    // Memory footprint comparison printed once for the record.
+    let list: QuerySet = (0..64u32).map(|i| QueryId(i * 50)).collect();
+    let mut bitmap = BitmapQuerySet::with_capacity(0, 64 * 50 + 64);
+    for id in list.iter() {
+        bitmap.insert(id);
+    }
+    eprintln!(
+        "# queryset memory: list={}B bitmap={}B (64 subscribers spread over 3200 ids)",
+        list.heap_size(),
+        bitmap.heap_size()
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_insert_and_union);
+criterion_main!(benches);

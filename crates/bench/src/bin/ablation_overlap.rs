@@ -1,0 +1,75 @@
+//! Ablation supporting the Section 3.5 analysis: shared execution saves work
+//! when `f(o) < Σ f(n_i)`, where `o` is the size of the union of the inputs
+//! of all concurrent queries and `n_i` the input of query i.
+//!
+//! The harness runs a batch of concurrent join queries against SharedDB and
+//! against the per-query baseline while varying the *overlap* of their
+//! predicates, and reports the batch completion time of both. With low
+//! overlap (disjoint predicates) sharing wastes work; with high overlap (all
+//! queries touch the same hot range) SharedDB's bounded computation wins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shareddb_bench::{bench_scale, env_usize, print_header, SystemUnderTest};
+use shareddb_common::Value;
+use shareddb_tpcw::SUBJECTS;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = bench_scale();
+    let cores = env_usize("ABL_CORES", 24);
+    let batch = env_usize("ABL_BATCH", 200);
+    let submitters = env_usize("ABL_SUBMITTERS", 16);
+
+    eprintln!("# ablation_overlap: items={}, batch={batch}", scale.items);
+    print_header(&[
+        "overlap",
+        "system",
+        "batch_size",
+        "batch_time_ms",
+    ]);
+
+    // Overlap levels: fraction of queries that use the same (hot) subject.
+    for &overlap_pct in &[0usize, 25, 50, 75, 100] {
+        for system in [SystemUnderTest::SystemXLike, SystemUnderTest::SharedDb] {
+            let db = system.build(&scale, cores);
+            let started = Instant::now();
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let db = db.as_ref();
+                let counter = &counter;
+                for t in 0..submitters {
+                    let scale = scale.clone();
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(900 + t as u64);
+                        loop {
+                            let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= batch {
+                                break;
+                            }
+                            // With probability `overlap`, use the hot subject;
+                            // otherwise spread across the other subjects.
+                            let subject = if rng.gen_range(0..100) < overlap_pct {
+                                SUBJECTS[0]
+                            } else {
+                                SUBJECTS[1 + rng.gen_range(0..SUBJECTS.len() - 1)]
+                            };
+                            let params = [
+                                Value::text(subject),
+                                Value::Int((scale.orders as i64 - 1_000).max(0)),
+                            ];
+                            let _ = db.execute("getBestSellers", &params, Duration::from_secs(60));
+                        }
+                    });
+                }
+            });
+            println!(
+                "{},{},{},{:.1}",
+                overlap_pct,
+                system.label(),
+                batch,
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+    }
+}

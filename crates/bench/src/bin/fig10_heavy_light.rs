@@ -1,0 +1,158 @@
+//! Figure 10: batch response time as a function of batch size, for a light
+//! query ("search item by title" — a key/key join fetching one item and its
+//! author, part of the ProductDetail interaction) and a heavy query (the
+//! "best sellers" analysis).
+//!
+//! A batch of N concurrent queries (with different parameters) is submitted
+//! to each system *all at once* — exactly as in the paper, which issues a
+//! stream of N concurrent queries and measures the time until the whole batch
+//! is answered. For SharedDB the measured time therefore includes the
+//! queueing cycle. The TPC-W response-time limit lines of the figure are 3 s
+//! (light query) and 5 s (heavy query).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shareddb_baseline::EngineProfile;
+use shareddb_bench::{bench_scale, env_usize, print_header};
+use shareddb_common::Value;
+use shareddb_core::EngineConfig;
+use shareddb_tpcw::{build_catalog, BaselineSystem, SharedDbSystem, TpcwScale, SUBJECTS};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn batch_points() -> Vec<usize> {
+    match std::env::var("FIG10_BATCHES") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![1, 10, 50, 100, 250, 500, 1000, 2000],
+    }
+}
+
+/// Generates the parameter vector of one query of the given kind.
+fn params(kind: &str, scale: &TpcwScale, rng: &mut StdRng) -> Vec<Value> {
+    match kind {
+        "SearchItemByTitle" => vec![Value::Int(rng.gen_range(0..scale.items as i64))],
+        _ => vec![
+            Value::text(SUBJECTS[rng.gen_range(0..SUBJECTS.len())]),
+            Value::Int((scale.orders as i64 - 1_000).max(0)),
+        ],
+    }
+}
+
+fn statement(kind: &str) -> &'static str {
+    match kind {
+        "SearchItemByTitle" => "getBook",
+        _ => "getBestSellers",
+    }
+}
+
+/// Submits the whole batch asynchronously and waits for all answers.
+trait BatchRunner {
+    fn label(&self) -> &'static str;
+    fn run_batch(&self, kind: &str, scale: &TpcwScale, batch: usize) -> f64;
+}
+
+struct SharedRunner(SharedDbSystem);
+impl BatchRunner for SharedRunner {
+    fn label(&self) -> &'static str {
+        "SharedDB"
+    }
+    fn run_batch(&self, kind: &str, scale: &TpcwScale, batch: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(10);
+        let started = Instant::now();
+        let handles: Vec<_> = (0..batch)
+            .map(|_| {
+                self.0
+                    .engine()
+                    .execute(statement(kind), &params(kind, scale, &mut rng))
+                    .expect("submit")
+            })
+            .collect();
+        for h in handles {
+            let _ = h.wait();
+        }
+        started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+struct BaselineRunner(BaselineSystem, &'static str);
+impl BatchRunner for BaselineRunner {
+    fn label(&self) -> &'static str {
+        self.1
+    }
+    fn run_batch(&self, kind: &str, scale: &TpcwScale, batch: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(10);
+        let started = Instant::now();
+        let handles: Vec<_> = (0..batch)
+            .map(|_| {
+                self.0
+                    .engine()
+                    .execute(statement(kind), &params(kind, scale, &mut rng))
+                    .expect("submit")
+            })
+            .collect();
+        for h in handles {
+            let _ = h.wait();
+        }
+        started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let cores = env_usize("FIG10_CORES", 24);
+
+    eprintln!("# fig10: items={}, cores={cores}", scale.items);
+    print_header(&[
+        "query",
+        "system",
+        "batch_size",
+        "batch_response_time_ms",
+        "timeout_ms",
+    ]);
+
+    let runners: Vec<Box<dyn BatchRunner>> = vec![
+        Box::new(BaselineRunner(
+            BaselineSystem::new(
+                Arc::new(build_catalog(&scale).unwrap()),
+                EngineProfile::Basic,
+                cores,
+            ),
+            "MySQL-like",
+        )),
+        Box::new(BaselineRunner(
+            BaselineSystem::new(
+                Arc::new(build_catalog(&scale).unwrap()),
+                EngineProfile::Tuned,
+                cores,
+            ),
+            "SystemX-like",
+        )),
+        Box::new(SharedRunner(
+            SharedDbSystem::new(
+                Arc::new(build_catalog(&scale).unwrap()),
+                EngineConfig::with_cores(cores),
+            )
+            .unwrap(),
+        )),
+    ];
+
+    for kind in ["SearchItemByTitle", "BestSellers"] {
+        let timeout = if kind == "BestSellers" { 5_000 } else { 3_000 };
+        for runner in &runners {
+            for &batch in &batch_points() {
+                let elapsed_ms = runner.run_batch(kind, &scale, batch);
+                println!(
+                    "{},{},{},{:.1},{}",
+                    kind,
+                    runner.label(),
+                    batch,
+                    elapsed_ms,
+                    timeout,
+                );
+            }
+        }
+    }
+}

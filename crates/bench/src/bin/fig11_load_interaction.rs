@@ -1,0 +1,120 @@
+//! Figure 11: load interaction between light and heavy queries.
+//!
+//! A constant load of "search item by title" queries (the paper: 400/s) is
+//! mixed with an increasing share of "best sellers" queries. The figure plots
+//! the total sustained throughput of each system: the query-at-a-time systems
+//! collapse below the constant light load once heavy queries compete for
+//! resources, while SharedDB's throughput keeps increasing because the heavy
+//! queries share the same operators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header, SystemUnderTest};
+use shareddb_common::Value;
+use shareddb_tpcw::SUBJECTS;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn heavy_percent_points() -> Vec<usize> {
+    match std::env::var("FIG11_HEAVY_PERCENTS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![0, 5, 10, 20, 30, 40, 50],
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let duration = bench_duration();
+    let cores = env_usize("FIG11_CORES", 24);
+    let light_rate = env_usize("FIG11_LIGHT_RATE", 200) as f64; // light queries per second
+    let clients = env_usize("FIG11_CLIENTS", 24);
+
+    eprintln!(
+        "# fig11: items={}, duration={:?}, light_rate={light_rate}/s",
+        scale.items, duration
+    );
+    print_header(&[
+        "heavy_percent",
+        "system",
+        "total_throughput_per_s",
+        "light_completed",
+        "heavy_completed",
+        "offered_per_s",
+    ]);
+
+    for system in SystemUnderTest::all() {
+        let db = system.build(&scale, cores);
+        for &heavy_percent in &heavy_percent_points() {
+            // Offered rate such that light queries stay at `light_rate`/s and
+            // heavy queries make up `heavy_percent` of the total stream.
+            let total_rate = light_rate / (1.0 - (heavy_percent as f64 / 100.0)).max(0.01);
+            let interarrival = Duration::from_secs_f64(1.0 / total_rate);
+            let light_done = AtomicU64::new(0);
+            let heavy_done = AtomicU64::new(0);
+            let slot = AtomicUsize::new(0);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                let db = db.as_ref();
+                let light_done = &light_done;
+                let heavy_done = &heavy_done;
+                let slot = &slot;
+                for t in 0..clients {
+                    let scale = scale.clone();
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(500 + t as u64);
+                        loop {
+                            let elapsed = start.elapsed();
+                            if elapsed >= duration {
+                                break;
+                            }
+                            let s = slot.fetch_add(1, Ordering::Relaxed);
+                            let scheduled = interarrival.mul_f64(s as f64);
+                            if scheduled > duration {
+                                break;
+                            }
+                            if scheduled > elapsed {
+                                std::thread::sleep(scheduled - elapsed);
+                            }
+                            let heavy = rng.gen_range(0..100) < heavy_percent;
+                            if heavy {
+                                let params = [
+                                    Value::text(SUBJECTS[rng.gen_range(0..SUBJECTS.len())]),
+                                    Value::Int((scale.orders as i64 - 1_000).max(0)),
+                                ];
+                                if db
+                                    .execute("getBestSellers", &params, Duration::from_secs(20))
+                                    .is_ok()
+                                {
+                                    heavy_done.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else {
+                                let params = [Value::Int(rng.gen_range(0..scale.items as i64))];
+                                if db
+                                    .execute("getBook", &params, Duration::from_secs(3))
+                                    .is_ok()
+                                {
+                                    light_done.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let light = light_done.load(Ordering::Relaxed);
+            let heavy = heavy_done.load(Ordering::Relaxed);
+            println!(
+                "{},{},{:.1},{},{},{:.1}",
+                heavy_percent,
+                system.label(),
+                (light + heavy) as f64 / elapsed,
+                light,
+                heavy,
+                total_rate,
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 6: the global query plan compiled for the TPC-W benchmark.
+//!
+//! Prints the operator graph, an operator census, and the sharing map
+//! (which statements activate which shared operators).
+
+use shareddb_bench::bench_scale;
+use shareddb_tpcw::{build_catalog, build_shared_plan, statement_names};
+
+fn main() {
+    let scale = bench_scale();
+    let catalog = build_catalog(&scale).expect("build TPC-W catalog");
+    let (plan, registry) = build_shared_plan(&catalog).expect("build global plan");
+
+    println!("== TPC-W global query plan (Figure 6) ==");
+    println!("{}", plan.render());
+
+    println!("== Operator census ==");
+    let mut census: Vec<(String, usize)> = plan.operator_census().into_iter().collect();
+    census.sort();
+    let mut total = 0;
+    for (label, count) in &census {
+        println!("{label:<28} {count}");
+        total += count;
+    }
+    println!("total operators: {total} (paper: 26 operators + 9 base-table access paths)");
+
+    println!();
+    println!("== Sharing map: statement -> activated operators ==");
+    for name in statement_names() {
+        if let Ok((_, spec)) = registry.get(name) {
+            let ops: Vec<String> = spec
+                .activations
+                .iter()
+                .map(|(op, _)| plan.node(*op).name.clone())
+                .collect();
+            let kind = if spec.is_update() { "update" } else { "query" };
+            println!("{name:<22} [{kind}] {}", ops.join(" -> "));
+        }
+    }
+
+    println!();
+    println!("== Operators shared by more than one statement type ==");
+    for node in plan.nodes() {
+        let users: Vec<&str> = registry
+            .iter()
+            .filter(|s| s.activations.iter().any(|(op, _)| *op == node.id))
+            .map(|s| s.name.as_str())
+            .collect();
+        if users.len() > 1 {
+            println!("{:<28} shared by {} statements: {}", node.name, users.len(), users.join(", "));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 7: throughput (successful web interactions per second) under
+//! varying offered load, for the Browsing, Shopping and Ordering mixes and
+//! the three systems (MySQL-like, SystemX-like, SharedDB).
+//!
+//! Output: CSV rows `mix,system,emulated_browsers,offered_wips,wips,...`.
+//! The paper sweeps 1000–14000 emulated browsers with a 7 s think time on a
+//! 48-core server; the reproduction sweeps a scaled-down browser count with a
+//! scaled-down think time so that the offered-load range brackets the
+//! capacity of a laptop-class machine. Override with `FIG7_EBS`
+//! (comma-separated), `TPCW_ITEMS`, `BENCH_SECONDS`, `FIG7_CORES`.
+
+use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header, SystemUnderTest};
+use shareddb_tpcw::{run_workload, DriverConfig, Mix};
+use std::time::Duration;
+
+fn eb_points() -> Vec<usize> {
+    match std::env::var("FIG7_EBS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![50, 100, 200, 400, 800, 1600, 3200],
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let duration = bench_duration();
+    let cores = env_usize("FIG7_CORES", 24);
+    let think = Duration::from_millis(env_usize("FIG7_THINK_MS", 1_000) as u64);
+
+    eprintln!(
+        "# fig7: items={}, duration={:?}, cores={}, think={:?}",
+        scale.items, duration, cores, think
+    );
+    print_header(&[
+        "mix",
+        "system",
+        "emulated_browsers",
+        "offered_wips",
+        "wips",
+        "attempted",
+        "successful",
+        "timed_out",
+        "failed",
+        "mean_latency_ms",
+    ]);
+
+    for mix in [Mix::Browsing, Mix::Ordering, Mix::Shopping] {
+        for system in SystemUnderTest::all() {
+            let db = system.build(&scale, cores);
+            for &ebs in &eb_points() {
+                let config = DriverConfig {
+                    mix,
+                    emulated_browsers: ebs,
+                    think_time: think,
+                    duration,
+                    client_threads: 24,
+                    time_limit_scale: 1.0,
+                    seed: 7,
+                };
+                let report = run_workload(db.as_ref(), &scale, &config);
+                println!(
+                    "{},{},{},{:.1},{:.1},{},{},{},{},{:.2}",
+                    mix.name(),
+                    system.label(),
+                    ebs,
+                    report.offered_rate,
+                    report.wips,
+                    report.attempted,
+                    report.successful,
+                    report.timed_out,
+                    report.failed,
+                    report.mean_latency.as_secs_f64() * 1e3,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 9: maximum throughput of each individual TPC-W web interaction,
+//! for all three systems (14 × 3 bars).
+//!
+//! Clients issue only the queries of a single web interaction as fast as they
+//! can; the reported number is the successful-interaction throughput.
+
+use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header, SystemUnderTest};
+use shareddb_tpcw::{run_single_interaction, ALL_INTERACTIONS};
+
+fn main() {
+    let scale = bench_scale();
+    let duration = bench_duration();
+    let cores = env_usize("FIG9_CORES", 24);
+    let clients = env_usize("FIG9_CLIENTS", 24);
+
+    eprintln!(
+        "# fig9: items={}, duration={:?}, cores={}, clients={}",
+        scale.items, duration, cores, clients
+    );
+    print_header(&[
+        "interaction",
+        "system",
+        "max_wips",
+        "attempted",
+        "timed_out",
+        "failed",
+        "mean_latency_ms",
+    ]);
+
+    for interaction in ALL_INTERACTIONS {
+        for system in SystemUnderTest::all() {
+            let db = system.build(&scale, cores);
+            let report =
+                run_single_interaction(db.as_ref(), &scale, interaction, duration, clients, 1.0);
+            println!(
+                "{},{},{:.1},{},{},{},{:.2}",
+                interaction.name(),
+                system.label(),
+                report.wips,
+                report.attempted,
+                report.timed_out,
+                report.failed,
+                report.mean_latency.as_secs_f64() * 1e3,
+            );
+        }
+    }
+}

@@ -1,0 +1,886 @@
+//! Scalar expressions and predicates.
+//!
+//! Expressions are shared between the SQL front end, the storage layer's
+//! predicate index (ClockScan indexes *query predicates* instead of data,
+//! Section 4.4) and the shared operators. They support prepared-statement
+//! parameters (`?`), which is how SharedDB models workloads: the TPC-W
+//! implementation is "about thirty different JDBC PreparedStatements executed
+//! with different parameter settings" (Section 2).
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// True for comparison operators that yield booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// Mirror of a comparison: `a op b` is equivalent to `b op.flip() a`.
+    pub fn flip(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// `IS NULL`
+    IsNull,
+    /// `IS NOT NULL`
+    IsNotNull,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A column resolved to an index into the input tuple.
+    Column(usize),
+    /// A column referenced by (optional qualifier, name); must be resolved
+    /// against a [`Schema`] before evaluation.
+    NamedColumn {
+        /// Table name or alias, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// A prepared-statement parameter (`?`), identified by its position.
+    Param(usize),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// SQL `LIKE` with `%` and `_` wildcards.
+    Like {
+        /// The string expression being matched.
+        expr: Box<Expr>,
+        /// The pattern (typically a literal or parameter).
+        pattern: Box<Expr>,
+        /// Negation flag for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// The probe expression.
+        expr: Box<Expr>,
+        /// The candidate list.
+        list: Vec<Expr>,
+        /// Negation flag for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// The probe expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a resolved column reference.
+    pub fn col(idx: usize) -> Expr {
+        Expr::Column(idx)
+    }
+
+    /// Shorthand for a named column reference (`"O.DATE"` or `"DATE"`).
+    pub fn named(path: &str) -> Expr {
+        match path.split_once('.') {
+            Some((q, n)) => Expr::NamedColumn {
+                qualifier: Some(q.to_ascii_uppercase()),
+                name: n.to_ascii_uppercase(),
+            },
+            None => Expr::NamedColumn {
+                qualifier: None,
+                name: path.to_ascii_uppercase(),
+            },
+        }
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand for a parameter.
+    pub fn param(idx: usize) -> Expr {
+        Expr::Param(idx)
+    }
+
+    /// Builds `self op other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Builds `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Eq, other)
+    }
+    /// Builds `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Lt, other)
+    }
+    /// Builds `self <= other`.
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::LtEq, other)
+    }
+    /// Builds `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Gt, other)
+    }
+    /// Builds `self >= other`.
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::GtEq, other)
+    }
+    /// Builds `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::And, other)
+    }
+    /// Builds `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Or, other)
+    }
+    /// Builds `NOT self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+    /// Builds `self LIKE pattern`.
+    pub fn like(self, pattern: Expr) -> Expr {
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: Box::new(pattern),
+            negated: false,
+        }
+    }
+
+    /// Conjunction of a list of predicates; `TRUE` when the list is empty.
+    pub fn conjunction(preds: Vec<Expr>) -> Expr {
+        let mut iter = preds.into_iter();
+        match iter.next() {
+            None => Expr::Literal(Value::Bool(true)),
+            Some(first) => iter.fold(first, |acc, p| acc.and(p)),
+        }
+    }
+
+    /// Splits a predicate into its top-level conjuncts.
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    left,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Resolves all [`Expr::NamedColumn`] references against a schema,
+    /// returning a copy that only contains [`Expr::Column`] references.
+    pub fn resolve(&self, schema: &Schema) -> Result<Expr> {
+        Ok(match self {
+            Expr::NamedColumn { qualifier, name } => {
+                Expr::Column(schema.resolve(qualifier.as_deref(), name)?)
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.resolve(schema)?),
+                right: Box::new(right.resolve(schema)?),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.resolve(schema)?),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.resolve(schema)?),
+                pattern: Box::new(pattern.resolve(schema)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.resolve(schema)?),
+                list: list.iter().map(|e| e.resolve(schema)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high } => Expr::Between {
+                expr: Box::new(expr.resolve(schema)?),
+                low: Box::new(low.resolve(schema)?),
+                high: Box::new(high.resolve(schema)?),
+            },
+        })
+    }
+
+    /// Substitutes parameters with concrete values, producing a *bound*
+    /// expression. This is what happens when a client executes a prepared
+    /// statement with a parameter vector.
+    pub fn bind(&self, params: &[Value]) -> Result<Expr> {
+        Ok(match self {
+            Expr::Param(i) => Expr::Literal(
+                params
+                    .get(*i)
+                    .cloned()
+                    .ok_or_else(|| Error::InvalidParameter(format!("missing parameter ${i}")))?,
+            ),
+            Expr::Column(_) | Expr::NamedColumn { .. } | Expr::Literal(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(params)?),
+                right: Box::new(right.bind(params)?),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.bind(params)?),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.bind(params)?),
+                pattern: Box::new(pattern.bind(params)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.bind(params)?),
+                list: list.iter().map(|e| e.bind(params)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high } => Expr::Between {
+                expr: Box::new(expr.bind(params)?),
+                low: Box::new(low.bind(params)?),
+                high: Box::new(high.bind(params)?),
+            },
+        })
+    }
+
+    /// Returns all column indices referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(i) = e {
+                cols.push(*i);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// True when the expression contains no parameter placeholders.
+    pub fn is_bound(&self) -> bool {
+        let mut bound = true;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Param(_)) {
+                bound = false;
+            }
+        });
+        bound
+    }
+
+    /// Visits every node of the expression tree.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.visit(f);
+                pattern.visit(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::Between { expr, low, high } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Column(_) | Expr::NamedColumn { .. } | Expr::Literal(_) | Expr::Param(_) => {}
+        }
+    }
+
+    /// If the expression is a simple `column <op> literal` (or the mirrored
+    /// `literal <op> column`) comparison, returns `(column, op, literal)`
+    /// normalised so the column is on the left. This is the shape the
+    /// ClockScan predicate index understands.
+    pub fn as_column_literal_cmp(&self) -> Option<(usize, BinaryOp, &Value)> {
+        if let Expr::Binary { op, left, right } = self {
+            if !op.is_comparison() {
+                return None;
+            }
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => Some((*c, *op, v)),
+                (Expr::Literal(v), Expr::Column(c)) => Some((*c, op.flip(), v)),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the expression against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Column(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Internal(format!("column index {i} out of bounds"))),
+            Expr::NamedColumn { qualifier, name } => Err(Error::Internal(format!(
+                "unresolved column reference {}{name}",
+                qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => Err(Error::InvalidParameter(format!("unbound parameter ${i}"))),
+            Expr::Binary { op, left, right } => {
+                eval_binary(*op, &left.eval(tuple)?, &right.eval(tuple)?)
+            }
+            Expr::Unary { op, expr } => {
+                let v = expr.eval(tuple)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => Err(Error::TypeMismatch {
+                            expected: "Bool".into(),
+                            found: format!("{other:?}"),
+                        }),
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: format!("{other:?}"),
+                        }),
+                    },
+                    UnaryOp::IsNull => Ok(Value::Bool(v.is_null())),
+                    UnaryOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(tuple)?;
+                let p = pattern.eval(tuple)?;
+                match (&v, &p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Text(s), Value::Text(pat)) => {
+                        let m = like_match(s, pat);
+                        Ok(Value::Bool(if *negated { !m } else { m }))
+                    }
+                    _ => Err(Error::TypeMismatch {
+                        expected: "Text LIKE Text".into(),
+                        found: format!("{v:?} LIKE {p:?}"),
+                    }),
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(tuple)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let iv = item.eval(tuple)?;
+                    if v.sql_eq(&iv) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(if *negated { !found } else { found }))
+            }
+            Expr::Between { expr, low, high } => {
+                let v = expr.eval(tuple)?;
+                let lo = low.eval(tuple)?;
+                let hi = high.eval(tuple)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => {
+                        Ok(Value::Bool(a != Ordering::Less && b != Ordering::Greater))
+                    }
+                    _ => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: NULL and FALSE both reject the
+    /// tuple (SQL WHERE semantics).
+    pub fn eval_predicate(&self, tuple: &Tuple) -> Result<bool> {
+        match self.eval(tuple)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(Error::TypeMismatch {
+                expected: "Bool".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &Value, right: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        And => match (left, right) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a && *b)),
+            _ => Err(Error::TypeMismatch {
+                expected: "Bool AND Bool".into(),
+                found: format!("{left:?} AND {right:?}"),
+            }),
+        },
+        Or => match (left, right) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a || *b)),
+            _ => Err(Error::TypeMismatch {
+                expected: "Bool OR Bool".into(),
+                found: format!("{left:?} OR {right:?}"),
+            }),
+        },
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let cmp = left.sql_cmp(right);
+            Ok(match cmp {
+                None => Value::Null,
+                Some(ord) => Value::Bool(match op {
+                    Eq => ord == Ordering::Equal,
+                    NotEq => ord != Ordering::Equal,
+                    Lt => ord == Ordering::Less,
+                    LtEq => ord != Ordering::Greater,
+                    Gt => ord == Ordering::Greater,
+                    GtEq => ord != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            })
+        }
+        Add | Sub | Mul | Div => {
+            if left.is_null() || right.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic when both sides are integers, float otherwise.
+            match (left, right) {
+                (Value::Int(a), Value::Int(b)) => Ok(match op {
+                    Add => Value::Int(a.wrapping_add(*b)),
+                    Sub => Value::Int(a.wrapping_sub(*b)),
+                    Mul => Value::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(a / b)
+                        }
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => {
+                    let a = left.as_float()?;
+                    let b = right.as_float()?;
+                    Ok(match op {
+                        Add => Value::Float(a + b),
+                        Sub => Value::Float(a - b),
+                        Mul => Value::Float(a * b),
+                        Div => {
+                            if b == 0.0 {
+                                Value::Null
+                            } else {
+                                Value::Float(a / b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any sequence) and `_` (any single character).
+/// Matching is case-sensitive, as in the TPC-W reference implementation.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Try every split point; also allows %% sequences.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::NamedColumn { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "${i}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::IsNull => write!(f, "({expr} IS NULL)"),
+                UnaryOp::IsNotNull => write!(f, "({expr} IS NOT NULL)"),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between { expr, low, high } => write!(f, "({expr} BETWEEN {low} AND {high})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::tuple;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("ID", crate::DataType::Int).with_qualifier("R"),
+            Column::new("NAME", crate::DataType::Text).with_qualifier("R"),
+            Column::nullable("PRICE", crate::DataType::Float).with_qualifier("R"),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tuple![5i64, "abc", 10.5f64];
+        assert!(Expr::col(0).gt(Expr::lit(3i64)).eval_predicate(&t).unwrap());
+        assert!(!Expr::col(0).gt(Expr::lit(5i64)).eval_predicate(&t).unwrap());
+        assert!(Expr::col(0).gt_eq(Expr::lit(5i64)).eval_predicate(&t).unwrap());
+        assert!(Expr::col(1).eq(Expr::lit("abc")).eval_predicate(&t).unwrap());
+        assert!(Expr::col(2).lt(Expr::lit(11i64)).eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_reject() {
+        let t = tuple![5i64, "abc"];
+        let null_cmp = Expr::col(0).eq(Expr::lit(Value::Null));
+        assert_eq!(null_cmp.eval(&t).unwrap(), Value::Null);
+        assert!(!null_cmp.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn boolean_logic_three_valued() {
+        let t = tuple![1i64];
+        let tru = Expr::lit(true);
+        let fls = Expr::lit(false);
+        let nul = Expr::lit(Value::Null);
+        assert!(tru.clone().and(tru.clone()).eval_predicate(&t).unwrap());
+        assert!(!tru.clone().and(fls.clone()).eval_predicate(&t).unwrap());
+        // NULL AND FALSE = FALSE, NULL AND TRUE = NULL.
+        assert_eq!(nul.clone().and(fls.clone()).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(nul.clone().and(tru.clone()).eval(&t).unwrap(), Value::Null);
+        assert_eq!(nul.clone().or(tru.clone()).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(nul.clone().or(fls).eval(&t).unwrap(), Value::Null);
+        assert_eq!(nul.not().eval(&t).unwrap(), Value::Null);
+        assert!(!tru.not().eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tuple![7i64, "x", 2.5f64];
+        assert_eq!(
+            Expr::col(0).binary(BinaryOp::Add, Expr::lit(3i64)).eval(&t).unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            Expr::col(0).binary(BinaryOp::Mul, Expr::col(2)).eval(&t).unwrap(),
+            Value::Float(17.5)
+        );
+        assert_eq!(
+            Expr::col(0).binary(BinaryOp::Div, Expr::lit(0i64)).eval(&t).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::lit(1i64).binary(BinaryOp::Sub, Expr::lit(Value::Null)).eval(&t).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("SharedDB", "Shared%"));
+        assert!(like_match("SharedDB", "%DB"));
+        assert!(like_match("SharedDB", "%are%"));
+        assert!(like_match("SharedDB", "S_aredDB"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("SharedDB", "shared%")); // case sensitive
+        assert!(!like_match("SharedDB", "_"));
+        assert!(like_match("a%b", "a\u{25}b")); // literal percent matches itself via %
+    }
+
+    #[test]
+    fn like_expression_and_negation() {
+        let t = tuple![1i64, "THE TITLE OF A BOOK"];
+        let e = Expr::col(1).like(Expr::lit("%TITLE%"));
+        assert!(e.eval_predicate(&t).unwrap());
+        let ne = Expr::Like {
+            expr: Box::new(Expr::col(1)),
+            pattern: Box::new(Expr::lit("%TITLE%")),
+            negated: true,
+        };
+        assert!(!ne.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let t = tuple![5i64];
+        let e = Expr::InList {
+            expr: Box::new(Expr::col(0)),
+            list: vec![Expr::lit(1i64), Expr::lit(5i64)],
+            negated: false,
+        };
+        assert!(e.eval_predicate(&t).unwrap());
+        let e = Expr::Between {
+            expr: Box::new(Expr::col(0)),
+            low: Box::new(Expr::lit(1i64)),
+            high: Box::new(Expr::lit(5i64)),
+        };
+        assert!(e.eval_predicate(&t).unwrap());
+        let e = Expr::Between {
+            expr: Box::new(Expr::col(0)),
+            low: Box::new(Expr::lit(6i64)),
+            high: Box::new(Expr::lit(9i64)),
+        };
+        assert!(!e.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let t = tuple![Value::Null, Value::Int(1)];
+        let isnull = Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(Expr::col(0)),
+        };
+        assert!(isnull.eval_predicate(&t).unwrap());
+        let notnull = Expr::Unary {
+            op: UnaryOp::IsNotNull,
+            expr: Box::new(Expr::col(1)),
+        };
+        assert!(notnull.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn bind_parameters() {
+        let e = Expr::col(0).eq(Expr::param(0)).and(Expr::col(1).like(Expr::param(1)));
+        assert!(!e.is_bound());
+        let bound = e.bind(&[Value::Int(3), Value::text("%x%")]).unwrap();
+        assert!(bound.is_bound());
+        assert!(bound.eval_predicate(&tuple![3i64, "axb"]).unwrap());
+        assert!(!bound.eval_predicate(&tuple![4i64, "axb"]).unwrap());
+        // Missing parameter is an error.
+        assert!(e.bind(&[Value::Int(3)]).is_err());
+        // Evaluating an unbound parameter is an error.
+        assert!(Expr::param(0).eval(&tuple![1i64]).is_err());
+    }
+
+    #[test]
+    fn resolve_named_columns() {
+        let s = schema();
+        let e = Expr::named("R.PRICE").gt(Expr::named("ID"));
+        let r = e.resolve(&s).unwrap();
+        assert_eq!(r, Expr::col(2).gt(Expr::col(0)));
+        assert!(Expr::named("MISSING").resolve(&s).is_err());
+        // Unresolved named column cannot be evaluated.
+        assert!(e.eval(&tuple![1i64, "a", 2.0f64]).is_err());
+    }
+
+    #[test]
+    fn split_and_rebuild_conjuncts() {
+        let e = Expr::col(0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(1).gt(Expr::lit(2i64)))
+            .and(Expr::col(2).lt(Expr::lit(3i64)));
+        assert_eq!(e.split_conjuncts().len(), 3);
+        let rebuilt = Expr::conjunction(e.split_conjuncts().into_iter().cloned().collect());
+        assert_eq!(rebuilt, e);
+        assert_eq!(
+            Expr::conjunction(vec![]),
+            Expr::Literal(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn column_literal_extraction_normalises() {
+        let e = Expr::col(3).gt(Expr::lit(10i64));
+        assert_eq!(
+            e.as_column_literal_cmp(),
+            Some((3, BinaryOp::Gt, &Value::Int(10)))
+        );
+        let mirrored = Expr::lit(10i64).gt(Expr::col(3));
+        assert_eq!(
+            mirrored.as_column_literal_cmp(),
+            Some((3, BinaryOp::Lt, &Value::Int(10)))
+        );
+        let not_simple = Expr::col(1).eq(Expr::col(2));
+        assert_eq!(not_simple.as_column_literal_cmp(), None);
+    }
+
+    #[test]
+    fn referenced_columns_are_sorted_unique() {
+        let e = Expr::col(3).gt(Expr::col(1)).and(Expr::col(3).eq(Expr::lit(1i64)));
+        assert_eq!(e.referenced_columns(), vec![1, 3]);
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let e = Expr::named("O.DATE").gt(Expr::param(0));
+        assert_eq!(e.to_string(), "(O.DATE > $0)");
+    }
+}

@@ -1,0 +1,209 @@
+//! Strongly-typed identifiers.
+//!
+//! SharedDB turns *queries into data* (Section 3.3 of the paper): the id of an
+//! active query travels through the data flow just like any other attribute.
+//! Giving ids their own newtypes keeps the code honest about which kind of id
+//! is which.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of one *active query* (one activation of a prepared
+    /// statement with concrete parameters). This is the value stored in the
+    /// NF² `query_id` column of the data-query model.
+    QueryId,
+    u32
+);
+
+id_newtype!(
+    /// Identifier of a *query type* (prepared statement) registered with the
+    /// global plan. Hundreds of concurrent [`QueryId`]s may map to the same
+    /// `StatementId`.
+    StatementId,
+    u32
+);
+
+id_newtype!(
+    /// Identifier of a base table in the catalog.
+    TableId,
+    u32
+);
+
+id_newtype!(
+    /// Index of a column within a schema.
+    ColumnId,
+    u32
+);
+
+id_newtype!(
+    /// Identifier of a connected client / session.
+    ClientId,
+    u64
+);
+
+id_newtype!(
+    /// Ticket handed to a client when a query is admitted; used to collect the
+    /// result set once the batch containing the query has been processed.
+    TicketId,
+    u64
+);
+
+id_newtype!(
+    /// Identifier of an operator node in the global query plan.
+    OperatorId,
+    u32
+);
+
+id_newtype!(
+    /// Monotonically increasing batch ("heartbeat") sequence number of a
+    /// shared operator or of the storage layer.
+    BatchId,
+    u64
+);
+
+id_newtype!(
+    /// Logical commit timestamp used by the MVCC storage layer (snapshot
+    /// isolation). Timestamp 0 means "visible to everyone" (bulk-loaded data).
+    Timestamp,
+    u64
+);
+
+/// Thread-safe generator for [`QueryId`]s.
+///
+/// The engine allocates a fresh query id for every admitted query; ids wrap
+/// around after `u32::MAX` which is safe because ids only need to be unique
+/// among *concurrently active* queries.
+#[derive(Debug, Default)]
+pub struct QueryIdGenerator {
+    next: AtomicU32,
+}
+
+impl QueryIdGenerator {
+    /// Creates a generator starting at id 1 (0 is reserved as a sentinel).
+    pub fn new() -> Self {
+        Self {
+            next: AtomicU32::new(1),
+        }
+    }
+
+    /// Allocates the next query id.
+    pub fn next_id(&self) -> QueryId {
+        let mut id = self.next.fetch_add(1, Ordering::Relaxed);
+        if id == 0 {
+            // Skip the reserved sentinel on wrap-around.
+            id = self.next.fetch_add(1, Ordering::Relaxed);
+        }
+        QueryId(id)
+    }
+}
+
+/// Thread-safe generator for [`TicketId`]s.
+#[derive(Debug, Default)]
+pub struct TicketGenerator {
+    next: AtomicU64,
+}
+
+impl TicketGenerator {
+    /// Creates a generator starting at ticket 1.
+    pub fn new() -> Self {
+        Self {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates the next ticket.
+    pub fn next_id(&self) -> TicketId {
+        TicketId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn newtypes_are_distinct_types_and_roundtrip() {
+        let q = QueryId(7);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(QueryId::from(7u32), q);
+        assert_eq!(format!("{q}"), "QueryId(7)");
+    }
+
+    #[test]
+    fn ordering_follows_inner_value() {
+        assert!(QueryId(1) < QueryId(2));
+        assert!(Timestamp(10) > Timestamp(9));
+    }
+
+    #[test]
+    fn query_id_generator_is_unique_and_never_zero() {
+        let gen = QueryIdGenerator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let id = gen.next_id();
+            assert_ne!(id.raw(), 0);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn query_id_generator_is_thread_safe() {
+        let gen = Arc::new(QueryIdGenerator::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gen = Arc::clone(&gen);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| gen.next_id().raw()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(all.len(), 8000);
+    }
+
+    #[test]
+    fn ticket_generator_monotonic() {
+        let gen = TicketGenerator::new();
+        let a = gen.next_id();
+        let b = gen.next_id();
+        assert!(b > a);
+    }
+}

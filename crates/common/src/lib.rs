@@ -1,0 +1,37 @@
+//! # shareddb-common
+//!
+//! Foundational types shared by every SharedDB crate:
+//!
+//! * [`value`] — typed SQL values and data types.
+//! * [`schema`] — columns, schemas and name resolution.
+//! * [`tuple`] — row representation.
+//! * [`queryset`] — the NF² set-valued `query_id` attribute of the paper's
+//!   *data-query model* (Section 3.1), implemented as a sorted list plus a
+//!   bitmap variant used for ablation benchmarks.
+//! * [`qtuple`] — a tuple annotated with the set of interested queries.
+//! * [`expr`] — scalar expressions and predicates, with parameter binding.
+//! * [`agg`] — aggregate functions and accumulators.
+//! * [`sort`] — sort specifications and comparators.
+//! * [`ids`] — strongly-typed identifiers (queries, tables, clients, ...).
+//! * [`error`] — the common error type.
+
+pub mod agg;
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod qtuple;
+pub mod queryset;
+pub mod schema;
+pub mod sort;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use ids::{ClientId, ColumnId, QueryId, StatementId, TableId, TicketId};
+pub use qtuple::QTuple;
+pub use queryset::QuerySet;
+pub use schema::{Column, Schema};
+pub use sort::{SortKey, SortOrder};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

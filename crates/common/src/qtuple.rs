@@ -1,0 +1,109 @@
+//! The data-query model tuple: a relational tuple plus the set of queries
+//! interested in it (Section 3.1, Figure 1 of the paper — the "Compact Result
+//! Set (NF²)" representation).
+
+use crate::queryset::QuerySet;
+use crate::tuple::Tuple;
+use crate::QueryId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple annotated with its subscribed queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct QTuple {
+    /// The relational payload (the "normal" attributes `R_a .. R_n`).
+    pub tuple: Tuple,
+    /// The set-valued `query_id` attribute.
+    pub queries: QuerySet,
+}
+
+impl QTuple {
+    /// Creates a data-query tuple.
+    pub fn new(tuple: Tuple, queries: QuerySet) -> Self {
+        QTuple { tuple, queries }
+    }
+
+    /// Creates a tuple subscribed to a single query.
+    pub fn for_query(tuple: Tuple, query: QueryId) -> Self {
+        QTuple {
+            tuple,
+            queries: QuerySet::singleton(query),
+        }
+    }
+
+    /// True when no active query is interested in the tuple; such tuples can
+    /// be dropped by any operator without affecting results.
+    pub fn is_dead(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Expands the compact NF² representation into the redundant
+    /// first-normal-form representation shown on the left of Figure 1 —
+    /// one `(tuple, query)` pair per subscribed query. Only used at the edge
+    /// of the system when routing results to clients and in tests.
+    pub fn explode(&self) -> impl Iterator<Item = (QueryId, &Tuple)> + '_ {
+        self.queries.iter().map(move |q| (q, &self.tuple))
+    }
+
+    /// Joins two data-query tuples: concatenates the payloads and intersects
+    /// the query sets. Returns `None` when the intersection is empty, i.e.
+    /// when no query is interested in the combination (this implements the
+    /// `R.query_id = S.query_id` part of the shared join predicate).
+    pub fn join(&self, other: &QTuple) -> Option<QTuple> {
+        let queries = self.queries.intersect(&other.queries);
+        if queries.is_empty() {
+            return None;
+        }
+        Some(QTuple {
+            tuple: self.tuple.concat(&other.tuple),
+            queries,
+        })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.tuple.heap_size() + self.queries.heap_size()
+    }
+}
+
+impl fmt::Display for QTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.tuple, self.queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn explode_matches_figure_1() {
+        // Row 143 "John Smith" is interesting for queries 1, 2 and 3: the NF²
+        // representation stores it once, exploding yields three pairs.
+        let t = QTuple::new(tuple![143i64, "John Smith"], [1u32, 2, 3].into_iter().collect());
+        let pairs: Vec<_> = t.explode().map(|(q, _)| q.raw()).collect();
+        assert_eq!(pairs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_requires_common_query() {
+        let r = QTuple::for_query(tuple![1i64, "r"], QueryId(1));
+        let s = QTuple::for_query(tuple![1i64, "s"], QueryId(2));
+        // R tuple only relevant for Q1 must not match S tuple only relevant
+        // for Q2 (Section 3.3).
+        assert!(r.join(&s).is_none());
+
+        let s2 = QTuple::new(tuple![1i64, "s"], [1u32, 2].into_iter().collect());
+        let joined = r.join(&s2).unwrap();
+        assert_eq!(joined.tuple, tuple![1i64, "r", 1i64, "s"]);
+        assert_eq!(joined.queries, QuerySet::singleton(QueryId(1)));
+    }
+
+    #[test]
+    fn dead_tuples() {
+        let t = QTuple::new(tuple![1i64], QuerySet::new());
+        assert!(t.is_dead());
+        assert!(!QTuple::for_query(tuple![1i64], QueryId(9)).is_dead());
+    }
+}

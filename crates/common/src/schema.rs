@@ -1,0 +1,348 @@
+//! Columns, schemas and name resolution.
+//!
+//! Schemas in SharedDB describe both base tables and intermediate results.
+//! Join operators concatenate schemas; columns keep an optional *qualifier*
+//! (the table or alias they originate from) so that `O.ITEM_ID` and
+//! `I.ITEM_ID` stay distinguishable after a join.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Optional qualifier: table name or alias (upper-cased).
+    pub qualifier: Option<String>,
+    /// Column name (upper-cased).
+    pub name: String,
+    /// Data type of the column.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Creates a non-nullable column without a qualifier.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            qualifier: None,
+            name: name.into().to_ascii_uppercase(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            nullable: true,
+            ..Column::new(name, data_type)
+        }
+    }
+
+    /// Returns a copy of the column with the given qualifier attached.
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into().to_ascii_uppercase());
+        self
+    }
+
+    /// Fully qualified name (`QUALIFIER.NAME` or just `NAME`).
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// True if the column matches a (possibly qualified) reference.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .map(|cq| cq.eq_ignore_ascii_case(q))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Checks that a value is admissible for this column (type and
+    /// nullability).
+    pub fn check_value(&self, value: &Value) -> Result<()> {
+        match value.data_type() {
+            None => {
+                if self.nullable {
+                    Ok(())
+                } else {
+                    Err(Error::ConstraintViolation(format!(
+                        "column {} is NOT NULL",
+                        self.qualified_name()
+                    )))
+                }
+            }
+            Some(dt) => {
+                let compatible = dt == self.data_type
+                    || matches!(
+                        (dt, self.data_type),
+                        (DataType::Int, DataType::Float)
+                            | (DataType::Float, DataType::Int)
+                            | (DataType::Int, DataType::Date)
+                            | (DataType::Date, DataType::Int)
+                    );
+                if compatible {
+                    Ok(())
+                } else {
+                    Err(Error::TypeMismatch {
+                        expected: self.data_type.to_string(),
+                        found: dt.to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.qualified_name(), self.data_type)?;
+        if self.nullable {
+            write!(f, " NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of columns.
+///
+/// Schemas are cheaply clonable (`Arc` internally) because every tuple batch
+/// flowing between operators references the schema of its producer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns of the schema.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Returns the column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Resolves a (possibly qualified) column reference to its index.
+    ///
+    /// Resolution is case-insensitive. An unqualified name that matches more
+    /// than one column is ambiguous and reported as an error.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(Error::UnknownColumn(format!(
+                        "ambiguous column reference: {name}"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            Err::<usize, _>(()).ok();
+            Error::UnknownColumn(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })
+        })
+    }
+
+    /// Resolves a dotted reference such as `"O.ITEM_ID"` or `"ITEM_ID"`.
+    pub fn resolve_path(&self, path: &str) -> Result<usize> {
+        match path.split_once('.') {
+            Some((q, n)) => self.resolve(Some(q), n),
+            None => self.resolve(None, path),
+        }
+    }
+
+    /// Returns a new schema with every column qualified by `alias`.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .cloned()
+                .map(|c| c.with_qualifier(alias))
+                .collect(),
+        )
+    }
+
+    /// Concatenates two schemas (the schema of a join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = Vec::with_capacity(self.len() + other.len());
+        cols.extend(self.columns.iter().cloned());
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// Returns a schema consisting of the selected column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Validates a full tuple of values against the schema.
+    pub fn check_tuple(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.len() {
+            return Err(Error::ConstraintViolation(format!(
+                "expected {} values, got {}",
+                self.len(),
+                values.len()
+            )));
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            c.check_value(v)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("USER_ID", DataType::Int).with_qualifier("USERS"),
+            Column::new("USERNAME", DataType::Text).with_qualifier("USERS"),
+            Column::nullable("COUNTRY", DataType::Text).with_qualifier("USERS"),
+        ])
+    }
+
+    #[test]
+    fn resolve_by_name_and_qualifier() {
+        let s = users_schema();
+        assert_eq!(s.resolve(None, "username").unwrap(), 1);
+        assert_eq!(s.resolve(Some("users"), "USER_ID").unwrap(), 0);
+        assert!(s.resolve(Some("ORDERS"), "USER_ID").is_err());
+        assert!(s.resolve(None, "MISSING").is_err());
+    }
+
+    #[test]
+    fn resolve_path_handles_dots() {
+        let s = users_schema();
+        assert_eq!(s.resolve_path("USERS.COUNTRY").unwrap(), 2);
+        assert_eq!(s.resolve_path("COUNTRY").unwrap(), 2);
+    }
+
+    #[test]
+    fn ambiguous_reference_is_error() {
+        let s = users_schema().join(&users_schema().qualified("U2"));
+        // Unqualified USER_ID appears twice -> ambiguous.
+        assert!(s.resolve(None, "USER_ID").is_err());
+        // Qualified lookups still work.
+        assert_eq!(s.resolve(Some("U2"), "USER_ID").unwrap(), 3);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = users_schema();
+        let b = Schema::new(vec![
+            Column::new("ORDER_ID", DataType::Int).with_qualifier("ORDERS"),
+            Column::new("USER_ID", DataType::Int).with_qualifier("ORDERS"),
+        ]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.resolve(Some("ORDERS"), "USER_ID").unwrap(), 4);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let s = users_schema();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.column(0).name, "COUNTRY");
+        assert_eq!(p.column(1).name, "USER_ID");
+    }
+
+    #[test]
+    fn check_tuple_validates_arity_types_nulls() {
+        let s = users_schema();
+        assert!(s
+            .check_tuple(&[Value::Int(1), Value::text("bob"), Value::Null])
+            .is_ok());
+        // NULL in a NOT NULL column.
+        assert!(s
+            .check_tuple(&[Value::Null, Value::text("bob"), Value::Null])
+            .is_err());
+        // Wrong arity.
+        assert!(s.check_tuple(&[Value::Int(1)]).is_err());
+        // Wrong type.
+        assert!(s
+            .check_tuple(&[Value::text("x"), Value::text("bob"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn int_float_coercion_allowed() {
+        let c = Column::new("PRICE", DataType::Float);
+        assert!(c.check_value(&Value::Int(10)).is_ok());
+        assert!(c.check_value(&Value::Float(9.5)).is_ok());
+        assert!(c.check_value(&Value::text("x")).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = users_schema();
+        let text = s.to_string();
+        assert!(text.contains("USERS.USER_ID INT"));
+        assert!(text.contains("USERS.COUNTRY TEXT NULL"));
+    }
+
+    #[test]
+    fn names_are_uppercased() {
+        let c = Column::new("lower_name", DataType::Int).with_qualifier("tbl");
+        assert_eq!(c.name, "LOWER_NAME");
+        assert_eq!(c.qualifier.as_deref(), Some("TBL"));
+        assert_eq!(c.qualified_name(), "TBL.LOWER_NAME");
+    }
+}

@@ -1,0 +1,175 @@
+//! Row representation.
+//!
+//! Tuples are plain vectors of [`Value`]s. The engine moves tuples between
+//! operators in *vectors* (batches) following the vectorised execution model
+//! referenced in Section 3.2 of the paper; the batch container lives in
+//! `shareddb-core`, this module only defines the per-row type.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A single row of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates an empty tuple.
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tuple has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values of the tuple.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values (used by updates in the storage layer).
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Consumes the tuple and returns the underlying vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Returns the value at `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Concatenates two tuples (the output of a join).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Returns a tuple consisting of the selected column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by memory accounting).
+    pub fn heap_size(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<Value>()
+            + self.values.iter().map(Value::heap_size).sum::<usize>()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builds a [`Tuple`] from a heterogeneous list of values.
+///
+/// ```
+/// use shareddb_common::{tuple, Value};
+/// let t = tuple![1i64, "alice", 2.5f64];
+/// assert_eq!(t[1], Value::text("alice"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1i64, "bob", 3.5f64];
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t.get(1), Some(&Value::text("bob")));
+        assert_eq!(t.get(9), None);
+        assert!(!t.is_empty());
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1i64, "x"];
+        let b = tuple![2i64];
+        let c = a.concat(&b);
+        assert_eq!(c.values(), &[Value::Int(1), Value::text("x"), Value::Int(2)]);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = tuple![10i64, 20i64, 30i64];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let t = tuple![1i64, "a"];
+        assert_eq!(t.to_string(), "[1, 'a']");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..3).map(Value::from).collect();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_values() {
+        assert!(tuple![1i64, 2i64] < tuple![1i64, 3i64]);
+        assert!(tuple![1i64] < tuple![1i64, 0i64]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Query activations and batches.
+//!
+//! A client executes a registered statement with a parameter vector. The
+//! engine *binds* the statement's activation templates with those parameters,
+//! producing an [`ActiveQuery`] (or [`ActiveUpdate`]); active queries queue up
+//! and are grouped into a [`QueryBatch`] at the next heartbeat (Section 3.2).
+
+use crate::plan::{
+    ActivationTemplate, StatementKind, StatementSpec, UpdateTemplate,
+};
+use crate::plan::OperatorId;
+use shareddb_common::ids::{BatchId, TicketId};
+use shareddb_common::{Error, Expr, QueryId, Result, Tuple, Value};
+use shareddb_storage::{ProbeRange, UpdateOp};
+
+/// A bound (parameter-free) activation of one operator for one query.
+#[derive(Debug, Clone)]
+pub enum Activation {
+    /// Selection predicate for a shared scan.
+    Scan {
+        /// Bound predicate.
+        predicate: Expr,
+    },
+    /// Key/range look-up for a shared index probe.
+    Probe {
+        /// Probed column.
+        column: usize,
+        /// Concrete key range.
+        range: ProbeRange,
+        /// Residual predicate on fetched rows.
+        residual: Option<Expr>,
+    },
+    /// Residual predicate for a shared filter.
+    Filter {
+        /// Bound predicate.
+        predicate: Expr,
+    },
+    /// Participation without per-query configuration.
+    Participate,
+    /// Per-query limit of a shared Top-N.
+    TopN {
+        /// Row limit.
+        limit: usize,
+    },
+    /// Per-query HAVING predicate of a shared group-by.
+    Having {
+        /// Bound predicate (over the group-by output schema).
+        predicate: Option<Expr>,
+    },
+}
+
+/// One admitted query: an activation of a registered statement with concrete
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct ActiveQuery {
+    /// Unique id of this activation; this is the value that travels through
+    /// the data-query model.
+    pub query_id: QueryId,
+    /// Index of the statement in the registry.
+    pub statement_index: usize,
+    /// Ticket used to deliver results back to the waiting client.
+    pub ticket: TicketId,
+    /// Operator whose output is this query's result.
+    pub root: OperatorId,
+    /// Output projection (empty = all columns of the root schema).
+    pub projection: Vec<usize>,
+    /// Optional row limit applied during routing.
+    pub limit: Option<usize>,
+    /// Bound activations per operator.
+    pub activations: Vec<(OperatorId, Activation)>,
+}
+
+/// One admitted update.
+#[derive(Debug, Clone)]
+pub struct ActiveUpdate {
+    /// Ticket used to report the update result.
+    pub ticket: TicketId,
+    /// Index of the statement in the registry.
+    pub statement_index: usize,
+    /// Target table.
+    pub table: String,
+    /// The bound update operation.
+    pub op: UpdateOp,
+}
+
+/// One batch ("generation") of queries and updates processed by a heartbeat.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    /// Batch sequence number.
+    pub id: BatchId,
+    /// Queries of the batch.
+    pub queries: Vec<ActiveQuery>,
+    /// Updates of the batch, in arrival order.
+    pub updates: Vec<ActiveUpdate>,
+}
+
+impl QueryBatch {
+    /// True when the batch contains no work.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty() && self.updates.is_empty()
+    }
+
+    /// Number of queries plus updates.
+    pub fn len(&self) -> usize {
+        self.queries.len() + self.updates.len()
+    }
+
+    /// The activations of all queries of the batch for one operator.
+    pub fn activations_for(&self, operator: OperatorId) -> Vec<(QueryId, Activation)> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            for (op, activation) in &q.activations {
+                if *op == operator {
+                    out.push((q.query_id, activation.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of all queries of the batch.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|q| q.query_id).collect()
+    }
+}
+
+/// Binds a query statement: substitutes parameters into every activation
+/// template.
+pub fn bind_query(
+    spec: &StatementSpec,
+    statement_index: usize,
+    query_id: QueryId,
+    ticket: TicketId,
+    params: &[Value],
+) -> Result<ActiveQuery> {
+    let StatementKind::Query {
+        root,
+        projection,
+        limit,
+    } = &spec.kind
+    else {
+        return Err(Error::Internal(format!(
+            "statement {} is not a query",
+            spec.name
+        )));
+    };
+    let mut activations = Vec::with_capacity(spec.activations.len());
+    for (op, template) in &spec.activations {
+        let bound = match template {
+            ActivationTemplate::Scan { predicate } => Activation::Scan {
+                predicate: predicate.bind(params)?,
+            },
+            ActivationTemplate::Probe {
+                column,
+                range,
+                residual,
+            } => Activation::Probe {
+                column: *column,
+                range: range.bind(params)?,
+                residual: residual.as_ref().map(|e| e.bind(params)).transpose()?,
+            },
+            ActivationTemplate::Filter { predicate } => Activation::Filter {
+                predicate: predicate.bind(params)?,
+            },
+            ActivationTemplate::Participate => Activation::Participate,
+            ActivationTemplate::TopN { limit } => Activation::TopN { limit: *limit },
+            ActivationTemplate::Having { predicate } => Activation::Having {
+                predicate: predicate.as_ref().map(|e| e.bind(params)).transpose()?,
+            },
+        };
+        activations.push((*op, bound));
+    }
+    Ok(ActiveQuery {
+        query_id,
+        statement_index,
+        ticket,
+        root: *root,
+        projection: projection.clone(),
+        limit: *limit,
+        activations,
+    })
+}
+
+/// Binds an update statement into a storage [`UpdateOp`].
+pub fn bind_update(
+    spec: &StatementSpec,
+    statement_index: usize,
+    ticket: TicketId,
+    params: &[Value],
+) -> Result<ActiveUpdate> {
+    let StatementKind::Update { table, template } = &spec.kind else {
+        return Err(Error::Internal(format!(
+            "statement {} is not an update",
+            spec.name
+        )));
+    };
+    let op = match template {
+        UpdateTemplate::Insert { values } => {
+            let empty = Tuple::empty();
+            let values: Vec<Value> = values
+                .iter()
+                .map(|e| e.bind(params)?.eval(&empty))
+                .collect::<Result<_>>()?;
+            UpdateOp::Insert {
+                values: Tuple::new(values),
+            }
+        }
+        UpdateTemplate::Update {
+            assignments,
+            predicate,
+        } => UpdateOp::Update {
+            assignments: assignments
+                .iter()
+                .map(|(col, e)| Ok((*col, e.bind(params)?)))
+                .collect::<Result<_>>()?,
+            predicate: predicate.bind(params)?,
+        },
+        UpdateTemplate::Delete { predicate } => UpdateOp::Delete {
+            predicate: predicate.bind(params)?,
+        },
+    };
+    Ok(ActiveUpdate {
+        ticket,
+        statement_index,
+        table: table.clone(),
+        op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ProbeTemplate, StatementSpec};
+
+    #[test]
+    fn bind_query_substitutes_parameters() {
+        let spec = StatementSpec::query("q", 3)
+            .activate(
+                0,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(1).eq(Expr::param(0)),
+                },
+            )
+            .activate(
+                2,
+                ActivationTemplate::Probe {
+                    column: 0,
+                    range: ProbeTemplate::Key(Expr::param(1)),
+                    residual: None,
+                },
+            )
+            .activate(3, ActivationTemplate::TopN { limit: 5 })
+            .project(vec![0, 1])
+            .limit(10);
+        let q = bind_query(
+            &spec,
+            7,
+            QueryId(42),
+            TicketId(9),
+            &[Value::text("CH"), Value::Int(11)],
+        )
+        .unwrap();
+        assert_eq!(q.query_id, QueryId(42));
+        assert_eq!(q.root, 3);
+        assert_eq!(q.projection, vec![0, 1]);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.activations.len(), 3);
+        match &q.activations[0].1 {
+            Activation::Scan { predicate } => assert!(predicate.is_bound()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.activations[1].1 {
+            Activation::Probe { range, .. } => match range {
+                ProbeRange::Key(v) => assert_eq!(*v, Value::Int(11)),
+                _ => panic!("expected key"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // Missing parameters are an error.
+        assert!(bind_query(&spec, 7, QueryId(1), TicketId(1), &[]).is_err());
+        // Binding it as an update is an error.
+        assert!(bind_update(&spec, 7, TicketId(1), &[]).is_err());
+    }
+
+    #[test]
+    fn bind_update_insert_and_delete() {
+        let spec = StatementSpec::update(
+            "addOrder",
+            "ORDERS",
+            UpdateTemplate::Insert {
+                values: vec![Expr::param(0), Expr::param(1), Expr::lit("OK")],
+            },
+        );
+        let u = bind_update(&spec, 0, TicketId(1), &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(u.table, "ORDERS");
+        match u.op {
+            UpdateOp::Insert { values } => {
+                assert_eq!(values.values().len(), 3);
+                assert_eq!(values[2], Value::text("OK"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let spec = StatementSpec::update(
+            "dropOrder",
+            "orders",
+            UpdateTemplate::Delete {
+                predicate: Expr::col(0).eq(Expr::param(0)),
+            },
+        );
+        let u = bind_update(&spec, 0, TicketId(2), &[Value::Int(5)]).unwrap();
+        match u.op {
+            UpdateOp::Delete { predicate } => assert!(predicate.is_bound()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(bind_query(&spec, 0, QueryId(1), TicketId(1), &[]).is_err());
+    }
+
+    #[test]
+    fn batch_activation_grouping() {
+        let spec = StatementSpec::query("q", 1).activate(
+            0,
+            ActivationTemplate::Scan {
+                predicate: Expr::lit(true),
+            },
+        );
+        let q1 = bind_query(&spec, 0, QueryId(1), TicketId(1), &[]).unwrap();
+        let q2 = bind_query(&spec, 0, QueryId(2), TicketId(2), &[]).unwrap();
+        let batch = QueryBatch {
+            id: BatchId(1),
+            queries: vec![q1, q2],
+            updates: vec![],
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.activations_for(0).len(), 2);
+        assert_eq!(batch.activations_for(5).len(), 0);
+        assert_eq!(batch.query_ids(), vec![QueryId(1), QueryId(2)]);
+    }
+}

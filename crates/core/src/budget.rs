@@ -1,0 +1,147 @@
+//! The core budget: a counting semaphore that models "number of CPU cores".
+//!
+//! The paper's scalability experiment (Figure 8) varies the number of CPU
+//! cores available to the database server with the `maxcpus` kernel parameter.
+//! SharedDB assigns one operator per core (Section 4.3); when fewer cores than
+//! operators are available, operators share cores. We model that by letting
+//! every operator thread acquire a permit from this budget for the duration of
+//! one processing cycle: with `n` permits, at most `n` operators make progress
+//! concurrently, which reproduces the throughput-vs-cores shape without
+//! requiring OS-level affinity.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A counting semaphore handing out "core" permits.
+#[derive(Debug)]
+pub struct CoreBudget {
+    inner: Arc<BudgetInner>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    permits: Mutex<usize>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// A held permit; releases the core when dropped.
+pub struct CorePermit {
+    inner: Arc<BudgetInner>,
+}
+
+impl CoreBudget {
+    /// Creates a budget with `cores` permits. `usize::MAX` (the default
+    /// configuration) effectively disables the limit.
+    pub fn new(cores: usize) -> Self {
+        CoreBudget {
+            inner: Arc::new(BudgetInner {
+                permits: Mutex::new(cores.max(1)),
+                available: Condvar::new(),
+                capacity: cores.max(1),
+            }),
+        }
+    }
+
+    /// Total number of permits.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Acquires one permit, blocking until one is available.
+    pub fn acquire(&self) -> CorePermit {
+        if self.inner.capacity == usize::MAX {
+            // Unlimited budget: skip the lock entirely.
+            return CorePermit {
+                inner: Arc::clone(&self.inner),
+            };
+        }
+        let mut permits = self.inner.permits.lock();
+        while *permits == 0 {
+            self.inner.available.wait(&mut permits);
+        }
+        *permits -= 1;
+        CorePermit {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current number of available permits (diagnostics / tests).
+    pub fn available(&self) -> usize {
+        if self.inner.capacity == usize::MAX {
+            usize::MAX
+        } else {
+            *self.inner.permits.lock()
+        }
+    }
+}
+
+impl Clone for CoreBudget {
+    fn clone(&self) -> Self {
+        CoreBudget {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for CorePermit {
+    fn drop(&mut self) {
+        if self.inner.capacity == usize::MAX {
+            return;
+        }
+        let mut permits = self.inner.permits.lock();
+        *permits += 1;
+        self.inner.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn permits_are_returned_on_drop() {
+        let budget = CoreBudget::new(2);
+        assert_eq!(budget.available(), 2);
+        let a = budget.acquire();
+        let _b = budget.acquire();
+        assert_eq!(budget.available(), 0);
+        drop(a);
+        assert_eq!(budget.available(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_never_blocks() {
+        let budget = CoreBudget::new(usize::MAX);
+        let _permits: Vec<_> = (0..1000).map(|_| budget.acquire()).collect();
+        assert_eq!(budget.available(), usize::MAX);
+    }
+
+    #[test]
+    fn concurrency_is_bounded() {
+        let budget = CoreBudget::new(3);
+        let running = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let budget = budget.clone();
+            let running = Arc::clone(&running);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let _permit = budget.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(max_seen.load(Ordering::SeqCst) <= 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+/// Configuration of the batched SharedDB runtime.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Interval between two heartbeats when queries keep arriving. The paper
+    /// uses heartbeats "in the order of one second or even less" for OLTP
+    /// workloads; the default here is much smaller because the reproduced
+    /// experiments run at laptop scale.
+    pub heartbeat: Duration,
+    /// Maximum number of queries and updates admitted into one batch; `0`
+    /// means unlimited. Bounding the batch bounds the latency of a cycle.
+    pub max_batch_size: usize,
+    /// Number of CPU cores the engine may use concurrently. This models the
+    /// `maxcpus` knob of Section 5.1: operators still exist as threads, but at
+    /// most `core_budget` of them execute a cycle at any moment.
+    pub core_budget: usize,
+    /// If true, the engine processes an available batch immediately instead of
+    /// waiting for the full heartbeat interval (keeps latency low under light
+    /// load; the paper's worst case of one queueing cycle still holds).
+    pub eager_heartbeat: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            heartbeat: Duration::from_millis(2),
+            max_batch_size: 0,
+            core_budget: usize::MAX,
+            eager_heartbeat: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with a fixed core budget.
+    pub fn with_cores(cores: usize) -> Self {
+        EngineConfig {
+            core_budget: cores.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the heartbeat interval.
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval;
+        self
+    }
+
+    /// Sets the maximum batch size (0 = unlimited).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch_size = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.core_budget >= 1);
+        assert!(c.eager_heartbeat);
+        assert_eq!(c.max_batch_size, 0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = EngineConfig::with_cores(0)
+            .heartbeat(Duration::from_millis(10))
+            .max_batch(100);
+        assert_eq!(c.core_budget, 1); // clamped
+        assert_eq!(c.heartbeat, Duration::from_millis(10));
+        assert_eq!(c.max_batch_size, 100);
+    }
+}

@@ -1,0 +1,1013 @@
+//! The batched, push-based SharedDB runtime.
+//!
+//! The engine owns:
+//!
+//! * one **operator thread per plan node** (Section 4.3: "all database
+//!   operators are executed in a separate hardware context"),
+//! * an **admission queue** where freshly submitted queries and updates wait
+//!   while the current batch is processed (Section 3.2),
+//! * a **coordinator thread** that drains the admission queue at every
+//!   heartbeat, forms a [`QueryBatch`], wires per-batch data channels between
+//!   the operator threads, applies the batch's updates (group commit), routes
+//!   the roots' outputs back to the waiting clients (the Γ(query_id) step) and
+//!   records statistics.
+//!
+//! Clients interact through [`Engine::execute`] (asynchronous, returns a
+//! [`QueryHandle`]) or [`Engine::execute_sync`].
+
+use crate::batch::{bind_query, bind_update, ActiveQuery, ActiveUpdate, Activation, QueryBatch};
+use crate::budget::CoreBudget;
+use crate::config::EngineConfig;
+use crate::operators::{execute_operator, ExecContext};
+use crate::plan::{GlobalPlan, OperatorId, StatementRegistry};
+use crate::stats::{EngineStats, EngineStatsSnapshot, OperatorStats, OperatorStatsSnapshot};
+use crate::storage_ops::{build_storage_operators, StorageOperator};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use shareddb_common::ids::{BatchId, QueryIdGenerator, TicketGenerator, TicketId};
+use shareddb_common::{Error, QTuple, QueryId, Result, Schema, Tuple, Value};
+use shareddb_storage::mvcc::Snapshot;
+use shareddb_storage::Catalog;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The rows produced for one query.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Schema of the rows (after projection).
+    pub schema: Schema,
+    /// The result rows, in the order produced by the query's root operator.
+    pub rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Outcome of one statement execution.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// A query returning rows.
+    Rows(ResultSet),
+    /// An update reporting its affected row count.
+    Updated {
+        /// Number of rows inserted / modified / deleted.
+        rows_affected: usize,
+    },
+}
+
+impl QueryOutcome {
+    /// Convenience accessor: the rows of a query outcome (empty for updates).
+    pub fn rows(&self) -> &[Tuple] {
+        match self {
+            QueryOutcome::Rows(rs) => &rs.rows,
+            QueryOutcome::Updated { .. } => &[],
+        }
+    }
+
+    /// Convenience accessor: rows affected by an update (0 for queries).
+    pub fn rows_affected(&self) -> usize {
+        match self {
+            QueryOutcome::Rows(_) => 0,
+            QueryOutcome::Updated { rows_affected } => *rows_affected,
+        }
+    }
+}
+
+/// Handle to a submitted statement execution.
+#[derive(Debug)]
+pub struct QueryHandle {
+    ticket: TicketId,
+    receiver: Receiver<Result<QueryOutcome>>,
+    submitted: Instant,
+}
+
+impl QueryHandle {
+    /// The ticket identifying this execution.
+    pub fn ticket(&self) -> TicketId {
+        self.ticket
+    }
+
+    /// Time since submission.
+    pub fn elapsed(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+
+    /// Blocks until the result is available.
+    pub fn wait(self) -> Result<QueryOutcome> {
+        self.receiver
+            .recv()
+            .map_err(|_| Error::EngineShutdown)?
+    }
+
+    /// Blocks until the result is available or the deadline passes.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryOutcome> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(Error::DeadlineExceeded),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(Error::EngineShutdown),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal messages
+// ---------------------------------------------------------------------------
+
+type TaskData = Arc<Vec<QTuple>>;
+
+struct OperatorTask {
+    activations: Vec<(QueryId, Activation)>,
+    inputs: Vec<Receiver<TaskData>>,
+    outputs: Vec<Sender<TaskData>>,
+    collector: Option<Sender<(OperatorId, TaskData)>>,
+    done: Sender<OperatorDone>,
+    snapshot: Snapshot,
+}
+
+struct OperatorDone {
+    id: OperatorId,
+    result: Result<usize>,
+    busy: Duration,
+    had_queries: bool,
+}
+
+enum OperatorMessage {
+    Task(Box<OperatorTask>),
+    Shutdown,
+}
+
+enum Submission {
+    Query(ActiveQuery),
+    Update(ActiveUpdate),
+}
+
+struct PendingResult {
+    sender: Sender<Result<QueryOutcome>>,
+    submitted: Instant,
+}
+
+struct Admission {
+    queue: Mutex<VecDeque<Submission>>,
+    signal: Condvar,
+}
+
+struct EngineInner {
+    catalog: Arc<Catalog>,
+    plan: GlobalPlan,
+    registry: StatementRegistry,
+    config: EngineConfig,
+    admission: Admission,
+    pending: Mutex<HashMap<TicketId, PendingResult>>,
+    query_ids: QueryIdGenerator,
+    tickets: TicketGenerator,
+    shutdown: AtomicBool,
+    stats: EngineStats,
+    operator_stats: Vec<OperatorStats>,
+    operator_senders: Vec<Sender<OperatorMessage>>,
+}
+
+/// The SharedDB engine: an always-on global plan plus the batching runtime.
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    coordinator: Option<JoinHandle<()>>,
+    operators: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts the engine: spawns one thread per plan operator plus the
+    /// coordinator thread.
+    pub fn start(
+        catalog: Arc<Catalog>,
+        plan: GlobalPlan,
+        registry: StatementRegistry,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        registry.validate(&plan)?;
+        let storage_ops = Arc::new(build_storage_operators(&catalog, &plan)?);
+        let budget = CoreBudget::new(config.core_budget);
+
+        let mut operator_senders = Vec::with_capacity(plan.len());
+        let mut operator_receivers = Vec::with_capacity(plan.len());
+        for _ in 0..plan.len() {
+            let (tx, rx) = unbounded::<OperatorMessage>();
+            operator_senders.push(tx);
+            operator_receivers.push(rx);
+        }
+
+        let inner = Arc::new(EngineInner {
+            catalog: Arc::clone(&catalog),
+            plan: plan.clone(),
+            registry,
+            config,
+            admission: Admission {
+                queue: Mutex::new(VecDeque::new()),
+                signal: Condvar::new(),
+            },
+            pending: Mutex::new(HashMap::new()),
+            query_ids: QueryIdGenerator::new(),
+            tickets: TicketGenerator::new(),
+            shutdown: AtomicBool::new(false),
+            stats: EngineStats::default(),
+            operator_stats: (0..plan.len()).map(|_| OperatorStats::default()).collect(),
+            operator_senders,
+        });
+
+        // Operator threads.
+        let mut operators = Vec::with_capacity(plan.len());
+        for (node, rx) in plan.nodes().iter().zip(operator_receivers) {
+            let node = node.clone();
+            let storage_ops = Arc::clone(&storage_ops);
+            let catalog = Arc::clone(&catalog);
+            let budget = budget.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("shareddb-op-{}", node.name))
+                .spawn(move || operator_loop(node.id, node, rx, storage_ops, catalog, budget))
+                .map_err(|e| Error::Internal(format!("failed to spawn operator thread: {e}")))?;
+            operators.push(handle);
+        }
+
+        // Coordinator thread.
+        let coordinator_inner = Arc::clone(&inner);
+        let coordinator = std::thread::Builder::new()
+            .name("shareddb-coordinator".to_string())
+            .spawn(move || coordinator_loop(coordinator_inner))
+            .map_err(|e| Error::Internal(format!("failed to spawn coordinator: {e}")))?;
+
+        Ok(Engine {
+            inner,
+            coordinator: Some(coordinator),
+            operators,
+        })
+    }
+
+    /// The catalog the engine runs on.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.inner.catalog)
+    }
+
+    /// The global plan.
+    pub fn plan(&self) -> &GlobalPlan {
+        &self.inner.plan
+    }
+
+    /// Submits a statement execution; returns a handle to wait on.
+    pub fn execute(&self, statement: &str, params: &[Value]) -> Result<QueryHandle> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::EngineShutdown);
+        }
+        let (index, spec) = self.inner.registry.get(statement)?;
+        let ticket = self.inner.tickets.next_id();
+        let submission = if spec.is_update() {
+            Submission::Update(bind_update(spec, index, ticket, params)?)
+        } else {
+            let query_id = self.inner.query_ids.next_id();
+            Submission::Query(bind_query(spec, index, query_id, ticket, params)?)
+        };
+        let (tx, rx) = unbounded();
+        let submitted = Instant::now();
+        self.inner.pending.lock().insert(
+            ticket,
+            PendingResult {
+                sender: tx,
+                submitted,
+            },
+        );
+        {
+            let mut queue = self.inner.admission.queue.lock();
+            queue.push_back(submission);
+        }
+        self.inner.admission.signal.notify_one();
+        Ok(QueryHandle {
+            ticket,
+            receiver: rx,
+            submitted,
+        })
+    }
+
+    /// Submits a statement and blocks until its result is available.
+    pub fn execute_sync(&self, statement: &str, params: &[Value]) -> Result<QueryOutcome> {
+        self.execute(statement, params)?.wait()
+    }
+
+    /// Engine-level statistics.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Per-operator statistics.
+    pub fn operator_stats(&self) -> Vec<OperatorStatsSnapshot> {
+        self.inner
+            .plan
+            .nodes()
+            .iter()
+            .map(|n| self.inner.operator_stats[n.id].snapshot(&n.name))
+            .collect()
+    }
+
+    /// Number of statements queued but not yet admitted into a batch.
+    pub fn queued(&self) -> usize {
+        self.inner.admission.queue.lock().len()
+    }
+
+    /// Stops the engine: drains nothing further, fails queued work with
+    /// [`Error::EngineShutdown`] and joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.admission.signal.notify_all();
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        for sender in &self.inner.operator_senders {
+            let _ = sender.send(OperatorMessage::Shutdown);
+        }
+        for handle in self.operators.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator threads
+// ---------------------------------------------------------------------------
+
+fn operator_loop(
+    id: OperatorId,
+    node: crate::plan::OperatorNode,
+    receiver: Receiver<OperatorMessage>,
+    storage_ops: Arc<Vec<Option<StorageOperator>>>,
+    catalog: Arc<Catalog>,
+    budget: CoreBudget,
+) {
+    while let Ok(message) = receiver.recv() {
+        let task = match message {
+            OperatorMessage::Task(task) => task,
+            OperatorMessage::Shutdown => break,
+        };
+        // Gather the inputs of this batch first (waiting does not consume a
+        // core), then acquire a core permit for the actual processing.
+        let mut inputs: Vec<Vec<QTuple>> = Vec::with_capacity(task.inputs.len());
+        let mut input_failed = false;
+        for rx in &task.inputs {
+            match rx.recv() {
+                Ok(data) => inputs.push(data.as_ref().clone()),
+                Err(_) => {
+                    // The producer failed; propagate an empty input. The
+                    // producer's error is reported through its own done
+                    // message and fails the batch at the coordinator.
+                    inputs.push(Vec::new());
+                    input_failed = true;
+                }
+            }
+        }
+
+        let had_queries = !task.activations.is_empty();
+        let permit = budget.acquire();
+        let started = Instant::now();
+        let result: Result<Vec<QTuple>> = if input_failed {
+            Ok(Vec::new())
+        } else if let Some(storage) = &storage_ops[id] {
+            storage.execute(&task.activations)
+        } else {
+            let ctx = ExecContext {
+                catalog: &catalog,
+                snapshot: task.snapshot,
+            };
+            execute_operator(&node.spec, &task.activations, inputs, &ctx)
+        };
+        let busy = started.elapsed();
+        drop(permit);
+
+        match result {
+            Ok(tuples) => {
+                let count = tuples.len();
+                let data: TaskData = Arc::new(tuples);
+                for out in &task.outputs {
+                    let _ = out.send(Arc::clone(&data));
+                }
+                if let Some(collector) = &task.collector {
+                    let _ = collector.send((id, Arc::clone(&data)));
+                }
+                let _ = task.done.send(OperatorDone {
+                    id,
+                    result: Ok(count),
+                    busy,
+                    had_queries,
+                });
+            }
+            Err(e) => {
+                // Emit empty outputs so downstream operators do not hang, then
+                // report the failure.
+                let data: TaskData = Arc::new(Vec::new());
+                for out in &task.outputs {
+                    let _ = out.send(Arc::clone(&data));
+                }
+                if let Some(collector) = &task.collector {
+                    let _ = collector.send((id, Arc::clone(&data)));
+                }
+                let _ = task.done.send(OperatorDone {
+                    id,
+                    result: Err(e),
+                    busy,
+                    had_queries,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+fn coordinator_loop(inner: Arc<EngineInner>) {
+    let mut batch_seq: u64 = 0;
+    let mut last_batch_start = Instant::now() - inner.config.heartbeat;
+    loop {
+        // Wait for work (or shutdown).
+        let submissions = {
+            let mut queue = inner.admission.queue.lock();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                if !queue.is_empty() {
+                    break;
+                }
+                inner
+                    .admission
+                    .signal
+                    .wait_for(&mut queue, inner.config.heartbeat);
+            }
+            if inner.shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                break;
+            }
+            // Heartbeat pacing: in non-eager mode a new batch starts at most
+            // once per heartbeat interval, letting more work accumulate.
+            if !inner.config.eager_heartbeat {
+                let since = last_batch_start.elapsed();
+                if since < inner.config.heartbeat {
+                    let wait = inner.config.heartbeat - since;
+                    drop(queue);
+                    std::thread::sleep(wait);
+                    queue = inner.admission.queue.lock();
+                }
+            }
+            let limit = if inner.config.max_batch_size == 0 {
+                queue.len()
+            } else {
+                inner.config.max_batch_size.min(queue.len())
+            };
+            queue.drain(..limit).collect::<Vec<_>>()
+        };
+        if submissions.is_empty() {
+            continue;
+        }
+        last_batch_start = Instant::now();
+        batch_seq += 1;
+        let mut batch = QueryBatch {
+            id: BatchId(batch_seq),
+            ..Default::default()
+        };
+        for submission in submissions {
+            match submission {
+                Submission::Query(q) => batch.queries.push(q),
+                Submission::Update(u) => batch.updates.push(u),
+            }
+        }
+        process_batch(&inner, &batch);
+        inner.stats.record_batch();
+    }
+
+    // Fail everything still pending.
+    let mut pending = inner.pending.lock();
+    for (_, result) in pending.drain() {
+        let _ = result.sender.send(Err(Error::EngineShutdown));
+    }
+}
+
+fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
+    // Phase 1: apply the batch's updates in arrival order (one commit
+    // timestamp for the whole batch, group commit into the WAL).
+    if !batch.updates.is_empty() {
+        let ops: Vec<(String, shareddb_storage::UpdateOp)> = batch
+            .updates
+            .iter()
+            .map(|u| (u.table.clone(), u.op.clone()))
+            .collect();
+        match inner.catalog.apply_batch(&ops) {
+            Ok(results) => {
+                for (update, result) in batch.updates.iter().zip(results) {
+                    complete(
+                        inner,
+                        update.ticket,
+                        Ok(QueryOutcome::Updated {
+                            rows_affected: result.rows_affected,
+                        }),
+                    );
+                }
+            }
+            Err(e) => {
+                for update in &batch.updates {
+                    complete(inner, update.ticket, Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    if batch.queries.is_empty() {
+        return;
+    }
+
+    // Phase 2: run the shared operators of the plan for this batch.
+    let snapshot = inner.catalog.oracle().read_ts();
+    let plan = &inner.plan;
+
+    // Which operators must deliver their output to the router?
+    let mut collect: Vec<bool> = vec![false; plan.len()];
+    for q in &batch.queries {
+        collect[q.root] = true;
+    }
+
+    // Build the per-batch data channels along plan edges.
+    let mut input_receivers: Vec<Vec<Receiver<TaskData>>> =
+        (0..plan.len()).map(|_| Vec::new()).collect();
+    let mut output_senders: Vec<Vec<Sender<TaskData>>> =
+        (0..plan.len()).map(|_| Vec::new()).collect();
+    for node in plan.nodes() {
+        for &input in &node.inputs {
+            let (tx, rx) = unbounded::<TaskData>();
+            output_senders[input].push(tx);
+            input_receivers[node.id].push(rx);
+        }
+    }
+    let (collector_tx, collector_rx) = unbounded::<(OperatorId, TaskData)>();
+    let (done_tx, done_rx) = unbounded::<OperatorDone>();
+
+    let expected_collects = collect.iter().filter(|&&c| c).count();
+
+    // Dispatch one task per operator (always-on plan: every operator runs
+    // every cycle, possibly with zero active queries).
+    let mut receivers_iter: Vec<Vec<Receiver<TaskData>>> = input_receivers;
+    let mut senders_iter: Vec<Vec<Sender<TaskData>>> = output_senders;
+    for node in plan.nodes() {
+        let task = OperatorTask {
+            activations: batch.activations_for(node.id),
+            inputs: std::mem::take(&mut receivers_iter[node.id]),
+            outputs: std::mem::take(&mut senders_iter[node.id]),
+            collector: if collect[node.id] {
+                Some(collector_tx.clone())
+            } else {
+                None
+            },
+            done: done_tx.clone(),
+            snapshot,
+        };
+        let _ = inner.operator_senders[node.id].send(OperatorMessage::Task(Box::new(task)));
+    }
+    drop(collector_tx);
+    drop(done_tx);
+
+    // Gather per-operator completion and statistics.
+    let mut batch_error: Option<Error> = None;
+    for _ in 0..plan.len() {
+        match done_rx.recv() {
+            Ok(done) => {
+                let tuples = match &done.result {
+                    Ok(n) => *n,
+                    Err(e) => {
+                        if batch_error.is_none() {
+                            batch_error = Some(e.clone());
+                        }
+                        0
+                    }
+                };
+                inner.operator_stats[done.id].record_cycle(done.had_queries, tuples, done.busy);
+            }
+            Err(_) => {
+                batch_error = Some(Error::Internal("operator thread disappeared".into()));
+                break;
+            }
+        }
+    }
+
+    // Gather the root outputs.
+    let mut root_outputs: HashMap<OperatorId, TaskData> = HashMap::new();
+    for _ in 0..expected_collects {
+        match collector_rx.recv() {
+            Ok((id, data)) => {
+                root_outputs.insert(id, data);
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Phase 3: route results back to the clients (Γ by query_id). The root
+    // outputs are exploded into per-query row lists in ONE pass per root
+    // operator, so routing cost is O(results), not O(results × queries).
+    let mut routed: HashMap<OperatorId, HashMap<QueryId, Vec<Tuple>>> = HashMap::new();
+    if batch_error.is_none() {
+        for (root, output) in root_outputs.iter() {
+            let per_query = routed.entry(*root).or_default();
+            for tuple in output.iter() {
+                for query_id in tuple.queries.iter() {
+                    per_query
+                        .entry(query_id)
+                        .or_default()
+                        .push(tuple.tuple.clone());
+                }
+            }
+        }
+    }
+    for q in &batch.queries {
+        if let Some(error) = &batch_error {
+            complete(inner, q.ticket, Err(error.clone()));
+            inner.stats.record_failure();
+            continue;
+        }
+        let rows = routed
+            .get_mut(&q.root)
+            .and_then(|per_query| per_query.remove(&q.query_id))
+            .unwrap_or_default();
+        let outcome = finalize_query_result(inner, q, rows);
+        complete(inner, q.ticket, outcome);
+    }
+}
+
+fn finalize_query_result(
+    inner: &Arc<EngineInner>,
+    query: &ActiveQuery,
+    mut rows: Vec<Tuple>,
+) -> Result<QueryOutcome> {
+    let root_schema = inner.plan.node(query.root).schema.clone();
+    let schema = if query.projection.is_empty() {
+        root_schema
+    } else {
+        root_schema.project(&query.projection)
+    };
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    if !query.projection.is_empty() {
+        rows = rows.into_iter().map(|r| r.project(&query.projection)).collect();
+    }
+    Ok(QueryOutcome::Rows(ResultSet { schema, rows }))
+}
+
+fn complete(inner: &Arc<EngineInner>, ticket: TicketId, outcome: Result<QueryOutcome>) {
+    let pending = inner.pending.lock().remove(&ticket);
+    if let Some(pending) = pending {
+        let latency = pending.submitted.elapsed();
+        match &outcome {
+            Ok(QueryOutcome::Rows(rs)) => inner.stats.record_query(rs.len(), latency),
+            Ok(QueryOutcome::Updated { .. }) => inner.stats.record_update(latency),
+            Err(_) => inner.stats.record_failure(),
+        }
+        let _ = pending.sender.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ActivationTemplate, PlanBuilder, ProbeTemplate, StatementSpec, UpdateTemplate};
+    use shareddb_common::agg::AggregateFunction;
+    use shareddb_common::{tuple, DataType, Expr, SortKey};
+    use shareddb_storage::{IndexDef, TableDef};
+
+    /// Builds a small catalog + plan resembling Figure 2 of the paper:
+    /// USERS and ORDERS scans, a shared hash join, a group-by over USERS and
+    /// a sort over the join output.
+    fn build_engine(config: EngineConfig) -> Engine {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .create_table(
+                TableDef::new("USERS")
+                    .column("USER_ID", DataType::Int)
+                    .column("USERNAME", DataType::Text)
+                    .column("COUNTRY", DataType::Text)
+                    .column("ACCOUNT", DataType::Int)
+                    .primary_key(&["USER_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_table(
+                TableDef::new("ORDERS")
+                    .column("ORDER_ID", DataType::Int)
+                    .column("USER_ID", DataType::Int)
+                    .column("STATUS", DataType::Text)
+                    .column("TOTAL", DataType::Float)
+                    .primary_key(&["ORDER_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_index(IndexDef {
+                name: "USERS_PK".into(),
+                table: "USERS".into(),
+                column: "USER_ID".into(),
+            })
+            .unwrap();
+        let users: Vec<_> = (0..100i64)
+            .map(|i| {
+                tuple![
+                    i,
+                    format!("user{i}"),
+                    if i % 2 == 0 { "CH" } else { "DE" },
+                    i * 10
+                ]
+            })
+            .collect();
+        let orders: Vec<_> = (0..300i64)
+            .map(|i| {
+                tuple![
+                    i,
+                    i % 100,
+                    if i % 3 == 0 { "OK" } else { "PENDING" },
+                    (i % 50) as f64
+                ]
+            })
+            .collect();
+        catalog.bulk_load("USERS", users).unwrap();
+        catalog.bulk_load("ORDERS", orders).unwrap();
+
+        let mut b = PlanBuilder::new(&catalog);
+        let users_scan = b.table_scan("USERS").unwrap();
+        let orders_scan = b.table_scan("ORDERS").unwrap();
+        let users_probe = b.index_probe("USERS").unwrap();
+        let join = b
+            .hash_join(users_scan, orders_scan, "USERS.USER_ID", "ORDERS.USER_ID")
+            .unwrap();
+        let join_sort = b.sort(join, vec![SortKey::asc(4)]).unwrap();
+        let gamma = b
+            .group_by(
+                users_scan,
+                vec!["USERS.COUNTRY"],
+                vec![(AggregateFunction::Sum, "USERS.ACCOUNT", "SUM_ACCOUNT")],
+            )
+            .unwrap();
+        let top = b.top_n(orders_scan, vec![SortKey::desc(3)]).unwrap();
+        let plan = b.build();
+
+        let mut registry = StatementRegistry::new();
+        // Q1: SELECT COUNTRY, SUM(ACCOUNT) FROM USERS GROUP BY COUNTRY
+        registry
+            .register(
+                StatementSpec::query("usersByCountry", gamma)
+                    .activate(users_scan, ActivationTemplate::Scan { predicate: Expr::lit(true) })
+                    .activate(gamma, ActivationTemplate::Having { predicate: None }),
+            )
+            .unwrap();
+        // Q2: SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID
+        //     AND U.USERNAME = ? AND O.STATUS = 'OK', sorted by order id.
+        registry
+            .register(
+                StatementSpec::query("ordersOfUser", join_sort)
+                    .activate(
+                        users_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::col(1).eq(Expr::param(0)),
+                        },
+                    )
+                    .activate(
+                        orders_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::col(2).eq(Expr::lit("OK")),
+                        },
+                    )
+                    .activate(join, ActivationTemplate::Participate)
+                    .activate(join_sort, ActivationTemplate::Participate),
+            )
+            .unwrap();
+        // Q3: point look-up of one user through the shared index probe.
+        registry
+            .register(
+                StatementSpec::query("userById", users_probe).activate(
+                    users_probe,
+                    ActivationTemplate::Probe {
+                        column: 0,
+                        range: ProbeTemplate::Key(Expr::param(0)),
+                        residual: None,
+                    },
+                ),
+            )
+            .unwrap();
+        // Q4: top-N most expensive orders.
+        registry
+            .register(
+                StatementSpec::query("topOrders", top)
+                    .activate(
+                        orders_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::col(3).gt_eq(Expr::param(0)),
+                        },
+                    )
+                    .activate(top, ActivationTemplate::TopN { limit: 5 }),
+            )
+            .unwrap();
+        // U1: register a new order.
+        registry
+            .register(StatementSpec::update(
+                "addOrder",
+                "ORDERS",
+                UpdateTemplate::Insert {
+                    values: vec![
+                        Expr::param(0),
+                        Expr::param(1),
+                        Expr::lit("OK"),
+                        Expr::param(2),
+                    ],
+                },
+            ))
+            .unwrap();
+        // U2: cancel the orders of one user.
+        registry
+            .register(StatementSpec::update(
+                "cancelOrders",
+                "ORDERS",
+                UpdateTemplate::Delete {
+                    predicate: Expr::col(1).eq(Expr::param(0)),
+                },
+            ))
+            .unwrap();
+
+        Engine::start(catalog, plan, registry, config).unwrap()
+    }
+
+    #[test]
+    fn group_by_query_end_to_end() {
+        let engine = build_engine(EngineConfig::default());
+        let outcome = engine.execute_sync("usersByCountry", &[]).unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 2);
+        // 50 even users (CH) with accounts 0,20,..,980 -> 24500.
+        let ch = rows.iter().find(|r| r[0] == Value::text("CH")).unwrap();
+        assert_eq!(ch[1], Value::Int((0..100).filter(|i| i % 2 == 0).map(|i| i * 10).sum()));
+    }
+
+    #[test]
+    fn join_query_with_parameters() {
+        let engine = build_engine(EngineConfig::default());
+        let outcome = engine
+            .execute_sync("ordersOfUser", &[Value::text("user7")])
+            .unwrap();
+        let rows = outcome.rows();
+        // User 7 has orders 7, 107, 207; status OK only for multiples of 3 -> 207.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][4], Value::Int(207));
+        assert_eq!(rows[0][1], Value::text("user7"));
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_batch() {
+        let engine = build_engine(EngineConfig::default().heartbeat(Duration::from_millis(20)));
+        let handles: Vec<_> = (0..50)
+            .map(|i| {
+                engine
+                    .execute("ordersOfUser", &[Value::text(format!("user{}", i % 100))])
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let outcome = h.wait().unwrap();
+            assert!(outcome.rows().len() <= 3);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 50);
+        // Batching must have grouped many queries into few batches.
+        assert!(stats.batches < 50, "batches = {}", stats.batches);
+    }
+
+    #[test]
+    fn index_probe_point_query() {
+        let engine = build_engine(EngineConfig::default());
+        let outcome = engine
+            .execute_sync("userById", &[Value::Int(33)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][1], Value::text("user33"));
+    }
+
+    #[test]
+    fn top_n_query_respects_limit() {
+        let engine = build_engine(EngineConfig::default());
+        let outcome = engine
+            .execute_sync("topOrders", &[Value::Float(0.0)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 5);
+        // Descending by TOTAL.
+        let totals: Vec<f64> = outcome
+            .rows()
+            .iter()
+            .map(|r| r[3].as_float().unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn updates_and_queries_interleave() {
+        let engine = build_engine(EngineConfig::default());
+        // Insert a new order for user 1 and then read it back via the join.
+        let outcome = engine
+            .execute_sync(
+                "addOrder",
+                &[Value::Int(10_000), Value::Int(1), Value::Float(99.0)],
+            )
+            .unwrap();
+        assert_eq!(outcome.rows_affected(), 1);
+        let rows = engine
+            .execute_sync("ordersOfUser", &[Value::text("user1")])
+            .unwrap();
+        assert!(rows
+            .rows()
+            .iter()
+            .any(|r| r[4] == Value::Int(10_000)));
+        // Delete the user's orders and observe the effect.
+        let outcome = engine
+            .execute_sync("cancelOrders", &[Value::Int(1)])
+            .unwrap();
+        assert!(outcome.rows_affected() >= 1);
+        let rows = engine
+            .execute_sync("ordersOfUser", &[Value::text("user1")])
+            .unwrap();
+        assert!(rows.rows().is_empty());
+    }
+
+    #[test]
+    fn unknown_statement_and_missing_params_fail_fast() {
+        let engine = build_engine(EngineConfig::default());
+        assert!(matches!(
+            engine.execute("noSuchStatement", &[]),
+            Err(Error::UnknownStatement(_))
+        ));
+        assert!(matches!(
+            engine.execute("ordersOfUser", &[]),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn core_budget_one_still_completes() {
+        let engine = build_engine(EngineConfig::with_cores(1));
+        let handles: Vec<_> = (0..10)
+            .map(|_| engine.execute("usersByCountry", &[]).unwrap())
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().unwrap().rows().len(), 2);
+        }
+    }
+
+    #[test]
+    fn shutdown_fails_pending_work() {
+        let mut engine = build_engine(EngineConfig::default());
+        engine.shutdown();
+        assert!(matches!(
+            engine.execute("usersByCountry", &[]),
+            Err(Error::EngineShutdown)
+        ));
+    }
+
+    #[test]
+    fn operator_stats_are_recorded() {
+        let engine = build_engine(EngineConfig::default());
+        engine.execute_sync("usersByCountry", &[]).unwrap();
+        let stats = engine.operator_stats();
+        assert_eq!(stats.len(), engine.plan().len());
+        // The USERS scan must have processed at least one active cycle.
+        let users_scan = stats
+            .iter()
+            .find(|s| s.name.starts_with("Scan(USERS)"))
+            .unwrap();
+        assert!(users_scan.active_cycles >= 1);
+        assert!(users_scan.tuples_out >= 100);
+    }
+
+    #[test]
+    fn wait_timeout_reports_deadline() {
+        let engine = build_engine(EngineConfig::default());
+        // A timeout of zero cannot be met.
+        let handle = engine.execute("usersByCountry", &[]).unwrap();
+        match handle.wait_timeout(Duration::from_nanos(1)) {
+            Err(Error::DeadlineExceeded) | Ok(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # shareddb-core
+//!
+//! The core of SharedDB: the **global query plan**, the **shared operators**
+//! and the **batched, push-based runtime** (Sections 3 and 4 of the paper).
+//!
+//! ## Execution model
+//!
+//! Instead of compiling every query into its own plan, the whole workload (a
+//! set of prepared-statement *query types*) is compiled into one always-on
+//! [`plan::GlobalPlan`]. Clients execute statements with concrete parameters;
+//! each execution becomes an *activation* that is routed through the shared
+//! operators of the plan.
+//!
+//! Queries and updates are **batched**: while one batch is processed, newly
+//! arriving queries queue up; when the batch finishes, the queues are drained
+//! to form the next batch ("heartbeat", Section 3.2). Every operator of the
+//! plan runs on its own thread ([`engine::Engine`]) and processes one batch
+//! per cycle, following the operator skeleton of Algorithm 1.
+//!
+//! Shared operators implement the NF² data-query model: tuples carry the set
+//! of interested queries, joins amend their predicate with the query-set
+//! intersection, and a final Γ(query_id) router distributes results back to
+//! clients.
+//!
+//! ## Module map
+//!
+//! * [`plan`] — operator specs, plan builder, statement registry, deployment.
+//! * [`operators`] — the shared relational operators (pure batch functions).
+//! * [`storage_ops`] — scan / index-probe operators backed by `shareddb-storage`.
+//! * [`batch`] — activations, active queries, batch assembly.
+//! * [`engine`] — the multi-threaded batching runtime and client sessions.
+//! * [`stats`] — per-operator and engine-level metrics.
+//! * [`budget`] — the core budget used to emulate "number of CPU cores".
+//! * [`config`] — engine configuration.
+
+pub mod batch;
+pub mod budget;
+pub mod config;
+pub mod engine;
+pub mod operators;
+pub mod plan;
+pub mod stats;
+pub mod storage_ops;
+
+pub use batch::{Activation, ActiveQuery, QueryBatch};
+pub use config::EngineConfig;
+pub use engine::{Engine, QueryOutcome, ResultSet};
+pub use plan::{
+    ActivationTemplate, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder, StatementKind,
+    StatementRegistry, StatementSpec,
+};

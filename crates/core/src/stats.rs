@@ -1,0 +1,267 @@
+//! Engine and operator statistics.
+//!
+//! SharedDB's value proposition is *predictability*: the engine therefore
+//! keeps cheap, always-on counters — per-operator cycle counts and busy time,
+//! and engine-level batch/query/latency counters — which the benchmark
+//! harnesses read to produce the paper's figures.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Point-in-time snapshot of one operator's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorStatsSnapshot {
+    /// Operator name.
+    pub name: String,
+    /// Number of cycles (batches) processed.
+    pub cycles: u64,
+    /// Number of cycles that had at least one active query.
+    pub active_cycles: u64,
+    /// Total tuples emitted.
+    pub tuples_out: u64,
+    /// Total busy time across cycles.
+    pub busy: Duration,
+}
+
+/// Mutable per-operator counters (owned by the engine, updated by operator
+/// threads).
+#[derive(Debug, Default)]
+pub struct OperatorStats {
+    cycles: AtomicU64,
+    active_cycles: AtomicU64,
+    tuples_out: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl OperatorStats {
+    /// Records one processed cycle.
+    pub fn record_cycle(&self, had_queries: bool, tuples_out: usize, busy: Duration) {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+        if had_queries {
+            self.active_cycles.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tuples_out.fetch_add(tuples_out as u64, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self, name: &str) -> OperatorStatsSnapshot {
+        OperatorStatsSnapshot {
+            name: name.to_string(),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            active_cycles: self.active_cycles.load(Ordering::Relaxed),
+            tuples_out: self.tuples_out.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Engine-level statistics.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
+    failed: AtomicU64,
+    result_rows: AtomicU64,
+    /// Sum of query latencies in nanoseconds (submission to completion).
+    latency_nanos: AtomicU64,
+    /// Maximum observed latency in nanoseconds.
+    max_latency_nanos: AtomicU64,
+    /// Latency histogram with fixed bucket boundaries (µs).
+    histogram: Mutex<LatencyHistogram>,
+}
+
+/// A simple fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Upper bounds of the buckets, in microseconds.
+    pub bounds_us: Vec<u64>,
+    /// Observation counts per bucket (last bucket is the overflow bucket).
+    pub counts: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // 10µs .. ~100s in roughly geometric steps.
+        let bounds_us = vec![
+            10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+            250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 100_000_000,
+        ];
+        let counts = vec![0; bounds_us.len() + 1];
+        LatencyHistogram { bounds_us, counts }
+    }
+}
+
+impl LatencyHistogram {
+    fn observe(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(self.bounds_us.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns the upper bound (µs) of the bucket containing the requested
+    /// percentile (0.0 ..= 1.0), or `None` when empty. This is the statistic
+    /// used for "99% of queries answered within X" SLA checks.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target.max(1) {
+                return Some(
+                    self.bounds_us
+                        .get(i)
+                        .copied()
+                        .unwrap_or(u64::MAX),
+                );
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Point-in-time snapshot of the engine counters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStatsSnapshot {
+    /// Number of processed batches (heartbeats with work).
+    pub batches: u64,
+    /// Number of completed queries.
+    pub queries: u64,
+    /// Number of completed updates.
+    pub updates: u64,
+    /// Number of failed queries/updates.
+    pub failed: u64,
+    /// Total result rows delivered.
+    pub result_rows: u64,
+    /// Mean query latency.
+    pub mean_latency: Duration,
+    /// Maximum query latency.
+    pub max_latency: Duration,
+    /// 99th-percentile latency upper bound.
+    pub p99_latency: Duration,
+}
+
+impl EngineStats {
+    /// Records a completed batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed query with its end-to-end latency.
+    pub fn record_query(&self, rows: usize, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.result_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a completed update with its end-to-end latency.
+    pub fn record_update(&self, latency: Duration) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a failed query or update.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, latency: Duration) {
+        let nanos = latency.as_nanos() as u64;
+        self.latency_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.histogram.lock().observe(latency);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let updates = self.updates.load(Ordering::Relaxed);
+        let completed = queries + updates;
+        let total_latency = self.latency_nanos.load(Ordering::Relaxed);
+        let histogram = self.histogram.lock();
+        EngineStatsSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries,
+            updates,
+            failed: self.failed.load(Ordering::Relaxed),
+            result_rows: self.result_rows.load(Ordering::Relaxed),
+            mean_latency: if completed == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(total_latency / completed)
+            },
+            max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
+            p99_latency: Duration::from_micros(histogram.percentile_us(0.99).unwrap_or(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_stats_accumulate() {
+        let stats = OperatorStats::default();
+        stats.record_cycle(true, 10, Duration::from_millis(2));
+        stats.record_cycle(false, 0, Duration::from_millis(1));
+        let snap = stats.snapshot("HashJoin#3");
+        assert_eq!(snap.cycles, 2);
+        assert_eq!(snap.active_cycles, 1);
+        assert_eq!(snap.tuples_out, 10);
+        assert_eq!(snap.busy, Duration::from_millis(3));
+        assert_eq!(snap.name, "HashJoin#3");
+    }
+
+    #[test]
+    fn engine_stats_latencies() {
+        let stats = EngineStats::default();
+        stats.record_query(5, Duration::from_millis(1));
+        stats.record_query(5, Duration::from_millis(3));
+        stats.record_update(Duration::from_millis(2));
+        stats.record_failure();
+        stats.record_batch();
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.updates, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.result_rows, 10);
+        assert_eq!(snap.mean_latency, Duration::from_millis(2));
+        assert_eq!(snap.max_latency, Duration::from_millis(3));
+        assert!(snap.p99_latency >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.99), None);
+        for _ in 0..99 {
+            h.observe(Duration::from_micros(40));
+        }
+        h.observe(Duration::from_millis(40));
+        assert_eq!(h.total(), 100);
+        // p50 falls in the <=50µs bucket, p100 in the <=50ms bucket.
+        assert_eq!(h.percentile_us(0.5), Some(50));
+        assert_eq!(h.percentile_us(1.0), Some(50_000));
+        // Overflow bucket.
+        h.observe(Duration::from_secs(1000));
+        assert_eq!(h.percentile_us(1.0), Some(u64::MAX));
+    }
+}

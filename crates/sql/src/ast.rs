@@ -1,0 +1,185 @@
+//! Abstract syntax tree of the supported SQL subset.
+//!
+//! Scalar expressions reuse [`shareddb_common::Expr`] (with
+//! `Expr::NamedColumn` references and positional `Expr::Param` parameters), so
+//! that parsed predicates can be bound and evaluated by the rest of the
+//! system without conversion.
+
+use shareddb_common::agg::AggregateFunction;
+use shareddb_common::Expr;
+
+/// A table reference in a FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (upper-cased).
+    pub name: String,
+    /// Optional alias (upper-cased).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the table is referred to by in column qualifiers.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain expression (usually a column reference).
+    Expr(Expr),
+    /// An aggregate call, e.g. `SUM(USER_ID)`.
+    Aggregate {
+        /// The aggregate function.
+        function: AggregateFunction,
+        /// Argument expression (`COUNT(*)` uses a literal `1`).
+        argument: Expr,
+    },
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// The ordering expression (usually a column reference).
+    pub expr: Expr,
+    /// True for DESC.
+    pub descending: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// SELECT DISTINCT?
+    pub distinct: bool,
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (comma joins; join predicates live in WHERE, as in the
+    /// paper's example queries).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// Any parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT.
+    Select(SelectStatement),
+    /// INSERT INTO t [(cols)] VALUES (...)
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Vec<String>,
+        /// Value expressions.
+        values: Vec<Expr>,
+    },
+    /// UPDATE t SET c = e, ... [WHERE ...]
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments (column name, value expression).
+        assignments: Vec<(String, Expr)>,
+        /// WHERE predicate.
+        where_clause: Option<Expr>,
+    },
+    /// DELETE FROM t [WHERE ...]
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE predicate.
+        where_clause: Option<Expr>,
+    },
+}
+
+impl Statement {
+    /// Number of `?` parameters in the statement.
+    pub fn parameter_count(&self) -> usize {
+        fn count(expr: &Expr, max: &mut usize) {
+            expr.visit(&mut |e| {
+                if let Expr::Param(i) = e {
+                    *max = (*max).max(*i + 1);
+                }
+            });
+        }
+        let mut max = 0;
+        match self {
+            Statement::Select(s) => {
+                if let Some(w) = &s.where_clause {
+                    count(w, &mut max);
+                }
+                if let Some(h) = &s.having {
+                    count(h, &mut max);
+                }
+            }
+            Statement::Insert { values, .. } => {
+                for v in values {
+                    count(v, &mut max);
+                }
+            }
+            Statement::Update {
+                assignments,
+                where_clause,
+                ..
+            } => {
+                for (_, v) in assignments {
+                    count(v, &mut max);
+                }
+                if let Some(w) = where_clause {
+                    count(w, &mut max);
+                }
+            }
+            Statement::Delete { where_clause, .. } => {
+                if let Some(w) = where_clause {
+                    count(w, &mut max);
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ref_effective_name() {
+        let t = TableRef {
+            name: "USERS".into(),
+            alias: Some("U".into()),
+        };
+        assert_eq!(t.effective_name(), "U");
+        let t = TableRef {
+            name: "USERS".into(),
+            alias: None,
+        };
+        assert_eq!(t.effective_name(), "USERS");
+    }
+
+    #[test]
+    fn parameter_count_spans_clauses() {
+        let s = Statement::Update {
+            table: "T".into(),
+            assignments: vec![("A".into(), Expr::param(2))],
+            where_clause: Some(Expr::col(0).eq(Expr::param(0))),
+        };
+        assert_eq!(s.parameter_count(), 3);
+        let s = Statement::Delete {
+            table: "T".into(),
+            where_clause: None,
+        };
+        assert_eq!(s.parameter_count(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-query logical plans with predicate push-down.
+//!
+//! This is the first step of the two-step compilation of Figure 3: every query
+//! is optimised *individually*, pushing selection predicates down to the base
+//! tables and extracting the equi-join conditions between tables. The result
+//! is a [`LogicalPlan`]: per-table selections, join edges, residual
+//! predicates, and the query-level operations (group-by, order-by, limit,
+//! distinct).
+
+use crate::ast::{SelectItem, SelectStatement, Statement};
+use shareddb_common::agg::AggregateFunction;
+use shareddb_common::{BinaryOp, Error, Expr, Result};
+use std::collections::BTreeMap;
+
+/// An equi-join edge between two tables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JoinEdge {
+    /// Left table (effective name).
+    pub left_table: String,
+    /// Column of the left table.
+    pub left_column: String,
+    /// Right table (effective name).
+    pub right_table: String,
+    /// Column of the right table.
+    pub right_column: String,
+}
+
+impl JoinEdge {
+    /// Canonical form: table names ordered lexicographically, so that
+    /// `R.id = S.id` and `S.id = R.id` produce the same edge.
+    pub fn canonical(mut self) -> JoinEdge {
+        if self.left_table > self.right_table {
+            std::mem::swap(&mut self.left_table, &mut self.right_table);
+            std::mem::swap(&mut self.left_column, &mut self.right_column);
+        }
+        self
+    }
+
+    /// A stable key identifying the shared join this edge belongs to
+    /// (same tables + same join columns = shareable, Section 3.3).
+    pub fn share_key(&self) -> String {
+        format!(
+            "{}.{}={}.{}",
+            self.left_table, self.left_column, self.right_table, self.right_column
+        )
+    }
+}
+
+/// The logical plan of one SELECT query after per-query optimisation.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalPlan {
+    /// Tables of the query (effective name -> base table name).
+    pub tables: BTreeMap<String, String>,
+    /// Selection predicates pushed down to each table (conjunctions).
+    pub table_predicates: BTreeMap<String, Vec<Expr>>,
+    /// Equi-join edges between tables.
+    pub joins: Vec<JoinEdge>,
+    /// Predicates that could not be pushed down (reference several tables or
+    /// no table at all).
+    pub residual: Vec<Expr>,
+    /// Grouping expressions.
+    pub group_by: Vec<Expr>,
+    /// Aggregates of the projection.
+    pub aggregates: Vec<(AggregateFunction, Expr)>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys (expression, descending).
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+}
+
+/// A terse summary of the plan used by reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlanSummary {
+    /// Base tables read.
+    pub tables: Vec<String>,
+    /// Number of join edges.
+    pub joins: usize,
+    /// Number of pushed-down predicates.
+    pub pushed_predicates: usize,
+    /// Whether the query aggregates, sorts or limits.
+    pub has_group_by: bool,
+    /// Whether the query sorts.
+    pub has_order_by: bool,
+    /// Whether the query limits.
+    pub has_limit: bool,
+}
+
+impl LogicalPlan {
+    /// Builds the logical plan for one SELECT statement (step 1 of Figure 3:
+    /// per-query optimisation with predicate push-down).
+    pub fn from_select(select: &SelectStatement) -> Result<LogicalPlan> {
+        if select.from.is_empty() {
+            return Err(Error::Parse("SELECT without FROM".into()));
+        }
+        let mut plan = LogicalPlan {
+            distinct: select.distinct,
+            limit: select.limit,
+            group_by: select.group_by.clone(),
+            having: select.having.clone(),
+            order_by: select
+                .order_by
+                .iter()
+                .map(|o| (o.expr.clone(), o.descending))
+                .collect(),
+            ..Default::default()
+        };
+        for table in &select.from {
+            plan.tables
+                .insert(table.effective_name().to_string(), table.name.clone());
+            plan.table_predicates
+                .insert(table.effective_name().to_string(), Vec::new());
+        }
+        for item in &select.items {
+            if let SelectItem::Aggregate { function, argument } = item {
+                plan.aggregates.push((*function, argument.clone()));
+            }
+        }
+
+        // Classify the WHERE conjuncts.
+        if let Some(where_clause) = &select.where_clause {
+            for conjunct in where_clause.split_conjuncts() {
+                match classify(conjunct, &plan) {
+                    Classification::Join(edge) => plan.joins.push(edge.canonical()),
+                    Classification::Table(table) => plan
+                        .table_predicates
+                        .get_mut(&table)
+                        .expect("classified table exists")
+                        .push(conjunct.clone()),
+                    Classification::Residual => plan.residual.push(conjunct.clone()),
+                }
+            }
+        }
+        plan.joins.sort();
+        Ok(plan)
+    }
+
+    /// Builds the plan from any parsed statement; only SELECTs have one.
+    pub fn from_statement(statement: &Statement) -> Result<LogicalPlan> {
+        match statement {
+            Statement::Select(s) => LogicalPlan::from_select(s),
+            _ => Err(Error::Unsupported(
+                "logical plans are only built for SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// The summary of the plan.
+    pub fn summary(&self) -> QueryPlanSummary {
+        QueryPlanSummary {
+            tables: self.tables.values().cloned().collect(),
+            joins: self.joins.len(),
+            pushed_predicates: self.table_predicates.values().map(Vec::len).sum(),
+            has_group_by: !self.group_by.is_empty() || !self.aggregates.is_empty(),
+            has_order_by: !self.order_by.is_empty(),
+            has_limit: self.limit.is_some(),
+        }
+    }
+
+    /// The pushed-down predicate of one table as a single conjunction
+    /// (`TRUE` when the query has no predicate on that table).
+    pub fn table_predicate(&self, table: &str) -> Expr {
+        match self.table_predicates.get(table) {
+            Some(preds) if !preds.is_empty() => Expr::conjunction(preds.clone()),
+            _ => Expr::lit(true),
+        }
+    }
+}
+
+enum Classification {
+    Join(JoinEdge),
+    Table(String),
+    Residual,
+}
+
+/// Resolves which table an expression references: `Some(table)` when exactly
+/// one, `None` when zero or several.
+fn referenced_table(expr: &Expr, plan: &LogicalPlan) -> Option<String> {
+    let mut tables: Vec<String> = Vec::new();
+    let single_table = plan.tables.len() == 1;
+    let only_table = plan.tables.keys().next().cloned();
+    expr.visit(&mut |e| {
+        if let Expr::NamedColumn { qualifier, .. } = e {
+            match qualifier {
+                Some(q) => {
+                    if !tables.contains(q) {
+                        tables.push(q.clone());
+                    }
+                }
+                None => {
+                    // Unqualified references are only attributable when the
+                    // query reads a single table.
+                    if single_table {
+                        if let Some(t) = &only_table {
+                            if !tables.contains(t) {
+                                tables.push(t.clone());
+                            }
+                        }
+                    } else {
+                        tables.push("<ambiguous>".to_string());
+                    }
+                }
+            }
+        }
+    });
+    tables.retain(|t| t != "<ambiguous>" || plan.tables.len() != 1);
+    if tables.len() == 1 && plan.tables.contains_key(&tables[0]) {
+        Some(tables[0].clone())
+    } else {
+        None
+    }
+}
+
+fn classify(conjunct: &Expr, plan: &LogicalPlan) -> Classification {
+    // Join edge: qualified column = qualified column over two different tables.
+    if let Expr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = conjunct
+    {
+        if let (
+            Expr::NamedColumn {
+                qualifier: Some(lq),
+                name: ln,
+            },
+            Expr::NamedColumn {
+                qualifier: Some(rq),
+                name: rn,
+            },
+        ) = (left.as_ref(), right.as_ref())
+        {
+            if lq != rq && plan.tables.contains_key(lq) && plan.tables.contains_key(rq) {
+                return Classification::Join(JoinEdge {
+                    left_table: lq.clone(),
+                    left_column: ln.clone(),
+                    right_table: rq.clone(),
+                    right_column: rn.clone(),
+                });
+            }
+        }
+    }
+    match referenced_table(conjunct, plan) {
+        Some(table) => Classification::Table(table),
+        None => Classification::Residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_of(sql: &str) -> LogicalPlan {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => LogicalPlan::from_select(&s).unwrap(),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_on_figure3_query() {
+        let plan = plan_of(
+            "SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.PRICE < ?",
+        );
+        assert_eq!(plan.joins.len(), 1);
+        assert_eq!(plan.joins[0].share_key(), "R.ID=S.ID");
+        assert_eq!(plan.table_predicates["R"].len(), 1);
+        assert_eq!(plan.table_predicates["S"].len(), 1);
+        assert!(plan.residual.is_empty());
+        let summary = plan.summary();
+        assert_eq!(summary.joins, 1);
+        assert_eq!(summary.pushed_predicates, 2);
+    }
+
+    #[test]
+    fn join_edges_are_canonical() {
+        let a = plan_of("SELECT * FROM R, S WHERE R.ID = S.ID");
+        let b = plan_of("SELECT * FROM R, S WHERE S.ID = R.ID");
+        assert_eq!(a.joins, b.joins);
+    }
+
+    #[test]
+    fn aliases_are_respected() {
+        let plan = plan_of(
+            "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ?",
+        );
+        assert_eq!(plan.tables["U"], "USERS");
+        assert_eq!(plan.tables["O"], "ORDERS");
+        assert_eq!(plan.joins[0].share_key(), "O.USER_ID=U.USER_ID");
+        assert_eq!(plan.table_predicates["U"].len(), 1);
+    }
+
+    #[test]
+    fn single_table_unqualified_predicates_push_down() {
+        let plan = plan_of("SELECT * FROM ITEM WHERE I_SUBJECT = ? AND I_COST < 10 ORDER BY I_TITLE LIMIT 50");
+        assert_eq!(plan.table_predicates["ITEM"].len(), 2);
+        assert!(plan.summary().has_order_by);
+        assert!(plan.summary().has_limit);
+        assert_eq!(plan.table_predicate("ITEM").split_conjuncts().len(), 2);
+        assert_eq!(plan.table_predicate("MISSING"), Expr::lit(true));
+    }
+
+    #[test]
+    fn cross_table_disjunction_is_residual() {
+        let plan = plan_of("SELECT * FROM R, S WHERE R.ID = S.ID AND (R.A = 1 OR S.B = 2)");
+        assert_eq!(plan.joins.len(), 1);
+        assert_eq!(plan.residual.len(), 1);
+    }
+
+    #[test]
+    fn group_by_and_aggregates_are_captured() {
+        let plan = plan_of("SELECT COUNTRY, SUM(USER_ID) FROM USERS GROUP BY COUNTRY");
+        assert!(plan.summary().has_group_by);
+        assert_eq!(plan.aggregates.len(), 1);
+        assert_eq!(plan.aggregates[0].0, AggregateFunction::Sum);
+    }
+
+    #[test]
+    fn non_select_is_rejected() {
+        let stmt = parse("DELETE FROM T WHERE A = 1").unwrap();
+        assert!(LogicalPlan::from_statement(&stmt).is_err());
+    }
+}

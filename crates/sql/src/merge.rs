@@ -1,0 +1,284 @@
+//! Step 2 of the two-step compilation (Figure 3, right-hand side): merging
+//! the individually optimised query plans into one **global plan sketch**.
+//!
+//! Queries whose plans contain a join over the same pair of tables with the
+//! same join columns can share one big join: the inputs become the *union* of
+//! the per-query selections and the join predicate is amended with the
+//! query-id equality (which the execution layer implements as a query-set
+//! intersection). The same applies to scans: all queries reading a table
+//! share its scan, each contributing its pushed-down predicate.
+//!
+//! The output of this module is a [`GlobalPlanSketch`]: which scans and which
+//! shared joins the workload needs, and which query types use each of them.
+//! It is a *sketch* (names and groups, not executable operators) because the
+//! physical plan construction lives in `shareddb-core`; the sketch is what a
+//! global-plan compiler needs in order to call the `PlanBuilder` — and it is
+//! also a useful analysis artefact on its own (the `fig6_plan` harness prints
+//! the equivalent information for the hand-built TPC-W plan).
+
+use crate::logical::LogicalPlan;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One shared scan of the global plan sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedScanGroup {
+    /// Base table.
+    pub table: String,
+    /// Names of the query types reading the table.
+    pub queries: Vec<String>,
+    /// How many of those pushed at least one predicate into the scan.
+    pub selective_queries: usize,
+}
+
+/// One shared join of the global plan sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedJoinGroup {
+    /// Canonical join key, e.g. `ORDERS.USER_ID=USERS.USER_ID`.
+    pub key: String,
+    /// Names of the query types sharing this join.
+    pub queries: Vec<String>,
+}
+
+/// The merged global plan sketch for a workload of query types.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlanSketch {
+    /// Shared scans, one per base table used by any query.
+    pub scans: Vec<SharedScanGroup>,
+    /// Shared joins, one per distinct (table pair, join columns).
+    pub joins: Vec<SharedJoinGroup>,
+    /// Query types that sort or limit (these add shared sort / Top-N
+    /// operators).
+    pub sorting_queries: Vec<String>,
+    /// Query types that group / aggregate (these add shared Γ operators).
+    pub grouping_queries: Vec<String>,
+}
+
+impl GlobalPlanSketch {
+    /// Merges the per-query plans of a workload into a global plan sketch.
+    pub fn merge(workload: &[(String, LogicalPlan)]) -> GlobalPlanSketch {
+        let mut scans: BTreeMap<String, SharedScanGroup> = BTreeMap::new();
+        let mut joins: BTreeMap<String, SharedJoinGroup> = BTreeMap::new();
+        let mut sorting = Vec::new();
+        let mut grouping = Vec::new();
+
+        for (name, plan) in workload {
+            for (alias, table) in &plan.tables {
+                let entry = scans.entry(table.clone()).or_insert_with(|| SharedScanGroup {
+                    table: table.clone(),
+                    queries: Vec::new(),
+                    selective_queries: 0,
+                });
+                if !entry.queries.contains(name) {
+                    entry.queries.push(name.clone());
+                }
+                if plan
+                    .table_predicates
+                    .get(alias)
+                    .map(|p| !p.is_empty())
+                    .unwrap_or(false)
+                {
+                    entry.selective_queries += 1;
+                }
+            }
+            for edge in &plan.joins {
+                // The share key uses *base table* names so that aliases do not
+                // prevent sharing.
+                let left_base = plan.tables.get(&edge.left_table).cloned().unwrap_or_else(|| edge.left_table.clone());
+                let right_base = plan.tables.get(&edge.right_table).cloned().unwrap_or_else(|| edge.right_table.clone());
+                let (a, b) = if left_base <= right_base {
+                    (
+                        format!("{left_base}.{}", edge.left_column),
+                        format!("{right_base}.{}", edge.right_column),
+                    )
+                } else {
+                    (
+                        format!("{right_base}.{}", edge.right_column),
+                        format!("{left_base}.{}", edge.left_column),
+                    )
+                };
+                let key = format!("{a}={b}");
+                let entry = joins.entry(key.clone()).or_insert_with(|| SharedJoinGroup {
+                    key,
+                    queries: Vec::new(),
+                });
+                if !entry.queries.contains(name) {
+                    entry.queries.push(name.clone());
+                }
+            }
+            if !plan.order_by.is_empty() || plan.limit.is_some() {
+                sorting.push(name.clone());
+            }
+            if !plan.group_by.is_empty() || !plan.aggregates.is_empty() {
+                grouping.push(name.clone());
+            }
+        }
+
+        GlobalPlanSketch {
+            scans: scans.into_values().collect(),
+            joins: joins.into_values().collect(),
+            sorting_queries: sorting,
+            grouping_queries: grouping,
+        }
+    }
+
+    /// Number of operators saved by sharing joins: a query-at-a-time system
+    /// instantiates one join per (query type, edge); the global plan needs one
+    /// per distinct edge.
+    pub fn joins_saved(&self) -> usize {
+        self.joins
+            .iter()
+            .map(|j| j.queries.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// The join groups shared by more than one query type.
+    pub fn shared_joins(&self) -> Vec<&SharedJoinGroup> {
+        self.joins.iter().filter(|j| j.queries.len() > 1).collect()
+    }
+}
+
+impl fmt::Display for GlobalPlanSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shared scans:")?;
+        for scan in &self.scans {
+            writeln!(
+                f,
+                "  {:<24} used by {} query types ({} selective)",
+                scan.table,
+                scan.queries.len(),
+                scan.selective_queries
+            )?;
+        }
+        writeln!(f, "shared joins:")?;
+        for join in &self.joins {
+            writeln!(
+                f,
+                "  {:<40} shared by: {}",
+                join.key,
+                join.queries.join(", ")
+            )?;
+        }
+        writeln!(
+            f,
+            "sorting query types: {} / grouping query types: {}",
+            self.sorting_queries.len(),
+            self.grouping_queries.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::parser::parse;
+
+    fn workload(queries: &[(&str, &str)]) -> Vec<(String, LogicalPlan)> {
+        queries
+            .iter()
+            .map(|(name, sql)| {
+                let Statement::Select(s) = parse(sql).unwrap() else {
+                    panic!("not a select")
+                };
+                (name.to_string(), LogicalPlan::from_select(&s).unwrap())
+            })
+            .collect()
+    }
+
+    /// The five query types of Figure 2 of the paper.
+    fn figure2_workload() -> Vec<(String, LogicalPlan)> {
+        workload(&[
+            (
+                "Q1",
+                "SELECT COUNTRY, SUM(USER_ID) FROM USERS GROUP BY COUNTRY",
+            ),
+            (
+                "Q2",
+                "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ? AND O.STATUS = 'OK'",
+            ),
+            (
+                "Q3",
+                "SELECT * FROM USERS U, ORDERS O, ITEMS I WHERE U.USER_ID = O.USER_ID AND O.ITEM_ID = I.ITEM_ID AND I.AVAILABLE < ?",
+            ),
+            (
+                "Q4",
+                "SELECT * FROM ORDERS O, ITEMS I WHERE O.ITEM_ID = I.ITEM_ID AND O.DATE > ? ORDER BY I.PRICE",
+            ),
+            (
+                "Q5",
+                "SELECT * FROM ITEMS I WHERE I.CATEGORY = ? ORDER BY I.PRICE",
+            ),
+        ])
+    }
+
+    #[test]
+    fn figure2_sharing_structure_is_recovered() {
+        let sketch = GlobalPlanSketch::merge(&figure2_workload());
+        // Three base tables -> three shared scans.
+        assert_eq!(sketch.scans.len(), 3);
+        // Two distinct joins: USERS⨝ORDERS (Q2, Q3) and ORDERS⨝ITEMS (Q3, Q4).
+        assert_eq!(sketch.joins.len(), 2);
+        let users_orders = sketch
+            .joins
+            .iter()
+            .find(|j| j.key.contains("USERS.USER_ID"))
+            .unwrap();
+        assert_eq!(users_orders.queries, vec!["Q2".to_string(), "Q3".to_string()]);
+        let orders_items = sketch
+            .joins
+            .iter()
+            .find(|j| j.key.contains("ITEMS.ITEM_ID"))
+            .unwrap();
+        assert_eq!(orders_items.queries, vec!["Q3".to_string(), "Q4".to_string()]);
+        // Q4 and Q5 sort; Q1 groups.
+        assert_eq!(sketch.sorting_queries, vec!["Q4".to_string(), "Q5".to_string()]);
+        assert_eq!(sketch.grouping_queries, vec!["Q1".to_string()]);
+        // A query-at-a-time system would run 4 joins; the global plan runs 2.
+        assert_eq!(sketch.joins_saved(), 2);
+        assert_eq!(sketch.shared_joins().len(), 2);
+        // The USERS scan serves Q1, Q2 and Q3.
+        let users_scan = sketch.scans.iter().find(|s| s.table == "USERS").unwrap();
+        assert_eq!(users_scan.queries.len(), 3);
+        let rendered = sketch.to_string();
+        assert!(rendered.contains("shared joins"));
+    }
+
+    #[test]
+    fn figure3_same_join_different_predicates_share() {
+        // The three queries of Figure 3: same R⨝S join, different predicates.
+        let sketch = GlobalPlanSketch::merge(&workload(&[
+            ("Q1", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.DATE = ?"),
+            ("Q2", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.NAME = ? AND S.PRICE < ?"),
+            ("Q3", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.ADDR = ? AND S.DATE > ?"),
+        ]));
+        assert_eq!(sketch.joins.len(), 1);
+        assert_eq!(sketch.joins[0].queries.len(), 3);
+        assert_eq!(sketch.joins_saved(), 2);
+        // Every query pushes predicates into both scans.
+        for scan in &sketch.scans {
+            assert_eq!(scan.selective_queries, 3);
+        }
+    }
+
+    #[test]
+    fn different_join_columns_do_not_share() {
+        let sketch = GlobalPlanSketch::merge(&workload(&[
+            ("A", "SELECT * FROM R, S WHERE R.ID = S.ID"),
+            ("B", "SELECT * FROM R, S WHERE R.OTHER = S.ID"),
+        ]));
+        assert_eq!(sketch.joins.len(), 2);
+        assert_eq!(sketch.joins_saved(), 0);
+        assert!(sketch.shared_joins().is_empty());
+    }
+
+    #[test]
+    fn aliases_do_not_prevent_sharing() {
+        let sketch = GlobalPlanSketch::merge(&workload(&[
+            ("A", "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID"),
+            ("B", "SELECT * FROM USERS X, ORDERS Y WHERE Y.USER_ID = X.USER_ID"),
+        ]));
+        assert_eq!(sketch.joins.len(), 1);
+        assert_eq!(sketch.joins[0].queries.len(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! SQL tokenizer.
+
+use shareddb_common::{Error, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (upper-cased keywords are matched case-insensitively).
+    Ident(String),
+    /// Numeric literal.
+    Number(String),
+    /// String literal (quotes removed).
+    StringLit(String),
+    /// `?` prepared-statement parameter.
+    Param,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+}
+
+impl Token {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Param);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse(format!("unexpected character '!' at {i}")));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            '-' => {
+                // Could be a comment `--`, a negative number, or minus.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Number(sql[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character '{other}' at position {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let tokens = tokenize("SELECT * FROM r WHERE a >= 10 AND b = 'x''y' -- comment\n").unwrap();
+        assert!(tokens.contains(&Token::Star));
+        assert!(tokens.contains(&Token::GtEq));
+        assert!(tokens.contains(&Token::Number("10".into())));
+        assert!(tokens.contains(&Token::StringLit("x'y".into())));
+        assert!(tokens.iter().any(|t| t.is_keyword("select")));
+        // The comment is skipped entirely.
+        assert!(!tokens.iter().any(|t| t.is_keyword("comment")));
+    }
+
+    #[test]
+    fn params_and_comparisons() {
+        let tokens = tokenize("a < ? AND b <> ? AND c != 3.5").unwrap();
+        assert_eq!(tokens.iter().filter(|t| **t == Token::Param).count(), 2);
+        assert_eq!(tokens.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(tokens.contains(&Token::Number("3.5".into())));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a # b").is_err());
+    }
+}

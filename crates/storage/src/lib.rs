@@ -1,0 +1,39 @@
+//! # shareddb-storage
+//!
+//! The storage substrate of SharedDB, modelled on the **Crescando** storage
+//! manager the paper builds on (Section 4.4):
+//!
+//! * Main-memory, multi-versioned tables with snapshot-consistent reads
+//!   ([`table`], [`mvcc`]).
+//! * **ClockScan** shared table scans ([`clockscan`]): queries *and* updates
+//!   are batched and executed within a single pass over the data; query
+//!   predicates are indexed (a query-data join) instead of the data.
+//! * B-tree indexes and **shared index probes** ([`btree`], [`index_probe`]):
+//!   look-ups of a whole batch of queries are executed in one cycle, with
+//!   updates applied in arrival order, so that all selects of the cycle read a
+//!   consistent snapshot.
+//! * A write-ahead log and checkpointing for durability ([`wal`]).
+//! * A catalog of tables and indexes ([`catalog`]).
+//!
+//! The scan and probe operators produce tuples in the *data-query model*
+//! (tuples annotated with the set of interested queries) which is the format
+//! consumed by the shared operators in `shareddb-core`.
+
+pub mod btree;
+pub mod catalog;
+pub mod clockscan;
+pub mod index_probe;
+pub mod mvcc;
+pub mod predicate_index;
+pub mod table;
+pub mod update;
+pub mod wal;
+
+pub use btree::BTreeIndex;
+pub use catalog::{Catalog, IndexDef, TableDef};
+pub use clockscan::{ClockScan, ScanQuery};
+pub use index_probe::{IndexProbe, ProbeQuery, ProbeRange};
+pub use mvcc::{Snapshot, TimestampOracle};
+pub use table::{RowId, StoredRow, Table};
+pub use update::{UpdateOp, UpdateResult};
+pub use wal::{LogRecord, Wal, WalSink};

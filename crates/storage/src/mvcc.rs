@@ -1,0 +1,157 @@
+//! Multi-version concurrency control primitives.
+//!
+//! SharedDB favours optimistic / multi-version concurrency control because
+//! "any kind of locking would result in unpredictable response times due to
+//! lock contention and blocking" (Section 4.4). The storage layer provides
+//! **snapshot isolation**: every batch of queries reads the snapshot that was
+//! current when its cycle started; updates of the cycle are applied in arrival
+//! order and become visible to the *next* cycle.
+
+use shareddb_common::ids::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A read snapshot: all row versions with `begin <= ts < end` are visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Snapshot {
+    /// The logical read timestamp.
+    pub ts: Timestamp,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot { ts: Timestamp(0) }
+    }
+}
+
+impl Snapshot {
+    /// Creates a snapshot at the given timestamp.
+    pub fn at(ts: Timestamp) -> Self {
+        Snapshot { ts }
+    }
+
+    /// True when a version `[begin, end)` is visible in this snapshot.
+    #[inline]
+    pub fn sees(&self, begin: Timestamp, end: Timestamp) -> bool {
+        begin <= self.ts && self.ts < end
+    }
+}
+
+/// Timestamp value used for "still live" row versions.
+pub const TS_INFINITY: Timestamp = Timestamp(u64::MAX);
+
+/// Monotonic logical-clock source shared by the storage layer and the engine.
+///
+/// * `read_ts()` returns the timestamp of the latest committed state; a batch
+///   uses it as its snapshot.
+/// * `next_commit_ts()` allocates a fresh commit timestamp for a batch of
+///   updates; once the batch finished applying its updates the engine calls
+///   `publish()` so that subsequent snapshots observe them.
+#[derive(Debug)]
+pub struct TimestampOracle {
+    /// Latest committed (visible) timestamp.
+    committed: AtomicU64,
+    /// Next commit timestamp to hand out.
+    next: AtomicU64,
+}
+
+impl Default for TimestampOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimestampOracle {
+    /// Creates an oracle with committed timestamp 0 (bulk-loaded data uses
+    /// timestamp 0 so it is visible to every snapshot).
+    pub fn new() -> Self {
+        TimestampOracle {
+            committed: AtomicU64::new(0),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Timestamp of the latest committed state; use as a read snapshot.
+    pub fn read_ts(&self) -> Snapshot {
+        Snapshot::at(Timestamp(self.committed.load(Ordering::Acquire)))
+    }
+
+    /// Allocates a fresh commit timestamp (strictly increasing).
+    pub fn next_commit_ts(&self) -> Timestamp {
+        Timestamp(self.next.fetch_add(1, Ordering::AcqRel))
+    }
+
+    /// Publishes a commit timestamp: snapshots taken afterwards will see all
+    /// versions written with timestamps `<= ts`.
+    pub fn publish(&self, ts: Timestamp) {
+        // Monotonic max update.
+        let mut current = self.committed.load(Ordering::Relaxed);
+        while current < ts.0 {
+            match self.committed.compare_exchange_weak(
+                current,
+                ts.0,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_visibility_window() {
+        let snap = Snapshot::at(Timestamp(5));
+        assert!(snap.sees(Timestamp(0), TS_INFINITY));
+        assert!(snap.sees(Timestamp(5), TS_INFINITY));
+        assert!(!snap.sees(Timestamp(6), TS_INFINITY));
+        assert!(!snap.sees(Timestamp(0), Timestamp(5))); // deleted at 5
+        assert!(snap.sees(Timestamp(0), Timestamp(6)));
+    }
+
+    #[test]
+    fn oracle_monotonic_commit_timestamps() {
+        let oracle = TimestampOracle::new();
+        let a = oracle.next_commit_ts();
+        let b = oracle.next_commit_ts();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn publish_makes_writes_visible() {
+        let oracle = TimestampOracle::new();
+        assert_eq!(oracle.read_ts(), Snapshot::at(Timestamp(0)));
+        let ts = oracle.next_commit_ts();
+        // Not yet visible.
+        assert!(oracle.read_ts().ts < ts);
+        oracle.publish(ts);
+        assert_eq!(oracle.read_ts().ts, ts);
+        // Publishing an older timestamp does not move the snapshot backwards.
+        oracle.publish(Timestamp(0));
+        assert_eq!(oracle.read_ts().ts, ts);
+    }
+
+    #[test]
+    fn publish_is_thread_safe_max() {
+        use std::sync::Arc;
+        let oracle = Arc::new(TimestampOracle::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let o = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let ts = o.next_commit_ts();
+                    o.publish(ts);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(oracle.read_ts().ts, Timestamp(4000));
+    }
+}

@@ -1,0 +1,94 @@
+//! Update operations.
+//!
+//! SharedDB batches updates together with queries: "updates are executed in
+//! arrival order as part of the same scan that executes the queries"
+//! (Section 4.4). An [`UpdateOp`] is the unit queued at a storage operator
+//! (ClockScan or index probe) and applied at the beginning of its next cycle.
+
+use shareddb_common::{Expr, Tuple};
+
+/// A single data-modification operation against one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Insert a fully materialised row.
+    Insert {
+        /// The row to insert; must match the table schema.
+        values: Tuple,
+    },
+    /// Update all rows matching `predicate`, applying the assignments.
+    Update {
+        /// `(column index, value expression)` pairs evaluated against the
+        /// *old* row.
+        assignments: Vec<(usize, Expr)>,
+        /// Row filter (bound expression, no parameters).
+        predicate: Expr,
+    },
+    /// Delete all rows matching `predicate`.
+    Delete {
+        /// Row filter (bound expression, no parameters).
+        predicate: Expr,
+    },
+}
+
+impl UpdateOp {
+    /// Short human-readable tag used by logging and statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UpdateOp::Insert { .. } => "INSERT",
+            UpdateOp::Update { .. } => "UPDATE",
+            UpdateOp::Delete { .. } => "DELETE",
+        }
+    }
+}
+
+/// Outcome of applying one [`UpdateOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateResult {
+    /// Number of rows inserted, modified or deleted.
+    pub rows_affected: usize,
+}
+
+impl UpdateResult {
+    /// Creates a result.
+    pub fn new(rows_affected: usize) -> Self {
+        UpdateResult { rows_affected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareddb_common::tuple;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(
+            UpdateOp::Insert {
+                values: tuple![1i64]
+            }
+            .kind(),
+            "INSERT"
+        );
+        assert_eq!(
+            UpdateOp::Delete {
+                predicate: Expr::lit(true)
+            }
+            .kind(),
+            "DELETE"
+        );
+        assert_eq!(
+            UpdateOp::Update {
+                assignments: vec![],
+                predicate: Expr::lit(true)
+            }
+            .kind(),
+            "UPDATE"
+        );
+    }
+
+    #[test]
+    fn result_accessor() {
+        assert_eq!(UpdateResult::new(3).rows_affected, 3);
+        assert_eq!(UpdateResult::default().rows_affected, 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The workload driver: emulated browsers, offered-load control and WIPS
+//! measurement.
+//!
+//! The paper's clients are emulated browsers (EBs) with an exponentially
+//! distributed think time (mean 7 s) issuing web interactions against the
+//! database tier; the metric is the number of *successful* web interactions
+//! per second (WIPS), where an interaction only counts if it finishes within
+//! its TPC-W response-time limit (Section 5.1).
+//!
+//! The reproduction uses an open-loop driver: the offered load implied by a
+//! number of EBs (`EBs / think_time`) is translated into a target arrival
+//! rate, and a pool of client threads issues interactions on that schedule.
+//! Interactions that miss their (scaled) response-time limit count as timed
+//! out. This preserves the quantity the figures plot — successful throughput
+//! as a function of offered load — without emulating a multi-machine client
+//! tier (see DESIGN.md, substitutions).
+
+use crate::plans;
+use crate::schema::TpcwScale;
+use crate::workload::{Mix, ParamGenerator, WebInteraction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shareddb_baseline::{ClassicEngine, EngineProfile};
+use shareddb_common::{Result, Value};
+use shareddb_core::{Engine, EngineConfig};
+use shareddb_storage::Catalog;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A database system under test: SharedDB or one of the baselines.
+pub trait TpcwDatabase: Send + Sync {
+    /// Human-readable system name used in reports.
+    fn system_name(&self) -> String;
+    /// Executes one prepared statement and returns the number of result rows
+    /// (0 for updates). Must respect the deadline.
+    fn execute(&self, statement: &str, params: &[Value], deadline: Duration) -> Result<usize>;
+}
+
+/// SharedDB adapter.
+pub struct SharedDbSystem {
+    engine: Engine,
+}
+
+impl SharedDbSystem {
+    /// Builds the TPC-W global plan over `catalog` and starts the engine.
+    pub fn new(catalog: Arc<Catalog>, config: EngineConfig) -> Result<Self> {
+        let (plan, registry) = plans::build_shared_plan(&catalog)?;
+        let engine = Engine::start(catalog, plan, registry, config)?;
+        Ok(SharedDbSystem { engine })
+    }
+
+    /// Access to the underlying engine (statistics, plan inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl TpcwDatabase for SharedDbSystem {
+    fn system_name(&self) -> String {
+        "SharedDB".to_string()
+    }
+    fn execute(&self, statement: &str, params: &[Value], deadline: Duration) -> Result<usize> {
+        let handle = self.engine.execute(statement, params)?;
+        let outcome = handle.wait_timeout(deadline)?;
+        Ok(outcome.rows().len())
+    }
+}
+
+/// Query-at-a-time baseline adapter.
+pub struct BaselineSystem {
+    engine: ClassicEngine,
+}
+
+impl BaselineSystem {
+    /// Starts a baseline engine with the given profile and worker count and
+    /// registers the TPC-W statements.
+    pub fn new(catalog: Arc<Catalog>, profile: EngineProfile, workers: usize) -> Self {
+        let engine = ClassicEngine::start(catalog, profile, workers);
+        plans::register_baseline_statements(&engine);
+        BaselineSystem { engine }
+    }
+
+    /// Access to the underlying engine.
+    pub fn engine(&self) -> &ClassicEngine {
+        &self.engine
+    }
+}
+
+impl TpcwDatabase for BaselineSystem {
+    fn system_name(&self) -> String {
+        self.engine.profile().system_name().to_string()
+    }
+    fn execute(&self, statement: &str, params: &[Value], deadline: Duration) -> Result<usize> {
+        let handle = self.engine.execute(statement, params)?;
+        let rows = handle.wait_timeout(deadline)?;
+        Ok(rows.len())
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Workload mix.
+    pub mix: Mix,
+    /// Number of emulated browsers generating load.
+    pub emulated_browsers: usize,
+    /// Mean think time of one emulated browser. The TPC-W value is 7 s; the
+    /// reproduction scales it down so laptop-scale runs exercise the same
+    /// offered-load range in seconds instead of hours.
+    pub think_time: Duration,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Number of client worker threads issuing interactions.
+    pub client_threads: usize,
+    /// Scale factor applied to the TPC-W response-time limits (1.0 keeps the
+    /// 3–5 s limits of the specification).
+    pub time_limit_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            mix: Mix::Shopping,
+            emulated_browsers: 100,
+            think_time: Duration::from_millis(100),
+            duration: Duration::from_secs(2),
+            client_threads: 16,
+            time_limit_scale: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Offered load in web interactions per second implied by the EB count
+    /// and think time.
+    pub fn offered_rate(&self) -> f64 {
+        self.emulated_browsers as f64 / self.think_time.as_secs_f64()
+    }
+}
+
+/// Result of one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// System under test.
+    pub system: String,
+    /// Mix used.
+    pub mix: &'static str,
+    /// Emulated browsers.
+    pub emulated_browsers: usize,
+    /// Offered interactions per second.
+    pub offered_rate: f64,
+    /// Successful web interactions per second (the WIPS metric).
+    pub wips: f64,
+    /// Attempted interactions.
+    pub attempted: u64,
+    /// Successful interactions (within the response-time limit).
+    pub successful: u64,
+    /// Interactions that missed their deadline.
+    pub timed_out: u64,
+    /// Interactions that failed with an error.
+    pub failed: u64,
+    /// Mean latency of successful interactions.
+    pub mean_latency: Duration,
+}
+
+/// Runs one measurement of a system under the given configuration.
+pub fn run_workload(
+    db: &dyn TpcwDatabase,
+    scale: &TpcwScale,
+    config: &DriverConfig,
+) -> DriverReport {
+    let generator = Arc::new(ParamGenerator::new(scale));
+    let attempted = Arc::new(AtomicU64::new(0));
+    let successful = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let latency_nanos = Arc::new(AtomicU64::new(0));
+    let schedule_slot = Arc::new(AtomicUsize::new(0));
+
+    let interarrival = Duration::from_secs_f64(1.0 / config.offered_rate().max(1e-6));
+    let start = Instant::now();
+    let deadline_scale = config.time_limit_scale.max(0.01);
+
+    std::thread::scope(|scope| {
+        for thread_idx in 0..config.client_threads.max(1) {
+            let generator = Arc::clone(&generator);
+            let attempted = Arc::clone(&attempted);
+            let successful = Arc::clone(&successful);
+            let timed_out = Arc::clone(&timed_out);
+            let failed = Arc::clone(&failed);
+            let latency_nanos = Arc::clone(&latency_nanos);
+            let schedule_slot = Arc::clone(&schedule_slot);
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed + thread_idx as u64);
+                loop {
+                    let elapsed = start.elapsed();
+                    if elapsed >= config.duration {
+                        break;
+                    }
+                    // Claim the next slot of the arrival schedule.
+                    let slot = schedule_slot.fetch_add(1, Ordering::Relaxed);
+                    let scheduled = interarrival.mul_f64(slot as f64);
+                    if scheduled > config.duration {
+                        break;
+                    }
+                    if scheduled > elapsed {
+                        std::thread::sleep(scheduled - elapsed);
+                    }
+                    let interaction = config.mix.sample(&mut rng);
+                    let limit = interaction.time_limit().mul_f64(deadline_scale);
+                    let calls = generator.calls(interaction, &mut rng);
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    let begun = Instant::now();
+                    let mut ok = true;
+                    let mut err = false;
+                    for call in calls {
+                        let remaining = limit.saturating_sub(begun.elapsed());
+                        if remaining.is_zero() {
+                            ok = false;
+                            break;
+                        }
+                        match db.execute(&call.statement, &call.params, remaining) {
+                            Ok(_) => {}
+                            Err(shareddb_common::Error::DeadlineExceeded) => {
+                                ok = false;
+                                break;
+                            }
+                            Err(_) => {
+                                ok = false;
+                                err = true;
+                                break;
+                            }
+                        }
+                    }
+                    let latency = begun.elapsed();
+                    if ok && latency <= limit {
+                        successful.fetch_add(1, Ordering::Relaxed);
+                        latency_nanos.fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+                    } else if err {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        timed_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let successful_count = successful.load(Ordering::Relaxed);
+    DriverReport {
+        system: db.system_name(),
+        mix: config.mix.name(),
+        emulated_browsers: config.emulated_browsers,
+        offered_rate: config.offered_rate(),
+        wips: successful_count as f64 / elapsed,
+        attempted: attempted.load(Ordering::Relaxed),
+        successful: successful_count,
+        timed_out: timed_out.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        mean_latency: if successful_count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(latency_nanos.load(Ordering::Relaxed) / successful_count)
+        },
+    }
+}
+
+/// Runs a single-interaction workload (used by the Figure 9 harness): only
+/// `interaction` is issued, as fast as the client threads can.
+pub fn run_single_interaction(
+    db: &dyn TpcwDatabase,
+    scale: &TpcwScale,
+    interaction: WebInteraction,
+    duration: Duration,
+    client_threads: usize,
+    time_limit_scale: f64,
+) -> DriverReport {
+    let generator = Arc::new(ParamGenerator::new(scale));
+    let attempted = Arc::new(AtomicU64::new(0));
+    let successful = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let latency_nanos = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for thread_idx in 0..client_threads.max(1) {
+            let generator = Arc::clone(&generator);
+            let attempted = Arc::clone(&attempted);
+            let successful = Arc::clone(&successful);
+            let timed_out = Arc::clone(&timed_out);
+            let failed = Arc::clone(&failed);
+            let latency_nanos = Arc::clone(&latency_nanos);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + thread_idx as u64);
+                while start.elapsed() < duration {
+                    let limit = interaction.time_limit().mul_f64(time_limit_scale.max(0.01));
+                    let calls = generator.calls(interaction, &mut rng);
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    let begun = Instant::now();
+                    let mut ok = true;
+                    let mut err = false;
+                    for call in calls {
+                        let remaining = limit.saturating_sub(begun.elapsed());
+                        if remaining.is_zero() {
+                            ok = false;
+                            break;
+                        }
+                        match db.execute(&call.statement, &call.params, remaining) {
+                            Ok(_) => {}
+                            Err(shareddb_common::Error::DeadlineExceeded) => {
+                                ok = false;
+                                break;
+                            }
+                            Err(_) => {
+                                ok = false;
+                                err = true;
+                                break;
+                            }
+                        }
+                    }
+                    let latency = begun.elapsed();
+                    if ok && latency <= limit {
+                        successful.fetch_add(1, Ordering::Relaxed);
+                        latency_nanos.fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+                    } else if err {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        timed_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let successful_count = successful.load(Ordering::Relaxed);
+    DriverReport {
+        system: db.system_name(),
+        mix: interaction.name(),
+        emulated_browsers: client_threads,
+        offered_rate: f64::INFINITY,
+        wips: successful_count as f64 / elapsed,
+        attempted: attempted.load(Ordering::Relaxed),
+        successful: successful_count,
+        timed_out: timed_out.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        mean_latency: if successful_count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(latency_nanos.load(Ordering::Relaxed) / successful_count)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::build_catalog;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(build_catalog(&TpcwScale::tiny()).unwrap())
+    }
+
+    #[test]
+    fn shareddb_system_runs_the_shopping_mix() {
+        let catalog = catalog();
+        let scale = TpcwScale::tiny();
+        let db = SharedDbSystem::new(catalog, EngineConfig::default()).unwrap();
+        let config = DriverConfig {
+            mix: Mix::Shopping,
+            emulated_browsers: 50,
+            think_time: Duration::from_millis(100),
+            duration: Duration::from_millis(500),
+            client_threads: 4,
+            time_limit_scale: 1.0,
+            seed: 11,
+        };
+        let report = run_workload(&db, &scale, &config);
+        assert_eq!(report.system, "SharedDB");
+        assert!(report.attempted > 0);
+        assert!(report.successful > 0, "report: {report:?}");
+        assert_eq!(report.failed, 0, "report: {report:?}");
+        assert!(report.wips > 0.0);
+    }
+
+    #[test]
+    fn baseline_system_runs_the_ordering_mix() {
+        let catalog = catalog();
+        let scale = TpcwScale::tiny();
+        let db = BaselineSystem::new(catalog, EngineProfile::Tuned, 4);
+        let config = DriverConfig {
+            mix: Mix::Ordering,
+            emulated_browsers: 50,
+            think_time: Duration::from_millis(100),
+            duration: Duration::from_millis(500),
+            client_threads: 4,
+            time_limit_scale: 1.0,
+            seed: 12,
+        };
+        let report = run_workload(&db, &scale, &config);
+        assert!(report.successful > 0, "report: {report:?}");
+        assert_eq!(report.failed, 0, "report: {report:?}");
+        assert_eq!(report.system, "SystemX-like");
+    }
+
+    #[test]
+    fn single_interaction_driver_counts_bestsellers() {
+        let catalog = catalog();
+        let scale = TpcwScale::tiny();
+        let db = SharedDbSystem::new(catalog, EngineConfig::default()).unwrap();
+        let report = run_single_interaction(
+            &db,
+            &scale,
+            WebInteraction::BestSellers,
+            Duration::from_millis(300),
+            2,
+            1.0,
+        );
+        assert!(report.successful > 0, "report: {report:?}");
+        assert_eq!(report.mix, "BestSellers");
+    }
+
+    #[test]
+    fn offered_rate_computation() {
+        let config = DriverConfig {
+            emulated_browsers: 700,
+            think_time: Duration::from_secs(7),
+            ..Default::default()
+        };
+        assert!((config.offered_rate() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Robustness under mixed light/heavy load (a miniature of Figure 11 and of
+//! the paper's SLA argument, Section 3.5).
+//!
+//! A steady stream of light point queries competes with an increasing number
+//! of heavy best-seller analyses. The example prints, per heavy-load level,
+//! how many light queries still met a fixed latency SLA on SharedDB versus
+//! the query-at-a-time baseline.
+//!
+//! Run with: `cargo run --release --example sla_robustness`
+
+use shareddb::baseline::EngineProfile;
+use shareddb::common::Value;
+use shareddb::core::EngineConfig;
+use shareddb::tpcw::{build_catalog, BaselineSystem, SharedDbSystem, TpcwDatabase, TpcwScale, SUBJECTS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run_level(db: &dyn TpcwDatabase, scale: &TpcwScale, heavy_clients: usize) -> (u64, u64) {
+    let duration = Duration::from_millis(800);
+    let sla = Duration::from_millis(250);
+    let met = AtomicU64::new(0);
+    let missed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Light clients: point queries with an SLA.
+        for t in 0..4usize {
+            let met = &met;
+            let missed = &missed;
+            scope.spawn(move || {
+                let mut i = t as i64;
+                while start.elapsed() < duration {
+                    let begun = Instant::now();
+                    let ok = db
+                        .execute("getBook", &[Value::Int(i % scale.items as i64)], sla)
+                        .is_ok();
+                    if ok && begun.elapsed() <= sla {
+                        met.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        missed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 7;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // Heavy clients: best-seller analyses, as fast as they can.
+        for t in 0..heavy_clients {
+            scope.spawn(move || {
+                let mut i = t;
+                while start.elapsed() < duration {
+                    let params = [
+                        Value::text(SUBJECTS[i % SUBJECTS.len()]),
+                        Value::Int((scale.orders as i64 - 500).max(0)),
+                    ];
+                    let _ = db.execute("getBestSellers", &params, Duration::from_secs(10));
+                    i += 1;
+                }
+            });
+        }
+    });
+    (met.load(Ordering::Relaxed), missed.load(Ordering::Relaxed))
+}
+
+fn main() -> shareddb::Result<()> {
+    let scale = TpcwScale::with_items(1_000);
+    println!("light-query SLA = 250 ms; heavy load = concurrent BestSellers clients\n");
+    println!(
+        "{:<10} {:<14} {:>10} {:>10} {:>10}",
+        "heavy", "system", "met", "missed", "met %"
+    );
+    for heavy in [0usize, 2, 4, 8] {
+        let catalog = Arc::new(build_catalog(&scale)?);
+        let shared = SharedDbSystem::new(Arc::clone(&catalog), EngineConfig::default())?;
+        let (met, missed) = run_level(&shared, &scale, heavy);
+        println!(
+            "{:<10} {:<14} {:>10} {:>10} {:>9.1}%",
+            heavy,
+            "SharedDB",
+            met,
+            missed,
+            100.0 * met as f64 / (met + missed).max(1) as f64
+        );
+
+        let catalog = Arc::new(build_catalog(&scale)?);
+        let baseline = BaselineSystem::new(catalog, EngineProfile::Tuned, 8);
+        let (met, missed) = run_level(&baseline, &scale, heavy);
+        println!(
+            "{:<10} {:<14} {:>10} {:>10} {:>9.1}%",
+            heavy,
+            "SystemX-like",
+            met,
+            missed,
+            100.0 * met as f64 / (met + missed).max(1) as f64
+        );
+    }
+    Ok(())
+}

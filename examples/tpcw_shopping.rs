@@ -1,0 +1,76 @@
+//! Run the TPC-W Shopping mix against SharedDB and both query-at-a-time
+//! baselines and print a small comparison table (a miniature of Figure 7).
+//!
+//! Run with: `cargo run --release --example tpcw_shopping`
+//! Environment: `TPCW_ITEMS` (default 1000), `EBS` (default 400),
+//! `SECONDS` (default 2).
+
+use shareddb::baseline::EngineProfile;
+use shareddb::core::EngineConfig;
+use shareddb::tpcw::{
+    build_catalog, run_workload, BaselineSystem, DriverConfig, Mix, SharedDbSystem, TpcwScale,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> shareddb::Result<()> {
+    let scale = TpcwScale::with_items(env_usize("TPCW_ITEMS", 1_000));
+    let ebs = env_usize("EBS", 400);
+    let seconds = env_usize("SECONDS", 2);
+    let config = DriverConfig {
+        mix: Mix::Shopping,
+        emulated_browsers: ebs,
+        think_time: Duration::from_millis(500),
+        duration: Duration::from_secs(seconds as u64),
+        client_threads: 16,
+        time_limit_scale: 1.0,
+        seed: 99,
+    };
+
+    println!(
+        "TPC-W Shopping mix, {} items, {} emulated browsers, {}s per system",
+        scale.items, ebs, seconds
+    );
+    println!("{:<14} {:>10} {:>10} {:>10} {:>12}", "system", "WIPS", "ok", "timeout", "latency(ms)");
+
+    // MySQL-like baseline.
+    {
+        let catalog = Arc::new(build_catalog(&scale)?);
+        let db = BaselineSystem::new(catalog, EngineProfile::Basic, 24);
+        let r = run_workload(&db, &scale, &config);
+        println!(
+            "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
+            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+        );
+    }
+    // SystemX-like baseline.
+    {
+        let catalog = Arc::new(build_catalog(&scale)?);
+        let db = BaselineSystem::new(catalog, EngineProfile::Tuned, 24);
+        let r = run_workload(&db, &scale, &config);
+        println!(
+            "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
+            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+        );
+    }
+    // SharedDB.
+    {
+        let catalog = Arc::new(build_catalog(&scale)?);
+        let db = SharedDbSystem::new(catalog, EngineConfig::with_cores(24))?;
+        let r = run_workload(&db, &scale, &config);
+        println!(
+            "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
+            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+        );
+        let stats = db.engine().stats();
+        println!(
+            "\nSharedDB internals: {} batches, {} queries, {} updates, p99 latency {:?}",
+            stats.batches, stats.queries, stats.updates, stats.p99_latency
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full stack (storage → global plan →
+//! batched engine → TPC-W workload) plus result parity between SharedDB and
+//! the query-at-a-time baseline.
+
+use shareddb::baseline::EngineProfile;
+use shareddb::common::Value;
+use shareddb::core::EngineConfig;
+use shareddb::tpcw::{
+    build_catalog, run_workload, BaselineSystem, DriverConfig, Mix, ParamGenerator,
+    SharedDbSystem, TpcwDatabase, TpcwScale, ALL_INTERACTIONS, SUBJECTS,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_scale() -> TpcwScale {
+    TpcwScale::tiny()
+}
+
+#[test]
+fn every_web_interaction_executes_on_shareddb() {
+    let scale = tiny_scale();
+    let catalog = Arc::new(build_catalog(&scale).unwrap());
+    let db = SharedDbSystem::new(catalog, EngineConfig::default()).unwrap();
+    let generator = ParamGenerator::new(&scale);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    for interaction in ALL_INTERACTIONS {
+        for _ in 0..3 {
+            for call in generator.calls(interaction, &mut rng) {
+                db.execute(&call.statement, &call.params, Duration::from_secs(30))
+                    .unwrap_or_else(|e| {
+                        panic!("{} failed on {}: {e}", interaction.name(), call.statement)
+                    });
+            }
+        }
+    }
+}
+
+#[test]
+fn every_web_interaction_executes_on_both_baselines() {
+    let scale = tiny_scale();
+    for profile in [EngineProfile::Basic, EngineProfile::Tuned] {
+        let catalog = Arc::new(build_catalog(&scale).unwrap());
+        let db = BaselineSystem::new(catalog, profile, 8);
+        let generator = ParamGenerator::new(&scale);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
+        for interaction in ALL_INTERACTIONS {
+            for call in generator.calls(interaction, &mut rng) {
+                db.execute(&call.statement, &call.params, Duration::from_secs(30))
+                    .unwrap_or_else(|e| {
+                        panic!("{} failed on {}: {e}", interaction.name(), call.statement)
+                    });
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_and_baseline_return_identical_read_results() {
+    let scale = tiny_scale();
+    let catalog = Arc::new(build_catalog(&scale).unwrap());
+    let shared = SharedDbSystem::new(Arc::clone(&catalog), EngineConfig::default()).unwrap();
+    let baseline = BaselineSystem::new(Arc::clone(&catalog), EngineProfile::Tuned, 4);
+
+    // Identical row counts for a spectrum of read statements and parameters.
+    let cases: Vec<(&str, Vec<Value>)> = vec![
+        ("getItemById", vec![Value::Int(3)]),
+        ("getBook", vec![Value::Int(11)]),
+        ("getCustomerByUname", vec![Value::text("UNAME5")]),
+        ("doSubjectSearch", vec![Value::text(SUBJECTS[2])]),
+        ("doTitleSearch", vec![Value::text("%BOOK 4%")]),
+        ("doAuthorSearch", vec![Value::text("ALAST1%")]),
+        ("getNewProducts", vec![Value::text(SUBJECTS[7])]),
+        (
+            "getBestSellers",
+            vec![Value::text(SUBJECTS[0]), Value::Int(0)],
+        ),
+        ("getCart", vec![Value::Int(1)]),
+        ("getCustomerOrder", vec![Value::Int(2)]),
+    ];
+    for (statement, params) in cases {
+        let a = shared
+            .execute(statement, &params, Duration::from_secs(30))
+            .unwrap();
+        let b = baseline
+            .execute(statement, &params, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(a, b, "row count mismatch for {statement}");
+    }
+}
+
+#[test]
+fn concurrent_mixed_workload_is_robust() {
+    let scale = tiny_scale();
+    let catalog = Arc::new(build_catalog(&scale).unwrap());
+    let db = SharedDbSystem::new(catalog, EngineConfig::default()).unwrap();
+    let config = DriverConfig {
+        mix: Mix::Shopping,
+        emulated_browsers: 100,
+        think_time: Duration::from_millis(100),
+        duration: Duration::from_millis(600),
+        client_threads: 8,
+        time_limit_scale: 1.0,
+        seed: 5,
+    };
+    let report = run_workload(&db, &scale, &config);
+    assert!(report.attempted >= 10, "report: {report:?}");
+    assert_eq!(report.failed, 0, "report: {report:?}");
+    assert!(report.successful > 0);
+    // The engine really batched work.
+    let stats = db.engine().stats();
+    assert!(stats.batches > 0);
+    assert!(stats.queries + stats.updates >= report.successful);
+}
+
+#[test]
+fn updates_are_visible_across_engines_sharing_a_catalog() {
+    // SharedDB and the baseline run over the SAME catalog: an update executed
+    // through one engine must be visible to the other (single storage layer,
+    // snapshot isolation).
+    let scale = tiny_scale();
+    let catalog = Arc::new(build_catalog(&scale).unwrap());
+    let shared = SharedDbSystem::new(Arc::clone(&catalog), EngineConfig::default()).unwrap();
+    let baseline = BaselineSystem::new(Arc::clone(&catalog), EngineProfile::Tuned, 2);
+
+    // Insert a cart line through SharedDB, read it through the baseline.
+    shared
+        .execute(
+            "addToCart",
+            &[
+                Value::Int(777_001),
+                Value::Int(777_000),
+                Value::Int(1),
+                Value::Int(3),
+            ],
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    let rows = baseline
+        .execute("getCart", &[Value::Int(777_000)], Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(rows, 1);
+
+    // Delete it through the baseline, observe through SharedDB.
+    baseline
+        .execute("clearCart", &[Value::Int(777_000)], Duration::from_secs(10))
+        .unwrap();
+    let rows = shared
+        .execute("getCart", &[Value::Int(777_000)], Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(rows, 0);
+}

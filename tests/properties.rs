@@ -1,0 +1,283 @@
+//! Property-based tests over the core data structures and invariants:
+//!
+//! * the NF² query-set algebra (union / intersection laws),
+//! * the B+-tree index against a model (`BTreeMap`),
+//! * the equivalence of the *shared* join/sort/top-N/group-by execution with
+//!   per-query execution — the central correctness claim of the paper: routing
+//!   a single big shared operator by query id returns exactly what each query
+//!   would have computed on its own.
+
+use proptest::prelude::*;
+use shareddb::common::agg::AggregateFunction;
+use shareddb::common::{QTuple, QueryId, QuerySet, SortKey, Tuple, Value};
+use shareddb::core::batch::Activation;
+use shareddb::core::operators::{execute_operator, ExecContext};
+use shareddb::core::plan::{AggregateSpec, OperatorSpec};
+use shareddb::storage::table::RowId;
+use shareddb::storage::{BTreeIndex, Catalog};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+// ---------------------------------------------------------------------------
+// QuerySet laws
+// ---------------------------------------------------------------------------
+
+fn qs(ids: &[u32]) -> QuerySet {
+    ids.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn queryset_union_and_intersection_match_btreeset(a in proptest::collection::vec(0u32..200, 0..40),
+                                                      b in proptest::collection::vec(0u32..200, 0..40)) {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let qa = qs(&a);
+        let qb = qs(&b);
+        let union: Vec<u32> = qa.union(&qb).iter().map(|q| q.raw()).collect();
+        let expect_union: Vec<u32> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(union, expect_union);
+        let inter: Vec<u32> = qa.intersect(&qb).iter().map(|q| q.raw()).collect();
+        let expect_inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(&inter, &expect_inter);
+        prop_assert_eq!(qa.intersects(&qb), !expect_inter.is_empty());
+        // Commutativity.
+        prop_assert_eq!(qa.intersect(&qb), qb.intersect(&qa));
+        prop_assert_eq!(qa.union(&qb), qb.union(&qa));
+    }
+
+    #[test]
+    fn queryset_insert_remove_contains(ops in proptest::collection::vec((0u32..100, any::<bool>()), 0..200)) {
+        let mut set = QuerySet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (id, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(QueryId(id)), model.insert(id));
+            } else {
+                prop_assert_eq!(set.remove(QueryId(id)), model.remove(&id));
+            }
+        }
+        let got: Vec<u32> = set.iter().map(|q| q.raw()).collect();
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B+-tree vs model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec((0i64..500, 0u64..50, any::<bool>()), 1..400),
+                           lo in 0i64..500, len in 0i64..100) {
+        let mut tree = BTreeIndex::new();
+        let mut model: BTreeMap<i64, BTreeSet<u64>> = BTreeMap::new();
+        for (key, row, insert) in ops {
+            if insert {
+                tree.insert(Value::Int(key), RowId(row));
+                model.entry(key).or_default().insert(row);
+            } else {
+                tree.remove(&Value::Int(key), RowId(row));
+                if let Some(set) = model.get_mut(&key) {
+                    set.remove(&row);
+                    if set.is_empty() {
+                        model.remove(&key);
+                    }
+                }
+            }
+        }
+        tree.check_invariants().unwrap();
+        // Point lookups.
+        for (key, rows) in &model {
+            let got: BTreeSet<u64> = tree.get(&Value::Int(*key)).iter().map(|r| r.0).collect();
+            prop_assert_eq!(&got, rows);
+        }
+        prop_assert_eq!(tree.entry_count(), model.values().map(|s| s.len()).sum::<usize>());
+        // Range scan.
+        let hi = lo + len;
+        let got: Vec<i64> = tree
+            .range(Bound::Included(&Value::Int(lo)), Bound::Excluded(&Value::Int(hi)))
+            .into_iter()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        let expect: Vec<i64> = model
+            .range(lo..hi)
+            .flat_map(|(k, rows)| std::iter::repeat(*k).take(rows.len()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared execution == per-query execution
+// ---------------------------------------------------------------------------
+
+/// Strategy: a small relation where every row is subscribed to a random
+/// subset of `queries` queries.
+fn annotated_rows(queries: u32) -> impl Strategy<Value = Vec<(i64, i64, Vec<u32>)>> {
+    proptest::collection::vec(
+        (
+            0i64..20,
+            0i64..50,
+            proptest::collection::vec(0..queries, 0..queries as usize),
+        ),
+        0..60,
+    )
+}
+
+fn to_qtuples(rows: &[(i64, i64, Vec<u32>)]) -> Vec<QTuple> {
+    rows.iter()
+        .map(|(k, v, subs)| {
+            QTuple::new(
+                Tuple::new(vec![Value::Int(*k), Value::Int(*v)]),
+                subs.iter().map(|q| QueryId(*q + 1)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn rows_for_query(out: &[QTuple], q: u32) -> Vec<Tuple> {
+    out.iter()
+        .filter(|t| t.queries.contains(QueryId(q + 1)))
+        .map(|t| t.tuple.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn shared_join_equals_per_query_join(left in annotated_rows(4), right in annotated_rows(4)) {
+        let catalog = Catalog::new();
+        let ctx = ExecContext { catalog: &catalog, snapshot: catalog.oracle().read_ts() };
+        let spec = OperatorSpec::HashJoin { build_key: 0, probe_key: 0 };
+        let all: Vec<(QueryId, Activation)> =
+            (0..4u32).map(|q| (QueryId(q + 1), Activation::Participate)).collect();
+        let shared = execute_operator(&spec, &all, vec![to_qtuples(&left), to_qtuples(&right)], &ctx).unwrap();
+        for q in 0..4u32 {
+            // Per-query execution: restrict the inputs to query q only.
+            let lq: Vec<QTuple> = to_qtuples(&left)
+                .into_iter()
+                .filter(|t| t.queries.contains(QueryId(q + 1)))
+                .map(|t| QTuple::new(t.tuple, QuerySet::singleton(QueryId(q + 1))))
+                .collect();
+            let rq: Vec<QTuple> = to_qtuples(&right)
+                .into_iter()
+                .filter(|t| t.queries.contains(QueryId(q + 1)))
+                .map(|t| QTuple::new(t.tuple, QuerySet::singleton(QueryId(q + 1))))
+                .collect();
+            let solo = execute_operator(
+                &spec,
+                &[(QueryId(q + 1), Activation::Participate)],
+                vec![lq, rq],
+                &ctx,
+            )
+            .unwrap();
+            let mut shared_rows = rows_for_query(&shared, q);
+            let mut solo_rows = rows_for_query(&solo, q);
+            shared_rows.sort();
+            solo_rows.sort();
+            prop_assert_eq!(shared_rows, solo_rows, "query {} differs", q);
+        }
+    }
+
+    #[test]
+    fn shared_topn_equals_per_query_topn(input in annotated_rows(3), limit in 1usize..8) {
+        let catalog = Catalog::new();
+        let ctx = ExecContext { catalog: &catalog, snapshot: catalog.oracle().read_ts() };
+        let spec = OperatorSpec::TopN { keys: vec![SortKey::desc(1), SortKey::asc(0)] };
+        let all: Vec<(QueryId, Activation)> =
+            (0..3u32).map(|q| (QueryId(q + 1), Activation::TopN { limit })).collect();
+        let shared = execute_operator(&spec, &all, vec![to_qtuples(&input)], &ctx).unwrap();
+        for q in 0..3u32 {
+            let iq: Vec<QTuple> = to_qtuples(&input)
+                .into_iter()
+                .filter(|t| t.queries.contains(QueryId(q + 1)))
+                .map(|t| QTuple::new(t.tuple, QuerySet::singleton(QueryId(q + 1))))
+                .collect();
+            let solo = execute_operator(
+                &spec,
+                &[(QueryId(q + 1), Activation::TopN { limit })],
+                vec![iq],
+                &ctx,
+            )
+            .unwrap();
+            // Top-N results are ordered: compare in order.
+            prop_assert_eq!(rows_for_query(&shared, q), rows_for_query(&solo, q));
+        }
+    }
+
+    #[test]
+    fn shared_group_by_equals_per_query_group_by(input in annotated_rows(3)) {
+        let catalog = Catalog::new();
+        let ctx = ExecContext { catalog: &catalog, snapshot: catalog.oracle().read_ts() };
+        let spec = OperatorSpec::GroupBy {
+            group_columns: vec![0],
+            aggregates: vec![
+                AggregateSpec { function: AggregateFunction::Sum, column: 1, output_name: "S".into() },
+                AggregateSpec { function: AggregateFunction::Count, column: 1, output_name: "C".into() },
+            ],
+        };
+        let all: Vec<(QueryId, Activation)> =
+            (0..3u32).map(|q| (QueryId(q + 1), Activation::Having { predicate: None })).collect();
+        let shared = execute_operator(&spec, &all, vec![to_qtuples(&input)], &ctx).unwrap();
+        for q in 0..3u32 {
+            let iq: Vec<QTuple> = to_qtuples(&input)
+                .into_iter()
+                .filter(|t| t.queries.contains(QueryId(q + 1)))
+                .map(|t| QTuple::new(t.tuple, QuerySet::singleton(QueryId(q + 1))))
+                .collect();
+            let solo = execute_operator(
+                &spec,
+                &[(QueryId(q + 1), Activation::Having { predicate: None })],
+                vec![iq],
+                &ctx,
+            )
+            .unwrap();
+            let mut shared_rows = rows_for_query(&shared, q);
+            let mut solo_rows = rows_for_query(&solo, q);
+            shared_rows.sort();
+            solo_rows.sort();
+            prop_assert_eq!(shared_rows, solo_rows, "query {} differs", q);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage: snapshot isolation under random update batches
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn old_snapshots_are_immutable(deletes in proptest::collection::vec(0i64..100, 1..20)) {
+        use shareddb::common::{DataType, Expr};
+        use shareddb::storage::{TableDef, UpdateOp};
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("T")
+                    .column("ID", DataType::Int)
+                    .column("V", DataType::Int)
+                    .primary_key(&["ID"]),
+            )
+            .unwrap();
+        catalog
+            .bulk_load("T", (0..100i64).map(|i| shareddb::common::tuple![i, i]).collect())
+            .unwrap();
+        let before = catalog.oracle().read_ts();
+        for key in deletes {
+            catalog
+                .apply_batch(&[(
+                    "T".into(),
+                    UpdateOp::Delete { predicate: Expr::col(0).eq(Expr::lit(key)) },
+                )])
+                .unwrap();
+        }
+        // The old snapshot still sees all 100 rows, regardless of what was
+        // deleted afterwards.
+        let table = catalog.table("T").unwrap();
+        prop_assert_eq!(table.read().scan(before).count(), 100);
+    }
+}

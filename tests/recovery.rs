@@ -1,0 +1,113 @@
+//! Durability integration tests: checkpoint + write-ahead-log recovery of the
+//! storage layer (Crescando keeps all data in main memory but supports full
+//! recovery by checkpointing and logging, Section 4.4).
+
+use shareddb::common::{tuple, DataType, Expr, Value};
+use shareddb::storage::wal::{FileSink, MemorySink, Wal};
+use shareddb::storage::{Catalog, TableDef, UpdateOp};
+
+fn item_def() -> TableDef {
+    TableDef::new("ITEM")
+        .column("I_ID", DataType::Int)
+        .column("I_TITLE", DataType::Text)
+        .column("I_COST", DataType::Float)
+        .primary_key(&["I_ID"])
+}
+
+#[test]
+fn checkpoint_then_recover_matches_original_state() {
+    let dir = std::env::temp_dir().join(format!("shareddb-it-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("it.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let catalog = Catalog::new();
+    catalog.create_table(item_def()).unwrap();
+    catalog
+        .bulk_load(
+            "ITEM",
+            (0..500i64).map(|i| tuple![i, format!("t{i}"), i as f64]).collect(),
+        )
+        .unwrap();
+    // Mutate: delete cheap items, reprice one.
+    catalog
+        .apply_batch(&[
+            (
+                "ITEM".into(),
+                UpdateOp::Delete {
+                    predicate: Expr::col(2).lt(Expr::lit(100.0f64)),
+                },
+            ),
+            (
+                "ITEM".into(),
+                UpdateOp::Update {
+                    assignments: vec![(2, Expr::lit(999.0f64))],
+                    predicate: Expr::col(0).eq(Expr::lit(400i64)),
+                },
+            ),
+        ])
+        .unwrap();
+    let live_before = catalog.table("ITEM").unwrap().read().live_count();
+    let written = catalog.checkpoint(&ckpt).unwrap();
+    assert_eq!(written, live_before);
+
+    // "Crash" and recover into a fresh catalog.
+    let recovered = Catalog::new();
+    recovered.create_table(item_def()).unwrap();
+    let restored = recovered.restore_checkpoint(&ckpt).unwrap();
+    assert_eq!(restored, live_before);
+
+    let table = recovered.table("ITEM").unwrap();
+    let snapshot = recovered.oracle().read_ts();
+    let t = table.read();
+    assert_eq!(t.live_count(), 400);
+    let repriced = t
+        .scan(snapshot)
+        .find(|(_, r)| r[0] == Value::Int(400))
+        .map(|(_, r)| r[2].clone())
+        .unwrap();
+    assert_eq!(repriced, Value::Float(999.0));
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn wal_records_batches_in_commit_order() {
+    let catalog = Catalog::with_wal(Wal::new(Box::new(MemorySink::new())));
+    catalog.create_table(item_def()).unwrap();
+    for i in 0..5i64 {
+        catalog
+            .apply_batch(&[(
+                "ITEM".into(),
+                UpdateOp::Insert {
+                    values: tuple![i, format!("t{i}"), 1.0f64],
+                },
+            )])
+            .unwrap();
+    }
+    // The WAL cannot be introspected through the public API other than by
+    // verifying recovery works end-to-end via a file sink, so re-log to a file
+    // and read it back.
+    let dir = std::env::temp_dir().join(format!("shareddb-it-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay.wal");
+    let _ = std::fs::remove_file(&path);
+    let file_catalog = Catalog::with_wal(Wal::new(Box::new(FileSink::create(&path).unwrap())));
+    file_catalog.create_table(item_def()).unwrap();
+    for i in 0..5i64 {
+        file_catalog
+            .apply_batch(&[(
+                "ITEM".into(),
+                UpdateOp::Insert {
+                    values: tuple![i, format!("t{i}"), 1.0f64],
+                },
+            )])
+            .unwrap();
+    }
+    let records = FileSink::read_all(&path).unwrap();
+    // 5 batches × (BEGIN + 1 op + COMMIT).
+    assert_eq!(records.len(), 15);
+    let committed = shareddb::storage::wal::committed_ops(&records);
+    assert_eq!(committed.len(), 5);
+    assert!(committed.windows(2).all(|w| w[0].0 < w[1].0));
+    let _ = std::fs::remove_file(&path);
+}
