@@ -171,10 +171,7 @@ impl ClassicEngine {
 
     /// Registers a prepared statement.
     pub fn register(&self, name: impl Into<String>, statement: BaselineStatement) {
-        self.shared
-            .statements
-            .lock()
-            .insert(name.into(), statement);
+        self.shared.statements.lock().insert(name.into(), statement);
     }
 
     /// Submits a statement execution; returns a handle to wait on.
@@ -215,11 +212,13 @@ impl ClassicEngine {
             queries,
             updates,
             failed: self.shared.failed.load(Ordering::Relaxed),
-            mean_latency: if completed == 0 {
-                Duration::ZERO
-            } else {
-                Duration::from_nanos(self.shared.latency_nanos.load(Ordering::Relaxed) / completed)
-            },
+            mean_latency: Duration::from_nanos(
+                self.shared
+                    .latency_nanos
+                    .load(Ordering::Relaxed)
+                    .checked_div(completed)
+                    .unwrap_or(0),
+            ),
             max_latency: Duration::from_nanos(
                 self.shared.max_latency_nanos.load(Ordering::Relaxed),
             ),
@@ -294,8 +293,8 @@ fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>) {
                 // the query repeatedly; only the last result is returned.
                 let mut result = Err(Error::Internal("work factor of zero".into()));
                 for _ in 0..shared.profile.work_factor().max(1) {
-                    result = execute_plan(&shared.catalog, &plan, &params, snapshot)
-                        .map(|r| r.rows);
+                    result =
+                        execute_plan(&shared.catalog, &plan, &params, snapshot).map(|r| r.rows);
                 }
                 result
             }
@@ -391,7 +390,9 @@ mod tests {
                 Expr::col(1).eq(Expr::param(0)),
             )),
         );
-        let rows = engine.execute_sync("bySubject", &[Value::text("A")]).unwrap();
+        let rows = engine
+            .execute_sync("bySubject", &[Value::text("A")])
+            .unwrap();
         assert_eq!(rows.len(), 100);
         let handles: Vec<_> = (0..20)
             .map(|_| engine.execute("bySubject", &[Value::text("B")]).unwrap())
@@ -433,15 +434,14 @@ mod tests {
                 },
             },
         );
-        engine.register(
-            "all",
-            BaselineStatement::Query(QueryPlan::scan("ITEM")),
-        );
+        engine.register("all", BaselineStatement::Query(QueryPlan::scan("ITEM")));
         engine
             .execute_sync("addItem", &[Value::Int(1000), Value::text("C")])
             .unwrap();
         assert_eq!(engine.execute_sync("all", &[]).unwrap().len(), 201);
-        engine.execute_sync("dropItem", &[Value::Int(1000)]).unwrap();
+        engine
+            .execute_sync("dropItem", &[Value::Int(1000)])
+            .unwrap();
         assert_eq!(engine.execute_sync("all", &[]).unwrap().len(), 200);
         let stats = engine.stats();
         assert!(stats.updates >= 2);
@@ -474,8 +474,12 @@ mod tests {
                 )),
             );
         }
-        let a = basic.execute_sync("bySubject", &[Value::text("A")]).unwrap();
-        let b = tuned.execute_sync("bySubject", &[Value::text("A")]).unwrap();
+        let a = basic
+            .execute_sync("bySubject", &[Value::text("A")])
+            .unwrap();
+        let b = tuned
+            .execute_sync("bySubject", &[Value::text("A")])
+            .unwrap();
         assert_eq!(a.len(), b.len());
     }
 }

@@ -435,7 +435,10 @@ fn exec(
         QueryPlan::Distinct { input } => {
             let rows = exec(catalog, input, params, snapshot)?;
             let mut seen = std::collections::HashSet::new();
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         QueryPlan::Project { input, columns } => {
             let rows = exec(catalog, input, params, snapshot)?;
@@ -656,9 +659,7 @@ mod tests {
     fn distinct_removes_duplicates() {
         let c = catalog();
         let plan = QueryPlan::Distinct {
-            input: Box::new(
-                QueryPlan::scan("ITEM").projected(vec![1]),
-            ),
+            input: Box::new(QueryPlan::scan("ITEM").projected(vec![1])),
         };
         assert_eq!(run(&c, &plan, &[]).len(), 2);
     }

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shareddb_common::{tuple, DataType, QueryId, Value};
-use shareddb_storage::{BTreeIndex, Catalog, IndexProbe, ProbeQuery, TableDef};
 use shareddb_storage::table::RowId;
+use shareddb_storage::{BTreeIndex, Catalog, IndexProbe, ProbeQuery, TableDef};
 use std::sync::Arc;
 
 fn bench_btree_ops(c: &mut Criterion) {
@@ -55,7 +55,9 @@ fn bench_shared_probe(c: &mut Criterion) {
     catalog
         .bulk_load(
             "T",
-            (0..50_000i64).map(|i| tuple![i, format!("row{i}")]).collect(),
+            (0..50_000i64)
+                .map(|i| tuple![i, format!("row{i}")])
+                .collect(),
         )
         .unwrap();
     catalog
@@ -72,7 +74,13 @@ fn bench_shared_probe(c: &mut Criterion) {
     group.sample_size(10);
     for &batch in &[1usize, 64, 512] {
         let queries: Vec<ProbeQuery> = (0..batch)
-            .map(|q| ProbeQuery::key(QueryId(q as u32 + 1), 0, Value::Int((q as i64 * 97) % 50_000)))
+            .map(|q| {
+                ProbeQuery::key(
+                    QueryId(q as u32 + 1),
+                    0,
+                    Value::Int((q as i64 * 97) % 50_000),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("lookups", batch), &batch, |b, _| {
             b.iter(|| probe.execute_batch(&queries, &[]).unwrap().tuples.len())

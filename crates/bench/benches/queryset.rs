@@ -9,7 +9,9 @@ use shareddb_common::queryset::{BitmapQuerySet, QuerySet};
 use shareddb_common::QueryId;
 
 fn sparse_ids(count: usize, stride: u32, offset: u32) -> Vec<QueryId> {
-    (0..count as u32).map(|i| QueryId(offset + i * stride)).collect()
+    (0..count as u32)
+        .map(|i| QueryId(offset + i * stride))
+        .collect()
 }
 
 fn bench_intersection(c: &mut Criterion) {
@@ -49,15 +51,19 @@ fn bench_insert_and_union(c: &mut Criterion) {
                 s.len()
             })
         });
-        group.bench_with_input(BenchmarkId::new("bitmap_insert", size), &size, |bench, _| {
-            bench.iter(|| {
-                let mut s = BitmapQuerySet::with_capacity(0, (size as u32) * 3 + 64);
-                for i in 0..size as u32 {
-                    s.insert(QueryId(i * 3));
-                }
-                s.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bitmap_insert", size),
+            &size,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut s = BitmapQuerySet::with_capacity(0, (size as u32) * 3 + 64);
+                    for i in 0..size as u32 {
+                        s.insert(QueryId(i * 3));
+                    }
+                    s.len()
+                })
+            },
+        );
     }
     // Memory footprint comparison printed once for the record.
     let list: QuerySet = (0..64u32).map(|i| QueryId(i * 50)).collect();

@@ -22,12 +22,7 @@ fn main() {
     let submitters = env_usize("ABL_SUBMITTERS", 16);
 
     eprintln!("# ablation_overlap: items={}, batch={batch}", scale.items);
-    print_header(&[
-        "overlap",
-        "system",
-        "batch_size",
-        "batch_time_ms",
-    ]);
+    print_header(&["overlap", "system", "batch_size", "batch_time_ms"]);
 
     // Overlap levels: fraction of queries that use the same (hot) subject.
     for &overlap_pct in &[0usize, 25, 50, 75, 100] {

@@ -22,10 +22,7 @@ use std::time::Instant;
 
 fn batch_points() -> Vec<usize> {
     match std::env::var("FIG10_BATCHES") {
-        Ok(v) => v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect(),
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![1, 10, 50, 100, 250, 500, 1000, 2000],
     }
 }

@@ -17,10 +17,7 @@ use std::time::{Duration, Instant};
 
 fn heavy_percent_points() -> Vec<usize> {
     match std::env::var("FIG11_HEAVY_PERCENTS") {
-        Ok(v) => v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect(),
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![0, 5, 10, 20, 30, 40, 50],
     }
 }

@@ -47,7 +47,12 @@ fn main() {
             .map(|s| s.name.as_str())
             .collect();
         if users.len() > 1 {
-            println!("{:<28} shared by {} statements: {}", node.name, users.len(), users.join(", "));
+            println!(
+                "{:<28} shared by {} statements: {}",
+                node.name,
+                users.len(),
+                users.join(", ")
+            );
         }
     }
 }

@@ -15,10 +15,7 @@ use std::time::Duration;
 
 fn eb_points() -> Vec<usize> {
     match std::env::var("FIG7_EBS") {
-        Ok(v) => v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect(),
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![50, 100, 200, 400, 800, 1600, 3200],
     }
 }

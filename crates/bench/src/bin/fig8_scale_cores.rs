@@ -13,10 +13,7 @@ use std::time::Duration;
 
 fn core_points() -> Vec<usize> {
     match std::env::var("FIG8_CORES") {
-        Ok(v) => v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect(),
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![1, 2, 4, 8, 16, 24],
     }
 }

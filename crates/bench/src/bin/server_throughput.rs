@@ -1,0 +1,129 @@
+//! Network-frontend throughput: statements per second as a function of the
+//! number of concurrent client connections (1 → 256).
+//!
+//! Every connection runs a closed loop of TPC-W `getItemById` point look-ups
+//! over the wire protocol; the server funnels all sockets into one shared
+//! batch per heartbeat, so throughput should rise with the client count while
+//! the batch rate stays roughly flat — the SharedDB scaling argument, now
+//! measured across the socket boundary.
+//!
+//! Environment: `TPCW_ITEMS` (scale, default 2000), `BENCH_SECONDS` (per
+//! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 256).
+//!
+//! Output: CSV `clients,ok,errors,throughput_per_s,mean_latency_us,batches_per_s`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header};
+use shareddb_client::Connection;
+use shareddb_common::Value;
+use shareddb_core::EngineConfig;
+use shareddb_server::{Server, ServerConfig};
+use shareddb_tpcw::{build_catalog, build_shared_plan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale();
+    let duration = bench_duration();
+    let max_clients = env_usize("SERVER_MAX_CLIENTS", 256);
+    let items = scale.items as i64;
+
+    print_header(&[
+        "clients",
+        "ok",
+        "errors",
+        "throughput_per_s",
+        "mean_latency_us",
+        "batches_per_s",
+    ]);
+
+    let mut clients = 1usize;
+    while clients <= max_clients {
+        let catalog = Arc::new(build_catalog(&scale).expect("catalog"));
+        let (plan, registry) = build_shared_plan(&catalog).expect("plan");
+        let mut server = Server::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig::default(),
+            ServerConfig {
+                max_inflight_per_session: 16,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server");
+        let addr = server.local_addr();
+
+        let ok = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let latency_ns = Arc::new(AtomicU64::new(0));
+        let batches_before = server.engine_stats().map(|s| s.batches).unwrap_or(0);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client_idx in 0..clients {
+                let ok = Arc::clone(&ok);
+                let errors = Arc::clone(&errors);
+                let latency_ns = Arc::clone(&latency_ns);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 + client_idx as u64);
+                    let mut conn = match Connection::connect(addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    let get_item = match conn.prepare("getItemById") {
+                        Ok(p) => p,
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    while started.elapsed() < duration {
+                        let id = rng.gen_range(0..items.max(1));
+                        let begun = Instant::now();
+                        match conn.execute(&get_item, &[Value::Int(id)]) {
+                            Ok(_) => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                latency_ns.fetch_add(
+                                    begun.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            Err(e) if e.is_retryable() => {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                    let _ = conn.close();
+                });
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0) - batches_before;
+        let ok_count = ok.load(Ordering::Relaxed);
+        let mean_latency_us = if ok_count == 0 {
+            0.0
+        } else {
+            latency_ns.load(Ordering::Relaxed) as f64 / ok_count as f64 / 1_000.0
+        };
+        println!(
+            "{},{},{},{:.1},{:.1},{:.1}",
+            clients,
+            ok_count,
+            errors.load(Ordering::Relaxed),
+            ok_count as f64 / elapsed,
+            mean_latency_us,
+            batches as f64 / elapsed,
+        );
+        server.shutdown();
+        clients *= 2;
+    }
+}

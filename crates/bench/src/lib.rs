@@ -90,16 +90,12 @@ impl SystemUnderTest {
         let catalog: Arc<Catalog> =
             Arc::new(build_catalog(scale).expect("failed to build TPC-W catalog"));
         match self {
-            SystemUnderTest::MySqlLike => Box::new(BaselineSystem::new(
-                catalog,
-                EngineProfile::Basic,
-                cores,
-            )),
-            SystemUnderTest::SystemXLike => Box::new(BaselineSystem::new(
-                catalog,
-                EngineProfile::Tuned,
-                cores,
-            )),
+            SystemUnderTest::MySqlLike => {
+                Box::new(BaselineSystem::new(catalog, EngineProfile::Basic, cores))
+            }
+            SystemUnderTest::SystemXLike => {
+                Box::new(BaselineSystem::new(catalog, EngineProfile::Tuned, cores))
+            }
             SystemUnderTest::SharedDb => Box::new(
                 SharedDbSystem::new(catalog, EngineConfig::with_cores(cores))
                     .expect("failed to start SharedDB"),

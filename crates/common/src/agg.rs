@@ -7,10 +7,9 @@
 
 use crate::error::{Error, Result};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// The aggregate functions supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateFunction {
     /// `COUNT(*)` / `COUNT(expr)` — number of (non-null) inputs.
     Count,

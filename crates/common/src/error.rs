@@ -30,6 +30,9 @@ pub enum Error {
     ConstraintViolation(String),
     /// The engine rejected the request because it is shutting down.
     EngineShutdown,
+    /// The request was rejected by admission control because a queue or
+    /// session limit was reached; the client may retry after backing off.
+    Overloaded(String),
     /// A query exceeded its response-time deadline and was cancelled.
     DeadlineExceeded,
     /// An internal invariant was violated; indicates a bug.
@@ -56,6 +59,7 @@ impl fmt::Display for Error {
             Error::UnknownStatement(msg) => write!(f, "unknown statement: {msg}"),
             Error::ConstraintViolation(msg) => write!(f, "constraint violation: {msg}"),
             Error::EngineShutdown => write!(f, "engine is shutting down"),
+            Error::Overloaded(msg) => write!(f, "overloaded: {msg}"),
             Error::DeadlineExceeded => write!(f, "deadline exceeded"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
@@ -74,6 +78,12 @@ impl From<std::io::Error> for Error {
 }
 
 impl Error {
+    /// True when the request may be retried after backing off (admission
+    /// control rejections, not hard failures).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Overloaded(_))
+    }
+
     /// True when the error was caused by the client (bad SQL, bad parameters)
     /// rather than by the engine.
     pub fn is_user_error(&self) -> bool {

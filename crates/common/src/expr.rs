@@ -11,12 +11,11 @@ use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
     /// `=`
     Eq,
@@ -91,7 +90,7 @@ impl fmt::Display for BinaryOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Logical NOT.
     Not,
@@ -104,7 +103,7 @@ pub enum UnaryOp {
 }
 
 /// A scalar expression tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A column resolved to an index into the input tuple.
     Column(usize),
@@ -233,6 +232,7 @@ impl Expr {
         self.binary(BinaryOp::Or, other)
     }
     /// Builds `NOT self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnaryOp::Not,
@@ -309,7 +309,10 @@ impl Expr {
                 negated,
             } => Expr::InList {
                 expr: Box::new(expr.resolve(schema)?),
-                list: list.iter().map(|e| e.resolve(schema)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| e.resolve(schema))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             },
             Expr::Between { expr, low, high } => Expr::Between {
@@ -447,7 +450,10 @@ impl Expr {
                 .ok_or_else(|| Error::Internal(format!("column index {i} out of bounds"))),
             Expr::NamedColumn { qualifier, name } => Err(Error::Internal(format!(
                 "unresolved column reference {}{name}",
-                qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+                qualifier
+                    .as_deref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
             ))),
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Param(i) => Err(Error::InvalidParameter(format!("unbound parameter ${i}"))),
@@ -702,9 +708,18 @@ mod tests {
         let t = tuple![5i64, "abc", 10.5f64];
         assert!(Expr::col(0).gt(Expr::lit(3i64)).eval_predicate(&t).unwrap());
         assert!(!Expr::col(0).gt(Expr::lit(5i64)).eval_predicate(&t).unwrap());
-        assert!(Expr::col(0).gt_eq(Expr::lit(5i64)).eval_predicate(&t).unwrap());
-        assert!(Expr::col(1).eq(Expr::lit("abc")).eval_predicate(&t).unwrap());
-        assert!(Expr::col(2).lt(Expr::lit(11i64)).eval_predicate(&t).unwrap());
+        assert!(Expr::col(0)
+            .gt_eq(Expr::lit(5i64))
+            .eval_predicate(&t)
+            .unwrap());
+        assert!(Expr::col(1)
+            .eq(Expr::lit("abc"))
+            .eval_predicate(&t)
+            .unwrap());
+        assert!(Expr::col(2)
+            .lt(Expr::lit(11i64))
+            .eval_predicate(&t)
+            .unwrap());
     }
 
     #[test]
@@ -724,9 +739,15 @@ mod tests {
         assert!(tru.clone().and(tru.clone()).eval_predicate(&t).unwrap());
         assert!(!tru.clone().and(fls.clone()).eval_predicate(&t).unwrap());
         // NULL AND FALSE = FALSE, NULL AND TRUE = NULL.
-        assert_eq!(nul.clone().and(fls.clone()).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(
+            nul.clone().and(fls.clone()).eval(&t).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(nul.clone().and(tru.clone()).eval(&t).unwrap(), Value::Null);
-        assert_eq!(nul.clone().or(tru.clone()).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(
+            nul.clone().or(tru.clone()).eval(&t).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(nul.clone().or(fls).eval(&t).unwrap(), Value::Null);
         assert_eq!(nul.not().eval(&t).unwrap(), Value::Null);
         assert!(!tru.not().eval_predicate(&t).unwrap());
@@ -736,19 +757,31 @@ mod tests {
     fn arithmetic() {
         let t = tuple![7i64, "x", 2.5f64];
         assert_eq!(
-            Expr::col(0).binary(BinaryOp::Add, Expr::lit(3i64)).eval(&t).unwrap(),
+            Expr::col(0)
+                .binary(BinaryOp::Add, Expr::lit(3i64))
+                .eval(&t)
+                .unwrap(),
             Value::Int(10)
         );
         assert_eq!(
-            Expr::col(0).binary(BinaryOp::Mul, Expr::col(2)).eval(&t).unwrap(),
+            Expr::col(0)
+                .binary(BinaryOp::Mul, Expr::col(2))
+                .eval(&t)
+                .unwrap(),
             Value::Float(17.5)
         );
         assert_eq!(
-            Expr::col(0).binary(BinaryOp::Div, Expr::lit(0i64)).eval(&t).unwrap(),
+            Expr::col(0)
+                .binary(BinaryOp::Div, Expr::lit(0i64))
+                .eval(&t)
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            Expr::lit(1i64).binary(BinaryOp::Sub, Expr::lit(Value::Null)).eval(&t).unwrap(),
+            Expr::lit(1i64)
+                .binary(BinaryOp::Sub, Expr::lit(Value::Null))
+                .eval(&t)
+                .unwrap(),
             Value::Null
         );
     }
@@ -818,7 +851,9 @@ mod tests {
 
     #[test]
     fn bind_parameters() {
-        let e = Expr::col(0).eq(Expr::param(0)).and(Expr::col(1).like(Expr::param(1)));
+        let e = Expr::col(0)
+            .eq(Expr::param(0))
+            .and(Expr::col(1).like(Expr::param(1)));
         assert!(!e.is_bound());
         let bound = e.bind(&[Value::Int(3), Value::text("%x%")]).unwrap();
         assert!(bound.is_bound());
@@ -850,10 +885,7 @@ mod tests {
         assert_eq!(e.split_conjuncts().len(), 3);
         let rebuilt = Expr::conjunction(e.split_conjuncts().into_iter().cloned().collect());
         assert_eq!(rebuilt, e);
-        assert_eq!(
-            Expr::conjunction(vec![]),
-            Expr::Literal(Value::Bool(true))
-        );
+        assert_eq!(Expr::conjunction(vec![]), Expr::Literal(Value::Bool(true)));
     }
 
     #[test]
@@ -874,7 +906,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_are_sorted_unique() {
-        let e = Expr::col(3).gt(Expr::col(1)).and(Expr::col(3).eq(Expr::lit(1i64)));
+        let e = Expr::col(3)
+            .gt(Expr::col(1))
+            .and(Expr::col(3).eq(Expr::lit(1i64)));
         assert_eq!(e.referenced_columns(), vec![1, 3]);
     }
 

@@ -5,7 +5,6 @@
 //! Giving ids their own newtypes keeps the code honest about which kind of id
 //! is which.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -13,7 +12,7 @@ macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 

@@ -5,11 +5,10 @@
 use crate::queryset::QuerySet;
 use crate::tuple::Tuple;
 use crate::QueryId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tuple annotated with its subscribed queries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QTuple {
     /// The relational payload (the "normal" attributes `R_a .. R_n`).
     pub tuple: Tuple,
@@ -81,7 +80,10 @@ mod tests {
     fn explode_matches_figure_1() {
         // Row 143 "John Smith" is interesting for queries 1, 2 and 3: the NF²
         // representation stores it once, exploding yields three pairs.
-        let t = QTuple::new(tuple![143i64, "John Smith"], [1u32, 2, 3].into_iter().collect());
+        let t = QTuple::new(
+            tuple![143i64, "John Smith"],
+            [1u32, 2, 3].into_iter().collect(),
+        );
         let pairs: Vec<_> = t.explode().map(|(q, _)| q.raw()).collect();
         assert_eq!(pairs, vec![1, 2, 3]);
     }

@@ -12,11 +12,10 @@
 //!   `queryset` ablation benchmark to reproduce the paper's design decision.
 
 use crate::ids::QueryId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// List-based set of query ids, kept sorted and deduplicated.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct QuerySet {
     ids: Vec<QueryId>,
 }
@@ -240,7 +239,8 @@ impl BitmapQuerySet {
         if raw < self.base {
             // Rebase: shift existing bits up. Rare; simple implementation.
             let shift = (self.base - raw) as usize;
-            let mut fresh = BitmapQuerySet::with_capacity(raw, (self.words.len() * 64 + shift) as u32);
+            let mut fresh =
+                BitmapQuerySet::with_capacity(raw, (self.words.len() * 64 + shift) as u32);
             for existing in self.iter() {
                 fresh.insert(existing);
             }

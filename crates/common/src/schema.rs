@@ -7,12 +7,11 @@
 
 use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A single column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Optional qualifier: table name or alias (upper-cased).
     pub qualifier: Option<String>,

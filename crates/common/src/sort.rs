@@ -5,11 +5,10 @@
 //! be a property of the *operator*, not of an individual query.
 
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortOrder {
     /// Ascending (the SQL default).
     Ascending,
@@ -29,7 +28,7 @@ impl SortOrder {
 }
 
 /// One `ORDER BY` key: a column index plus a direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SortKey {
     /// Index of the sort column in the input schema.
     pub column: usize,
@@ -90,11 +89,7 @@ mod tests {
 
     #[test]
     fn multi_key_breaks_ties() {
-        let mut ts = vec![
-            tuple![1i64, "b"],
-            tuple![1i64, "a"],
-            tuple![0i64, "z"],
-        ];
+        let mut ts = vec![tuple![1i64, "b"], tuple![1i64, "a"], tuple![0i64, "z"]];
         sort_tuples(&mut ts, &[SortKey::asc(0), SortKey::asc(1)]);
         assert_eq!(ts[0], tuple![0i64, "z"]);
         assert_eq!(ts[1], tuple![1i64, "a"]);

@@ -6,12 +6,11 @@
 //! `shareddb-core`, this module only defines the per-row type.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
 /// A single row of values.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Tuple {
     values: Vec<Value>,
 }
@@ -145,7 +144,10 @@ mod tests {
         let a = tuple![1i64, "x"];
         let b = tuple![2i64];
         let c = a.concat(&b);
-        assert_eq!(c.values(), &[Value::Int(1), Value::text("x"), Value::Int(2)]);
+        assert_eq!(
+            c.values(),
+            &[Value::Int(1), Value::text("x"), Value::Int(2)]
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! never reference external buffers.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -15,7 +14,7 @@ use std::hash::{Hash, Hasher};
 /// The set covers everything the TPC-W schema and the paper's example queries
 /// need: integers, floating point numbers, strings, booleans and dates
 /// (represented as days since the Unix epoch; timestamps use `Int` seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -49,7 +48,7 @@ impl fmt::Display for DataType {
 /// IEEE total ordering, and comparing values of different types falls back to
 /// a stable type rank. Use [`Value::sql_cmp`] when SQL three-valued comparison
 /// semantics (NULL is incomparable) are required.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,

@@ -5,10 +5,8 @@
 //! producing an [`ActiveQuery`] (or [`ActiveUpdate`]); active queries queue up
 //! and are grouped into a [`QueryBatch`] at the next heartbeat (Section 3.2).
 
-use crate::plan::{
-    ActivationTemplate, StatementKind, StatementSpec, UpdateTemplate,
-};
 use crate::plan::OperatorId;
+use crate::plan::{ActivationTemplate, StatementKind, StatementSpec, UpdateTemplate};
 use shareddb_common::ids::{BatchId, TicketId};
 use shareddb_common::{Error, Expr, QueryId, Result, Tuple, Value};
 use shareddb_storage::{ProbeRange, UpdateOp};

@@ -15,7 +15,7 @@
 //! Clients interact through [`Engine::execute`] (asynchronous, returns a
 //! [`QueryHandle`]) or [`Engine::execute_sync`].
 
-use crate::batch::{bind_query, bind_update, ActiveQuery, ActiveUpdate, Activation, QueryBatch};
+use crate::batch::{bind_query, bind_update, Activation, ActiveQuery, ActiveUpdate, QueryBatch};
 use crate::budget::CoreBudget;
 use crate::config::EngineConfig;
 use crate::operators::{execute_operator, ExecContext};
@@ -106,9 +106,7 @@ impl QueryHandle {
 
     /// Blocks until the result is available.
     pub fn wait(self) -> Result<QueryOutcome> {
-        self.receiver
-            .recv()
-            .map_err(|_| Error::EngineShutdown)?
+        self.receiver.recv().map_err(|_| Error::EngineShutdown)?
     }
 
     /// Blocks until the result is available or the deadline passes.
@@ -466,9 +464,15 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
             if !inner.config.eager_heartbeat {
                 let since = last_batch_start.elapsed();
                 if since < inner.config.heartbeat {
-                    let wait = inner.config.heartbeat - since;
+                    let mut wait = inner.config.heartbeat - since;
                     drop(queue);
-                    std::thread::sleep(wait);
+                    // Sleep in small slices so a shutdown (graceful drain)
+                    // is observed promptly even with long heartbeats.
+                    while !wait.is_zero() && !inner.shutdown.load(Ordering::Acquire) {
+                        let slice = wait.min(Duration::from_millis(10));
+                        std::thread::sleep(slice);
+                        wait = wait.saturating_sub(slice);
+                    }
                     queue = inner.admission.queue.lock();
                 }
             }
@@ -668,7 +672,10 @@ fn finalize_query_result(
         rows.truncate(limit);
     }
     if !query.projection.is_empty() {
-        rows = rows.into_iter().map(|r| r.project(&query.projection)).collect();
+        rows = rows
+            .into_iter()
+            .map(|r| r.project(&query.projection))
+            .collect();
     }
     Ok(QueryOutcome::Rows(ResultSet { schema, rows }))
 }
@@ -689,7 +696,9 @@ fn complete(inner: &Arc<EngineInner>, ticket: TicketId, outcome: Result<QueryOut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{ActivationTemplate, PlanBuilder, ProbeTemplate, StatementSpec, UpdateTemplate};
+    use crate::plan::{
+        ActivationTemplate, PlanBuilder, ProbeTemplate, StatementSpec, UpdateTemplate,
+    };
     use shareddb_common::agg::AggregateFunction;
     use shareddb_common::{tuple, DataType, Expr, SortKey};
     use shareddb_storage::{IndexDef, TableDef};
@@ -772,7 +781,12 @@ mod tests {
         registry
             .register(
                 StatementSpec::query("usersByCountry", gamma)
-                    .activate(users_scan, ActivationTemplate::Scan { predicate: Expr::lit(true) })
+                    .activate(
+                        users_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
                     .activate(gamma, ActivationTemplate::Having { predicate: None }),
             )
             .unwrap();
@@ -799,16 +813,14 @@ mod tests {
             .unwrap();
         // Q3: point look-up of one user through the shared index probe.
         registry
-            .register(
-                StatementSpec::query("userById", users_probe).activate(
-                    users_probe,
-                    ActivationTemplate::Probe {
-                        column: 0,
-                        range: ProbeTemplate::Key(Expr::param(0)),
-                        residual: None,
-                    },
-                ),
-            )
+            .register(StatementSpec::query("userById", users_probe).activate(
+                users_probe,
+                ActivationTemplate::Probe {
+                    column: 0,
+                    range: ProbeTemplate::Key(Expr::param(0)),
+                    residual: None,
+                },
+            ))
             .unwrap();
         // Q4: top-N most expensive orders.
         registry
@@ -860,7 +872,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         // 50 even users (CH) with accounts 0,20,..,980 -> 24500.
         let ch = rows.iter().find(|r| r[0] == Value::text("CH")).unwrap();
-        assert_eq!(ch[1], Value::Int((0..100).filter(|i| i % 2 == 0).map(|i| i * 10).sum()));
+        assert_eq!(
+            ch[1],
+            Value::Int((0..100).filter(|i| i % 2 == 0).map(|i| i * 10).sum())
+        );
     }
 
     #[test]
@@ -899,9 +914,7 @@ mod tests {
     #[test]
     fn index_probe_point_query() {
         let engine = build_engine(EngineConfig::default());
-        let outcome = engine
-            .execute_sync("userById", &[Value::Int(33)])
-            .unwrap();
+        let outcome = engine.execute_sync("userById", &[Value::Int(33)]).unwrap();
         assert_eq!(outcome.rows().len(), 1);
         assert_eq!(outcome.rows()[0][1], Value::text("user33"));
     }
@@ -936,10 +949,7 @@ mod tests {
         let rows = engine
             .execute_sync("ordersOfUser", &[Value::text("user1")])
             .unwrap();
-        assert!(rows
-            .rows()
-            .iter()
-            .any(|r| r[4] == Value::Int(10_000)));
+        assert!(rows.rows().iter().any(|r| r[4] == Value::Int(10_000)));
         // Delete the user's orders and observe the effect.
         let outcome = engine
             .execute_sync("cancelOrders", &[Value::Int(1)])

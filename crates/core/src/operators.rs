@@ -20,9 +20,7 @@ use crate::batch::Activation;
 use crate::plan::{AggregateSpec, OperatorSpec};
 use shareddb_common::agg::Accumulator;
 use shareddb_common::sort::compare_tuples;
-use shareddb_common::{
-    Error, Expr, QTuple, QueryId, QuerySet, Result, SortKey, Tuple, Value,
-};
+use shareddb_common::{Error, Expr, QTuple, QueryId, QuerySet, Result, SortKey, Tuple, Value};
 use shareddb_storage::mvcc::Snapshot;
 use shareddb_storage::Catalog;
 use std::collections::HashMap;
@@ -260,10 +258,7 @@ fn execute_sort(
     keys: &[SortKey],
 ) -> Result<Vec<QTuple>> {
     let active = active_set(activations);
-    let mut tuples: Vec<QTuple> = input
-        .iter()
-        .filter_map(|t| restrict(t, &active))
-        .collect();
+    let mut tuples: Vec<QTuple> = input.iter().filter_map(|t| restrict(t, &active)).collect();
     // One shared sort over the union of all interested tuples (Figure 4).
     tuples.sort_by(|a, b| compare_tuples(&a.tuple, &b.tuple, keys));
     Ok(tuples)
@@ -343,10 +338,12 @@ fn execute_group_by(
         // Phase 2 (per query): aggregation state is per query because each
         // query may aggregate a different subset of the group.
         for q in restricted.queries.iter() {
-            let accumulators = state
-                .per_query
-                .entry(q)
-                .or_insert_with(|| aggregates.iter().map(|a| a.function.accumulator()).collect());
+            let accumulators = state.per_query.entry(q).or_insert_with(|| {
+                aggregates
+                    .iter()
+                    .map(|a| a.function.accumulator())
+                    .collect()
+            });
             for (acc, spec) in accumulators.iter_mut().zip(aggregates) {
                 acc.update(&restricted.tuple[spec.column])?;
             }
@@ -686,9 +683,8 @@ mod tests {
         // Query 1: CH -> 300 (2 rows), DE -> 300 (1 row).
         // Query 2: CH -> 100 (fails HAVING), DE -> 700 (passes).
         let find = |q: u32, country: &str| {
-            out.iter().find(|t| {
-                t.queries.contains(QueryId(q)) && t.tuple[0] == Value::text(country)
-            })
+            out.iter()
+                .find(|t| t.queries.contains(QueryId(q)) && t.tuple[0] == Value::text(country))
         };
         assert_eq!(find(1, "CH").unwrap().tuple[1], Value::Int(300));
         assert_eq!(find(1, "CH").unwrap().tuple[2], Value::Int(2));
@@ -739,9 +735,7 @@ mod tests {
     fn storage_specs_rejected_here() {
         let catalog = Catalog::new();
         let err = execute_operator(
-            &OperatorSpec::TableScan {
-                table: "X".into(),
-            },
+            &OperatorSpec::TableScan { table: "X".into() },
             &[],
             vec![],
             &ctx(&catalog),

@@ -504,9 +504,8 @@ impl ProbeTemplate {
     /// Binds parameters and evaluates the bound expressions to a concrete
     /// [`ProbeRange`].
     pub fn bind(&self, params: &[Value]) -> Result<ProbeRange> {
-        let eval = |e: &Expr| -> Result<Value> {
-            e.bind(params)?.eval(&shareddb_common::Tuple::empty())
-        };
+        let eval =
+            |e: &Expr| -> Result<Value> { e.bind(params)?.eval(&shareddb_common::Tuple::empty()) };
         Ok(match self {
             ProbeTemplate::Key(e) => ProbeRange::Key(eval(e)?),
             ProbeTemplate::Range { low, high } => {
@@ -608,7 +607,11 @@ impl StatementSpec {
     }
 
     /// Creates an update statement.
-    pub fn update(name: impl Into<String>, table: impl Into<String>, template: UpdateTemplate) -> Self {
+    pub fn update(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        template: UpdateTemplate,
+    ) -> Self {
         StatementSpec {
             name: name.into(),
             kind: StatementKind::Update {
@@ -732,11 +735,18 @@ impl StatementRegistry {
                 let node = plan.node(*op);
                 let compatible = matches!(
                     (&node.spec, template),
-                    (OperatorSpec::TableScan { .. }, ActivationTemplate::Scan { .. })
-                        | (OperatorSpec::IndexProbe { .. }, ActivationTemplate::Probe { .. })
-                        | (OperatorSpec::Filter, ActivationTemplate::Filter { .. })
+                    (
+                        OperatorSpec::TableScan { .. },
+                        ActivationTemplate::Scan { .. }
+                    ) | (
+                        OperatorSpec::IndexProbe { .. },
+                        ActivationTemplate::Probe { .. }
+                    ) | (OperatorSpec::Filter, ActivationTemplate::Filter { .. })
                         | (OperatorSpec::TopN { .. }, ActivationTemplate::TopN { .. })
-                        | (OperatorSpec::GroupBy { .. }, ActivationTemplate::Having { .. })
+                        | (
+                            OperatorSpec::GroupBy { .. },
+                            ActivationTemplate::Having { .. }
+                        )
                         | (_, ActivationTemplate::Participate)
                 );
                 if !compatible {
@@ -775,11 +785,7 @@ impl Deployment {
     pub fn round_robin(plan: &GlobalPlan, cores: usize) -> Self {
         let cores = cores.max(1);
         Deployment {
-            assignments: plan
-                .nodes()
-                .iter()
-                .map(|n| (n.id, n.id % cores))
-                .collect(),
+            assignments: plan.nodes().iter().map(|n| (n.id, n.id % cores)).collect(),
             replicas: Vec::new(),
         }
     }
@@ -844,9 +850,7 @@ mod tests {
                 vec![(AggregateFunction::Sum, "USERS.USER_ID", "SUM_USER_ID")],
             )
             .unwrap();
-        let sort = b
-            .sort(join, vec![SortKey::asc(0)])
-            .unwrap();
+        let sort = b.sort(join, vec![SortKey::asc(0)]).unwrap();
         let plan = b.build();
         assert_eq!(plan.len(), 5);
         assert!(plan.node(users).spec.is_storage());
@@ -867,7 +871,9 @@ mod tests {
         let mut b = PlanBuilder::new(&catalog);
         let users = b.table_scan("USERS").unwrap();
         let orders = b.table_scan("ORDERS").unwrap();
-        assert!(b.hash_join(users, orders, "USERS.MISSING", "ORDERS.USER_ID").is_err());
+        assert!(b
+            .hash_join(users, orders, "USERS.MISSING", "ORDERS.USER_ID")
+            .is_err());
         assert!(b.table_scan("NO_SUCH_TABLE").is_err());
     }
 
@@ -896,9 +902,12 @@ mod tests {
 
         let mut registry = StatementRegistry::new();
         let spec = StatementSpec::query("richestUsers", top)
-            .activate(users, ActivationTemplate::Scan {
-                predicate: Expr::col(2).gt(Expr::param(0)),
-            })
+            .activate(
+                users,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(2).gt(Expr::param(0)),
+                },
+            )
             .activate(top, ActivationTemplate::TopN { limit: 10 })
             .project(vec![0, 2]);
         registry.register(spec).unwrap();

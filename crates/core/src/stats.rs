@@ -41,7 +41,8 @@ impl OperatorStats {
         if had_queries {
             self.active_cycles.fetch_add(1, Ordering::Relaxed);
         }
-        self.tuples_out.fetch_add(tuples_out as u64, Ordering::Relaxed);
+        self.tuples_out
+            .fetch_add(tuples_out as u64, Ordering::Relaxed);
         self.busy_nanos
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -87,8 +88,26 @@ impl Default for LatencyHistogram {
     fn default() -> Self {
         // 10µs .. ~100s in roughly geometric steps.
         let bounds_us = vec![
-            10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
-            250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 100_000_000,
+            10,
+            25,
+            50,
+            100,
+            250,
+            500,
+            1_000,
+            2_500,
+            5_000,
+            10_000,
+            25_000,
+            50_000,
+            100_000,
+            250_000,
+            500_000,
+            1_000_000,
+            2_500_000,
+            5_000_000,
+            10_000_000,
+            100_000_000,
         ];
         let counts = vec![0; bounds_us.len() + 1];
         LatencyHistogram { bounds_us, counts }
@@ -124,12 +143,7 @@ impl LatencyHistogram {
         for (i, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= target.max(1) {
-                return Some(
-                    self.bounds_us
-                        .get(i)
-                        .copied()
-                        .unwrap_or(u64::MAX),
-                );
+                return Some(self.bounds_us.get(i).copied().unwrap_or(u64::MAX));
             }
         }
         Some(u64::MAX)
@@ -201,11 +215,7 @@ impl EngineStats {
             updates,
             failed: self.failed.load(Ordering::Relaxed),
             result_rows: self.result_rows.load(Ordering::Relaxed),
-            mean_latency: if completed == 0 {
-                Duration::ZERO
-            } else {
-                Duration::from_nanos(total_latency / completed)
-            },
+            mean_latency: Duration::from_nanos(total_latency.checked_div(completed).unwrap_or(0)),
             max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
             p99_latency: Duration::from_micros(histogram.percentile_us(0.99).unwrap_or(0)),
         }

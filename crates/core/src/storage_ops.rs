@@ -46,9 +46,7 @@ impl StorageOperator {
                 let queries: Vec<ScanQuery> = activations
                     .iter()
                     .map(|(q, a)| match a {
-                        Activation::Scan { predicate } => {
-                            Ok(ScanQuery::new(*q, predicate.clone()))
-                        }
+                        Activation::Scan { predicate } => Ok(ScanQuery::new(*q, predicate.clone())),
                         other => Err(Error::Internal(format!(
                             "scan operator received a non-scan activation: {other:?}"
                         ))),
@@ -148,8 +146,14 @@ mod tests {
                 ),
             ])
             .unwrap();
-        let q1 = out.iter().filter(|t| t.queries.contains(QueryId(1))).count();
-        let q2 = out.iter().filter(|t| t.queries.contains(QueryId(2))).count();
+        let q1 = out
+            .iter()
+            .filter(|t| t.queries.contains(QueryId(1)))
+            .count();
+        let q2 = out
+            .iter()
+            .filter(|t| t.queries.contains(QueryId(2)))
+            .count();
         assert_eq!(q1, 10);
         assert_eq!(q2, 3);
         // Wrong activation kind is rejected.

@@ -1,0 +1,29 @@
+//! # shareddb-server
+//!
+//! The SharedDB **network frontend**: a multi-threaded TCP server that owns an
+//! always-on [`shareddb_core::Engine`] and funnels the statements of many
+//! client connections into the engine's admission queue, so that one
+//! [`shareddb_core::QueryBatch`] serves many sockets. This is the missing
+//! client tier of the paper's architecture (Figure 1): concurrent queries from
+//! many clients are admitted, queued while the current batch executes, formed
+//! into the next batch at the heartbeat, and answered through the shared
+//! global plan's Γ(query_id) router.
+//!
+//! * [`protocol`] — the length-prefixed binary wire protocol (frame formats,
+//!   value encoding, error codes).
+//! * [`server`] — the listener, session threads, admission control and
+//!   graceful drain.
+//!
+//! Servers are started either over a pre-built plan
+//! ([`Server::start`], e.g. the TPC-W plan of `shareddb-tpcw`) or directly
+//! from a SQL workload ([`Server::start_sql`]), which is compiled into a
+//! shared global plan by [`shareddb_sql::compile_workload`]. Ad-hoc SQL
+//! received over the wire is auto-parameterised and matched against the
+//! compiled statement *types* — queries whose type is not part of the plan are
+//! rejected, mirroring the paper's prepared-workload model.
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Frame, WireStats, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerStatsSnapshot};

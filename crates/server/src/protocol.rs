@@ -1,0 +1,811 @@
+//! The SharedDB wire protocol: length-prefixed binary frames over TCP.
+//!
+//! ## Framing
+//!
+//! Every frame is `u32 length (LE) | u8 opcode | body`; the length counts the
+//! opcode byte plus the body. Integers are little-endian; strings are
+//! `u32 length | UTF-8 bytes`; values are tagged (see [`encode_value`]).
+//!
+//! ## Frames
+//!
+//! | Opcode | Direction | Frame | Body |
+//! |--------|-----------|-------|------|
+//! | `0x01` | C→S | [`Frame::Hello`] | `u16 version, string client_name` |
+//! | `0x02` | C→S | [`Frame::Query`] | `u64 request_id, string sql` — ad-hoc SQL, matched against the compiled statement types by auto-parameterisation |
+//! | `0x03` | C→S | [`Frame::Prepare`] | `u64 request_id, string statement_name` |
+//! | `0x04` | C→S | [`Frame::ExecutePrepared`] | `u64 request_id, u32 statement_id, values params` |
+//! | `0x05` | C→S | [`Frame::Stats`] | `u64 request_id` |
+//! | `0x06` | C→S | [`Frame::Goodbye`] | empty |
+//! | `0x81` | S→C | [`Frame::HelloOk`] | `u16 version, string server_name, u32 statement_count` |
+//! | `0x82` | S→C | [`Frame::Prepared`] | `u64 request_id, u32 statement_id, u32 param_count, u8 is_update` |
+//! | `0x83` | S→C | [`Frame::ResultChunk`] | `u64 request_id, u8 flags, u64 rows_affected, [schema], [rows]` |
+//! | `0x84` | S→C | [`Frame::Error`] | `u64 request_id, u8 code, u8 retryable, string message` |
+//! | `0x85` | S→C | [`Frame::StatsReply`] | engine + server counters, see [`WireStats`] |
+//! | `0x86` | S→C | [`Frame::GoodbyeOk`] | empty |
+//!
+//! A query result is a sequence of [`Frame::ResultChunk`]s sharing the
+//! request id: the first carries [`chunk_flags::FIRST`] and the result schema,
+//! the final one [`chunk_flags::LAST`]. Updates are a single chunk with
+//! [`chunk_flags::UPDATE`] and `rows_affected`. Responses to the requests of
+//! one connection are delivered strictly in submission order, which is what
+//! makes client-side pipelining possible.
+//!
+//! Backpressure rejections use [`Frame::Error`] with `retryable = true`
+//! (error code [`error_codes::OVERLOADED`]): the statement was *not* admitted
+//! and the client may back off and retry.
+
+use shareddb_common::{DataType, Error, Result, Value};
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frames larger than this are rejected (malformed or hostile peer).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Flag bits of [`Frame::ResultChunk`].
+pub mod chunk_flags {
+    /// First chunk of a result (carries the schema for row results).
+    pub const FIRST: u8 = 1;
+    /// Final chunk of a result.
+    pub const LAST: u8 = 2;
+    /// The result is an update acknowledgement (`rows_affected` is valid,
+    /// there is no schema and there are no rows).
+    pub const UPDATE: u8 = 4;
+}
+
+/// Error codes of [`Frame::Error`].
+pub mod error_codes {
+    /// SQL parse error.
+    pub const PARSE: u8 = 1;
+    /// Unknown table.
+    pub const UNKNOWN_TABLE: u8 = 2;
+    /// Unknown column.
+    pub const UNKNOWN_COLUMN: u8 = 3;
+    /// Value type mismatch.
+    pub const TYPE_MISMATCH: u8 = 4;
+    /// Bad prepared-statement parameter.
+    pub const INVALID_PARAMETER: u8 = 5;
+    /// The statement type is not part of the compiled global plan.
+    pub const UNKNOWN_STATEMENT: u8 = 6;
+    /// Constraint violation.
+    pub const CONSTRAINT: u8 = 7;
+    /// The server is shutting down.
+    pub const SHUTDOWN: u8 = 8;
+    /// The statement missed its deadline.
+    pub const DEADLINE: u8 = 9;
+    /// Internal error.
+    pub const INTERNAL: u8 = 10;
+    /// Recovery error.
+    pub const RECOVERY: u8 = 11;
+    /// I/O error.
+    pub const IO: u8 = 12;
+    /// Recognised but unsupported feature.
+    pub const UNSUPPORTED: u8 = 13;
+    /// Admission control rejected the request; retry after backing off.
+    pub const OVERLOADED: u8 = 14;
+}
+
+/// Engine and server counters reported by [`Frame::StatsReply`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Statements that failed.
+    pub failed: u64,
+    /// Statements admitted but not yet batched.
+    pub queued: u64,
+    /// Currently connected sessions.
+    pub sessions: u64,
+    /// Requests rejected by admission control since the server started.
+    pub rejected: u64,
+}
+
+/// One column of a result schema on the wire.
+pub type WireColumn = (String, DataType);
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client greeting; must be the first frame of a connection.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Client identification for diagnostics.
+        client_name: String,
+    },
+    /// Ad-hoc SQL execution (auto-parameterised against the compiled plan).
+    Query {
+        /// Client-chosen id echoed on every response frame.
+        request_id: u64,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Looks up a registered statement type by name.
+    Prepare {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+        /// Statement name, e.g. `"getBestSellers"`.
+        name: String,
+    },
+    /// Executes a prepared statement with bound parameters.
+    ExecutePrepared {
+        /// Client-chosen id echoed on every response frame.
+        request_id: u64,
+        /// Statement id from [`Frame::Prepared`].
+        statement_id: u32,
+        /// Positional parameters.
+        params: Vec<Value>,
+    },
+    /// Requests server statistics.
+    Stats {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
+    /// Orderly connection termination.
+    Goodbye,
+    /// Server greeting.
+    HelloOk {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// Server identification.
+        server_name: String,
+        /// Number of registered statement types.
+        statement_count: u32,
+    },
+    /// Prepared-statement metadata.
+    Prepared {
+        /// Echoed request id.
+        request_id: u64,
+        /// Statement id for [`Frame::ExecutePrepared`].
+        statement_id: u32,
+        /// Number of positional parameters the statement takes.
+        param_count: u32,
+        /// True for INSERT/UPDATE/DELETE statements.
+        is_update: bool,
+    },
+    /// One chunk of a result (see [`chunk_flags`]).
+    ResultChunk {
+        /// Echoed request id.
+        request_id: u64,
+        /// Chunk flags.
+        flags: u8,
+        /// Affected row count (update results only).
+        rows_affected: u64,
+        /// Result schema (first chunk of a row result only).
+        schema: Vec<WireColumn>,
+        /// Result rows of this chunk.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Request failure.
+    Error {
+        /// Echoed request id (0 for connection-level errors).
+        request_id: u64,
+        /// Error code (see [`error_codes`]).
+        code: u8,
+        /// True when the request may be retried after backing off.
+        retryable: bool,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Statistics snapshot.
+    StatsReply {
+        /// Echoed request id.
+        request_id: u64,
+        /// The counters.
+        stats: WireStats,
+    },
+    /// Acknowledges [`Frame::Goodbye`]; the server closes after sending it.
+    GoodbyeOk,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the tagged encoding of one [`Value`].
+pub fn encode_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => put_u8(buf, 0),
+        Value::Int(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, *v as u64);
+        }
+        Value::Float(v) => {
+            put_u8(buf, 2);
+            put_u64(buf, v.to_bits());
+        }
+        Value::Text(s) => {
+            put_u8(buf, 3);
+            put_string(buf, s);
+        }
+        Value::Bool(b) => {
+            put_u8(buf, 4);
+            put_u8(buf, *b as u8);
+        }
+        Value::Date(v) => {
+            put_u8(buf, 5);
+            put_u64(buf, *v as u64);
+        }
+    }
+}
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Bool => 4,
+        DataType::Date => 5,
+    }
+}
+
+fn data_type_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Bool,
+        5 => DataType::Date,
+        other => return Err(malformed(format!("bad data type tag {other}"))),
+    })
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn malformed(msg: impl Into<String>) -> Error {
+    Error::Io(format!("malformed frame: {}", msg.into()))
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(malformed("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8"))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.u64()? as i64),
+            2 => Value::Float(f64::from_bits(self.u64()?)),
+            3 => Value::Text(self.string()?),
+            4 => Value::Bool(self.u8()? != 0),
+            5 => Value::Date(self.u64()? as i64),
+            other => return Err(malformed(format!("bad value tag {other}"))),
+        })
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(malformed("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+fn put_values(buf: &mut Vec<u8>, values: &[Value]) {
+    put_u32(buf, values.len() as u32);
+    for v in values {
+        encode_value(buf, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------------
+
+impl Frame {
+    fn opcode(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::Query { .. } => 0x02,
+            Frame::Prepare { .. } => 0x03,
+            Frame::ExecutePrepared { .. } => 0x04,
+            Frame::Stats { .. } => 0x05,
+            Frame::Goodbye => 0x06,
+            Frame::HelloOk { .. } => 0x81,
+            Frame::Prepared { .. } => 0x82,
+            Frame::ResultChunk { .. } => 0x83,
+            Frame::Error { .. } => 0x84,
+            Frame::StatsReply { .. } => 0x85,
+            Frame::GoodbyeOk => 0x86,
+        }
+    }
+
+    /// Encodes the frame (length prefix included) into a byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u8(&mut body, self.opcode());
+        match self {
+            Frame::Hello {
+                version,
+                client_name,
+            } => {
+                put_u16(&mut body, *version);
+                put_string(&mut body, client_name);
+            }
+            Frame::Query { request_id, sql } => {
+                put_u64(&mut body, *request_id);
+                put_string(&mut body, sql);
+            }
+            Frame::Prepare { request_id, name } => {
+                put_u64(&mut body, *request_id);
+                put_string(&mut body, name);
+            }
+            Frame::ExecutePrepared {
+                request_id,
+                statement_id,
+                params,
+            } => {
+                put_u64(&mut body, *request_id);
+                put_u32(&mut body, *statement_id);
+                put_values(&mut body, params);
+            }
+            Frame::Stats { request_id } => {
+                put_u64(&mut body, *request_id);
+            }
+            Frame::Goodbye | Frame::GoodbyeOk => {}
+            Frame::HelloOk {
+                version,
+                server_name,
+                statement_count,
+            } => {
+                put_u16(&mut body, *version);
+                put_string(&mut body, server_name);
+                put_u32(&mut body, *statement_count);
+            }
+            Frame::Prepared {
+                request_id,
+                statement_id,
+                param_count,
+                is_update,
+            } => {
+                put_u64(&mut body, *request_id);
+                put_u32(&mut body, *statement_id);
+                put_u32(&mut body, *param_count);
+                put_u8(&mut body, *is_update as u8);
+            }
+            Frame::ResultChunk {
+                request_id,
+                flags,
+                rows_affected,
+                schema,
+                rows,
+            } => {
+                put_u64(&mut body, *request_id);
+                put_u8(&mut body, *flags);
+                put_u64(&mut body, *rows_affected);
+                put_u32(&mut body, schema.len() as u32);
+                for (name, dt) in schema {
+                    put_string(&mut body, name);
+                    put_u8(&mut body, data_type_tag(*dt));
+                }
+                put_u32(&mut body, rows.len() as u32);
+                for row in rows {
+                    put_values(&mut body, row);
+                }
+            }
+            Frame::Error {
+                request_id,
+                code,
+                retryable,
+                message,
+            } => {
+                put_u64(&mut body, *request_id);
+                put_u8(&mut body, *code);
+                put_u8(&mut body, *retryable as u8);
+                put_string(&mut body, message);
+            }
+            Frame::StatsReply { request_id, stats } => {
+                put_u64(&mut body, *request_id);
+                put_u64(&mut body, stats.batches);
+                put_u64(&mut body, stats.queries);
+                put_u64(&mut body, stats.updates);
+                put_u64(&mut body, stats.failed);
+                put_u64(&mut body, stats.queued);
+                put_u64(&mut body, stats.sessions);
+                put_u64(&mut body, stats.rejected);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame body (the bytes after the length prefix).
+    pub fn decode(body: &[u8]) -> Result<Frame> {
+        let mut c = Cursor { buf: body, pos: 0 };
+        let opcode = c.u8()?;
+        let frame = match opcode {
+            0x01 => Frame::Hello {
+                version: c.u16()?,
+                client_name: c.string()?,
+            },
+            0x02 => Frame::Query {
+                request_id: c.u64()?,
+                sql: c.string()?,
+            },
+            0x03 => Frame::Prepare {
+                request_id: c.u64()?,
+                name: c.string()?,
+            },
+            0x04 => Frame::ExecutePrepared {
+                request_id: c.u64()?,
+                statement_id: c.u32()?,
+                params: c.values()?,
+            },
+            0x05 => Frame::Stats {
+                request_id: c.u64()?,
+            },
+            0x06 => Frame::Goodbye,
+            0x81 => Frame::HelloOk {
+                version: c.u16()?,
+                server_name: c.string()?,
+                statement_count: c.u32()?,
+            },
+            0x82 => Frame::Prepared {
+                request_id: c.u64()?,
+                statement_id: c.u32()?,
+                param_count: c.u32()?,
+                is_update: c.u8()? != 0,
+            },
+            0x83 => {
+                let request_id = c.u64()?;
+                let flags = c.u8()?;
+                let rows_affected = c.u64()?;
+                let n_cols = c.u32()? as usize;
+                let mut schema = Vec::with_capacity(n_cols.min(1024));
+                for _ in 0..n_cols {
+                    let name = c.string()?;
+                    let dt = data_type_from_tag(c.u8()?)?;
+                    schema.push((name, dt));
+                }
+                let n_rows = c.u32()? as usize;
+                let mut rows = Vec::with_capacity(n_rows.min(4096));
+                for _ in 0..n_rows {
+                    rows.push(c.values()?);
+                }
+                Frame::ResultChunk {
+                    request_id,
+                    flags,
+                    rows_affected,
+                    schema,
+                    rows,
+                }
+            }
+            0x84 => Frame::Error {
+                request_id: c.u64()?,
+                code: c.u8()?,
+                retryable: c.u8()? != 0,
+                message: c.string()?,
+            },
+            0x85 => Frame::StatsReply {
+                request_id: c.u64()?,
+                stats: WireStats {
+                    batches: c.u64()?,
+                    queries: c.u64()?,
+                    updates: c.u64()?,
+                    failed: c.u64()?,
+                    queued: c.u64()?,
+                    sessions: c.u64()?,
+                    rejected: c.u64()?,
+                },
+            },
+            0x86 => Frame::GoodbyeOk,
+            other => return Err(malformed(format!("unknown opcode {other:#x}"))),
+        };
+        c.done()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to a stream. Refuses frames whose body exceeds
+/// [`MAX_FRAME_LEN`] — emitting one would silently truncate the `u32` length
+/// prefix and desynchronise the stream for the peer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let bytes = frame.encode();
+    if bytes.len() - 4 > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+                bytes.len() - 4
+            ),
+        ));
+    }
+    w.write_all(&bytes)
+}
+
+/// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(malformed("eof inside length prefix"));
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(Error::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(malformed(format!("bad frame length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Err(malformed("eof inside frame body")),
+            Ok(n) => read += n,
+            Err(e) => return Err(Error::Io(e.to_string())),
+        }
+    }
+    Frame::decode(&body).map(Some)
+}
+
+/// Maps an engine error to its wire representation `(code, retryable)`.
+pub fn error_to_wire(error: &Error) -> (u8, bool) {
+    use error_codes::*;
+    match error {
+        Error::Parse(_) => (PARSE, false),
+        Error::UnknownTable(_) => (UNKNOWN_TABLE, false),
+        Error::UnknownColumn(_) => (UNKNOWN_COLUMN, false),
+        Error::TypeMismatch { .. } => (TYPE_MISMATCH, false),
+        Error::InvalidParameter(_) => (INVALID_PARAMETER, false),
+        Error::UnknownStatement(_) => (UNKNOWN_STATEMENT, false),
+        Error::ConstraintViolation(_) => (CONSTRAINT, false),
+        Error::EngineShutdown => (SHUTDOWN, false),
+        Error::Overloaded(_) => (OVERLOADED, true),
+        Error::DeadlineExceeded => (DEADLINE, false),
+        Error::Internal(_) => (INTERNAL, false),
+        Error::Recovery(_) => (RECOVERY, false),
+        Error::Io(_) => (IO, false),
+        Error::Unsupported(_) => (UNSUPPORTED, false),
+    }
+}
+
+/// Reconstructs an engine error from its wire representation.
+pub fn wire_to_error(code: u8, retryable: bool, message: &str) -> Error {
+    use error_codes::*;
+    let msg = message.to_string();
+    match code {
+        PARSE => Error::Parse(msg),
+        UNKNOWN_TABLE => Error::UnknownTable(msg),
+        UNKNOWN_COLUMN => Error::UnknownColumn(msg),
+        TYPE_MISMATCH => Error::TypeMismatch {
+            expected: "see message".into(),
+            found: msg,
+        },
+        INVALID_PARAMETER => Error::InvalidParameter(msg),
+        UNKNOWN_STATEMENT => Error::UnknownStatement(msg),
+        CONSTRAINT => Error::ConstraintViolation(msg),
+        SHUTDOWN => Error::EngineShutdown,
+        DEADLINE => Error::DeadlineExceeded,
+        RECOVERY => Error::Recovery(msg),
+        IO => Error::Io(msg),
+        UNSUPPORTED => Error::Unsupported(msg),
+        OVERLOADED => Error::Overloaded(msg),
+        _ => {
+            if retryable {
+                Error::Overloaded(msg)
+            } else {
+                Error::Internal(msg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let encoded = frame.encode();
+        let len = u32::from_le_bytes(encoded[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, encoded.len() - 4);
+        let decoded = Frame::decode(&encoded[4..]).unwrap();
+        assert_eq!(decoded, frame);
+        // And through the stream reader.
+        let mut cursor = std::io::Cursor::new(encoded);
+        let read = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(read, frame);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client_name: "test-client".into(),
+        });
+        round_trip(Frame::Query {
+            request_id: 7,
+            sql: "SELECT * FROM ITEM WHERE I_ID = 3".into(),
+        });
+        round_trip(Frame::Prepare {
+            request_id: 8,
+            name: "getBestSellers".into(),
+        });
+        round_trip(Frame::ExecutePrepared {
+            request_id: 9,
+            statement_id: 4,
+            params: vec![
+                Value::Null,
+                Value::Int(-5),
+                Value::Float(2.75),
+                Value::text("BOOKS"),
+                Value::Bool(true),
+                Value::Date(20_000),
+            ],
+        });
+        round_trip(Frame::Stats { request_id: 10 });
+        round_trip(Frame::Goodbye);
+        round_trip(Frame::HelloOk {
+            version: PROTOCOL_VERSION,
+            server_name: "shareddb".into(),
+            statement_count: 28,
+        });
+        round_trip(Frame::Prepared {
+            request_id: 8,
+            statement_id: 4,
+            param_count: 2,
+            is_update: true,
+        });
+        round_trip(Frame::ResultChunk {
+            request_id: 9,
+            flags: chunk_flags::FIRST | chunk_flags::LAST,
+            rows_affected: 0,
+            schema: vec![
+                ("I_ID".into(), DataType::Int),
+                ("I_TITLE".into(), DataType::Text),
+            ],
+            rows: vec![
+                vec![Value::Int(1), Value::text("a book")],
+                vec![Value::Int(2), Value::Null],
+            ],
+        });
+        round_trip(Frame::ResultChunk {
+            request_id: 11,
+            flags: chunk_flags::FIRST | chunk_flags::LAST | chunk_flags::UPDATE,
+            rows_affected: 3,
+            schema: vec![],
+            rows: vec![],
+        });
+        round_trip(Frame::Error {
+            request_id: 12,
+            code: error_codes::OVERLOADED,
+            retryable: true,
+            message: "queue full".into(),
+        });
+        round_trip(Frame::StatsReply {
+            request_id: 13,
+            stats: WireStats {
+                batches: 1,
+                queries: 2,
+                updates: 3,
+                failed: 4,
+                queued: 5,
+                sessions: 6,
+                rejected: 7,
+            },
+        });
+        round_trip(Frame::GoodbyeOk);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let encoded = Frame::Goodbye.encode();
+        let mut cursor = std::io::Cursor::new(encoded[..encoded.len() - 1].to_vec());
+        // Goodbye is 1 body byte; truncating it truncates the body.
+        assert!(read_frame(&mut cursor).is_err());
+        // Garbage length.
+        let mut cursor = std::io::Cursor::new(vec![0xff, 0xff, 0xff, 0xff, 0x06]);
+        assert!(read_frame(&mut cursor).is_err());
+        // Unknown opcode.
+        assert!(Frame::decode(&[0x77]).is_err());
+        // Trailing bytes.
+        assert!(Frame::decode(&[0x06, 0x00]).is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip_to_engine_errors() {
+        let cases = vec![
+            Error::Parse("p".into()),
+            Error::UnknownTable("t".into()),
+            Error::UnknownColumn("c".into()),
+            Error::InvalidParameter("i".into()),
+            Error::UnknownStatement("s".into()),
+            Error::ConstraintViolation("k".into()),
+            Error::EngineShutdown,
+            Error::Overloaded("q".into()),
+            Error::DeadlineExceeded,
+            Error::Recovery("r".into()),
+            Error::Io("o".into()),
+            Error::Unsupported("u".into()),
+        ];
+        for error in cases {
+            let (code, retryable) = error_to_wire(&error);
+            let back = wire_to_error(code, retryable, &format!("{error}"));
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&error)
+            );
+            assert_eq!(back.is_retryable(), error.is_retryable());
+        }
+    }
+}

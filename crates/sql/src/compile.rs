@@ -1,0 +1,912 @@
+//! SQL workload → executable global plan.
+//!
+//! This module completes the two-step compilation of Figure 3: step 1 is the
+//! per-query optimisation of [`crate::logical::LogicalPlan`]; step 2 (here)
+//! *merges* the logical plans of the whole workload into one executable
+//! [`GlobalPlan`] with shared operators, and registers each statement's
+//! activation path against the plan. Sharing follows Section 3.3:
+//!
+//! * one shared **scan** per base table (per occurrence, so self-joins get
+//!   distinct nodes) activated with each statement's pushed-down predicate,
+//! * one shared **hash join** per `(inputs, join columns)` pair — statements
+//!   joining the same tables on the same keys reuse the same operator,
+//! * one shared **filter**, **group-by**, **distinct** and **sort** node per
+//!   distinct configuration.
+//!
+//! The module also provides [`canonicalize`] / [`SqlTemplate`]: token-level
+//! auto-parameterisation that rewrites literals to `?` so that an ad-hoc SQL
+//! string can be matched against the registered statement *types* of the
+//! always-on plan (queries whose type is not part of the compiled plan are
+//! rejected, exactly as in the paper's prepared-workload model).
+
+use crate::ast::{SelectItem, SelectStatement, Statement};
+use crate::logical::LogicalPlan;
+use crate::parser::parse;
+use crate::token::{tokenize, Token};
+use shareddb_common::agg::AggregateFunction;
+use shareddb_common::{Column, DataType, Error, Expr, Result, Schema, SortKey, Value};
+use shareddb_core::plan::{
+    ActivationTemplate, GlobalPlan, OperatorId, PlanBuilder, StatementRegistry, StatementSpec,
+    UpdateTemplate,
+};
+use shareddb_storage::Catalog;
+use std::collections::HashMap;
+
+/// One connected piece of a statement's join graph during compilation.
+struct Cluster {
+    /// Current root operator of the piece.
+    node: OperatorId,
+    /// Alias-qualified schema used to resolve this statement's expressions.
+    res: Schema,
+    /// Base-qualified schema matching the shared node's real output schema
+    /// (used to derive column paths for the plan builder).
+    plan: Schema,
+    /// Table aliases covered by the piece.
+    aliases: Vec<String>,
+    /// Join operators on the path so far (each needs a `Participate`).
+    joins: Vec<OperatorId>,
+}
+
+/// Compiles a workload of named SQL statements into one shared global plan.
+pub struct SqlCompiler<'a> {
+    catalog: &'a Catalog,
+    builder: PlanBuilder<'a>,
+    /// (base table, occurrence within one statement) → shared scan node.
+    scans: HashMap<(String, usize), OperatorId>,
+    /// (build node, probe node, build column, probe column) → shared join.
+    joins: HashMap<(OperatorId, OperatorId, usize, usize), OperatorId>,
+    /// input node → shared residual-filter node.
+    filters: HashMap<OperatorId, OperatorId>,
+    /// (input node, grouping + aggregate shape) → shared group-by node.
+    group_bys: HashMap<(OperatorId, String), OperatorId>,
+    /// (input node, key shape) → shared sort node.
+    sorts: HashMap<(OperatorId, String), OperatorId>,
+    /// input node → shared distinct node.
+    distincts: HashMap<OperatorId, OperatorId>,
+    registry: StatementRegistry,
+}
+
+impl<'a> SqlCompiler<'a> {
+    /// Starts a compilation against `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        SqlCompiler {
+            catalog,
+            builder: PlanBuilder::new(catalog),
+            scans: HashMap::new(),
+            joins: HashMap::new(),
+            filters: HashMap::new(),
+            group_bys: HashMap::new(),
+            sorts: HashMap::new(),
+            distincts: HashMap::new(),
+            registry: StatementRegistry::new(),
+        }
+    }
+
+    /// Parses and adds one named statement to the workload.
+    pub fn add_statement(&mut self, name: &str, sql: &str) -> Result<()> {
+        let statement = parse(sql)?;
+        let spec = match &statement {
+            Statement::Select(select) => self.compile_select(name, select)?,
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.compile_insert(name, table, columns, values)?,
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.compile_update(name, table, assignments, where_clause.as_ref())?,
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.compile_delete(name, table, where_clause.as_ref())?,
+        };
+        self.registry.register(spec)?;
+        Ok(())
+    }
+
+    /// Finishes the compilation, returning the shared plan and the registry.
+    pub fn finish(self) -> (GlobalPlan, StatementRegistry) {
+        (self.builder.build(), self.registry)
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.catalog.table(table)?.read().schema().clone())
+    }
+
+    fn compile_select(&mut self, name: &str, select: &SelectStatement) -> Result<StatementSpec> {
+        let lp = LogicalPlan::from_select(select)?;
+        let mut activations: Vec<(OperatorId, ActivationTemplate)> = Vec::new();
+
+        // Shared scans: one cluster per table alias, reusing one shared scan
+        // node per (base table, occurrence).
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let mut occurrence: HashMap<&str, usize> = HashMap::new();
+        for (alias, base) in &lp.tables {
+            let occ = occurrence.entry(base.as_str()).or_insert(0);
+            let key = (base.clone(), *occ);
+            *occ += 1;
+            let node = match self.scans.get(&key) {
+                Some(&node) => node,
+                None => {
+                    let node = self.builder.table_scan(base)?;
+                    self.scans.insert(key, node);
+                    node
+                }
+            };
+            let base_schema = self.table_schema(base)?;
+            let predicate = lp
+                .table_predicate(alias)
+                .resolve(&base_schema.qualified(alias))?;
+            activations.push((node, ActivationTemplate::Scan { predicate }));
+            clusters.push(Cluster {
+                node,
+                res: base_schema.qualified(alias),
+                plan: base_schema,
+                aliases: vec![alias.clone()],
+                joins: Vec::new(),
+            });
+        }
+
+        // Shared joins: merge clusters along the equi-join edges.
+        for edge in &lp.joins {
+            let li = clusters
+                .iter()
+                .position(|c| c.aliases.iter().any(|a| a == &edge.left_table))
+                .ok_or_else(|| Error::UnknownTable(edge.left_table.clone()))?;
+            let ri = clusters
+                .iter()
+                .position(|c| c.aliases.iter().any(|a| a == &edge.right_table))
+                .ok_or_else(|| Error::UnknownTable(edge.right_table.clone()))?;
+            if li == ri {
+                return Err(Error::Unsupported(format!(
+                    "cyclic join predicate {} is not supported",
+                    edge.share_key()
+                )));
+            }
+            // Canonical build/probe order (smaller node id builds) so that the
+            // same pair of inputs shares one join regardless of alias order.
+            let (bi, pi, b_alias, b_col, p_alias, p_col) = if clusters[li].node <= clusters[ri].node
+            {
+                (
+                    li,
+                    ri,
+                    &edge.left_table,
+                    &edge.left_column,
+                    &edge.right_table,
+                    &edge.right_column,
+                )
+            } else {
+                (
+                    ri,
+                    li,
+                    &edge.right_table,
+                    &edge.right_column,
+                    &edge.left_table,
+                    &edge.left_column,
+                )
+            };
+            let b_idx = clusters[bi].res.resolve(Some(b_alias), b_col)?;
+            let p_idx = clusters[pi].res.resolve(Some(p_alias), p_col)?;
+            let key = (clusters[bi].node, clusters[pi].node, b_idx, p_idx);
+            let join_node = match self.joins.get(&key) {
+                Some(&node) => node,
+                None => {
+                    let b_path = clusters[bi].plan.column(b_idx).qualified_name();
+                    let p_path = clusters[pi].plan.column(p_idx).qualified_name();
+                    let node = self.builder.hash_join(
+                        clusters[bi].node,
+                        clusters[pi].node,
+                        &b_path,
+                        &p_path,
+                    )?;
+                    self.joins.insert(key, node);
+                    node
+                }
+            };
+            // Merge the probe cluster into the build cluster.
+            let probe = clusters.remove(pi);
+            let bi = if pi < bi { bi - 1 } else { bi };
+            let build = &mut clusters[bi];
+            build.res = build.res.join(&probe.res);
+            build.plan = build.plan.join(&probe.plan);
+            build.aliases.extend(probe.aliases);
+            build.joins.extend(probe.joins);
+            build.joins.push(join_node);
+            build.node = join_node;
+        }
+        if clusters.len() != 1 {
+            return Err(Error::Unsupported(
+                "queries must join all FROM tables (cross products are not supported)".into(),
+            ));
+        }
+        let cluster = clusters.pop().expect("one cluster");
+        for join in &cluster.joins {
+            activations.push((*join, ActivationTemplate::Participate));
+        }
+        let mut root = cluster.node;
+        let mut res_schema = cluster.res;
+        let plan_schema = cluster.plan;
+
+        // Residual predicates that could not be pushed down → shared filter.
+        if !lp.residual.is_empty() {
+            let node = match self.filters.get(&root) {
+                Some(&node) => node,
+                None => {
+                    let node = self.builder.filter(root)?;
+                    self.filters.insert(root, node);
+                    node
+                }
+            };
+            let predicate = Expr::conjunction(lp.residual.clone()).resolve(&res_schema)?;
+            activations.push((node, ActivationTemplate::Filter { predicate }));
+            root = node;
+        }
+
+        // Aggregation → shared group-by.
+        let grouped = !lp.group_by.is_empty() || !lp.aggregates.is_empty();
+        let mut group_width = 0;
+        if grouped {
+            let mut group_cols = Vec::new();
+            for expr in &lp.group_by {
+                group_cols.push(resolve_column(expr, &res_schema, "GROUP BY")?);
+            }
+            group_width = group_cols.len();
+            let mut aggs: Vec<(AggregateFunction, usize)> = Vec::new();
+            for (function, argument) in &lp.aggregates {
+                // COUNT(*) parses to a literal argument; any column works.
+                let col = match argument {
+                    Expr::Literal(_) if *function == AggregateFunction::Count => 0,
+                    other => resolve_column(other, &res_schema, "aggregate")?,
+                };
+                aggs.push((*function, col));
+            }
+            let shape = format!("{group_cols:?}/{aggs:?}");
+            let key = (root, shape);
+            let node = match self.group_bys.get(&key) {
+                Some(&node) => node,
+                None => {
+                    let group_paths: Vec<String> = group_cols
+                        .iter()
+                        .map(|&c| plan_schema.column(c).qualified_name())
+                        .collect();
+                    let agg_names: Vec<String> = aggs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (f, c))| {
+                            format!("{f:?}{}_{}", i, plan_schema.column(*c).name)
+                                .to_ascii_uppercase()
+                        })
+                        .collect();
+                    let agg_paths: Vec<String> = aggs
+                        .iter()
+                        .map(|(_, c)| plan_schema.column(*c).qualified_name())
+                        .collect();
+                    let node = self.builder.group_by(
+                        root,
+                        group_paths.iter().map(String::as_str).collect(),
+                        aggs.iter()
+                            .zip(agg_paths.iter().zip(agg_names.iter()))
+                            .map(|((f, _), (path, name))| (*f, path.as_str(), name.as_str()))
+                            .collect(),
+                    )?;
+                    self.group_bys.insert(key, node);
+                    node
+                }
+            };
+            // Mirror the builder's output schema in the alias-qualified
+            // resolution world; everything downstream of the group-by
+            // (HAVING, DISTINCT, ORDER BY, projection) resolves against it.
+            let mut res_cols: Vec<Column> = group_cols
+                .iter()
+                .map(|&c| res_schema.column(c).clone())
+                .collect();
+            for (i, (f, c)) in aggs.iter().enumerate() {
+                let data_type = match f {
+                    AggregateFunction::Count => DataType::Int,
+                    AggregateFunction::Avg => DataType::Float,
+                    _ => plan_schema.column(*c).data_type,
+                };
+                let agg_name =
+                    format!("{f:?}{}_{}", i, plan_schema.column(*c).name).to_ascii_uppercase();
+                res_cols.push(Column::nullable(agg_name, data_type));
+            }
+            res_schema = Schema::new(res_cols);
+            let predicate = match &lp.having {
+                Some(expr) => Some(expr.resolve(&res_schema)?),
+                None => None,
+            };
+            activations.push((node, ActivationTemplate::Having { predicate }));
+            root = node;
+        }
+
+        // DISTINCT → shared duplicate elimination.
+        if lp.distinct {
+            let node = match self.distincts.get(&root) {
+                Some(&node) => node,
+                None => {
+                    let node = self.builder.distinct(root)?;
+                    self.distincts.insert(root, node);
+                    node
+                }
+            };
+            activations.push((node, ActivationTemplate::Participate));
+            root = node;
+        }
+
+        // ORDER BY → shared sort.
+        if !lp.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (expr, descending) in &lp.order_by {
+                let col = resolve_column(expr, &res_schema, "ORDER BY")?;
+                keys.push(if *descending {
+                    SortKey::desc(col)
+                } else {
+                    SortKey::asc(col)
+                });
+            }
+            let key = (root, format!("{keys:?}"));
+            let node = match self.sorts.get(&key) {
+                Some(&node) => node,
+                None => {
+                    let node = self.builder.sort(root, keys)?;
+                    self.sorts.insert(key, node);
+                    node
+                }
+            };
+            activations.push((node, ActivationTemplate::Participate));
+            root = node;
+        }
+
+        // Projection: map the SELECT list onto the root schema.
+        let mut projection: Vec<usize> = Vec::new();
+        let mut wildcard = false;
+        let mut agg_seen = 0usize;
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => wildcard = true,
+                SelectItem::Expr(expr) => {
+                    projection.push(resolve_column(expr, &res_schema, "SELECT list")?);
+                }
+                SelectItem::Aggregate { .. } => {
+                    projection.push(group_width + agg_seen);
+                    agg_seen += 1;
+                }
+            }
+        }
+        if wildcard && select.items.len() > 1 {
+            return Err(Error::Unsupported(
+                "SELECT * cannot be combined with other select items".into(),
+            ));
+        }
+
+        let mut spec = StatementSpec::query(name, root);
+        if !wildcard {
+            spec = spec.project(projection);
+        }
+        if let Some(limit) = lp.limit {
+            spec = spec.limit(limit);
+        }
+        for (op, template) in activations {
+            spec = spec.activate(op, template);
+        }
+        Ok(spec)
+    }
+
+    fn compile_insert(
+        &mut self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        values: &[Expr],
+    ) -> Result<StatementSpec> {
+        let schema = self.table_schema(table)?;
+        let ordered: Vec<Expr> = if columns.is_empty() {
+            if values.len() != schema.len() {
+                return Err(Error::InvalidParameter(format!(
+                    "INSERT into {table} provides {} values for {} columns",
+                    values.len(),
+                    schema.len()
+                )));
+            }
+            values.to_vec()
+        } else {
+            if columns.len() != values.len() {
+                return Err(Error::InvalidParameter(
+                    "INSERT column list and VALUES arity differ".into(),
+                ));
+            }
+            let mut ordered = Vec::with_capacity(schema.len());
+            for column in schema.columns() {
+                let position = columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(&column.name))
+                    .ok_or_else(|| {
+                        Error::InvalidParameter(format!(
+                            "INSERT into {table} misses column {}",
+                            column.name
+                        ))
+                    })?;
+                ordered.push(values[position].clone());
+            }
+            ordered
+        };
+        Ok(StatementSpec::update(
+            name,
+            table,
+            UpdateTemplate::Insert { values: ordered },
+        ))
+    }
+
+    fn compile_update(
+        &mut self,
+        name: &str,
+        table: &str,
+        assignments: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<StatementSpec> {
+        let schema = self.table_schema(table)?;
+        let assignments: Vec<(usize, Expr)> = assignments
+            .iter()
+            .map(|(column, expr)| Ok((schema.resolve(None, column)?, expr.resolve(&schema)?)))
+            .collect::<Result<_>>()?;
+        let predicate = match where_clause {
+            Some(expr) => expr.resolve(&schema)?,
+            None => Expr::lit(true),
+        };
+        Ok(StatementSpec::update(
+            name,
+            table,
+            UpdateTemplate::Update {
+                assignments,
+                predicate,
+            },
+        ))
+    }
+
+    fn compile_delete(
+        &mut self,
+        name: &str,
+        table: &str,
+        where_clause: Option<&Expr>,
+    ) -> Result<StatementSpec> {
+        let schema = self.table_schema(table)?;
+        let predicate = match where_clause {
+            Some(expr) => expr.resolve(&schema)?,
+            None => Expr::lit(true),
+        };
+        Ok(StatementSpec::update(
+            name,
+            table,
+            UpdateTemplate::Delete { predicate },
+        ))
+    }
+}
+
+/// Resolves an expression that must denote a single input column.
+fn resolve_column(expr: &Expr, schema: &Schema, context: &str) -> Result<usize> {
+    match expr.resolve(schema)? {
+        Expr::Column(idx) => Ok(idx),
+        other => Err(Error::Unsupported(format!(
+            "{context} supports plain column references only, found {other:?}"
+        ))),
+    }
+}
+
+/// Compiles a whole workload of `(name, sql)` statements in one go.
+pub fn compile_workload(
+    catalog: &Catalog,
+    statements: &[(&str, &str)],
+) -> Result<(GlobalPlan, StatementRegistry)> {
+    let mut compiler = SqlCompiler::new(catalog);
+    for (name, sql) in statements {
+        compiler.add_statement(name, sql)?;
+    }
+    Ok(compiler.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Token-level auto-parameterisation
+// ---------------------------------------------------------------------------
+
+/// One `?` slot of a canonicalised statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateSlot {
+    /// The slot was a `?` parameter in the original statement text, with the
+    /// given positional parameter index.
+    Param(usize),
+    /// The slot was a fixed literal in the original statement text.
+    Literal(Value),
+}
+
+/// A statement reduced to its *type*: every literal and parameter replaced by
+/// `?`, with a slot map recording what each `?` was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlTemplate {
+    /// The canonical statement text (all literals/parameters are `?`).
+    pub canonical: String,
+    /// What each `?` of `canonical` stood for, in order.
+    pub slots: Vec<TemplateSlot>,
+}
+
+/// Canonicalises a SQL string by replacing every literal and parameter with
+/// `?`. Returns the canonical text and the slot map. Two statements have the
+/// same canonical text iff they are the same query *type* in the sense of the
+/// paper (identical shape, different constants).
+pub fn canonicalize(sql: &str) -> Result<SqlTemplate> {
+    let tokens = tokenize(sql)?;
+    let mut canonical = String::new();
+    let mut slots = Vec::new();
+    let mut params = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let token = &tokens[i];
+        // Fold a unary minus over a number into one signed literal slot, so
+        // `I_ID = -1` matches a registered `I_ID = ?` template. A minus is
+        // unary when nothing operand-like precedes it (start of statement or
+        // after an operator/paren/comma).
+        if matches!(token, Token::Minus) {
+            let prev_is_operand = i
+                .checked_sub(1)
+                .map(|p| {
+                    matches!(
+                        tokens[p],
+                        Token::Ident(_)
+                            | Token::Number(_)
+                            | Token::StringLit(_)
+                            | Token::Param
+                            | Token::RParen
+                    )
+                })
+                .unwrap_or(false);
+            if !prev_is_operand {
+                if let Some(Token::Number(text)) = tokens.get(i + 1) {
+                    let negated = match parse_number(text)? {
+                        Value::Int(v) => Value::Int(-v),
+                        Value::Float(v) => Value::Float(-v),
+                        other => other,
+                    };
+                    slots.push(TemplateSlot::Literal(negated));
+                    if !canonical.is_empty() {
+                        canonical.push(' ');
+                    }
+                    canonical.push('?');
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        let rendered: String = match token {
+            Token::Ident(s) => s.to_ascii_uppercase(),
+            Token::Number(text) => {
+                slots.push(TemplateSlot::Literal(parse_number(text)?));
+                "?".into()
+            }
+            Token::StringLit(text) => {
+                slots.push(TemplateSlot::Literal(Value::text(text.clone())));
+                "?".into()
+            }
+            Token::Param => {
+                slots.push(TemplateSlot::Param(params));
+                params += 1;
+                "?".into()
+            }
+            Token::Comma => ",".into(),
+            Token::Dot => ".".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Star => "*".into(),
+            Token::Eq => "=".into(),
+            Token::NotEq => "<>".into(),
+            Token::Lt => "<".into(),
+            Token::LtEq => "<=".into(),
+            Token::Gt => ">".into(),
+            Token::GtEq => ">=".into(),
+            Token::Plus => "+".into(),
+            Token::Minus => "-".into(),
+            Token::Slash => "/".into(),
+        };
+        // `.` binds tighter than whitespace in qualified names; rendering
+        // without surrounding spaces keeps `T.C` recognisable either way.
+        if matches!(token, Token::Dot) {
+            canonical.pop_if_trailing_space();
+            canonical.push('.');
+        } else {
+            if !canonical.is_empty() {
+                canonical.push(' ');
+            }
+            canonical.push_str(&rendered);
+        }
+        i += 1;
+    }
+    Ok(SqlTemplate { canonical, slots })
+}
+
+trait PopIfTrailingSpace {
+    fn pop_if_trailing_space(&mut self);
+}
+
+impl PopIfTrailingSpace for String {
+    fn pop_if_trailing_space(&mut self) {
+        if self.ends_with(' ') {
+            self.pop();
+        }
+    }
+}
+
+fn parse_number(text: &str) -> Result<Value> {
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::Parse(format!("bad number literal {text}")))
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok(Value::Int(v)),
+            Err(_) => text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::Parse(format!("bad number literal {text}"))),
+        }
+    }
+}
+
+/// Matches an ad-hoc statement's extracted literals against a registered
+/// template, producing the parameter vector for the registered statement.
+///
+/// Fixed-literal slots must agree between the template and the ad-hoc
+/// statement; `?`-slots of the template are filled from the ad-hoc literals.
+pub fn bind_adhoc(template: &SqlTemplate, adhoc: &SqlTemplate) -> Result<Vec<Value>> {
+    if template.slots.len() != adhoc.slots.len() {
+        return Err(Error::UnknownStatement(adhoc.canonical.clone()));
+    }
+    let param_count = template
+        .slots
+        .iter()
+        .filter_map(|s| match s {
+            TemplateSlot::Param(i) => Some(i + 1),
+            TemplateSlot::Literal(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut params = vec![Value::Null; param_count];
+    for (slot, adhoc_slot) in template.slots.iter().zip(&adhoc.slots) {
+        let value = match adhoc_slot {
+            TemplateSlot::Literal(v) => v.clone(),
+            TemplateSlot::Param(_) => {
+                return Err(Error::InvalidParameter(
+                    "ad-hoc statements must carry concrete literals, not ?".into(),
+                ))
+            }
+        };
+        match slot {
+            TemplateSlot::Param(i) => params[*i] = value,
+            TemplateSlot::Literal(expected) => {
+                if *expected != value {
+                    return Err(Error::UnknownStatement(adhoc.canonical.clone()));
+                }
+            }
+        }
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareddb_core::{Engine, EngineConfig};
+    use shareddb_storage::TableDef;
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("USERS")
+                    .column("USER_ID", DataType::Int)
+                    .column("USERNAME", DataType::Text)
+                    .column("COUNTRY", DataType::Text)
+                    .column("ACCOUNT", DataType::Int)
+                    .primary_key(&["USER_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_table(
+                TableDef::new("ORDERS")
+                    .column("ORDER_ID", DataType::Int)
+                    .column("USER_ID", DataType::Int)
+                    .column("STATUS", DataType::Text)
+                    .column("TOTAL", DataType::Float)
+                    .primary_key(&["ORDER_ID"]),
+            )
+            .unwrap();
+        let users = (0..50i64)
+            .map(|i| {
+                shareddb_common::tuple![
+                    i,
+                    format!("user{i}"),
+                    if i % 2 == 0 { "CH" } else { "DE" },
+                    i * 10
+                ]
+            })
+            .collect();
+        let orders = (0..150i64)
+            .map(|i| {
+                shareddb_common::tuple![
+                    i,
+                    i % 50,
+                    if i % 3 == 0 { "OK" } else { "PENDING" },
+                    (i % 40) as f64
+                ]
+            })
+            .collect();
+        catalog.bulk_load("USERS", users).unwrap();
+        catalog.bulk_load("ORDERS", orders).unwrap();
+        Arc::new(catalog)
+    }
+
+    const WORKLOAD: &[(&str, &str)] = &[
+        ("userByName", "SELECT * FROM USERS WHERE USERNAME = ?"),
+        (
+            "ordersOfUser",
+            "SELECT * FROM USERS U, ORDERS O \
+             WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ? AND O.STATUS = 'OK' \
+             ORDER BY O.ORDER_ID",
+        ),
+        (
+            "richOrdersOfUser",
+            "SELECT * FROM USERS U, ORDERS O \
+             WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ? AND O.TOTAL >= ? \
+             ORDER BY O.ORDER_ID",
+        ),
+        (
+            "accountByCountry",
+            "SELECT COUNTRY, SUM(ACCOUNT) FROM USERS GROUP BY COUNTRY",
+        ),
+        ("addOrder", "INSERT INTO ORDERS VALUES (?, ?, 'OK', ?)"),
+        ("cancelOrders", "DELETE FROM ORDERS WHERE USER_ID = ?"),
+        (
+            "repriceOrder",
+            "UPDATE ORDERS SET TOTAL = ? WHERE ORDER_ID = ?",
+        ),
+    ];
+
+    #[test]
+    fn workload_compiles_into_one_shared_plan() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(&catalog, WORKLOAD).unwrap();
+        registry.validate(&plan).unwrap();
+        // Two scans shared by all statements, ONE shared join for both join
+        // statements, one sort, one group-by.
+        let census = plan.operator_census();
+        assert_eq!(census.get("Scan(USERS)"), Some(&1));
+        assert_eq!(census.get("Scan(ORDERS)"), Some(&1));
+        assert_eq!(census.get("HashJoin"), Some(&1), "plan:\n{plan}");
+        assert_eq!(census.get("Sort"), Some(&1));
+        assert_eq!(census.get("GroupBy"), Some(&1));
+        assert_eq!(registry.len(), WORKLOAD.len());
+    }
+
+    #[test]
+    fn compiled_workload_executes_end_to_end() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(&catalog, WORKLOAD).unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+
+        let outcome = engine
+            .execute_sync("userByName", &[Value::text("user7")])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][0], Value::Int(7));
+
+        // user7 owns orders 7, 57, 107; OK only for multiples of 3 → 57.
+        let outcome = engine
+            .execute_sync("ordersOfUser", &[Value::text("user7")])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][4], Value::Int(57));
+
+        let outcome = engine.execute_sync("accountByCountry", &[]).unwrap();
+        assert_eq!(outcome.rows().len(), 2);
+
+        let outcome = engine
+            .execute_sync(
+                "addOrder",
+                &[Value::Int(9_000), Value::Int(7), Value::Float(1.0)],
+            )
+            .unwrap();
+        assert_eq!(outcome.rows_affected(), 1);
+        let outcome = engine
+            .execute_sync("ordersOfUser", &[Value::text("user7")])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 2);
+
+        let outcome = engine
+            .execute_sync("cancelOrders", &[Value::Int(7)])
+            .unwrap();
+        assert!(outcome.rows_affected() >= 1);
+    }
+
+    #[test]
+    fn projection_and_limit_are_applied() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "topAccounts",
+                "SELECT USERNAME, ACCOUNT FROM USERS WHERE ACCOUNT >= ? \
+                 ORDER BY ACCOUNT DESC LIMIT 3",
+            )],
+        )
+        .unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine
+            .execute_sync("topAccounts", &[Value::Int(0)])
+            .unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][1], Value::Int(490));
+        assert_eq!(rows[1][1], Value::Int(480));
+    }
+
+    #[test]
+    fn unknown_tables_and_columns_are_rejected() {
+        let catalog = catalog();
+        let mut compiler = SqlCompiler::new(&catalog);
+        assert!(compiler
+            .add_statement("bad", "SELECT * FROM NO_SUCH_TABLE")
+            .is_err());
+        assert!(compiler
+            .add_statement("bad2", "SELECT * FROM USERS WHERE NO_COLUMN = 1")
+            .is_err());
+        assert!(compiler
+            .add_statement("bad3", "INSERT INTO USERS VALUES (1)")
+            .is_err());
+    }
+
+    #[test]
+    fn canonicalization_extracts_literals() {
+        let template =
+            canonicalize("SELECT * FROM USERS WHERE USERNAME = ? AND COUNTRY = 'CH'").unwrap();
+        let adhoc =
+            canonicalize("select * from users where username = 'bob' and country = 'CH'").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        let params = bind_adhoc(&template, &adhoc).unwrap();
+        assert_eq!(params, vec![Value::text("bob")]);
+    }
+
+    #[test]
+    fn adhoc_literal_mismatch_is_a_different_type() {
+        let template =
+            canonicalize("SELECT * FROM USERS WHERE USERNAME = ? AND COUNTRY = 'CH'").unwrap();
+        let adhoc =
+            canonicalize("SELECT * FROM USERS WHERE USERNAME = 'bob' AND COUNTRY = 'DE'").unwrap();
+        assert!(bind_adhoc(&template, &adhoc).is_err());
+    }
+
+    #[test]
+    fn negative_literals_match_parameter_templates() {
+        let template = canonicalize("SELECT * FROM ITEM WHERE I_ID = ?").unwrap();
+        let adhoc = canonicalize("SELECT * FROM ITEM WHERE I_ID = -1").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        assert_eq!(bind_adhoc(&template, &adhoc).unwrap(), vec![Value::Int(-1)]);
+        let adhoc = canonicalize("SELECT * FROM ITEM WHERE I_ID = -2.5").unwrap();
+        assert_eq!(adhoc.slots, vec![TemplateSlot::Literal(Value::Float(-2.5))]);
+        // Binary subtraction is NOT folded: `A - 1` keeps its minus.
+        let t = canonicalize("SELECT * FROM T WHERE A - 1 = ?").unwrap();
+        assert!(t.canonical.contains("A - ?"), "{}", t.canonical);
+    }
+
+    #[test]
+    fn canonical_numbers_parse_to_values() {
+        let t = canonicalize("SELECT * FROM ORDERS WHERE TOTAL >= 1.5 AND ORDER_ID = 3").unwrap();
+        assert_eq!(
+            t.slots,
+            vec![
+                TemplateSlot::Literal(Value::Float(1.5)),
+                TemplateSlot::Literal(Value::Int(3)),
+            ]
+        );
+    }
+}

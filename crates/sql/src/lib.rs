@@ -12,15 +12,22 @@
 //! * [`ast`] — the abstract syntax tree.
 //! * [`parser`] — the recursive-descent parser.
 //! * [`logical`] — per-query logical plans with predicate push-down.
-//! * [`merge`] — merging per-query plans into a global shared plan.
+//! * [`merge`] — merging per-query plans into a global shared plan (sketch).
+//! * [`compile`] — compiling a whole SQL workload into an *executable*
+//!   [`shareddb_core::GlobalPlan`] + [`shareddb_core::StatementRegistry`],
+//!   plus token-level auto-parameterisation for ad-hoc statements.
 
 pub mod ast;
+pub mod compile;
 pub mod logical;
 pub mod merge;
 pub mod parser;
 pub mod token;
 
-pub use ast::{Statement, SelectStatement};
+pub use ast::{SelectStatement, Statement};
+pub use compile::{
+    bind_adhoc, canonicalize, compile_workload, SqlCompiler, SqlTemplate, TemplateSlot,
+};
 pub use logical::{LogicalPlan, QueryPlanSummary};
 pub use merge::{GlobalPlanSketch, SharedJoinGroup};
 pub use parser::parse;

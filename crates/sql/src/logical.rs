@@ -263,9 +263,7 @@ mod tests {
 
     #[test]
     fn pushdown_on_figure3_query() {
-        let plan = plan_of(
-            "SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.PRICE < ?",
-        );
+        let plan = plan_of("SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.PRICE < ?");
         assert_eq!(plan.joins.len(), 1);
         assert_eq!(plan.joins[0].share_key(), "R.ID=S.ID");
         assert_eq!(plan.table_predicates["R"].len(), 1);
@@ -296,7 +294,9 @@ mod tests {
 
     #[test]
     fn single_table_unqualified_predicates_push_down() {
-        let plan = plan_of("SELECT * FROM ITEM WHERE I_SUBJECT = ? AND I_COST < 10 ORDER BY I_TITLE LIMIT 50");
+        let plan = plan_of(
+            "SELECT * FROM ITEM WHERE I_SUBJECT = ? AND I_COST < 10 ORDER BY I_TITLE LIMIT 50",
+        );
         assert_eq!(plan.table_predicates["ITEM"].len(), 2);
         assert!(plan.summary().has_order_by);
         assert!(plan.summary().has_limit);

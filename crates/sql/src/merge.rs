@@ -64,11 +64,13 @@ impl GlobalPlanSketch {
 
         for (name, plan) in workload {
             for (alias, table) in &plan.tables {
-                let entry = scans.entry(table.clone()).or_insert_with(|| SharedScanGroup {
-                    table: table.clone(),
-                    queries: Vec::new(),
-                    selective_queries: 0,
-                });
+                let entry = scans
+                    .entry(table.clone())
+                    .or_insert_with(|| SharedScanGroup {
+                        table: table.clone(),
+                        queries: Vec::new(),
+                        selective_queries: 0,
+                    });
                 if !entry.queries.contains(name) {
                     entry.queries.push(name.clone());
                 }
@@ -84,8 +86,16 @@ impl GlobalPlanSketch {
             for edge in &plan.joins {
                 // The share key uses *base table* names so that aliases do not
                 // prevent sharing.
-                let left_base = plan.tables.get(&edge.left_table).cloned().unwrap_or_else(|| edge.left_table.clone());
-                let right_base = plan.tables.get(&edge.right_table).cloned().unwrap_or_else(|| edge.right_table.clone());
+                let left_base = plan
+                    .tables
+                    .get(&edge.left_table)
+                    .cloned()
+                    .unwrap_or_else(|| edge.left_table.clone());
+                let right_base = plan
+                    .tables
+                    .get(&edge.right_table)
+                    .cloned()
+                    .unwrap_or_else(|| edge.right_table.clone());
                 let (a, b) = if left_base <= right_base {
                     (
                         format!("{left_base}.{}", edge.left_column),
@@ -224,15 +234,24 @@ mod tests {
             .iter()
             .find(|j| j.key.contains("USERS.USER_ID"))
             .unwrap();
-        assert_eq!(users_orders.queries, vec!["Q2".to_string(), "Q3".to_string()]);
+        assert_eq!(
+            users_orders.queries,
+            vec!["Q2".to_string(), "Q3".to_string()]
+        );
         let orders_items = sketch
             .joins
             .iter()
             .find(|j| j.key.contains("ITEMS.ITEM_ID"))
             .unwrap();
-        assert_eq!(orders_items.queries, vec!["Q3".to_string(), "Q4".to_string()]);
+        assert_eq!(
+            orders_items.queries,
+            vec!["Q3".to_string(), "Q4".to_string()]
+        );
         // Q4 and Q5 sort; Q1 groups.
-        assert_eq!(sketch.sorting_queries, vec!["Q4".to_string(), "Q5".to_string()]);
+        assert_eq!(
+            sketch.sorting_queries,
+            vec!["Q4".to_string(), "Q5".to_string()]
+        );
         assert_eq!(sketch.grouping_queries, vec!["Q1".to_string()]);
         // A query-at-a-time system would run 4 joins; the global plan runs 2.
         assert_eq!(sketch.joins_saved(), 2);
@@ -248,9 +267,18 @@ mod tests {
     fn figure3_same_join_different_predicates_share() {
         // The three queries of Figure 3: same R⨝S join, different predicates.
         let sketch = GlobalPlanSketch::merge(&workload(&[
-            ("Q1", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.DATE = ?"),
-            ("Q2", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.NAME = ? AND S.PRICE < ?"),
-            ("Q3", "SELECT * FROM R, S WHERE R.ID = S.ID AND R.ADDR = ? AND S.DATE > ?"),
+            (
+                "Q1",
+                "SELECT * FROM R, S WHERE R.ID = S.ID AND R.CITY = ? AND S.DATE = ?",
+            ),
+            (
+                "Q2",
+                "SELECT * FROM R, S WHERE R.ID = S.ID AND R.NAME = ? AND S.PRICE < ?",
+            ),
+            (
+                "Q3",
+                "SELECT * FROM R, S WHERE R.ID = S.ID AND R.ADDR = ? AND S.DATE > ?",
+            ),
         ]));
         assert_eq!(sketch.joins.len(), 1);
         assert_eq!(sketch.joins[0].queries.len(), 3);
@@ -275,8 +303,14 @@ mod tests {
     #[test]
     fn aliases_do_not_prevent_sharing() {
         let sketch = GlobalPlanSketch::merge(&workload(&[
-            ("A", "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID"),
-            ("B", "SELECT * FROM USERS X, ORDERS Y WHERE Y.USER_ID = X.USER_ID"),
+            (
+                "A",
+                "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = O.USER_ID",
+            ),
+            (
+                "B",
+                "SELECT * FROM USERS X, ORDERS Y WHERE Y.USER_ID = X.USER_ID",
+            ),
         ]));
         assert_eq!(sketch.joins.len(), 1);
         assert_eq!(sketch.joins[0].queries.len(), 2);

@@ -51,7 +51,9 @@ impl Parser {
     fn expect(&mut self, expected: &Token) -> Result<()> {
         match self.next() {
             Some(t) if t == *expected => Ok(()),
-            other => Err(Error::Parse(format!("expected {expected:?}, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected {expected:?}, found {other:?}"
+            ))),
         }
     }
 
@@ -78,7 +80,9 @@ impl Parser {
     fn identifier(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.to_ascii_uppercase()),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -116,11 +120,7 @@ impl Parser {
         loop {
             let name = self.identifier()?;
             let alias = match self.peek() {
-                Some(Token::Ident(s))
-                    if !is_clause_keyword(s) =>
-                {
-                    Some(self.identifier()?)
-                }
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.identifier()?),
                 _ => None,
             };
             stmt.from.push(TableRef { name, alias });
@@ -165,11 +165,16 @@ impl Parser {
         if self.eat_keyword("LIMIT") {
             match self.next() {
                 Some(Token::Number(n)) => {
-                    stmt.limit = Some(n.parse().map_err(|_| {
-                        Error::Parse(format!("invalid LIMIT value {n}"))
-                    })?)
+                    stmt.limit = Some(
+                        n.parse()
+                            .map_err(|_| Error::Parse(format!("invalid LIMIT value {n}")))?,
+                    )
                 }
-                other => return Err(Error::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         }
         Ok(stmt)
@@ -520,7 +525,9 @@ mod tests {
              WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ? AND O.STATUS = 'OK'",
         )
         .unwrap();
-        let Statement::Select(s) = stmt.clone() else { panic!() };
+        let Statement::Select(s) = stmt.clone() else {
+            panic!()
+        };
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].alias.as_deref(), Some("U"));
         assert_eq!(stmt.parameter_count(), 1);
@@ -571,16 +578,22 @@ mod tests {
 
     #[test]
     fn parse_insert_update_delete() {
-        let insert = parse("INSERT INTO ORDERS (O_ID, O_C_ID, O_TOTAL) VALUES (?, ?, 12.5)").unwrap();
+        let insert =
+            parse("INSERT INTO ORDERS (O_ID, O_C_ID, O_TOTAL) VALUES (?, ?, 12.5)").unwrap();
         match insert {
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 assert_eq!(table, "ORDERS");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(values.len(), 3);
             }
             other => panic!("unexpected {other:?}"),
         }
-        let update = parse("UPDATE ITEM SET I_COST = ?, I_STOCK = I_STOCK - 1 WHERE I_ID = ?").unwrap();
+        let update =
+            parse("UPDATE ITEM SET I_COST = ?, I_STOCK = I_STOCK - 1 WHERE I_ID = ?").unwrap();
         match &update {
             Statement::Update { assignments, .. } => assert_eq!(assignments.len(), 2),
             other => panic!("unexpected {other:?}"),
@@ -604,7 +617,7 @@ mod tests {
         assert!(parse("SELEC * FROM T").is_err());
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM T WHERE").is_err());
-        assert!(parse("INSERT INTO T VALUES (1") .is_err());
+        assert!(parse("INSERT INTO T VALUES (1").is_err());
         assert!(parse("SELECT * FROM T LIMIT abc").is_err());
         assert!(parse("SELECT * FROM T extra garbage ,").is_err());
     }

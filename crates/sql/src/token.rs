@@ -161,9 +161,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 tokens.push(Token::Number(sql[start..i].to_string()));

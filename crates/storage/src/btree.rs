@@ -361,7 +361,11 @@ impl Node {
                     }
                 }
                 for (i, child) in node.children.iter().enumerate() {
-                    let lo = if i == 0 { lower } else { Some(&node.keys[i - 1]) };
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        Some(&node.keys[i - 1])
+                    };
                     let hi = if i == node.keys.len() {
                         upper
                     } else {
@@ -495,7 +499,10 @@ mod tests {
         for i in 0..1000i64 {
             idx.insert(Value::Int(i), row(i as u64));
         }
-        let rows = idx.range_rows(Bound::Included(&Value::Int(10)), Bound::Excluded(&Value::Int(15)));
+        let rows = idx.range_rows(
+            Bound::Included(&Value::Int(10)),
+            Bound::Excluded(&Value::Int(15)),
+        );
         assert_eq!(rows, vec![row(10), row(11), row(12), row(13), row(14)]);
         let rows = idx.range_rows(Bound::Excluded(&Value::Int(995)), Bound::Unbounded);
         assert_eq!(rows, vec![row(996), row(997), row(998), row(999)]);
@@ -510,7 +517,10 @@ mod tests {
     #[test]
     fn range_on_text_keys() {
         let mut idx = BTreeIndex::new();
-        for (i, name) in ["ADAMS", "BAKER", "CLARK", "DAVIS", "EVANS"].iter().enumerate() {
+        for (i, name) in ["ADAMS", "BAKER", "CLARK", "DAVIS", "EVANS"]
+            .iter()
+            .enumerate()
+        {
             idx.insert(Value::text(*name), row(i as u64));
         }
         let rows = idx.range_rows(

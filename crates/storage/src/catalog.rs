@@ -288,7 +288,9 @@ mod tests {
         catalog
             .bulk_load(
                 "ITEM",
-                (0..50i64).map(|i| tuple![i, format!("t{i}"), i as f64]).collect(),
+                (0..50i64)
+                    .map(|i| tuple![i, format!("t{i}"), i as f64])
+                    .collect(),
             )
             .unwrap();
         catalog
@@ -352,7 +354,9 @@ mod tests {
         catalog
             .bulk_load(
                 "ITEM",
-                (0..20i64).map(|i| tuple![i, format!("t{i}"), i as f64]).collect(),
+                (0..20i64)
+                    .map(|i| tuple![i, format!("t{i}"), i as f64])
+                    .collect(),
             )
             .unwrap();
         // Delete some rows so the checkpoint reflects the live state only.

@@ -13,10 +13,10 @@
 //! locality benefits of batched information filters (Fischer & Kossmann,
 //! ICDE 2005 — reference [12] of the paper).
 
+use crate::clockscan::apply_update;
 use crate::mvcc::TimestampOracle;
 use crate::table::Table;
 use crate::update::{UpdateOp, UpdateResult};
-use crate::clockscan::apply_update;
 use parking_lot::{Mutex, RwLock};
 use shareddb_common::{Expr, QTuple, QueryId, QuerySet, Result, Schema, Value};
 use std::collections::VecDeque;
@@ -318,8 +318,12 @@ mod tests {
     fn range_probe_and_residual() {
         let (_, _, probe) = setup();
         probe.enqueue_query(
-            ProbeQuery::range(QueryId(1), 2, ProbeRange::between(Value::Int(18), Value::Int(19)))
-                .with_residual(Expr::col(0).lt(Expr::lit(100i64))),
+            ProbeQuery::range(
+                QueryId(1),
+                2,
+                ProbeRange::between(Value::Int(18), Value::Int(19)),
+            )
+            .with_residual(Expr::col(0).lt(Expr::lit(100i64))),
         );
         let res = probe.run_cycle().unwrap();
         // QTY in {18, 19} occurs for 20 rows; residual keeps ids < 100 → 10.

@@ -74,10 +74,10 @@ impl PredicateIndex {
                             eq = Some((col, lit.clone()));
                             break;
                         }
-                        BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
-                            if range.is_none() {
-                                range = Some((col, op, lit.clone()));
-                            }
+                        BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+                            if range.is_none() =>
+                        {
+                            range = Some((col, op, lit.clone()));
                         }
                         _ => {}
                     }
@@ -213,7 +213,10 @@ mod tests {
             .matching_queries(&tuple![9i64, "X"])
             .unwrap()
             .contains(QueryId(1)));
-        assert!(index.matching_queries(&tuple![3i64, "X"]).unwrap().is_empty());
+        assert!(index
+            .matching_queries(&tuple![3i64, "X"])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -236,7 +239,9 @@ mod tests {
             q(2, Expr::col(1).like(Expr::lit("%XYZ%"))),
         ]);
         assert_eq!(index.residual_count(), 2);
-        let m = index.matching_queries(&tuple![1i64, "SharedDB paper"]).unwrap();
+        let m = index
+            .matching_queries(&tuple![1i64, "SharedDB paper"])
+            .unwrap();
         assert_eq!(m, [1u32].into_iter().collect());
     }
 
@@ -244,10 +249,15 @@ mod tests {
     fn disjunction_is_residual_but_correct() {
         let index = PredicateIndex::build(vec![q(
             5,
-            Expr::col(0).eq(Expr::lit(1i64)).or(Expr::col(0).eq(Expr::lit(2i64))),
+            Expr::col(0)
+                .eq(Expr::lit(1i64))
+                .or(Expr::col(0).eq(Expr::lit(2i64))),
         )]);
         assert_eq!(index.residual_count(), 1);
-        assert!(index.matching_queries(&tuple![2i64]).unwrap().contains(QueryId(5)));
+        assert!(index
+            .matching_queries(&tuple![2i64])
+            .unwrap()
+            .contains(QueryId(5)));
         assert!(index.matching_queries(&tuple![3i64]).unwrap().is_empty());
     }
 

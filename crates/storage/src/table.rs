@@ -221,9 +221,7 @@ impl Table {
         self.rows[row_id.idx()].end = ts;
         let new_id = RowId(self.rows.len() as u64);
         for index in &mut self.indexes {
-            index
-                .tree
-                .insert(new_values[index.column].clone(), new_id);
+            index.tree.insert(new_values[index.column].clone(), new_id);
         }
         if !self.primary_key.is_empty() {
             self.pk_index.insert(new_key, new_id);
@@ -377,8 +375,10 @@ mod tests {
     #[test]
     fn insert_and_snapshot_scan() {
         let mut t = items_table();
-        t.insert(tuple![1i64, "Book A", 10.0f64], Timestamp(1)).unwrap();
-        t.insert(tuple![2i64, "Book B", 20.0f64], Timestamp(2)).unwrap();
+        t.insert(tuple![1i64, "Book A", 10.0f64], Timestamp(1))
+            .unwrap();
+        t.insert(tuple![2i64, "Book B", 20.0f64], Timestamp(2))
+            .unwrap();
         // A snapshot at ts=1 sees only the first row.
         assert_eq!(t.scan(Snapshot::at(Timestamp(1))).count(), 1);
         assert_eq!(t.scan(Snapshot::at(Timestamp(2))).count(), 2);
@@ -389,7 +389,9 @@ mod tests {
     fn primary_key_uniqueness() {
         let mut t = items_table();
         t.insert(tuple![1i64, "A", 1.0f64], Timestamp(1)).unwrap();
-        let err = t.insert(tuple![1i64, "B", 2.0f64], Timestamp(2)).unwrap_err();
+        let err = t
+            .insert(tuple![1i64, "B", 2.0f64], Timestamp(2))
+            .unwrap_err();
         assert!(matches!(err, Error::ConstraintViolation(_)));
     }
 
@@ -397,7 +399,9 @@ mod tests {
     fn update_creates_new_version_old_snapshot_unaffected() {
         let mut t = items_table();
         let r1 = t.insert(tuple![1i64, "A", 1.0f64], Timestamp(1)).unwrap();
-        let r2 = t.update_row(r1, tuple![1i64, "A", 9.0f64], Timestamp(5)).unwrap();
+        let r2 = t
+            .update_row(r1, tuple![1i64, "A", 9.0f64], Timestamp(5))
+            .unwrap();
         assert_ne!(r1, r2);
         // Old snapshot still reads the old price.
         let old = t.read(r1, Snapshot::at(Timestamp(3))).unwrap();
@@ -409,7 +413,9 @@ mod tests {
         assert_eq!(visible.len(), 1);
         assert_eq!(visible[0].1[2], Value::Float(9.0));
         // Updating a superseded version is a bug.
-        assert!(t.update_row(r1, tuple![1i64, "A", 2.0f64], Timestamp(6)).is_err());
+        assert!(t
+            .update_row(r1, tuple![1i64, "A", 2.0f64], Timestamp(6))
+            .is_err());
     }
 
     #[test]
@@ -427,7 +433,8 @@ mod tests {
     fn pk_lookup_follows_versions() {
         let mut t = items_table();
         let r1 = t.insert(tuple![7i64, "A", 1.0f64], Timestamp(1)).unwrap();
-        t.update_row(r1, tuple![7i64, "A", 2.0f64], Timestamp(3)).unwrap();
+        t.update_row(r1, tuple![7i64, "A", 2.0f64], Timestamp(3))
+            .unwrap();
         let (rid, row) = t
             .lookup_pk(&[Value::Int(7)], Snapshot::at(Timestamp(3)))
             .unwrap();
@@ -435,9 +442,13 @@ mod tests {
         assert!(rid != r1);
         // At an old snapshot the *latest* version is invisible; the lookup
         // reports nothing (index probes fall back to scans for time travel).
-        assert!(t.lookup_pk(&[Value::Int(7)], Snapshot::at(Timestamp(2))).is_none());
+        assert!(t
+            .lookup_pk(&[Value::Int(7)], Snapshot::at(Timestamp(2)))
+            .is_none());
         assert!(t.lookup_pk_live(&[Value::Int(7)]).is_some());
-        assert!(t.lookup_pk(&[Value::Int(99)], Snapshot::at(Timestamp(9))).is_none());
+        assert!(t
+            .lookup_pk(&[Value::Int(99)], Snapshot::at(Timestamp(9)))
+            .is_none());
     }
 
     #[test]
@@ -445,8 +456,11 @@ mod tests {
         let mut t = items_table();
         t.create_index("ITEM_PRICE", 2).unwrap();
         for i in 0..100i64 {
-            t.insert(tuple![i, format!("Book {i}"), (i % 10) as f64], Timestamp(1))
-                .unwrap();
+            t.insert(
+                tuple![i, format!("Book {i}"), (i % 10) as f64],
+                Timestamp(1),
+            )
+            .unwrap();
         }
         let snap = Snapshot::at(Timestamp(1));
         let hits = t.index_lookup(2, &Value::Float(3.0), snap);
@@ -469,7 +483,8 @@ mod tests {
         let mut t = items_table();
         t.create_index("ITEM_PRICE", 2).unwrap();
         let r = t.insert(tuple![1i64, "A", 5.0f64], Timestamp(1)).unwrap();
-        t.update_row(r, tuple![1i64, "A", 6.0f64], Timestamp(5)).unwrap();
+        t.update_row(r, tuple![1i64, "A", 6.0f64], Timestamp(5))
+            .unwrap();
         // At ts=2, only the old version (price 5.0) is visible.
         let snap = Snapshot::at(Timestamp(2));
         assert_eq!(t.index_lookup(2, &Value::Float(5.0), snap).len(), 1);

@@ -205,7 +205,7 @@ pub fn committed_ops(records: &[LogRecord]) -> Vec<(Timestamp, Vec<(String, Upda
 
 fn encode_value(v: &Value, out: &mut String) {
     match v {
-        Value::Null => out.push_str("N"),
+        Value::Null => out.push('N'),
         Value::Int(i) => {
             let _ = write!(out, "I{i}");
         }
@@ -233,9 +233,7 @@ fn decode_value(s: &str) -> Result<(Value, &str)> {
     match tag {
         'N' => Ok((Value::Null, rest)),
         'I' | 'D' | 'B' | 'F' => {
-            let end = rest
-                .find(|c: char| c == ',' || c == ')' )
-                .unwrap_or(rest.len());
+            let end = rest.find([',', ')']).unwrap_or(rest.len());
             let (num, remainder) = rest.split_at(end);
             let v = match tag {
                 'I' => Value::Int(num.parse().map_err(|_| bad())?),
@@ -373,8 +371,18 @@ mod tests {
         wal.log_batch(
             Timestamp(3),
             &[
-                ("ITEM".into(), UpdateOp::Insert { values: tuple![1i64, "x"] }),
-                ("ITEM".into(), UpdateOp::Insert { values: tuple![2i64, "y"] }),
+                (
+                    "ITEM".into(),
+                    UpdateOp::Insert {
+                        values: tuple![1i64, "x"],
+                    },
+                ),
+                (
+                    "ITEM".into(),
+                    UpdateOp::Insert {
+                        values: tuple![2i64, "y"],
+                    },
+                ),
             ],
         )
         .unwrap();
@@ -450,7 +458,9 @@ mod tests {
             sink.append(&LogRecord::BeginBatch(Timestamp(1))).unwrap();
             sink.append(&LogRecord::Apply {
                 table: "T".into(),
-                op: UpdateOp::Insert { values: tuple![5i64, "row"] },
+                op: UpdateOp::Insert {
+                    values: tuple![5i64, "row"],
+                },
             })
             .unwrap();
             sink.append(&LogRecord::CommitBatch(Timestamp(1))).unwrap();
@@ -468,13 +478,17 @@ mod tests {
             LogRecord::BeginBatch(Timestamp(1)),
             LogRecord::Apply {
                 table: "T".into(),
-                op: UpdateOp::Insert { values: tuple![1i64] },
+                op: UpdateOp::Insert {
+                    values: tuple![1i64],
+                },
             },
             LogRecord::CommitBatch(Timestamp(1)),
             LogRecord::BeginBatch(Timestamp(2)),
             LogRecord::Apply {
                 table: "T".into(),
-                op: UpdateOp::Insert { values: tuple![2i64] },
+                op: UpdateOp::Insert {
+                    values: tuple![2i64],
+                },
             },
             // no commit for batch 2 (crash)
         ];

@@ -224,7 +224,7 @@ pub fn run_workload(
                             ok = false;
                             break;
                         }
-                        match db.execute(&call.statement, &call.params, remaining) {
+                        match db.execute(call.statement, &call.params, remaining) {
                             Ok(_) => {}
                             Err(shareddb_common::Error::DeadlineExceeded) => {
                                 ok = false;
@@ -263,11 +263,12 @@ pub fn run_workload(
         successful: successful_count,
         timed_out: timed_out.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
-        mean_latency: if successful_count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(latency_nanos.load(Ordering::Relaxed) / successful_count)
-        },
+        mean_latency: Duration::from_nanos(
+            latency_nanos
+                .load(Ordering::Relaxed)
+                .checked_div(successful_count)
+                .unwrap_or(0),
+        ),
     }
 }
 
@@ -312,7 +313,7 @@ pub fn run_single_interaction(
                             ok = false;
                             break;
                         }
-                        match db.execute(&call.statement, &call.params, remaining) {
+                        match db.execute(call.statement, &call.params, remaining) {
                             Ok(_) => {}
                             Err(shareddb_common::Error::DeadlineExceeded) => {
                                 ok = false;
@@ -351,11 +352,12 @@ pub fn run_single_interaction(
         successful: successful_count,
         timed_out: timed_out.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
-        mean_latency: if successful_count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(latency_nanos.load(Ordering::Relaxed) / successful_count)
-        },
+        mean_latency: Duration::from_nanos(
+            latency_nanos
+                .load(Ordering::Relaxed)
+                .checked_div(successful_count)
+                .unwrap_or(0),
+        ),
     }
 }
 

@@ -12,9 +12,12 @@
 //!   Ordering mixes, and parameter generation.
 //! * [`driver`] — emulated-browser workload driver measuring WIPS under
 //!   response-time limits, with adapters for SharedDB and the baselines.
+//! * [`remote`] — a driver adapter running the workload over the
+//!   `shareddb-server` wire protocol instead of in-process.
 
 pub mod driver;
 pub mod plans;
+pub mod remote;
 pub mod schema;
 pub mod workload;
 
@@ -23,5 +26,6 @@ pub use driver::{
     SharedDbSystem, TpcwDatabase,
 };
 pub use plans::{build_shared_plan, register_baseline_statements, statement_names, PAGE_SIZE};
+pub use remote::RemoteSystem;
 pub use schema::{build_catalog, create_schema, load_data, TpcwScale, SUBJECTS};
 pub use workload::{Mix, ParamGenerator, StatementCall, WebInteraction, ALL_INTERACTIONS};

@@ -53,12 +53,8 @@ pub fn build_shared_plan(catalog: &Catalog) -> Result<(GlobalPlan, StatementRegi
     )?;
 
     // Best sellers pipeline: ITEM scan ⨝ ORDER_LINE scan -> Γ -> Top-N.
-    let bestseller_join = b.hash_join(
-        item_scan,
-        orderline_scan,
-        "ITEM.I_ID",
-        "ORDER_LINE.OL_I_ID",
-    )?;
+    let bestseller_join =
+        b.hash_join(item_scan, orderline_scan, "ITEM.I_ID", "ORDER_LINE.OL_I_ID")?;
     let bestseller_group = b.group_by(
         bestseller_join,
         vec!["ITEM.I_ID", "ITEM.I_TITLE"],
@@ -105,16 +101,14 @@ pub fn build_shared_plan(catalog: &Catalog) -> Result<(GlobalPlan, StatementRegi
             },
         ),
     )?;
-    registry.register(
-        StatementSpec::query("getItemById", item_probe).activate(
-            item_probe,
-            ActivationTemplate::Probe {
-                column: 0,
-                range: ProbeTemplate::Key(Expr::param(0)),
-                residual: None,
-            },
-        ),
-    )?;
+    registry.register(StatementSpec::query("getItemById", item_probe).activate(
+        item_probe,
+        ActivationTemplate::Probe {
+            column: 0,
+            range: ProbeTemplate::Key(Expr::param(0)),
+            residual: None,
+        },
+    ))?;
     registry.register(
         StatementSpec::query("getBook", detail_nl)
             .activate(
@@ -191,8 +185,14 @@ pub fn build_shared_plan(catalog: &Catalog) -> Result<(GlobalPlan, StatementRegi
                 },
             )
             .activate(bestseller_join, ActivationTemplate::Participate)
-            .activate(bestseller_group, ActivationTemplate::Having { predicate: None })
-            .activate(bestseller_topn, ActivationTemplate::TopN { limit: PAGE_SIZE }),
+            .activate(
+                bestseller_group,
+                ActivationTemplate::Having { predicate: None },
+            )
+            .activate(
+                bestseller_topn,
+                ActivationTemplate::TopN { limit: PAGE_SIZE },
+            ),
     )?;
 
     // Shopping cart and orders.
@@ -233,7 +233,12 @@ pub fn build_shared_plan(catalog: &Catalog) -> Result<(GlobalPlan, StatementRegi
         "addToCart",
         "SHOPPING_CART_LINE",
         UpdateTemplate::Insert {
-            values: vec![Expr::param(0), Expr::param(1), Expr::param(2), Expr::param(3)],
+            values: vec![
+                Expr::param(0),
+                Expr::param(1),
+                Expr::param(2),
+                Expr::param(3),
+            ],
         },
     ))?;
     registry.register(StatementSpec::update(
@@ -270,14 +275,24 @@ pub fn build_shared_plan(catalog: &Catalog) -> Result<(GlobalPlan, StatementRegi
         "addOrderLine",
         "ORDER_LINE",
         UpdateTemplate::Insert {
-            values: vec![Expr::param(0), Expr::param(1), Expr::param(2), Expr::param(3)],
+            values: vec![
+                Expr::param(0),
+                Expr::param(1),
+                Expr::param(2),
+                Expr::param(3),
+            ],
         },
     ))?;
     registry.register(StatementSpec::update(
         "addCCXact",
         "CC_XACTS",
         UpdateTemplate::Insert {
-            values: vec![Expr::param(0), Expr::lit("VISA"), Expr::param(1), Expr::param(2)],
+            values: vec![
+                Expr::param(0),
+                Expr::lit("VISA"),
+                Expr::param(1),
+                Expr::param(2),
+            ],
         },
     ))?;
     registry.register(StatementSpec::update(
@@ -500,7 +515,12 @@ pub fn register_baseline_statements(engine: &ClassicEngine) {
         "addToCart",
         BaselineStatement::Insert {
             table: "SHOPPING_CART_LINE".into(),
-            values: vec![Expr::param(0), Expr::param(1), Expr::param(2), Expr::param(3)],
+            values: vec![
+                Expr::param(0),
+                Expr::param(1),
+                Expr::param(2),
+                Expr::param(3),
+            ],
         },
     );
     engine.register(
@@ -541,14 +561,24 @@ pub fn register_baseline_statements(engine: &ClassicEngine) {
         "addOrderLine",
         BaselineStatement::Insert {
             table: "ORDER_LINE".into(),
-            values: vec![Expr::param(0), Expr::param(1), Expr::param(2), Expr::param(3)],
+            values: vec![
+                Expr::param(0),
+                Expr::param(1),
+                Expr::param(2),
+                Expr::param(3),
+            ],
         },
     );
     engine.register(
         "addCCXact",
         BaselineStatement::Insert {
             table: "CC_XACTS".into(),
-            values: vec![Expr::param(0), Expr::lit("VISA"), Expr::param(1), Expr::param(2)],
+            values: vec![
+                Expr::param(0),
+                Expr::lit("VISA"),
+                Expr::param(1),
+                Expr::param(2),
+            ],
         },
     );
     engine.register(
@@ -682,9 +712,11 @@ mod tests {
         let (_, engine, baseline) = setup();
         let subject = Value::text(SUBJECTS[3]);
         let shared = engine
-            .execute_sync("doSubjectSearch", &[subject.clone()])
+            .execute_sync("doSubjectSearch", std::slice::from_ref(&subject))
             .unwrap();
-        let base = baseline.execute_sync("doSubjectSearch", &[subject]).unwrap();
+        let base = baseline
+            .execute_sync("doSubjectSearch", std::slice::from_ref(&subject))
+            .unwrap();
         assert_eq!(shared.rows().len(), base.len());
         assert!(!shared.rows().is_empty());
         // Both sorted by title ascending.
@@ -749,13 +781,17 @@ mod tests {
                 ],
             )
             .unwrap();
-        let cart = engine.execute_sync("getCart", &[Value::Int(90_000)]).unwrap();
+        let cart = engine
+            .execute_sync("getCart", &[Value::Int(90_000)])
+            .unwrap();
         assert_eq!(cart.rows().len(), 1);
         let cleared = engine
             .execute_sync("clearCart", &[Value::Int(90_000)])
             .unwrap();
         assert_eq!(cleared.rows_affected(), 1);
-        let cart = engine.execute_sync("getCart", &[Value::Int(90_000)]).unwrap();
+        let cart = engine
+            .execute_sync("getCart", &[Value::Int(90_000)])
+            .unwrap();
         assert!(cart.rows().is_empty());
     }
 }

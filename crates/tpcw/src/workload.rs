@@ -128,12 +128,12 @@ impl Mix {
             // Home, New, Best, Detail, SearchReq, SearchRes, Cart, Reg,
             // BuyReq, BuyConf, OrderInq, OrderDisp, AdminReq, AdminConf
             Mix::Browsing => [
-                29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25,
-                0.10, 0.09,
+                29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10,
+                0.09,
             ],
             Mix::Shopping => [
-                16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66,
-                0.10, 0.09,
+                16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10,
+                0.09,
             ],
             Mix::Ordering => [
                 9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25, 0.22,
@@ -198,7 +198,7 @@ impl ParamGenerator {
             next_cart_id: AtomicI64::new(base),
             next_cart_line_id: AtomicI64::new(base),
             next_customer_id: AtomicI64::new(base),
-            bestseller_window: (orders / 3).max(100).min(3_333),
+            bestseller_window: (orders / 3).clamp(100, 3_333),
         }
     }
 
@@ -494,6 +494,9 @@ mod tests {
             assert!(!i.name().is_empty());
             assert!(i.time_limit() >= Duration::from_secs(3));
         }
-        assert_eq!(WebInteraction::BestSellers.time_limit(), Duration::from_secs(5));
+        assert_eq!(
+            WebInteraction::BestSellers.time_limit(),
+            Duration::from_secs(5)
+        );
     }
 }

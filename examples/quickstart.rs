@@ -32,7 +32,14 @@ fn main() -> shareddb::Result<()> {
     catalog.bulk_load(
         "USERS",
         (0..1_000i64)
-            .map(|i| tuple![i, format!("user{i}"), if i % 3 == 0 { "CH" } else { "DE" }, i * 7])
+            .map(|i| {
+                tuple![
+                    i,
+                    format!("user{i}"),
+                    if i % 3 == 0 { "CH" } else { "DE" },
+                    i * 7
+                ]
+            })
             .collect(),
     )?;
     catalog.bulk_load(
@@ -61,18 +68,31 @@ fn main() -> shareddb::Result<()> {
     let mut registry = StatementRegistry::new();
     registry.register(
         StatementSpec::query("ordersOfUser", join_sorted)
-            .activate(users, ActivationTemplate::Scan {
-                predicate: Expr::named("USERNAME").eq(Expr::param(0)).resolve(&plan.node(users).schema)?,
-            })
-            .activate(orders, ActivationTemplate::Scan {
-                predicate: Expr::col(2).eq(Expr::lit("OK")),
-            })
+            .activate(
+                users,
+                ActivationTemplate::Scan {
+                    predicate: Expr::named("USERNAME")
+                        .eq(Expr::param(0))
+                        .resolve(&plan.node(users).schema)?,
+                },
+            )
+            .activate(
+                orders,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(2).eq(Expr::lit("OK")),
+                },
+            )
             .activate(join, ActivationTemplate::Participate)
             .activate(join_sorted, ActivationTemplate::Participate),
     )?;
     registry.register(
         StatementSpec::query("accountsByCountry", by_country)
-            .activate(users, ActivationTemplate::Scan { predicate: Expr::lit(true) })
+            .activate(
+                users,
+                ActivationTemplate::Scan {
+                    predicate: Expr::lit(true),
+                },
+            )
             .activate(by_country, ActivationTemplate::Having { predicate: None }),
     )?;
     registry.register(StatementSpec::update(

@@ -37,7 +37,13 @@ fn main() -> shareddb::Result<()> {
     catalog.bulk_load(
         "CUSTOMER",
         (0..500i64)
-            .map(|i| tuple![i, format!("customer{i}"), countries[i as usize % countries.len()]])
+            .map(|i| {
+                tuple![
+                    i,
+                    format!("customer{i}"),
+                    countries[i as usize % countries.len()]
+                ]
+            })
             .collect(),
     )?;
     catalog.bulk_load(
@@ -58,25 +64,44 @@ fn main() -> shareddb::Result<()> {
     // Q1: all orders of customers from country ?0.
     registry.register(
         StatementSpec::query("ordersByCountry", join)
-            .activate(customers, ActivationTemplate::Scan {
-                predicate: Expr::col(2).eq(Expr::param(0)),
-            })
-            .activate(orders, ActivationTemplate::Scan { predicate: Expr::lit(true) })
+            .activate(
+                customers,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(2).eq(Expr::param(0)),
+                },
+            )
+            .activate(
+                orders,
+                ActivationTemplate::Scan {
+                    predicate: Expr::lit(true),
+                },
+            )
             .activate(join, ActivationTemplate::Participate),
     )?;
     // Q2: orders of customers from country ?0 placed in year ?1.
     registry.register(
         StatementSpec::query("ordersByCountryAndYear", join)
-            .activate(customers, ActivationTemplate::Scan {
-                predicate: Expr::col(2).eq(Expr::param(0)),
-            })
-            .activate(orders, ActivationTemplate::Scan {
-                predicate: Expr::col(2).eq(Expr::param(1)),
-            })
+            .activate(
+                customers,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(2).eq(Expr::param(0)),
+                },
+            )
+            .activate(
+                orders,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(2).eq(Expr::param(1)),
+                },
+            )
             .activate(join, ActivationTemplate::Participate),
     )?;
 
-    let engine = Engine::start(Arc::clone(&catalog), plan, registry, EngineConfig::default())?;
+    let engine = Engine::start(
+        Arc::clone(&catalog),
+        plan,
+        registry,
+        EngineConfig::default(),
+    )?;
 
     // Submit both query types (plus many concurrent instances) at once: they
     // are answered by a single shared join per heartbeat.

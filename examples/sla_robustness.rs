@@ -11,7 +11,9 @@
 use shareddb::baseline::EngineProfile;
 use shareddb::common::Value;
 use shareddb::core::EngineConfig;
-use shareddb::tpcw::{build_catalog, BaselineSystem, SharedDbSystem, TpcwDatabase, TpcwScale, SUBJECTS};
+use shareddb::tpcw::{
+    build_catalog, BaselineSystem, SharedDbSystem, TpcwDatabase, TpcwScale, SUBJECTS,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -14,7 +14,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> shareddb::Result<()> {
@@ -35,7 +38,10 @@ fn main() -> shareddb::Result<()> {
         "TPC-W Shopping mix, {} items, {} emulated browsers, {}s per system",
         scale.items, ebs, seconds
     );
-    println!("{:<14} {:>10} {:>10} {:>10} {:>12}", "system", "WIPS", "ok", "timeout", "latency(ms)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "system", "WIPS", "ok", "timeout", "latency(ms)"
+    );
 
     // MySQL-like baseline.
     {
@@ -44,7 +50,11 @@ fn main() -> shareddb::Result<()> {
         let r = run_workload(&db, &scale, &config);
         println!(
             "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
-            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+            r.system,
+            r.wips,
+            r.successful,
+            r.timed_out,
+            r.mean_latency.as_secs_f64() * 1e3
         );
     }
     // SystemX-like baseline.
@@ -54,7 +64,11 @@ fn main() -> shareddb::Result<()> {
         let r = run_workload(&db, &scale, &config);
         println!(
             "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
-            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+            r.system,
+            r.wips,
+            r.successful,
+            r.timed_out,
+            r.mean_latency.as_secs_f64() * 1e3
         );
     }
     // SharedDB.
@@ -64,7 +78,11 @@ fn main() -> shareddb::Result<()> {
         let r = run_workload(&db, &scale, &config);
         println!(
             "{:<14} {:>10.1} {:>10} {:>10} {:>12.2}",
-            r.system, r.wips, r.successful, r.timed_out, r.mean_latency.as_secs_f64() * 1e3
+            r.system,
+            r.wips,
+            r.successful,
+            r.timed_out,
+            r.mean_latency.as_secs_f64() * 1e3
         );
         let stats = db.engine().stats();
         println!(

@@ -1,0 +1,234 @@
+//! Minimal in-repo stand-in for the `criterion` benchmarking API. The build
+//! environment has no network access to crates.io, so the workspace vendors
+//! the slice of the API the `benches/` targets use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple — a timed warm-up followed by a fixed
+//! wall-clock measurement window whose mean iteration time is printed as
+//! `<group>/<id> ... <mean> ns/iter (<iters> iters)`. It reports relative
+//! magnitudes well enough to compare shared vs per-query execution; it does
+//! not do outlier analysis or statistical testing like real criterion.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warm-up, then a timed window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run at least once, up to ~1/5 of the measurement window.
+        let warmup_until = Instant::now() + self.measure_for / 5;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warmup_until {
+                break;
+            }
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if started.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.total = started.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_for: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's window is wall-clock based, so
+    /// the sample count only shortens the measurement window slightly.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Fewer requested samples -> a shorter window, floored at 50 ms.
+        let millis = (samples as u64 * 10).clamp(50, 1_000);
+        self.measure_for = Duration::from_millis(millis);
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measure_for = window;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            measure_for: self.measure_for,
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            measure_for: self.measure_for,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let iters = bencher.iters_done.max(1);
+        let mean_ns = bencher.total.as_nanos() as f64 / iters as f64;
+        println!(
+            "{}/{:<40} {:>14.1} ns/iter ({} iters)",
+            self.name, id.label, mean_ns, iters
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure_for: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("lookups", 128);
+        assert_eq!(id.label, "lookups/128");
+        assert_eq!(BenchmarkId::from_parameter(5).label, "5");
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`sql`] — the SQL-subset front end and the global-plan compiler.
 //! * [`baseline`] — query-at-a-time baseline engines used for comparison.
 //! * [`tpcw`] — the TPC-W benchmark used in the paper's evaluation.
+//! * [`server`] — the TCP network frontend feeding client sessions into the
+//!   shared batch engine (wire protocol, admission control).
+//! * [`client`] — the blocking client library (pipelining, typed results).
 //!
 //! ## Quickstart
 //!
@@ -25,8 +28,10 @@
 //! concurrent parameterised queries through one shared plan.
 
 pub use shareddb_baseline as baseline;
+pub use shareddb_client as client;
 pub use shareddb_common as common;
 pub use shareddb_core as core;
+pub use shareddb_server as server;
 pub use shareddb_sql as sql;
 pub use shareddb_storage as storage;
 pub use shareddb_tpcw as tpcw;

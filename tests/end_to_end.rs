@@ -6,8 +6,8 @@ use shareddb::baseline::EngineProfile;
 use shareddb::common::Value;
 use shareddb::core::EngineConfig;
 use shareddb::tpcw::{
-    build_catalog, run_workload, BaselineSystem, DriverConfig, Mix, ParamGenerator,
-    SharedDbSystem, TpcwDatabase, TpcwScale, ALL_INTERACTIONS, SUBJECTS,
+    build_catalog, run_workload, BaselineSystem, DriverConfig, Mix, ParamGenerator, SharedDbSystem,
+    TpcwDatabase, TpcwScale, ALL_INTERACTIONS, SUBJECTS,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,7 +26,7 @@ fn every_web_interaction_executes_on_shareddb() {
     for interaction in ALL_INTERACTIONS {
         for _ in 0..3 {
             for call in generator.calls(interaction, &mut rng) {
-                db.execute(&call.statement, &call.params, Duration::from_secs(30))
+                db.execute(call.statement, &call.params, Duration::from_secs(30))
                     .unwrap_or_else(|e| {
                         panic!("{} failed on {}: {e}", interaction.name(), call.statement)
                     });
@@ -45,7 +45,7 @@ fn every_web_interaction_executes_on_both_baselines() {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
         for interaction in ALL_INTERACTIONS {
             for call in generator.calls(interaction, &mut rng) {
-                db.execute(&call.statement, &call.params, Duration::from_secs(30))
+                db.execute(call.statement, &call.params, Duration::from_secs(30))
                     .unwrap_or_else(|e| {
                         panic!("{} failed on {}: {e}", interaction.name(), call.statement)
                     });

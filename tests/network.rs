@@ -1,0 +1,296 @@
+//! Network-frontend integration tests: concurrent client connections sharing
+//! one `QueryBatch`, client pipelining, admission-control backpressure and
+//! graceful drain — the socket → session → admission queue → batch →
+//! Γ(query_id) path end to end.
+
+use shareddb::client::{Connection, Outcome};
+use shareddb::common::{tuple, DataType, Error, Value};
+use shareddb::core::EngineConfig;
+use shareddb::server::{Server, ServerConfig};
+use shareddb::storage::{Catalog, TableDef};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn catalog() -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    catalog
+        .create_table(
+            TableDef::new("ITEM")
+                .column("I_ID", DataType::Int)
+                .column("I_TITLE", DataType::Text)
+                .column("I_COST", DataType::Float)
+                .primary_key(&["I_ID"]),
+        )
+        .unwrap();
+    catalog
+        .bulk_load(
+            "ITEM",
+            (0..200i64)
+                .map(|i| tuple![i, format!("title{i}"), (i % 50) as f64])
+                .collect(),
+        )
+        .unwrap();
+    Arc::new(catalog)
+}
+
+const WORKLOAD: &[(&str, &str)] = &[
+    ("getItem", "SELECT * FROM ITEM WHERE I_ID = ?"),
+    (
+        "itemsCheaperThan",
+        "SELECT * FROM ITEM WHERE I_COST < ? ORDER BY I_COST LIMIT 10",
+    ),
+    ("addItem", "INSERT INTO ITEM VALUES (?, ?, ?)"),
+];
+
+fn start_server(engine_config: EngineConfig, server_config: ServerConfig) -> Server {
+    Server::start_sql(catalog(), WORKLOAD, engine_config, server_config).unwrap()
+}
+
+/// Acceptance criterion: concurrent connections issuing queries in the same
+/// heartbeat window are answered from a single `QueryBatch`, observable via
+/// `EngineStats`.
+#[test]
+fn concurrent_connections_share_one_batch() {
+    const CLIENTS: usize = 8;
+    // Paced (non-eager) heartbeat: statements arriving within one window form
+    // one batch.
+    let engine_config = EngineConfig {
+        eager_heartbeat: false,
+        heartbeat: Duration::from_millis(250),
+        ..EngineConfig::default()
+    };
+    let mut server = start_server(engine_config, ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Warm up every connection (prepares the statement, completes one batch)
+    // so the measured phase contains nothing but the concurrent queries.
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).unwrap();
+            let get_item = conn.prepare("getItem").unwrap();
+            let warmup = conn.execute(&get_item, &[Value::Int(0)]).unwrap();
+            assert_eq!(warmup.rows().len(), 1);
+            barrier.wait(); // all warmed up
+            barrier.wait(); // measured phase begins
+            let outcome = conn.execute(&get_item, &[Value::Int(i as i64)]).unwrap();
+            assert_eq!(outcome.rows().len(), 1);
+            assert_eq!(outcome.rows()[0][0], Value::Int(i as i64));
+            conn.close().unwrap();
+        }));
+    }
+    barrier.wait(); // warmups done
+    let before = server.engine_stats().unwrap();
+    barrier.wait(); // go
+    for t in threads {
+        t.join().unwrap();
+    }
+    let after = server.engine_stats().unwrap();
+    let queries = after.queries - before.queries;
+    let batches = after.batches - before.batches;
+    assert_eq!(queries, CLIENTS as u64);
+    // Strictly fewer batches than queries ⇒ by pigeonhole at least one batch
+    // answered ≥ 2 queries from different sockets. With the paced heartbeat
+    // the common case is a single batch for all eight.
+    assert!(
+        batches < queries,
+        "no batching across connections: {batches} batches for {queries} queries"
+    );
+    server.shutdown();
+}
+
+/// One connection pipelines many statements; responses come back in order and
+/// far fewer batches than statements are executed.
+#[test]
+fn pipelined_submissions_batch_and_preserve_order() {
+    const PIPELINE: usize = 100;
+    let server_config = ServerConfig {
+        max_inflight_per_session: PIPELINE + 1,
+        ..ServerConfig::default()
+    };
+    let mut server = start_server(EngineConfig::default(), server_config);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let get_item = conn.prepare("getItem").unwrap();
+    assert_eq!(get_item.param_count, 1);
+
+    let tickets: Vec<_> = (0..PIPELINE)
+        .map(|i| conn.submit(&get_item, &[Value::Int(i as i64)]).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let outcome = conn.wait(ticket).unwrap();
+        match outcome {
+            Outcome::Rows(rs) => {
+                assert_eq!(rs.rows.len(), 1);
+                assert_eq!(rs.rows[0][0], Value::Int(i as i64));
+                assert_eq!(rs.columns[0].1, DataType::Int);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let stats = conn.stats().unwrap();
+    assert_eq!(stats.queries, PIPELINE as u64);
+    assert!(
+        stats.batches < PIPELINE as u64,
+        "pipelined statements did not batch: {stats:?}"
+    );
+    conn.close().unwrap();
+    server.shutdown();
+}
+
+/// Acceptance criterion: backpressure rejects cleanly (retryable error) at the
+/// configured limits, and graceful drain fails in-flight work with a clean
+/// shutdown error instead of dropping the socket.
+#[test]
+fn backpressure_rejects_with_retryable_error() {
+    // A glacial heartbeat keeps everything in flight for the whole test.
+    let engine_config = EngineConfig {
+        eager_heartbeat: false,
+        heartbeat: Duration::from_secs(30),
+        ..EngineConfig::default()
+    };
+    let server_config = ServerConfig {
+        max_inflight_per_session: 4,
+        drain_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let mut server = start_server(engine_config, server_config);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let get_item = conn.prepare("getItem").unwrap();
+
+    // Arm the heartbeat pacing: the engine's very first batch runs
+    // immediately, so complete one statement before the burst — everything
+    // submitted afterwards stays queued for the full (glacial) heartbeat.
+    conn.execute(&get_item, &[Value::Int(0)]).unwrap();
+
+    // 4 admitted + 2 rejected by the per-session in-flight cap.
+    let tickets: Vec<_> = (0..6)
+        .map(|i| conn.submit(&get_item, &[Value::Int(i)]).unwrap())
+        .collect();
+    // Rejections are counted server-side without waiting for the batch.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().rejected < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 2, "stats: {stats:?}");
+    assert_eq!(stats.requests, 7, "stats: {stats:?}");
+
+    // Graceful drain: the admitted statements are *executed* as the engine's
+    // final batch, the rejected ones fail with the retryable overload error —
+    // all delivered in submission order over the still-open socket.
+    server.shutdown();
+    let mut outcomes = Vec::new();
+    for ticket in tickets {
+        outcomes.push(conn.wait(ticket));
+    }
+    for outcome in &outcomes[..4] {
+        match outcome {
+            Ok(o) => assert_eq!(o.rows().len(), 1),
+            Err(e) => panic!("drain should answer admitted work, got {e:?}"),
+        }
+    }
+    for outcome in &outcomes[4..] {
+        match outcome {
+            Err(e) => {
+                assert!(e.is_retryable(), "expected retryable rejection, got {e:?}");
+                assert!(matches!(e, Error::Overloaded(_)));
+            }
+            Ok(o) => panic!("expected rejection, got {o:?}"),
+        }
+    }
+}
+
+/// Global queue-depth backpressure (as opposed to the per-session cap).
+#[test]
+fn queue_depth_backpressure_rejects() {
+    let engine_config = EngineConfig {
+        eager_heartbeat: false,
+        heartbeat: Duration::from_secs(30),
+        ..EngineConfig::default()
+    };
+    let server_config = ServerConfig {
+        max_queue_depth: 2,
+        max_inflight_per_session: 1024,
+        drain_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let mut server = start_server(engine_config, server_config);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let get_item = conn.prepare("getItem").unwrap();
+    // Arm the heartbeat pacing (see backpressure_rejects_with_retryable_error).
+    conn.execute(&get_item, &[Value::Int(0)]).unwrap();
+    for i in 0..8 {
+        conn.submit(&get_item, &[Value::Int(i)]).unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().rejected == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.stats().rejected >= 1,
+        "queue-depth limit never rejected: {:?}",
+        server.stats()
+    );
+    server.shutdown();
+}
+
+/// Ad-hoc SQL over the wire: auto-parameterised against the compiled
+/// statement types; unknown types are rejected.
+#[test]
+fn adhoc_sql_matches_compiled_statement_types() {
+    let mut server = start_server(EngineConfig::default(), ServerConfig::default());
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+
+    let outcome = conn.query("SELECT * FROM ITEM WHERE I_ID = 17").unwrap();
+    assert_eq!(outcome.rows().len(), 1);
+    assert_eq!(outcome.rows()[0][1], Value::text("title17"));
+
+    // Same type, different constant, different spelling.
+    let outcome = conn.query("select * from item where i_id = 23").unwrap();
+    assert_eq!(outcome.rows()[0][0], Value::Int(23));
+
+    // Updates run through the same path.
+    let outcome = conn
+        .query("INSERT INTO ITEM VALUES (900, 'net book', 5.0)")
+        .unwrap();
+    assert_eq!(outcome.rows_affected(), 1);
+    let outcome = conn.query("SELECT * FROM ITEM WHERE I_ID = 900").unwrap();
+    assert_eq!(outcome.rows()[0][1], Value::text("net book"));
+
+    // A statement type that is not part of the plan is rejected.
+    let err = conn
+        .query("SELECT * FROM ITEM WHERE I_TITLE = 'title1'")
+        .unwrap_err();
+    assert!(matches!(err, Error::UnknownStatement(_)), "{err:?}");
+
+    // Unknown prepared statements are rejected too.
+    assert!(matches!(
+        conn.prepare("noSuchStatement"),
+        Err(Error::UnknownStatement(_))
+    ));
+    conn.close().unwrap();
+    server.shutdown();
+}
+
+/// The ORDER BY / LIMIT path works over the wire with typed decoding.
+#[test]
+fn sorted_limited_results_decode_with_schema() {
+    let mut server = start_server(EngineConfig::default(), ServerConfig::default());
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let cheaper = conn.prepare("itemsCheaperThan").unwrap();
+    let outcome = conn.execute(&cheaper, &[Value::Float(10.0)]).unwrap();
+    match outcome {
+        Outcome::Rows(rs) => {
+            assert_eq!(rs.len(), 10);
+            assert_eq!(rs.columns.len(), 3);
+            assert_eq!(rs.columns[2].1, DataType::Float);
+            let costs: Vec<f64> = rs.rows.iter().map(|r| r[2].as_float().unwrap()).collect();
+            assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    conn.close().unwrap();
+    server.shutdown();
+}

@@ -104,7 +104,7 @@ proptest! {
             .collect();
         let expect: Vec<i64> = model
             .range(lo..hi)
-            .flat_map(|(k, rows)| std::iter::repeat(*k).take(rows.len()))
+            .flat_map(|(k, rows)| std::iter::repeat_n(*k, rows.len()))
             .collect();
         prop_assert_eq!(got, expect);
     }

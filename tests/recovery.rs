@@ -26,7 +26,9 @@ fn checkpoint_then_recover_matches_original_state() {
     catalog
         .bulk_load(
             "ITEM",
-            (0..500i64).map(|i| tuple![i, format!("t{i}"), i as f64]).collect(),
+            (0..500i64)
+                .map(|i| tuple![i, format!("t{i}"), i as f64])
+                .collect(),
         )
         .unwrap();
     // Mutate: delete cheap items, reprice one.
