@@ -1,14 +1,17 @@
 //! Network-frontend throughput: statements per second as a function of the
-//! number of concurrent client connections (1 → 256).
+//! number of concurrent client connections (1 → 1024).
 //!
 //! Every connection runs a closed loop of TPC-W `getItemById` point look-ups
 //! over the wire protocol; the server funnels all sockets into one shared
 //! batch per heartbeat, so throughput should rise with the client count while
 //! the batch rate stays roughly flat — the SharedDB scaling argument, now
-//! measured across the socket boundary.
+//! measured across the socket boundary. The server side is a single reactor
+//! thread regardless of the client count; the sweep to 1024 connections is
+//! exactly the regime where the old thread-per-connection frontend (2 OS
+//! threads per socket) fell over.
 //!
 //! Environment: `TPCW_ITEMS` (scale, default 2000), `BENCH_SECONDS` (per
-//! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 256).
+//! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 1024).
 //!
 //! Output: CSV `clients,ok,errors,throughput_per_s,mean_latency_us,batches_per_s`.
 
@@ -27,7 +30,7 @@ use std::time::Instant;
 fn main() {
     let scale = bench_scale();
     let duration = bench_duration();
-    let max_clients = env_usize("SERVER_MAX_CLIENTS", 256);
+    let max_clients = env_usize("SERVER_MAX_CLIENTS", 1024);
     let items = scale.items as i64;
 
     print_header(&[

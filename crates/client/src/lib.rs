@@ -381,6 +381,27 @@ impl Connection {
         self.wait(ticket)
     }
 
+    /// Keepalive no-op: round-trips a [`Frame::Ping`] without touching the
+    /// engine. Useful for long-lived idle connections (liveness probing) and
+    /// as the cheapest way to exercise the server's incremental frame
+    /// decoder. Requires a drained pipeline, like [`Connection::stats`].
+    pub fn ping(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        self.check_pipeline_empty("ping")?;
+        let request_id = self.fresh_request_id();
+        self.send(&Frame::Ping { request_id })?;
+        match self.read()? {
+            Frame::Pong { request_id: rid } if rid == request_id => Ok(()),
+            Frame::Error {
+                code,
+                retryable,
+                message,
+                ..
+            } => Err(wire_to_error(code, retryable, &message)),
+            other => Err(Error::Io(format!("unexpected ping reply: {other:?}"))),
+        }
+    }
+
     /// Fetches engine + server statistics.
     pub fn stats(&mut self) -> Result<WireStats> {
         self.check_poisoned()?;

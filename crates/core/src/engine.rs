@@ -109,6 +109,24 @@ impl QueryHandle {
         self.receiver.recv().map_err(|_| Error::EngineShutdown)?
     }
 
+    /// Non-blocking poll: `None` while the statement is still in flight,
+    /// `Some(outcome)` exactly once when it completes. Event-driven callers
+    /// (the network reactor) pair this with
+    /// [`SubmitOptions::completion_waker`] instead of parking a thread in
+    /// [`QueryHandle::wait`].
+    pub fn try_wait(&self) -> Option<Result<QueryOutcome>> {
+        match self.receiver.try_recv() {
+            Ok(outcome) => Some(outcome),
+            // Every handle is delivered exactly one message before its sender
+            // is dropped (the outcome, or the failure injected on engine
+            // shutdown), so `Disconnected` only means the outcome was already
+            // consumed by an earlier call — keep the "exactly once" contract
+            // rather than surfacing a spurious shutdown error.
+            Err(crossbeam_channel::TryRecvError::Empty)
+            | Err(crossbeam_channel::TryRecvError::Disconnected) => None,
+        }
+    }
+
     /// Blocks until the result is available or the deadline passes.
     pub fn wait_timeout(self, timeout: Duration) -> Result<QueryOutcome> {
         match self.receiver.recv_timeout(timeout) {
@@ -154,6 +172,22 @@ enum Submission {
 struct PendingResult {
     sender: Sender<Result<QueryOutcome>>,
     submitted: Instant,
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+/// Options for [`Engine::submit`].
+#[derive(Clone, Default)]
+pub struct SubmitOptions {
+    /// Reject the submission with [`Error::Overloaded`] when the admission
+    /// queue already holds this many statements. The check and the enqueue
+    /// happen under the queue lock, so the bound is exact even with many
+    /// concurrent submitters (no check-then-enqueue TOCTOU).
+    pub max_queue_depth: Option<usize>,
+    /// Invoked after the statement's outcome has been delivered to its
+    /// [`QueryHandle`] (including the failure delivered on engine shutdown).
+    /// Lets a nonblocking caller poll [`QueryHandle::try_wait`] only when
+    /// woken instead of parking a thread per statement.
+    pub completion_waker: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 struct Admission {
@@ -262,6 +296,17 @@ impl Engine {
 
     /// Submits a statement execution; returns a handle to wait on.
     pub fn execute(&self, statement: &str, params: &[Value]) -> Result<QueryHandle> {
+        self.submit(statement, params, SubmitOptions::default())
+    }
+
+    /// Submits a statement execution with admission options; returns a handle
+    /// to wait on (or poll via [`QueryHandle::try_wait`]).
+    pub fn submit(
+        &self,
+        statement: &str,
+        params: &[Value],
+        opts: SubmitOptions,
+    ) -> Result<QueryHandle> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(Error::EngineShutdown);
         }
@@ -280,10 +325,20 @@ impl Engine {
             PendingResult {
                 sender: tx,
                 submitted,
+                waker: opts.completion_waker,
             },
         );
         {
             let mut queue = self.inner.admission.queue.lock();
+            if let Some(max) = opts.max_queue_depth {
+                if queue.len() >= max {
+                    drop(queue);
+                    self.inner.pending.lock().remove(&ticket);
+                    return Err(Error::Overloaded(format!(
+                        "admission queue depth limit of {max} reached"
+                    )));
+                }
+            }
             queue.push_back(submission);
         }
         self.inner.admission.signal.notify_one();
@@ -503,9 +558,15 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
     }
 
     // Fail everything still pending.
-    let mut pending = inner.pending.lock();
-    for (_, result) in pending.drain() {
+    let drained: Vec<PendingResult> = {
+        let mut pending = inner.pending.lock();
+        pending.drain().map(|(_, result)| result).collect()
+    };
+    for result in drained {
         let _ = result.sender.send(Err(Error::EngineShutdown));
+        if let Some(waker) = &result.waker {
+            waker();
+        }
     }
 }
 
@@ -690,6 +751,9 @@ fn complete(inner: &Arc<EngineInner>, ticket: TicketId, outcome: Result<QueryOut
             Err(_) => inner.stats.record_failure(),
         }
         let _ = pending.sender.send(outcome);
+        if let Some(waker) = &pending.waker {
+            waker();
+        }
     }
 }
 

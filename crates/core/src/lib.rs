@@ -44,7 +44,7 @@ pub mod storage_ops;
 
 pub use batch::{Activation, ActiveQuery, QueryBatch};
 pub use config::EngineConfig;
-pub use engine::{Engine, QueryOutcome, ResultSet};
+pub use engine::{Engine, QueryOutcome, ResultSet, SubmitOptions};
 pub use plan::{
     ActivationTemplate, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder, StatementKind,
     StatementRegistry, StatementSpec,

@@ -10,9 +10,10 @@
 //! global plan's Γ(query_id) router.
 //!
 //! * [`protocol`] — the length-prefixed binary wire protocol (frame formats,
-//!   value encoding, error codes).
-//! * [`server`] — the listener, session threads, admission control and
-//!   graceful drain.
+//!   value encoding, error codes, the incremental [`protocol::FrameDecoder`]).
+//! * [`server`] — the single-threaded readiness reactor (epoll on Linux, an
+//!   adaptive-parking poll loop elsewhere), admission control and graceful
+//!   drain.
 //!
 //! Servers are started either over a pre-built plan
 //! ([`Server::start`], e.g. the TPC-W plan of `shareddb-tpcw`) or directly
@@ -23,6 +24,7 @@
 //! rejected, mirroring the paper's prepared-workload model.
 
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use protocol::{Frame, WireStats, PROTOCOL_VERSION};

@@ -16,12 +16,14 @@
 //! | `0x04` | C→S | [`Frame::ExecutePrepared`] | `u64 request_id, u32 statement_id, values params` |
 //! | `0x05` | C→S | [`Frame::Stats`] | `u64 request_id` |
 //! | `0x06` | C→S | [`Frame::Goodbye`] | empty |
+//! | `0x07` | C→S | [`Frame::Ping`] | `u64 request_id` — keepalive no-op |
 //! | `0x81` | S→C | [`Frame::HelloOk`] | `u16 version, string server_name, u32 statement_count` |
 //! | `0x82` | S→C | [`Frame::Prepared`] | `u64 request_id, u32 statement_id, u32 param_count, u8 is_update` |
 //! | `0x83` | S→C | [`Frame::ResultChunk`] | `u64 request_id, u8 flags, u64 rows_affected, [schema], [rows]` |
 //! | `0x84` | S→C | [`Frame::Error`] | `u64 request_id, u8 code, u8 retryable, string message` |
 //! | `0x85` | S→C | [`Frame::StatsReply`] | engine + server counters, see [`WireStats`] |
 //! | `0x86` | S→C | [`Frame::GoodbyeOk`] | empty |
+//! | `0x87` | S→C | [`Frame::Pong`] | `u64 request_id` |
 //!
 //! A query result is a sequence of [`Frame::ResultChunk`]s sharing the
 //! request id: the first carries [`chunk_flags::FIRST`] and the result schema,
@@ -148,6 +150,13 @@ pub enum Frame {
     },
     /// Orderly connection termination.
     Goodbye,
+    /// Keepalive no-op: answered with [`Frame::Pong`] without touching the
+    /// engine. Lets idle clients verify liveness and lets tests exercise the
+    /// incremental frame decoder with tiny frames.
+    Ping {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
     /// Server greeting.
     HelloOk {
         /// Protocol version the server speaks.
@@ -201,6 +210,11 @@ pub enum Frame {
     },
     /// Acknowledges [`Frame::Goodbye`]; the server closes after sending it.
     GoodbyeOk,
+    /// Answers [`Frame::Ping`].
+    Pong {
+        /// Echoed request id.
+        request_id: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -366,12 +380,14 @@ impl Frame {
             Frame::ExecutePrepared { .. } => 0x04,
             Frame::Stats { .. } => 0x05,
             Frame::Goodbye => 0x06,
+            Frame::Ping { .. } => 0x07,
             Frame::HelloOk { .. } => 0x81,
             Frame::Prepared { .. } => 0x82,
             Frame::ResultChunk { .. } => 0x83,
             Frame::Error { .. } => 0x84,
             Frame::StatsReply { .. } => 0x85,
             Frame::GoodbyeOk => 0x86,
+            Frame::Pong { .. } => 0x87,
         }
     }
 
@@ -404,7 +420,9 @@ impl Frame {
                 put_u32(&mut body, *statement_id);
                 put_values(&mut body, params);
             }
-            Frame::Stats { request_id } => {
+            Frame::Stats { request_id }
+            | Frame::Ping { request_id }
+            | Frame::Pong { request_id } => {
                 put_u64(&mut body, *request_id);
             }
             Frame::Goodbye | Frame::GoodbyeOk => {}
@@ -502,6 +520,9 @@ impl Frame {
                 request_id: c.u64()?,
             },
             0x06 => Frame::Goodbye,
+            0x07 => Frame::Ping {
+                request_id: c.u64()?,
+            },
             0x81 => Frame::HelloOk {
                 version: c.u16()?,
                 server_name: c.string()?,
@@ -556,6 +577,9 @@ impl Frame {
                 },
             },
             0x86 => Frame::GoodbyeOk,
+            0x87 => Frame::Pong {
+                request_id: c.u64()?,
+            },
             other => return Err(malformed(format!("unknown opcode {other:#x}"))),
         };
         c.done()?;
@@ -578,6 +602,75 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
         ));
     }
     w.write_all(&bytes)
+}
+
+/// Incremental frame decoder for nonblocking readers.
+///
+/// The reactor feeds whatever bytes `read(2)` returned via
+/// [`FrameDecoder::push`] and pops complete frames with
+/// [`FrameDecoder::poll_frame`]; partial frames simply stay buffered until
+/// more bytes arrive. This replaces blocking `read_exact` framing: a client
+/// that stalls mid-frame costs a buffer, not a parked thread.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes to the frame buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is decoded frames.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 16 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` when more bytes are
+    /// needed. A malformed length prefix or body is a protocol error; the
+    /// connection must be dropped (the stream can no longer be framed).
+    pub fn poll_frame(&mut self) -> Result<Option<Frame>> {
+        let available = &self.buf[self.pos..];
+        if available.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(available[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(malformed(format!("bad frame length {len}")));
+        }
+        if available.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::decode(&available[4..4 + len])?;
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// True when a frame has started arriving but is not yet complete (after
+    /// [`FrameDecoder::poll_frame`] has been polled to exhaustion). Drives
+    /// the stalled-client timeout.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes currently buffered (complete + partial).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Discards any partially received frame (used when a draining server
+    /// stops reading).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
 }
 
 /// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
@@ -709,6 +802,8 @@ mod tests {
         });
         round_trip(Frame::Stats { request_id: 10 });
         round_trip(Frame::Goodbye);
+        round_trip(Frame::Ping { request_id: 77 });
+        round_trip(Frame::Pong { request_id: 77 });
         round_trip(Frame::HelloOk {
             version: PROTOCOL_VERSION,
             server_name: "shareddb".into(),
@@ -759,6 +854,69 @@ mod tests {
             },
         });
         round_trip(Frame::GoodbyeOk);
+    }
+
+    #[test]
+    fn incremental_decoder_handles_partial_and_coalesced_frames() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                client_name: "inc".into(),
+            },
+            Frame::Ping { request_id: 1 },
+            Frame::Query {
+                request_id: 2,
+                sql: "SELECT * FROM ITEM WHERE I_ID = -5".into(),
+            },
+            Frame::Goodbye,
+        ];
+        let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+
+        // Byte-by-byte: every push leaves the decoder either mid-frame or at
+        // a boundary, and the frames come out unchanged.
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for b in &wire {
+            decoder.push(std::slice::from_ref(b));
+            while let Some(frame) = decoder.poll_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(!decoder.mid_frame());
+        assert_eq!(decoder.buffered(), 0);
+
+        // All at once: multiple frames coalesced into one read.
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        let mut decoded = Vec::new();
+        while let Some(frame) = decoder.poll_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames);
+
+        // A truncated tail stays buffered as a partial frame.
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire[..wire.len() - 1]);
+        let mut decoded = Vec::new();
+        while let Some(frame) = decoder.poll_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded.len(), frames.len() - 1);
+        assert!(decoder.mid_frame());
+        decoder.push(&wire[wire.len() - 1..]);
+        assert_eq!(decoder.poll_frame().unwrap().unwrap(), Frame::Goodbye);
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_bad_lengths() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&[0xff, 0xff, 0xff, 0xff]);
+        assert!(decoder.poll_frame().is_err());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&[0, 0, 0, 0]);
+        assert!(decoder.poll_frame().is_err());
     }
 
     #[test]

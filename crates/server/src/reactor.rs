@@ -1,0 +1,1333 @@
+//! The single-threaded readiness reactor behind [`crate::server::Server`].
+//!
+//! One thread owns the listener, every client socket and all protocol state:
+//!
+//! ```text
+//!             ┌───────────────────────── reactor thread ─────────────────────────┐
+//!   accept ──▶│ nonblocking sockets ──▶ FrameDecoder ──▶ admission ──▶ engine    │
+//!             │        ▲                (partial-frame      (atomic     submit   │
+//!             │        │                 buffers)            bound)        │     │
+//!             │   epoll/park                                               ▼     │
+//!             │        ▲                per-conn reply queue ◀── completion      │
+//!             │        │                (submission order)       waker (eventfd) │
+//!             │   write queues ◀────────────┘                                    │
+//!             └────────────────────────────────────────────────────────────────--┘
+//! ```
+//!
+//! Sockets are nonblocking; readiness comes from `epoll` on Linux (via a tiny
+//! `extern "C"` binding — no crates.io dependency, following the `shims/`
+//! pattern of linking the platform directly) or from a portable adaptive
+//! parking loop everywhere else. Nothing in the reactor blocks on I/O or on
+//! the engine:
+//!
+//! * reads land in a per-connection [`FrameDecoder`] that carries
+//!   partial-frame state, so a client that stalls mid-frame costs a buffer,
+//!   not a parked thread;
+//! * submitted statements park as [`Reply::Pending`] entries in the
+//!   connection's reply queue; the engine's completion waker (an
+//!   eventfd/condvar wake, not a timed poll) tells the reactor to pump them
+//!   out in submission order;
+//! * responses drain through a per-connection write queue flushed when the
+//!   socket is writable; a connection whose write queue passes the high-water
+//!   mark stops being polled for readability (socket-level backpressure)
+//!   until the client drains it.
+//!
+//! An idle server makes **zero** wakeups: with no timers armed the poll call
+//! sleeps indefinitely until a socket, the listener, or a waker fires. Timed
+//! wakeups exist only while a client is mid-frame (stall timeout) or a drain
+//! deadline is armed.
+
+use crate::protocol::{
+    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireStats, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use crate::server::Shared;
+use shareddb_common::Error;
+use shareddb_core::engine::QueryHandle;
+use shareddb_core::{QueryOutcome, SubmitOptions};
+use shareddb_sql::compile::{bind_adhoc, canonicalize};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll token of the TCP listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Poll token of the wakeup channel (eventfd / condvar).
+const WAKE_TOKEN: u64 = 1;
+/// First token handed to a client connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Stop reading from a connection whose un-flushed response bytes exceed
+/// this; reading resumes once the client drains its socket.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// A client that started a frame but stalls for this long is dropped — it
+/// would otherwise pin its connection state (and delay shutdown) forever.
+pub(crate) const STALLED_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Poller abstraction
+// ---------------------------------------------------------------------------
+
+/// What a connection wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// One readiness event.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hangup / socket error: the connection is beyond saving.
+    pub closed: bool,
+}
+
+/// Readiness source: epoll on Linux, adaptive-parking scan elsewhere.
+///
+/// `progressed` on [`Poller::poll`] reports whether the previous reactor
+/// iteration did useful work — the scan poller uses it to adapt its parking
+/// interval; epoll ignores it.
+pub(crate) trait Poller: Send {
+    fn register_listener(&mut self, listener: &TcpListener) -> std::io::Result<()>;
+    fn deregister_listener(&mut self, listener: &TcpListener);
+    fn register_conn(
+        &mut self,
+        stream: &TcpStream,
+        token: u64,
+        interest: Interest,
+    ) -> std::io::Result<()>;
+    fn update_conn(&mut self, stream: &TcpStream, token: u64, interest: Interest);
+    fn deregister_conn(&mut self, stream: &TcpStream, token: u64);
+    /// A handle other threads use to interrupt a sleeping [`Poller::poll`].
+    fn waker(&self) -> Arc<dyn Fn() + Send + Sync>;
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>, progressed: bool);
+}
+
+// ---------------------------------------------------------------------------
+// Linux epoll poller (direct syscall binding, no external crates)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Minimal libc surface for epoll + eventfd. The workspace has no
+    //! crates.io access, so — like the `shims/` crates — we bind the platform
+    //! directly: these symbols live in the libc every Rust binary already
+    //! links.
+
+    // The kernel ABI packs epoll_event on x86-64 only.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+}
+
+/// An owned eventfd shared between the poller and the wakers it hands out;
+/// the fd stays open until the last waker is dropped, so a late wake can
+/// never hit a recycled descriptor.
+#[cfg(target_os = "linux")]
+struct EventFd(i32);
+
+#[cfg(target_os = "linux")]
+impl EventFd {
+    fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        unsafe {
+            let _ = sys::write(self.0, one.as_ptr(), one.len());
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            let _ = sys::read(self.0, buf.as_mut_ptr(), buf.len());
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.0);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollPoller {
+    epfd: i32,
+    wake: Arc<EventFd>,
+    events: Vec<sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    pub(crate) fn new() -> std::io::Result<EpollPoller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let wakefd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if wakefd < 0 {
+            let err = std::io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(err);
+        }
+        let poller = EpollPoller {
+            epfd,
+            wake: Arc::new(EventFd(wakefd)),
+            events: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        };
+        poller.ctl(sys::EPOLL_CTL_ADD, wakefd, WAKE_TOKEN, sys::EPOLLIN)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, token: u64, events: u32) -> std::io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for EpollPoller {
+    fn register_listener(&mut self, listener: &TcpListener) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.ctl(
+            sys::EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            LISTENER_TOKEN,
+            sys::EPOLLIN,
+        )
+    }
+
+    fn deregister_listener(&mut self, listener: &TcpListener) {
+        use std::os::unix::io::AsRawFd;
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, listener.as_raw_fd(), 0, 0);
+    }
+
+    fn register_conn(
+        &mut self,
+        stream: &TcpStream,
+        token: u64,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.ctl(
+            sys::EPOLL_CTL_ADD,
+            stream.as_raw_fd(),
+            token,
+            Self::interest_bits(interest),
+        )
+    }
+
+    fn update_conn(&mut self, stream: &TcpStream, token: u64, interest: Interest) {
+        use std::os::unix::io::AsRawFd;
+        let _ = self.ctl(
+            sys::EPOLL_CTL_MOD,
+            stream.as_raw_fd(),
+            token,
+            Self::interest_bits(interest),
+        );
+    }
+
+    fn deregister_conn(&mut self, stream: &TcpStream, token: u64) {
+        use std::os::unix::io::AsRawFd;
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, stream.as_raw_fd(), token, 0);
+    }
+
+    fn waker(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let wake = Arc::clone(&self.wake);
+        Arc::new(move || wake.wake())
+    }
+
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>, _progressed: bool) {
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs deadline doesn't busy-spin at timeout 0.
+            Some(t) => t.as_millis().saturating_add(1).min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                self.events.as_mut_ptr(),
+                self.events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n <= 0 {
+            return; // timeout or EINTR
+        }
+        for ev in &self.events[..n as usize] {
+            let token = { ev.data };
+            let bits = { ev.events };
+            if token == WAKE_TOKEN {
+                self.wake.drain();
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback: adaptive-parking scan poller
+// ---------------------------------------------------------------------------
+
+/// Minimum park between scan sweeps while work keeps arriving.
+const SCAN_PARK_MIN: Duration = Duration::from_micros(50);
+/// Maximum park once the server has gone idle.
+const SCAN_PARK_MAX: Duration = Duration::from_millis(25);
+
+/// The portable poller: no readiness syscall at all. Every sweep reports all
+/// registered sockets as ready per their interest and lets the reactor's
+/// nonblocking reads/writes discover the truth (`WouldBlock` is cheap). The
+/// park between sweeps adapts — 50µs while progressing, backing off to 25ms
+/// at idle — and wakers (completions, shutdown) interrupt the park through a
+/// condvar, so latency stays bounded without a hot spin.
+pub(crate) struct ScanPoller {
+    signal: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    interests: HashMap<u64, Interest>,
+    listener_registered: bool,
+    park: Duration,
+}
+
+impl ScanPoller {
+    pub(crate) fn new() -> ScanPoller {
+        ScanPoller {
+            signal: Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new())),
+            interests: HashMap::new(),
+            listener_registered: false,
+            park: SCAN_PARK_MIN,
+        }
+    }
+}
+
+impl Poller for ScanPoller {
+    fn register_listener(&mut self, _listener: &TcpListener) -> std::io::Result<()> {
+        self.listener_registered = true;
+        Ok(())
+    }
+
+    fn deregister_listener(&mut self, _listener: &TcpListener) {
+        self.listener_registered = false;
+    }
+
+    fn register_conn(
+        &mut self,
+        _stream: &TcpStream,
+        token: u64,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        self.interests.insert(token, interest);
+        Ok(())
+    }
+
+    fn update_conn(&mut self, _stream: &TcpStream, token: u64, interest: Interest) {
+        self.interests.insert(token, interest);
+    }
+
+    fn deregister_conn(&mut self, _stream: &TcpStream, token: u64) {
+        self.interests.remove(&token);
+    }
+
+    fn waker(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let signal = Arc::clone(&self.signal);
+        Arc::new(move || {
+            let (lock, cv) = &*signal;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cv.notify_all();
+        })
+    }
+
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>, progressed: bool) {
+        self.park = if progressed {
+            SCAN_PARK_MIN
+        } else {
+            (self.park * 2).min(SCAN_PARK_MAX)
+        };
+        let park = match timeout {
+            Some(t) => t.min(self.park),
+            None => self.park,
+        };
+        {
+            let (lock, cv) = &*self.signal;
+            let mut woken = lock.lock().unwrap_or_else(|e| e.into_inner());
+            if !*woken {
+                let (guard, _) = cv
+                    .wait_timeout(woken, park)
+                    .unwrap_or_else(|e| e.into_inner());
+                woken = guard;
+            }
+            *woken = false;
+        }
+        if self.listener_registered {
+            events.push(Event {
+                token: LISTENER_TOKEN,
+                readable: true,
+                writable: false,
+                closed: false,
+            });
+        }
+        for (&token, &interest) in &self.interests {
+            if interest.readable || interest.writable {
+                events.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    closed: false,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completion queue: engine → reactor
+// ---------------------------------------------------------------------------
+
+/// Connections whose statements completed since the reactor last looked.
+/// Engine completion wakers push here from the coordinator thread and then
+/// fire the poller's waker.
+pub(crate) struct CompletionQueue {
+    tokens: std::sync::Mutex<Vec<u64>>,
+    wake: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl CompletionQueue {
+    fn notify(&self, token: u64) {
+        self.tokens
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(token);
+        (self.wake)();
+    }
+
+    fn drain(&self, into: &mut Vec<u64>) {
+        let mut tokens = self.tokens.lock().unwrap_or_else(|e| e.into_inner());
+        into.append(&mut tokens);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection state machine
+// ---------------------------------------------------------------------------
+
+/// One entry of a connection's ordered reply queue.
+enum Reply {
+    /// Already-encoded frames, ready to move to the write queue.
+    Ready(Vec<u8>),
+    /// A submitted statement; its outcome is pumped out (in submission order)
+    /// when the engine's completion waker fires.
+    Pending {
+        request_id: u64,
+        handle: QueryHandle,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Replies in submission order; `Pending` entries park here until the
+    /// engine completes them.
+    replies: VecDeque<Reply>,
+    /// Number of `Reply::Pending` entries (the per-session in-flight count).
+    inflight: usize,
+    /// Encoded response bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    greeted: bool,
+    /// No more frames will be read (EOF, Goodbye, violation, or drain).
+    read_closed: bool,
+    /// When the first byte of a partial frame arrived (stall timeout).
+    frame_started: Option<Instant>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Wakes the reactor when one of this connection's statements completes.
+    waker: Arc<dyn Fn() + Send + Sync>,
+    /// Unrecoverable socket or protocol failure: drop without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn out_len(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn push_out(&mut self, bytes: &[u8]) {
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos >= 64 * 1024 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// The interest this connection wants given its current state.
+    fn wanted_interest(&self, draining: bool) -> Interest {
+        Interest {
+            readable: !self.read_closed && !draining && self.out_len() < WRITE_HIGH_WATER,
+            writable: self.out_len() > 0,
+        }
+    }
+
+    /// True once everything owed to the client has been flushed and the
+    /// connection has no reason to stay open.
+    fn finished(&self, draining: bool) -> bool {
+        self.dead
+            || (self.replies.is_empty() && self.out_len() == 0 && (self.read_closed || draining))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Box<dyn Poller>,
+    conns: HashMap<u64, Conn>,
+    completions: Arc<CompletionQueue>,
+    next_token: u64,
+    /// Set when a drain begins: the hard deadline after which surviving
+    /// connections are force-closed.
+    drain_deadline: Option<Instant>,
+    /// Connections currently holding a partial frame. Gates the stall-timer
+    /// scans so the steady state never walks the whole connection map.
+    mid_frame_conns: usize,
+    /// Reused buffers.
+    events: Vec<Event>,
+    completed: Vec<u64>,
+    scratch: Box<[u8]>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        listener: TcpListener,
+        poller: Box<dyn Poller>,
+    ) -> Reactor {
+        let wake = poller.waker();
+        Reactor {
+            shared,
+            listener,
+            poller,
+            conns: HashMap::new(),
+            completions: Arc::new(CompletionQueue {
+                tokens: std::sync::Mutex::new(Vec::new()),
+                wake,
+            }),
+            next_token: FIRST_CONN_TOKEN,
+            drain_deadline: None,
+            mid_frame_conns: 0,
+            events: Vec::new(),
+            completed: Vec::new(),
+            scratch: vec![0u8; 64 * 1024].into_boxed_slice(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        if self.poller.register_listener(&self.listener).is_err() {
+            // Without a registered listener the server can never accept;
+            // treat as fatal and drain out.
+            self.begin_drain();
+        }
+        let mut progressed = true;
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) && self.drain_deadline.is_none() {
+                self.begin_drain();
+                progressed = true;
+            }
+
+            // Engine completions since the last sweep.
+            self.completed.clear();
+            let mut completed = std::mem::take(&mut self.completed);
+            self.completions.drain(&mut completed);
+            for &token in &completed {
+                progressed = true;
+                self.pump_and_flush(token);
+                self.maybe_reap(token);
+            }
+            self.completed = completed;
+
+            let now = Instant::now();
+            // Stall timers only exist while some client is mid-frame; the
+            // counter keeps the steady state free of full-map scans.
+            if self.mid_frame_conns > 0 {
+                self.expire_stalled(now);
+            }
+            if self.drain_deadline.is_some() {
+                // Drain mode is the one regime where a full sweep is right:
+                // every connection is racing the same deadline.
+                self.reap_finished();
+                if self.conns.is_empty() {
+                    break;
+                }
+                if now >= self.drain_deadline.unwrap() {
+                    // Force-close whatever would not drain (e.g. a client
+                    // that stopped reading its responses).
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.drop_conn(token);
+                    }
+                    break;
+                }
+            }
+
+            let timeout = self.next_timeout(now);
+            self.events.clear();
+            let mut events = std::mem::take(&mut self.events);
+            self.poller.poll(&mut events, timeout, progressed);
+            progressed = false;
+            for event in &events {
+                match event.token {
+                    LISTENER_TOKEN => progressed |= self.accept_ready(),
+                    WAKE_TOKEN => {}
+                    token => {
+                        if event.readable || event.closed {
+                            progressed |= self.conn_readable(token);
+                        }
+                        if event.writable || event.closed {
+                            progressed |= self.pump_and_flush(token);
+                        }
+                        self.maybe_reap(token);
+                    }
+                }
+            }
+            self.events = events;
+        }
+        self.poller.deregister_listener(&self.listener);
+        self.shared.notify_drained();
+    }
+
+    /// Stop accepting and reading; deliver what is owed, then close.
+    fn begin_drain(&mut self) {
+        let config_timeout = self.shared.config.drain_timeout;
+        // The server-side drain waits `drain_timeout`, then shuts the engine
+        // down, which completes every in-flight statement (final batch or
+        // shutdown error). The reactor's own deadline sits past that so those
+        // final results still reach clients that are reading.
+        self.drain_deadline = Some(Instant::now() + config_timeout * 2 + Duration::from_secs(2));
+        self.poller.deregister_listener(&self.listener);
+        for conn in self.conns.values_mut() {
+            // A partially received frame can never complete (we stop
+            // reading): discard it rather than waiting out its stall timer.
+            conn.decoder.clear();
+            conn.frame_started = None;
+            conn.read_closed = true;
+        }
+        self.mid_frame_conns = 0;
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.update_interest(token);
+        }
+    }
+
+    /// Earliest pending timer: stalled-frame timeouts and the drain deadline.
+    /// With no mid-frame client and no drain armed there is no timer at all —
+    /// the poll sleeps until a socket or a waker fires.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut next: Option<Instant> = self.drain_deadline;
+        if self.mid_frame_conns > 0 {
+            for conn in self.conns.values() {
+                if let Some(started) = conn.frame_started {
+                    let deadline = started + STALLED_FRAME_TIMEOUT;
+                    next = Some(match next {
+                        Some(n) => n.min(deadline),
+                        None => deadline,
+                    });
+                }
+            }
+        }
+        next.map(|deadline| deadline.saturating_duration_since(now))
+    }
+
+    fn expire_stalled(&mut self, now: Instant) {
+        let stalled: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.frame_started
+                    .is_some_and(|started| now.duration_since(started) > STALLED_FRAME_TIMEOUT)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stalled {
+            self.drop_conn(token);
+        }
+    }
+
+    fn reap_finished(&mut self) {
+        let draining = self.drain_deadline.is_some();
+        let finished: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished(draining))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in finished {
+            self.drop_conn(token);
+        }
+        if draining && self.conns.is_empty() {
+            self.shared.notify_drained();
+        }
+    }
+
+    /// Reaps one connection if it has nothing left to deliver. Steady-state
+    /// reaping is per-token (after the event or completion that touched the
+    /// connection); only drain mode sweeps the whole map.
+    fn maybe_reap(&mut self, token: u64) {
+        let draining = self.drain_deadline.is_some();
+        if self.conns.get(&token).is_some_and(|c| c.finished(draining)) {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.frame_started.is_some() {
+                self.mid_frame_conns -= 1;
+            }
+            self.poller.deregister_conn(&conn.stream, token);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.shared.sessions_active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    // -- accept ------------------------------------------------------------
+
+    fn accept_ready(&mut self) -> bool {
+        let mut accepted = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted = true;
+                    if self.drain_deadline.is_some() {
+                        continue; // accepted only to close: we are draining
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let completions = Arc::clone(&self.completions);
+                    let waker: Arc<dyn Fn() + Send + Sync> =
+                        Arc::new(move || completions.notify(token));
+                    let interest = Interest {
+                        readable: true,
+                        writable: false,
+                    };
+                    if self.poller.register_conn(&stream, token, interest).is_err() {
+                        continue;
+                    }
+                    self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    self.shared.sessions_active.fetch_add(1, Ordering::AcqRel);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            replies: VecDeque::new(),
+                            inflight: 0,
+                            out: Vec::new(),
+                            out_pos: 0,
+                            greeted: false,
+                            read_closed: false,
+                            frame_started: None,
+                            interest,
+                            waker,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Transient accept failure (e.g. fd exhaustion): yield
+                    // briefly so a level-triggered listener doesn't spin.
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
+                }
+            }
+        }
+        accepted
+    }
+
+    // -- read path ---------------------------------------------------------
+
+    fn conn_readable(&mut self, token: u64) -> bool {
+        let mut progressed = false;
+        // Bounded sweeps keep one firehose client from starving the rest; a
+        // level-triggered poller re-reports the remainder immediately.
+        for _ in 0..8 {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) if !c.read_closed && !c.dead => c,
+                _ => break,
+            };
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Clean EOF (possibly a half-close: the client may still
+                    // be reading its pending responses).
+                    conn.read_closed = true;
+                    progressed = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    conn.decoder.push(&self.scratch[..n]);
+                    if !self.process_frames(token) {
+                        break;
+                    }
+                    let conn = match self.conns.get_mut(&token) {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    if conn.out_len() >= WRITE_HIGH_WATER {
+                        break; // backpressure: stop reading until drained
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        let mid_frame_delta = match self.conns.get_mut(&token) {
+            Some(conn) => {
+                // Arm or clear the stall timer from what is left in the
+                // decoder.
+                let was_mid = conn.frame_started.is_some();
+                conn.frame_started = if conn.decoder.mid_frame() {
+                    Some(conn.frame_started.unwrap_or_else(Instant::now))
+                } else {
+                    None
+                };
+                conn.frame_started.is_some() as isize - was_mid as isize
+            }
+            None => 0,
+        };
+        self.mid_frame_conns = self
+            .mid_frame_conns
+            .checked_add_signed(mid_frame_delta)
+            .unwrap_or(0);
+        self.pump_and_flush(token);
+        progressed
+    }
+
+    /// Decodes and handles every complete frame in the connection's buffer.
+    /// Returns false when the connection stopped accepting frames.
+    fn process_frames(&mut self, token: u64) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) if !c.read_closed && !c.dead => c,
+                _ => return false,
+            };
+            match conn.decoder.poll_frame() {
+                Ok(Some(frame)) => {
+                    if !self.handle_frame(token, frame) {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(_) => {
+                    // The stream can no longer be framed: flush what was
+                    // already owed, then close (mirrors the old session
+                    // behaviour of dropping on a malformed frame).
+                    conn.read_closed = true;
+                    conn.decoder.clear();
+                    return false;
+                }
+            }
+        }
+    }
+
+    // -- frame handling (the protocol state machine) -----------------------
+
+    /// Handles one decoded frame. Returns false when the connection stops
+    /// reading (goodbye, violation, fatal state).
+    fn handle_frame(&mut self, token: u64, frame: Frame) -> bool {
+        let greeted = match self.conns.get(&token) {
+            Some(c) => c.greeted,
+            None => return false,
+        };
+        // Hello must be the first frame: anything else before a successful
+        // handshake is a protocol violation and drops the connection.
+        if !greeted && !matches!(frame, Frame::Hello { .. }) {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.dead = true;
+            }
+            return false;
+        }
+        match frame {
+            Frame::Hello { version, .. } => {
+                if version != PROTOCOL_VERSION {
+                    // A version mismatch ends the session: continuing to
+                    // decode a foreign version's frames with v1 rules would
+                    // misparse them.
+                    self.enqueue_reply(
+                        token,
+                        &Frame::Error {
+                            request_id: 0,
+                            code: protocol::error_codes::UNSUPPORTED,
+                            retryable: false,
+                            message: format!(
+                                "protocol version {version} is not supported (server speaks {PROTOCOL_VERSION})"
+                            ),
+                        },
+                    );
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.read_closed = true;
+                    }
+                    return false;
+                }
+                let reply = Frame::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    server_name: self.shared.config.server_name.clone(),
+                    statement_count: self.shared.registry.len() as u32,
+                };
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.greeted = true;
+                }
+                self.enqueue_reply(token, &reply);
+                true
+            }
+            Frame::Prepare { request_id, name } => {
+                let reply = match self.shared.registry.get(&name) {
+                    Ok((idx, spec)) => Frame::Prepared {
+                        request_id,
+                        statement_id: idx as u32,
+                        param_count: self.shared.param_counts[idx] as u32,
+                        is_update: spec.is_update(),
+                    },
+                    Err(e) => error_frame(request_id, &e),
+                };
+                self.enqueue_reply(token, &reply);
+                true
+            }
+            Frame::ExecutePrepared {
+                request_id,
+                statement_id,
+                params,
+            } => {
+                if (statement_id as usize) >= self.shared.registry.len() {
+                    self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                    let e = Error::UnknownStatement(format!("statement id {statement_id}"));
+                    self.enqueue_reply(token, &error_frame(request_id, &e));
+                    return true;
+                }
+                let name = self
+                    .shared
+                    .registry
+                    .by_index(statement_id as usize)
+                    .name
+                    .clone();
+                self.submit(token, request_id, &name, &params);
+                true
+            }
+            Frame::Query { request_id, sql } => {
+                let resolved = canonicalize(&sql).and_then(|adhoc_template| {
+                    match self.shared.adhoc.get(&adhoc_template.canonical) {
+                        Some((name, template)) => bind_adhoc(template, &adhoc_template)
+                            .map(|params| (name.clone(), params)),
+                        None => Err(Error::UnknownStatement(format!(
+                            "no registered statement type matches: {}",
+                            adhoc_template.canonical
+                        ))),
+                    }
+                });
+                match resolved {
+                    Ok((name, params)) => self.submit(token, request_id, &name, &params),
+                    Err(e) => {
+                        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                        self.enqueue_reply(token, &error_frame(request_id, &e));
+                    }
+                }
+                true
+            }
+            Frame::Stats { request_id } => {
+                let engine = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
+                let (engine_stats, queued) = match engine.as_ref() {
+                    Some(e) => (e.stats(), e.queued()),
+                    None => (Default::default(), 0),
+                };
+                drop(engine);
+                let reply = Frame::StatsReply {
+                    request_id,
+                    stats: WireStats {
+                        batches: engine_stats.batches,
+                        queries: engine_stats.queries,
+                        updates: engine_stats.updates,
+                        failed: engine_stats.failed,
+                        queued: queued as u64,
+                        sessions: self.shared.sessions_active.load(Ordering::Relaxed),
+                        rejected: self.shared.rejected.load(Ordering::Relaxed),
+                    },
+                };
+                self.enqueue_reply(token, &reply);
+                true
+            }
+            Frame::Ping { request_id } => {
+                self.enqueue_reply(token, &Frame::Pong { request_id });
+                true
+            }
+            Frame::Goodbye => {
+                self.enqueue_reply(token, &Frame::GoodbyeOk);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.read_closed = true;
+                }
+                false
+            }
+            // Server-to-client frames arriving at the server are a protocol
+            // violation; drop the connection.
+            Frame::HelloOk { .. }
+            | Frame::Prepared { .. }
+            | Frame::ResultChunk { .. }
+            | Frame::Error { .. }
+            | Frame::StatsReply { .. }
+            | Frame::GoodbyeOk
+            | Frame::Pong { .. } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.dead = true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Admission control + submission of one statement.
+    fn submit(
+        &mut self,
+        token: u64,
+        request_id: u64,
+        statement: &str,
+        params: &[shareddb_common::Value],
+    ) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            self.enqueue_reply(token, &error_frame(request_id, &Error::EngineShutdown));
+            return;
+        }
+        let (inflight, waker) = match self.conns.get(&token) {
+            Some(c) => (c.inflight, Arc::clone(&c.waker)),
+            None => return,
+        };
+        // Per-session in-flight cap: a pipelining client beyond its budget is
+        // rejected (retryably) rather than throttled, so its already-admitted
+        // work keeps flowing.
+        if inflight >= self.shared.config.max_inflight_per_session {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let e = Error::Overloaded(format!(
+                "session in-flight limit of {} reached",
+                self.shared.config.max_inflight_per_session
+            ));
+            self.enqueue_reply(token, &error_frame(request_id, &e));
+            return;
+        }
+        let guard = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
+        // Global queue-depth backpressure: enforced inside the engine under
+        // the admission-queue lock, so concurrent sessions cannot overshoot
+        // the bound (the old check-then-enqueue TOCTOU is gone).
+        let outcome = match guard.as_ref() {
+            Some(engine) => engine.submit(
+                statement,
+                params,
+                SubmitOptions {
+                    max_queue_depth: Some(self.shared.config.max_queue_depth),
+                    completion_waker: Some(waker),
+                },
+            ),
+            None => Err(Error::EngineShutdown),
+        };
+        drop(guard);
+        match outcome {
+            Ok(handle) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.inflight += 1;
+                    conn.replies
+                        .push_back(Reply::Pending { request_id, handle });
+                }
+            }
+            Err(e) => {
+                if matches!(e, Error::Overloaded(_)) {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                self.enqueue_reply(token, &error_frame(request_id, &e));
+            }
+        }
+    }
+
+    // -- write path --------------------------------------------------------
+
+    /// Appends a server frame to the connection's ordered reply queue.
+    fn enqueue_reply(&mut self, token: u64, frame: &Frame) {
+        let bytes = frame.encode();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if bytes.len() - 4 > MAX_FRAME_LEN {
+                conn.dead = true; // would desynchronise the stream
+                return;
+            }
+            match conn.replies.back_mut() {
+                // Coalesce consecutive ready frames into one buffer.
+                Some(Reply::Ready(tail)) => tail.extend_from_slice(&bytes),
+                _ => conn.replies.push_back(Reply::Ready(bytes)),
+            }
+        }
+    }
+
+    /// Moves completed replies (in submission order) into the write queue and
+    /// flushes as much as the socket accepts. Pump and flush alternate until
+    /// neither makes progress: a flush that drops the write queue below the
+    /// high-water mark re-opens the pump, so a completed reply can never be
+    /// stranded behind a consumed wakeup.
+    fn pump_and_flush(&mut self, token: u64) -> bool {
+        let conn = match self.conns.get_mut(&token) {
+            Some(c) if !c.dead => c,
+            _ => return false,
+        };
+        let mut progressed = false;
+        loop {
+            let mut round = false;
+            // Pump: ready bytes move straight out; pending statements only
+            // once the engine has delivered their outcome — never out of
+            // order.
+            while conn.out_len() < WRITE_HIGH_WATER {
+                match conn.replies.front_mut() {
+                    None => break,
+                    Some(Reply::Ready(bytes)) => {
+                        let bytes = std::mem::take(bytes);
+                        conn.push_out(&bytes);
+                        conn.replies.pop_front();
+                        round = true;
+                    }
+                    Some(Reply::Pending { request_id, handle }) => {
+                        let request_id = *request_id;
+                        match handle.try_wait() {
+                            None => break,
+                            Some(outcome) => {
+                                conn.inflight -= 1;
+                                conn.replies.pop_front();
+                                round = true;
+                                let mut bytes = Vec::new();
+                                let ok = match outcome {
+                                    Ok(outcome) => encode_outcome(
+                                        &mut bytes,
+                                        request_id,
+                                        &outcome,
+                                        self.shared.config.chunk_rows,
+                                    ),
+                                    Err(e) => {
+                                        bytes = error_frame(request_id, &e).encode();
+                                        true
+                                    }
+                                };
+                                if !ok {
+                                    conn.dead = true;
+                                    break;
+                                }
+                                conn.push_out(&bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            // Flush.
+            while conn.out_len() > 0 {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        round = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            progressed |= round;
+            if !round || conn.dead {
+                break;
+            }
+        }
+        self.update_interest(token);
+        progressed
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let draining = self.drain_deadline.is_some();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.dead {
+                return;
+            }
+            let wanted = conn.wanted_interest(draining);
+            if wanted != conn.interest {
+                conn.interest = wanted;
+                self.poller.update_conn(&conn.stream, token, wanted);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------------
+
+fn error_frame(request_id: u64, error: &Error) -> Frame {
+    let (code, retryable) = error_to_wire(error);
+    Frame::Error {
+        request_id,
+        code,
+        retryable,
+        message: error.to_string(),
+    }
+}
+
+/// Encodes a statement outcome as its response frames. Returns false when a
+/// frame would exceed the protocol limit (the connection must be dropped).
+fn encode_outcome(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    outcome: &QueryOutcome,
+    chunk_rows: usize,
+) -> bool {
+    match outcome {
+        QueryOutcome::Updated { rows_affected } => {
+            let frame = Frame::ResultChunk {
+                request_id,
+                flags: chunk_flags::FIRST | chunk_flags::LAST | chunk_flags::UPDATE,
+                rows_affected: *rows_affected as u64,
+                schema: vec![],
+                rows: vec![],
+            };
+            append_frame(buf, &frame)
+        }
+        QueryOutcome::Rows(result) => {
+            let schema: Vec<(String, shareddb_common::DataType)> = result
+                .schema
+                .columns()
+                .iter()
+                .map(|c| (c.qualified_name(), c.data_type))
+                .collect();
+            let chunk_rows = chunk_rows.max(1);
+            let n_chunks = result.rows.len().div_ceil(chunk_rows).max(1);
+            for (i, chunk) in result
+                .rows
+                .chunks(chunk_rows)
+                .chain(std::iter::repeat_n(
+                    &[][..],
+                    usize::from(result.rows.is_empty()),
+                ))
+                .enumerate()
+            {
+                let mut flags = 0u8;
+                if i == 0 {
+                    flags |= chunk_flags::FIRST;
+                }
+                if i + 1 == n_chunks {
+                    flags |= chunk_flags::LAST;
+                }
+                let frame = Frame::ResultChunk {
+                    request_id,
+                    flags,
+                    rows_affected: 0,
+                    schema: if i == 0 { schema.clone() } else { vec![] },
+                    rows: chunk.iter().map(|t| t.values().to_vec()).collect(),
+                };
+                if !append_frame(buf, &frame) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+fn append_frame(buf: &mut Vec<u8>, frame: &Frame) -> bool {
+    let bytes = frame.encode();
+    if bytes.len() - 4 > MAX_FRAME_LEN {
+        return false;
+    }
+    buf.extend_from_slice(&bytes);
+    true
+}

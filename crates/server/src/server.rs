@@ -1,25 +1,34 @@
-//! The multi-threaded TCP server: client sessions feeding one shared engine.
+//! The event-driven TCP server: one reactor thread feeding one shared engine.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!   client sockets          sessions                    engine
-//!   ┌────────┐   frames   ┌──────────────┐  admit   ┌─────────────────┐
-//!   │ conn 1 ├───────────▶│ reader thread├─────────▶│                 │
-//!   │        │◀───────────┤ writer thread│◀─handle──┤  admission queue│
-//!   └────────┘  responses └──────────────┘          │   → QueryBatch  │
-//!   ┌────────┐            ┌──────────────┐          │   → shared plan │
-//!   │ conn N ├───────────▶│   ...        ├─────────▶│   → Γ(query_id) │
-//!   └────────┘            └──────────────┘          └─────────────────┘
+//!   client sockets      reactor (1 thread)                engine
+//!   ┌────────┐  bytes  ┌───────────────────┐  admit   ┌─────────────────┐
+//!   │ conn 1 ├────────▶│ epoll / poll loop │─────────▶│                 │
+//!   │        │◀────────┤ frame decoders    │◀─waker───┤  admission queue│
+//!   └────────┘  frames │ reply queues      │          │   → QueryBatch  │
+//!   ┌────────┐         │ write queues      │          │   → shared plan │
+//!   │ conn N ├────────▶│                   │─────────▶│   → Γ(query_id) │
+//!   └────────┘         └───────────────────┘          └─────────────────┘
 //! ```
 //!
-//! Every connection gets a **reader** thread (parses frames, runs admission
-//! control, submits statements to the engine) and a **writer** thread (waits
-//! on the engine's [`QueryHandle`]s *in submission order* and streams the
-//! results back). Because responses are strictly ordered, clients can
-//! pipeline: many requests of one connection are in flight at once and all of
-//! them land in the same heartbeat window, which is exactly how SharedDB wants
-//! its work to arrive — many concurrent statements forming one big batch.
+//! A single [`crate::reactor::Reactor`] thread owns the listener and every
+//! client socket (nonblocking, readiness-driven — `epoll` on Linux through a
+//! direct libc binding, an adaptive-parking poll loop elsewhere). Incoming
+//! bytes accumulate in per-connection [`crate::protocol::FrameDecoder`]s;
+//! complete frames run admission control and are submitted to the engine;
+//! results are pumped back *in submission order* through per-connection reply
+//! queues when the engine's completion waker fires. Because responses are
+//! strictly ordered, clients can pipeline: many requests of one connection
+//! are in flight at once and all of them land in the same heartbeat window,
+//! which is exactly how SharedDB wants its work to arrive — many concurrent
+//! statements forming one big batch.
+//!
+//! Compared to the former thread-per-connection frontend this removes two OS
+//! threads per session (the server now scales to thousands of sockets) and
+//! the 50 ms shutdown poll every session used to run: an idle server makes no
+//! wakeups at all.
 //!
 //! ## Admission control
 //!
@@ -27,54 +36,54 @@
 //!
 //! * `max_inflight_per_session` — statements a single connection may have
 //!   unanswered; prevents one client from monopolising a batch.
-//! * `max_queue_depth` — global bound on the engine's admission queue;
-//!   requests beyond it are rejected with a *retryable*
-//!   [`protocol::error_codes::OVERLOADED`] error instead of growing the queue
+//! * `max_queue_depth` — global bound on the engine's admission queue,
+//!   enforced **atomically** under the queue lock
+//!   ([`shareddb_core::SubmitOptions::max_queue_depth`]); requests beyond it
+//!   are rejected with a *retryable*
+//!   [`crate::protocol::error_codes::OVERLOADED`] error instead of growing the queue
 //!   without bound.
 //!
 //! On [`Server::shutdown`] the listener stops accepting, sessions drain their
-//! in-flight work (bounded by `drain_timeout`), and only then is the engine
-//! stopped.
+//! in-flight work (bounded by `drain_timeout`, signalled event-driven by the
+//! reactor rather than polled), and only then is the engine stopped.
 
-use crate::protocol::{
-    self, chunk_flags, error_to_wire, write_frame, Frame, WireStats, PROTOCOL_VERSION,
-};
+use crate::reactor::{Poller, Reactor, ScanPoller};
 use shareddb_common::{Error, Expr, Result};
-use shareddb_core::engine::QueryHandle;
 use shareddb_core::plan::{
     ActivationTemplate, GlobalPlan, ProbeTemplate, StatementKind, UpdateTemplate,
 };
-use shareddb_core::{Engine, EngineConfig, QueryOutcome, StatementRegistry};
-use shareddb_sql::compile::{bind_adhoc, canonicalize, SqlTemplate};
+use shareddb_core::{Engine, EngineConfig, StatementRegistry};
+use shareddb_sql::compile::{canonicalize, SqlTemplate};
 use shareddb_sql::compile_workload;
 use shareddb_storage::Catalog;
 use std::collections::HashMap;
-use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks a free port).
     pub bind_addr: String,
-    /// Name reported in the [`Frame::HelloOk`] greeting.
+    /// Name reported in the [`crate::protocol::Frame::HelloOk`] greeting.
     pub server_name: String,
     /// Maximum unanswered statements per session before backpressure kicks in.
     pub max_inflight_per_session: usize,
     /// Engine admission-queue depth beyond which new statements are rejected.
-    /// A *soft* bound: the check is made without a global lock, so concurrent
-    /// sessions can overshoot it by up to one statement each — it prevents
-    /// unbounded queue growth, not an exact ceiling.
+    /// A *hard* bound: the check and the enqueue happen under the engine's
+    /// queue lock, so concurrent sessions can never overshoot it.
     pub max_queue_depth: usize,
-    /// Rows per [`Frame::ResultChunk`].
+    /// Rows per [`crate::protocol::Frame::ResultChunk`].
     pub chunk_rows: usize,
     /// How long [`Server::shutdown`] waits for sessions to drain.
     pub drain_timeout: Duration,
+    /// Use the portable adaptive-parking poller even where an OS readiness
+    /// facility (Linux `epoll`) is available. Mainly for tests and for
+    /// diagnosing platform-specific reactor issues.
+    pub force_portable_poller: bool,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +95,7 @@ impl Default for ServerConfig {
             max_queue_depth: 4096,
             chunk_rows: 512,
             drain_timeout: Duration::from_secs(5),
+            force_portable_poller: false,
         }
     }
 }
@@ -103,33 +113,53 @@ pub struct ServerStatsSnapshot {
     pub rejected: u64,
 }
 
-struct Shared {
-    engine: RwLock<Option<Engine>>,
-    registry: StatementRegistry,
-    param_counts: Vec<usize>,
+pub(crate) struct Shared {
+    pub(crate) engine: RwLock<Option<Engine>>,
+    pub(crate) registry: StatementRegistry,
+    pub(crate) param_counts: Vec<usize>,
     /// canonical SQL text → (statement name, template slot map); used to
-    /// match ad-hoc [`Frame::Query`] SQL against the compiled statement types.
-    adhoc: HashMap<String, (String, SqlTemplate)>,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    sessions_opened: AtomicU64,
-    sessions_active: AtomicU64,
-    requests: AtomicU64,
-    rejected: AtomicU64,
+    /// match ad-hoc [`crate::protocol::Frame::Query`] SQL against the compiled
+    /// statement types.
+    pub(crate) adhoc: HashMap<String, (String, SqlTemplate)>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_active: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    /// Event-driven drain signal: the reactor flips the flag and notifies
+    /// once every session has flushed and closed (no timed polling).
+    drained: Mutex<bool>,
+    drained_cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn notify_drained(&self) {
+        let mut drained = self.drained.lock().unwrap_or_else(|e| e.into_inner());
+        *drained = true;
+        self.drained_cv.notify_all();
+    }
+
+    fn wait_drained(&self, timeout: Duration) {
+        let drained = self.drained.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = self
+            .drained_cv
+            .wait_timeout_while(drained, timeout, |d| !*d);
+    }
 }
 
 /// The SharedDB network frontend: owns the engine and a TCP listener.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor_thread: Option<JoinHandle<()>>,
+    reactor_waker: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl Server {
     /// Starts a server over a pre-built global plan and statement registry
-    /// (e.g. the TPC-W plan). Ad-hoc [`Frame::Query`] SQL is disabled in this
-    /// mode — clients use `Prepare`/`ExecutePrepared`.
+    /// (e.g. the TPC-W plan). Ad-hoc [`crate::protocol::Frame::Query`] SQL is
+    /// disabled in this mode — clients use `Prepare`/`ExecutePrepared`.
     pub fn start(
         catalog: Arc<Catalog>,
         plan: GlobalPlan,
@@ -149,8 +179,8 @@ impl Server {
 
     /// Compiles a SQL workload (via [`shareddb_sql::compile_workload`]) into a
     /// shared global plan and starts a server over it. Ad-hoc
-    /// [`Frame::Query`] SQL is matched against the workload's statement types
-    /// by auto-parameterisation.
+    /// [`crate::protocol::Frame::Query`] SQL is matched against the workload's
+    /// statement types by auto-parameterisation.
     pub fn start_sql(
         catalog: Arc<Catalog>,
         statements: &[(&str, &str)],
@@ -186,6 +216,7 @@ impl Server {
         let listener = TcpListener::bind(&config.bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = build_poller(config.force_portable_poller);
 
         let shared = Arc::new(Shared {
             engine: RwLock::new(Some(engine)),
@@ -198,21 +229,22 @@ impl Server {
             sessions_active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            drained: Mutex::new(false),
+            drained_cv: Condvar::new(),
         });
-        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_sessions = Arc::clone(&sessions);
-        let accept_thread = std::thread::Builder::new()
-            .name("shareddb-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_sessions))
-            .map_err(|e| Error::Internal(format!("failed to spawn accept thread: {e}")))?;
+        let reactor_waker = poller.waker();
+        let reactor = Reactor::new(Arc::clone(&shared), listener, poller);
+        let reactor_thread = std::thread::Builder::new()
+            .name("shareddb-reactor".into())
+            .spawn(move || reactor.run())
+            .map_err(|e| Error::Internal(format!("failed to spawn reactor thread: {e}")))?;
 
         Ok(Server {
             shared,
             addr,
-            accept_thread: Some(accept_thread),
-            sessions,
+            reactor_thread: Some(reactor_thread),
+            reactor_waker,
         })
     }
 
@@ -231,6 +263,17 @@ impl Server {
             .map(|e| e.stats())
     }
 
+    /// Statements admitted to the engine but not yet formed into a batch.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.queued())
+            .unwrap_or(0)
+    }
+
     /// Server-level statistics.
     pub fn stats(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
@@ -247,15 +290,16 @@ impl Server {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        // Drain: sessions observe the shutdown flag at their next read poll
-        // and close once their pipelines are flushed.
-        let deadline = Instant::now() + self.shared.config.drain_timeout;
-        while self.shared.sessions_active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // Wake the reactor so it observes the flag immediately (event-driven;
+        // no session ever polls a shutdown flag on a timer any more).
+        (self.reactor_waker)();
+        // Drain: the reactor signals once every session has flushed its
+        // in-flight work and closed.
+        self.shared.wait_drained(self.shared.config.drain_timeout);
+        // Stop the engine: completes everything still queued (final batch) or
+        // fails it with a clean shutdown error; completion wakers hand those
+        // results to the reactor, which delivers them and closes the
+        // remaining sessions.
         let engine = self
             .shared
             .engine
@@ -265,11 +309,7 @@ impl Server {
         if let Some(mut engine) = engine {
             engine.shutdown();
         }
-        let handles: Vec<_> = {
-            let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
-            sessions.drain(..).collect()
-        };
-        for handle in handles {
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
     }
@@ -279,6 +319,19 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+fn build_poller(force_portable: bool) -> Box<dyn Poller> {
+    #[cfg(target_os = "linux")]
+    {
+        if !force_portable {
+            if let Ok(poller) = crate::reactor::EpollPoller::new() {
+                return Box::new(poller);
+            }
+        }
+    }
+    let _ = force_portable;
+    Box::new(ScanPoller::new())
 }
 
 /// Number of positional parameters a registered statement takes, derived from
@@ -345,495 +398,13 @@ fn spec_param_count(spec: &shareddb_core::plan::StatementSpec) -> usize {
     max
 }
 
-// ---------------------------------------------------------------------------
-// Accept loop
-// ---------------------------------------------------------------------------
-
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let mut session_seq = 0u64;
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                session_seq += 1;
-                shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                shared.sessions_active.fetch_add(1, Ordering::AcqRel);
-                let session_shared = Arc::clone(&shared);
-                let name = format!("shareddb-session-{session_seq}");
-                match std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || session_loop(stream, session_shared))
-                {
-                    Ok(handle) => {
-                        let mut sessions = sessions.lock().unwrap_or_else(|e| e.into_inner());
-                        // Reap finished sessions so the handle list stays
-                        // proportional to *live* connections under churn.
-                        sessions.retain(|h| !h.is_finished());
-                        sessions.push(handle);
-                    }
-                    Err(_) => {
-                        shared.sessions_active.fetch_sub(1, Ordering::AcqRel);
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Sessions
-// ---------------------------------------------------------------------------
-
-enum Reply {
-    /// A frame that is ready to send.
-    Immediate(Frame),
-    /// A submitted statement; the writer waits for the engine's result and
-    /// streams it back, preserving submission order.
-    Pending {
-        request_id: u64,
-        handle: QueryHandle,
-    },
-    /// Flush and close the connection.
-    Close,
-}
-
-struct SessionGuard(Arc<Shared>);
-
-impl Drop for SessionGuard {
-    fn drop(&mut self) {
-        self.0.sessions_active.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-fn session_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let _guard = SessionGuard(Arc::clone(&shared));
-    let _ = stream.set_nodelay(true);
-    let read_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let _ = read_stream.set_read_timeout(Some(Duration::from_millis(50)));
-
-    let inflight = Arc::new(AtomicUsize::new(0));
-    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-    let writer_shared = Arc::clone(&shared);
-    let writer_inflight = Arc::clone(&inflight);
-    let writer = std::thread::Builder::new()
-        .name("shareddb-session-writer".into())
-        .spawn(move || writer_loop(stream, reply_rx, writer_shared, writer_inflight));
-    let writer = match writer {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-
-    reader_loop(read_stream, &shared, &inflight, &reply_tx);
-    let _ = reply_tx.send(Reply::Close);
-    drop(reply_tx);
-    let _ = writer.join();
-}
-
-/// Reads frames until EOF, error, Goodbye, or server shutdown.
-fn reader_loop(
-    mut stream: TcpStream,
-    shared: &Arc<Shared>,
-    inflight: &Arc<AtomicUsize>,
-    reply_tx: &mpsc::Sender<Reply>,
-) {
-    let mut greeted = false;
-    loop {
-        let frame = match read_frame_interruptible(&mut stream, shared) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // EOF or drained shutdown
-            Err(_) => return,   // malformed frame or connection error
-        };
-        // Hello must be the first frame: anything else before a successful
-        // handshake is a protocol violation and drops the connection.
-        if !greeted && !matches!(frame, Frame::Hello { .. }) {
-            return;
-        }
-        match frame {
-            Frame::Hello { version, .. } => {
-                if version != PROTOCOL_VERSION {
-                    // A version mismatch ends the session: continuing to
-                    // decode a foreign version's frames with v1 rules would
-                    // misparse them.
-                    let _ = reply_tx.send(Reply::Immediate(Frame::Error {
-                        request_id: 0,
-                        code: protocol::error_codes::UNSUPPORTED,
-                        retryable: false,
-                        message: format!(
-                            "protocol version {version} is not supported (server speaks {PROTOCOL_VERSION})"
-                        ),
-                    }));
-                    return;
-                }
-                greeted = true;
-                let reply = Frame::HelloOk {
-                    version: PROTOCOL_VERSION,
-                    server_name: shared.config.server_name.clone(),
-                    statement_count: shared.registry.len() as u32,
-                };
-                if reply_tx.send(Reply::Immediate(reply)).is_err() {
-                    return;
-                }
-            }
-            Frame::Prepare { request_id, name } => {
-                let reply = match shared.registry.get(&name) {
-                    Ok((idx, spec)) => Frame::Prepared {
-                        request_id,
-                        statement_id: idx as u32,
-                        param_count: shared.param_counts[idx] as u32,
-                        is_update: spec.is_update(),
-                    },
-                    Err(e) => error_frame(request_id, &e),
-                };
-                if reply_tx.send(Reply::Immediate(reply)).is_err() {
-                    return;
-                }
-            }
-            Frame::ExecutePrepared {
-                request_id,
-                statement_id,
-                params,
-            } => {
-                let name = if (statement_id as usize) < shared.registry.len() {
-                    shared.registry.by_index(statement_id as usize).name.clone()
-                } else {
-                    let e = Error::UnknownStatement(format!("statement id {statement_id}"));
-                    shared.requests.fetch_add(1, Ordering::Relaxed);
-                    if reply_tx
-                        .send(Reply::Immediate(error_frame(request_id, &e)))
-                        .is_err()
-                    {
-                        return;
-                    }
-                    continue;
-                };
-                if !submit(shared, inflight, reply_tx, request_id, &name, &params) {
-                    return;
-                }
-            }
-            Frame::Query { request_id, sql } => {
-                let resolved = canonicalize(&sql).and_then(|adhoc_template| {
-                    match shared.adhoc.get(&adhoc_template.canonical) {
-                        Some((name, template)) => bind_adhoc(template, &adhoc_template)
-                            .map(|params| (name.clone(), params)),
-                        None => Err(Error::UnknownStatement(format!(
-                            "no registered statement type matches: {}",
-                            adhoc_template.canonical
-                        ))),
-                    }
-                });
-                match resolved {
-                    Ok((name, params)) => {
-                        if !submit(shared, inflight, reply_tx, request_id, &name, &params) {
-                            return;
-                        }
-                    }
-                    Err(e) => {
-                        shared.requests.fetch_add(1, Ordering::Relaxed);
-                        if reply_tx
-                            .send(Reply::Immediate(error_frame(request_id, &e)))
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                }
-            }
-            Frame::Stats { request_id } => {
-                let engine = shared.engine.read().unwrap_or_else(|e| e.into_inner());
-                let (engine_stats, queued) = match engine.as_ref() {
-                    Some(e) => (e.stats(), e.queued()),
-                    None => (Default::default(), 0),
-                };
-                drop(engine);
-                let reply = Frame::StatsReply {
-                    request_id,
-                    stats: WireStats {
-                        batches: engine_stats.batches,
-                        queries: engine_stats.queries,
-                        updates: engine_stats.updates,
-                        failed: engine_stats.failed,
-                        queued: queued as u64,
-                        sessions: shared.sessions_active.load(Ordering::Relaxed),
-                        rejected: shared.rejected.load(Ordering::Relaxed),
-                    },
-                };
-                if reply_tx.send(Reply::Immediate(reply)).is_err() {
-                    return;
-                }
-            }
-            Frame::Goodbye => {
-                let _ = reply_tx.send(Reply::Immediate(Frame::GoodbyeOk));
-                return;
-            }
-            // Server-to-client frames arriving at the server are a protocol
-            // violation; drop the connection.
-            Frame::HelloOk { .. }
-            | Frame::Prepared { .. }
-            | Frame::ResultChunk { .. }
-            | Frame::Error { .. }
-            | Frame::StatsReply { .. }
-            | Frame::GoodbyeOk => return,
-        }
-    }
-}
-
-/// Admission control + submission of one statement. Returns false when the
-/// session must end (writer gone).
-fn submit(
-    shared: &Arc<Shared>,
-    inflight: &Arc<AtomicUsize>,
-    reply_tx: &mpsc::Sender<Reply>,
-    request_id: u64,
-    statement: &str,
-    params: &[shareddb_common::Value],
-) -> bool {
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    if shared.shutdown.load(Ordering::Acquire) {
-        return reply_tx
-            .send(Reply::Immediate(error_frame(
-                request_id,
-                &Error::EngineShutdown,
-            )))
-            .is_ok();
-    }
-    // Per-session in-flight cap.
-    if inflight.load(Ordering::Acquire) >= shared.config.max_inflight_per_session {
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
-        let e = Error::Overloaded(format!(
-            "session in-flight limit of {} reached",
-            shared.config.max_inflight_per_session
-        ));
-        return reply_tx
-            .send(Reply::Immediate(error_frame(request_id, &e)))
-            .is_ok();
-    }
-    let engine = shared.engine.read().unwrap_or_else(|e| e.into_inner());
-    let engine = match engine.as_ref() {
-        Some(e) => e,
-        None => {
-            return reply_tx
-                .send(Reply::Immediate(error_frame(
-                    request_id,
-                    &Error::EngineShutdown,
-                )))
-                .is_ok();
-        }
-    };
-    // Global queue-depth backpressure.
-    if engine.queued() >= shared.config.max_queue_depth {
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
-        let e = Error::Overloaded(format!(
-            "admission queue depth limit of {} reached",
-            shared.config.max_queue_depth
-        ));
-        return reply_tx
-            .send(Reply::Immediate(error_frame(request_id, &e)))
-            .is_ok();
-    }
-    match engine.execute(statement, params) {
-        Ok(handle) => {
-            inflight.fetch_add(1, Ordering::AcqRel);
-            reply_tx.send(Reply::Pending { request_id, handle }).is_ok()
-        }
-        Err(e) => reply_tx
-            .send(Reply::Immediate(error_frame(request_id, &e)))
-            .is_ok(),
-    }
-}
-
-fn error_frame(request_id: u64, error: &Error) -> Frame {
-    let (code, retryable) = error_to_wire(error);
-    Frame::Error {
-        request_id,
-        code,
-        retryable,
-        message: error.to_string(),
-    }
-}
-
-/// Streams replies back to the client in submission order.
-fn writer_loop(
-    stream: TcpStream,
-    reply_rx: mpsc::Receiver<Reply>,
-    shared: Arc<Shared>,
-    inflight: Arc<AtomicUsize>,
-) {
-    let mut writer = std::io::BufWriter::new(stream);
-    while let Ok(reply) = reply_rx.recv() {
-        let ok = match reply {
-            Reply::Immediate(frame) => {
-                write_frame(&mut writer, &frame).is_ok() && writer.flush().is_ok()
-            }
-            Reply::Pending { request_id, handle } => {
-                let outcome = handle.wait();
-                inflight.fetch_sub(1, Ordering::AcqRel);
-                let ok = match outcome {
-                    Ok(outcome) => write_outcome(&mut writer, request_id, &outcome, &shared),
-                    Err(e) => write_frame(&mut writer, &error_frame(request_id, &e)).is_ok(),
-                };
-                ok && writer.flush().is_ok()
-            }
-            Reply::Close => break,
-        };
-        if !ok {
-            break;
-        }
-    }
-    let _ = writer.flush();
-    if let Ok(stream) = writer.into_inner() {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-    }
-}
-
-fn write_outcome(
-    writer: &mut impl std::io::Write,
-    request_id: u64,
-    outcome: &QueryOutcome,
-    shared: &Arc<Shared>,
-) -> bool {
-    match outcome {
-        QueryOutcome::Updated { rows_affected } => write_frame(
-            writer,
-            &Frame::ResultChunk {
-                request_id,
-                flags: chunk_flags::FIRST | chunk_flags::LAST | chunk_flags::UPDATE,
-                rows_affected: *rows_affected as u64,
-                schema: vec![],
-                rows: vec![],
-            },
-        )
-        .is_ok(),
-        QueryOutcome::Rows(result) => {
-            let schema: Vec<(String, shareddb_common::DataType)> = result
-                .schema
-                .columns()
-                .iter()
-                .map(|c| (c.qualified_name(), c.data_type))
-                .collect();
-            let chunk_rows = shared.config.chunk_rows.max(1);
-            let n_chunks = result.rows.len().div_ceil(chunk_rows).max(1);
-            for (i, chunk) in result
-                .rows
-                .chunks(chunk_rows)
-                .chain(std::iter::repeat_n(
-                    &[][..],
-                    usize::from(result.rows.is_empty()),
-                ))
-                .enumerate()
-            {
-                let mut flags = 0u8;
-                if i == 0 {
-                    flags |= chunk_flags::FIRST;
-                }
-                if i + 1 == n_chunks {
-                    flags |= chunk_flags::LAST;
-                }
-                let frame = Frame::ResultChunk {
-                    request_id,
-                    flags,
-                    rows_affected: 0,
-                    schema: if i == 0 { schema.clone() } else { vec![] },
-                    rows: chunk.iter().map(|t| t.values().to_vec()).collect(),
-                };
-                if write_frame(writer, &frame).is_err() {
-                    return false;
-                }
-            }
-            true
-        }
-    }
-}
-
-/// A client that started a frame but stalls for this long is dropped — it
-/// would otherwise pin its session thread (and block shutdown) forever.
-const STALLED_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// Reads one frame, waking every 50 ms to observe the shutdown flag. Returns
-/// `Ok(None)` on clean EOF or when the server drains before a new frame
-/// starts. A half-read frame errors out on shutdown or after
-/// [`STALLED_FRAME_TIMEOUT`] of stalling, so a silent client can never pin
-/// its session thread.
-fn read_frame_interruptible(stream: &mut TcpStream, shared: &Arc<Shared>) -> Result<Option<Frame>> {
-    use std::io::Read;
-    let mut frame_started: Option<Instant> = None;
-    // Handles a would-block wakeup; `Err` means the connection must be
-    // dropped (shutdown or a stalled mid-frame client).
-    let on_idle = |frame_started: &Option<Instant>| -> Result<()> {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return Err(Error::EngineShutdown);
-        }
-        if let Some(started) = frame_started {
-            if started.elapsed() > STALLED_FRAME_TIMEOUT {
-                return Err(Error::Io("client stalled mid-frame".into()));
-            }
-        }
-        Ok(())
-    };
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0usize;
-    while filled < 4 {
-        match stream.read(&mut len_buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Ok(None)
-                } else {
-                    Err(Error::Io("eof inside length prefix".into()))
-                };
-            }
-            Ok(n) => {
-                filled += n;
-                frame_started.get_or_insert_with(Instant::now);
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if frame_started.is_none() && shared.shutdown.load(Ordering::Acquire) {
-                    return Ok(None);
-                }
-                on_idle(&frame_started)?;
-            }
-            Err(e) => return Err(Error::Io(e.to_string())),
-        }
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len == 0 || len > protocol::MAX_FRAME_LEN {
-        return Err(Error::Io(format!("bad frame length {len}")));
-    }
-    let mut body = vec![0u8; len];
-    let mut read = 0usize;
-    while read < len {
-        match stream.read(&mut body[read..]) {
-            Ok(0) => return Err(Error::Io("eof inside frame body".into())),
-            Ok(n) => read += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                on_idle(&frame_started)?;
-            }
-            Err(e) => return Err(Error::Io(e.to_string())),
-        }
-    }
-    Frame::decode(&body).map(Some)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::read_frame;
+    use crate::protocol::{chunk_flags, read_frame, write_frame, Frame, PROTOCOL_VERSION};
     use shareddb_common::{tuple, DataType, Value};
     use shareddb_storage::TableDef;
+    use std::net::TcpStream;
 
     fn catalog() -> Arc<Catalog> {
         let catalog = Catalog::new();
@@ -864,15 +435,12 @@ mod tests {
         ]
     }
 
-    /// Raw-socket smoke test of the whole session loop (the full client
-    /// library has its own loopback integration tests).
-    #[test]
-    fn raw_session_round_trip() {
+    fn run_raw_session(server_config: ServerConfig) {
         let mut server = Server::start_sql(
             catalog(),
             &workload(),
             EngineConfig::default(),
-            ServerConfig::default(),
+            server_config,
         )
         .unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -888,6 +456,12 @@ mod tests {
             Frame::HelloOk {
                 statement_count, ..
             } => assert_eq!(statement_count, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Keepalive no-op.
+        write_frame(&mut stream, &Frame::Ping { request_id: 99 }).unwrap();
+        match read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Pong { request_id } => assert_eq!(request_id, 99),
             other => panic!("unexpected {other:?}"),
         }
         // Prepare + execute.
@@ -965,7 +539,7 @@ mod tests {
         .unwrap();
         match read_frame(&mut stream).unwrap().unwrap() {
             Frame::Error { code, .. } => {
-                assert_eq!(code, protocol::error_codes::UNKNOWN_STATEMENT)
+                assert_eq!(code, crate::protocol::error_codes::UNKNOWN_STATEMENT)
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -987,6 +561,22 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.sessions_opened, 1);
         assert_eq!(stats.sessions_active, 0);
+    }
+
+    /// Raw-socket smoke test of the whole reactor path (the full client
+    /// library has its own loopback integration tests).
+    #[test]
+    fn raw_session_round_trip() {
+        run_raw_session(ServerConfig::default());
+    }
+
+    /// The same protocol conversation over the portable fallback poller.
+    #[test]
+    fn raw_session_round_trip_portable_poller() {
+        run_raw_session(ServerConfig {
+            force_portable_poller: true,
+            ..ServerConfig::default()
+        });
     }
 
     #[test]

@@ -544,20 +544,17 @@ pub fn canonicalize(sql: &str) -> Result<SqlTemplate> {
         let token = &tokens[i];
         // Fold a unary minus over a number into one signed literal slot, so
         // `I_ID = -1` matches a registered `I_ID = ?` template. A minus is
-        // unary when nothing operand-like precedes it (start of statement or
-        // after an operator/paren/comma).
+        // unary when nothing operand-like precedes it (start of statement,
+        // after an operator/paren/comma, or after a *keyword* — keywords
+        // tokenise as identifiers but never denote a value, so `WHERE -5 < A`
+        // and `BETWEEN -2 AND 2` still carry signed literals).
         if matches!(token, Token::Minus) {
             let prev_is_operand = i
                 .checked_sub(1)
-                .map(|p| {
-                    matches!(
-                        tokens[p],
-                        Token::Ident(_)
-                            | Token::Number(_)
-                            | Token::StringLit(_)
-                            | Token::Param
-                            | Token::RParen
-                    )
+                .map(|p| match &tokens[p] {
+                    Token::Ident(s) => !is_sql_keyword(s),
+                    Token::Number(_) | Token::StringLit(_) | Token::Param | Token::RParen => true,
+                    _ => false,
                 })
                 .unwrap_or(false);
             if !prev_is_operand {
@@ -621,6 +618,19 @@ pub fn canonicalize(sql: &str) -> Result<SqlTemplate> {
         i += 1;
     }
     Ok(SqlTemplate { canonical, slots })
+}
+
+/// Reserved words that can directly precede a signed numeric literal. They
+/// tokenise as [`Token::Ident`] but never denote an operand, so a `-` after
+/// one of them is a unary sign, not a binary subtraction.
+fn is_sql_keyword(ident: &str) -> bool {
+    const KEYWORDS: &[&str] = &[
+        "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE",
+        "IS", "AS", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "GROUP", "ORDER",
+        "BY", "ASC", "DESC", "HAVING", "LIMIT", "OFFSET", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    ];
+    KEYWORDS.iter().any(|kw| ident.eq_ignore_ascii_case(kw))
 }
 
 trait PopIfTrailingSpace {
@@ -908,5 +918,90 @@ mod tests {
                 TemplateSlot::Literal(Value::Int(3)),
             ]
         );
+    }
+
+    #[test]
+    fn negative_literals_after_keywords_are_unary() {
+        // Keywords tokenise as identifiers, but a minus after one is still a
+        // sign: `WHERE -5 < A` must be the same statement type as
+        // `WHERE ? < A`.
+        let template = canonicalize("SELECT * FROM T WHERE ? < A").unwrap();
+        let adhoc = canonicalize("SELECT * FROM T WHERE -5 < A").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        assert_eq!(bind_adhoc(&template, &adhoc).unwrap(), vec![Value::Int(-5)]);
+        // Both BETWEEN bounds fold (after the keywords BETWEEN and AND).
+        let template = canonicalize("SELECT * FROM T WHERE A BETWEEN ? AND ?").unwrap();
+        let adhoc = canonicalize("SELECT * FROM T WHERE A BETWEEN -2 AND -1").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        assert_eq!(
+            bind_adhoc(&template, &adhoc).unwrap(),
+            vec![Value::Int(-2), Value::Int(-1)]
+        );
+        // After a real identifier (a column), the minus stays binary.
+        let t = canonicalize("SELECT * FROM T WHERE ACCOUNT - 1 = ?").unwrap();
+        assert!(t.canonical.contains("ACCOUNT - ?"), "{}", t.canonical);
+    }
+
+    #[test]
+    fn escaped_quote_literals_match_their_statement_type() {
+        let template = canonicalize("SELECT * FROM USERS WHERE USERNAME = ?").unwrap();
+        let adhoc = canonicalize("SELECT * FROM USERS WHERE USERNAME = 'O''Brien'").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        assert_eq!(
+            bind_adhoc(&template, &adhoc).unwrap(),
+            vec![Value::text("O'Brien")]
+        );
+        // A fixed escaped-quote literal must agree between the registered
+        // template and the ad-hoc statement...
+        let fixed = canonicalize("SELECT * FROM USERS WHERE USERNAME = 'O''Brien' AND COUNTRY = ?")
+            .unwrap();
+        let matching =
+            canonicalize("select * from users where username = 'O''Brien' and country = 'IE'")
+                .unwrap();
+        assert_eq!(
+            bind_adhoc(&fixed, &matching).unwrap(),
+            vec![Value::text("IE")]
+        );
+        // ...and a different unescaped spelling is a different type.
+        let other =
+            canonicalize("SELECT * FROM USERS WHERE USERNAME = 'OBrien' AND COUNTRY = 'IE'")
+                .unwrap();
+        assert!(bind_adhoc(&fixed, &other).is_err());
+    }
+
+    /// Registered statements carrying signed literals and escaped-quote
+    /// string literals compile and execute — the full parser → template →
+    /// engine path, not just canonicalisation.
+    #[test]
+    fn negative_and_escaped_literals_execute_end_to_end() {
+        let catalog = catalog();
+        let workload: &[(&str, &str)] = &[
+            ("overdrawn", "SELECT * FROM USERS WHERE ACCOUNT < -10"),
+            ("obrien", "SELECT * FROM USERS WHERE USERNAME = 'O''Brien'"),
+            (
+                "seedUser",
+                "INSERT INTO USERS VALUES (-1, 'O''Brien', 'IE', -500)",
+            ),
+        ];
+        let (plan, registry) = compile_workload(&catalog, workload).unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        assert_eq!(
+            engine.execute_sync("overdrawn", &[]).unwrap().rows().len(),
+            0
+        );
+        assert_eq!(
+            engine
+                .execute_sync("seedUser", &[])
+                .unwrap()
+                .rows_affected(),
+            1
+        );
+        let outcome = engine.execute_sync("overdrawn", &[]).unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][0], Value::Int(-1));
+        assert_eq!(outcome.rows()[0][3], Value::Int(-500));
+        let outcome = engine.execute_sync("obrien", &[]).unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][1], Value::text("O'Brien"));
     }
 }

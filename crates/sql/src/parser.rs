@@ -519,6 +519,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_negative_and_escaped_literals() {
+        // `-5` parses as unary negation over the literal.
+        let stmt = parse("SELECT * FROM USERS WHERE ACCOUNT < -5").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let predicate = s.where_clause.unwrap();
+        let mut found_neg = false;
+        predicate.visit(&mut |e| {
+            if let Expr::Unary { op, expr } = e {
+                assert!(matches!(op, shareddb_common::expr::UnaryOp::Neg));
+                assert!(matches!(**expr, Expr::Literal(Value::Int(5))));
+                found_neg = true;
+            }
+        });
+        assert!(found_neg, "no unary negation in {predicate:?}");
+
+        // Escaped quotes inside string literals survive into the AST.
+        let stmt = parse("INSERT INTO USERS VALUES (-1, 'O''Brien')").unwrap();
+        let Statement::Insert { values, .. } = stmt else {
+            panic!()
+        };
+        let mut found_text = false;
+        for value in &values {
+            value.visit(&mut |e| {
+                if let Expr::Literal(Value::Text(s)) = e {
+                    assert_eq!(s, "O'Brien");
+                    found_text = true;
+                }
+            });
+        }
+        assert!(found_text, "no string literal in {values:?}");
+    }
+
+    #[test]
     fn parse_figure2_q2_join_with_params() {
         let stmt = parse(
             "SELECT * FROM USERS U, ORDERS O \

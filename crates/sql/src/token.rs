@@ -125,15 +125,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
             }
             '\'' => {
-                // String literal; '' escapes a quote.
-                let mut s = String::new();
+                // String literal; '' escapes a quote. Bytes are collected raw
+                // and turned back into a string in one step, so multi-byte
+                // UTF-8 characters survive (pushing `byte as char` would
+                // mangle them into Latin-1 mojibake). The quote byte 0x27
+                // never occurs inside a UTF-8 continuation sequence, so
+                // byte-wise scanning is safe.
+                let mut s: Vec<u8> = Vec::new();
                 i += 1;
                 loop {
                     match bytes.get(i) {
                         None => return Err(Error::Parse("unterminated string literal".into())),
                         Some(b'\'') => {
                             if bytes.get(i + 1) == Some(&b'\'') {
-                                s.push('\'');
+                                s.push(b'\'');
                                 i += 2;
                             } else {
                                 i += 1;
@@ -141,11 +146,13 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             }
                         }
                         Some(&b) => {
-                            s.push(b as char);
+                            s.push(b);
                             i += 1;
                         }
                     }
                 }
+                let s = String::from_utf8(s)
+                    .map_err(|_| Error::Parse("invalid UTF-8 in string literal".into()))?;
                 tokens.push(Token::StringLit(s));
             }
             '-' => {
@@ -199,6 +206,26 @@ mod tests {
         assert!(tokens.iter().any(|t| t.is_keyword("select")));
         // The comment is skipped entirely.
         assert!(!tokens.iter().any(|t| t.is_keyword("comment")));
+    }
+
+    #[test]
+    fn escaped_quotes_and_unicode_in_string_literals() {
+        // '' escaping in every position: start, middle, end, doubled-up.
+        let tokens = tokenize("'''start' 'mid''dle' 'end''' ''''").unwrap();
+        let lits: Vec<&str> = tokens
+            .iter()
+            .map(|t| match t {
+                Token::StringLit(s) => s.as_str(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(lits, vec!["'start", "mid'dle", "end'", "'"]);
+        // Multi-byte UTF-8 survives intact, also next to an escaped quote.
+        let tokens = tokenize("'café' 'Zürich''s – best'").unwrap();
+        assert_eq!(tokens[0], Token::StringLit("café".into()));
+        assert_eq!(tokens[1], Token::StringLit("Zürich's – best".into()));
+        // The empty string is a valid literal.
+        assert_eq!(tokenize("''").unwrap(), vec![Token::StringLit("".into())]);
     }
 
     #[test]
