@@ -1,132 +1,344 @@
 //! Network-frontend throughput: statements per second as a function of the
-//! number of concurrent client connections (1 → 1024).
+//! number of concurrent client connections (1 → 1024) and the number of
+//! engine replicas behind the endpoint (`--replicas`).
 //!
-//! Every connection runs a closed loop of TPC-W `getItemById` point look-ups
-//! over the wire protocol; the server funnels all sockets into one shared
-//! batch per heartbeat, so throughput should rise with the client count while
-//! the batch rate stays roughly flat — the SharedDB scaling argument, now
-//! measured across the socket boundary. The server side is a single reactor
-//! thread regardless of the client count; the sweep to 1024 connections is
-//! exactly the regime where the old thread-per-connection frontend (2 OS
-//! threads per socket) fell over.
+//! Every connection runs a closed loop over the wire protocol. Most
+//! connections issue TPC-W `getItemById` point look-ups (the hot, light
+//! statement type); one connection per 64 issues `getBestSellers` (a heavy
+//! scan-join-aggregate over ITEM × ORDER_LINE). On a single engine the heavy
+//! statement convoys every batch: light queries admitted in the same
+//! heartbeat wait for the heavy operators to finish (batch-granularity
+//! head-of-line blocking). With `--replicas N` the cluster router promotes
+//! the hot light type from the engines' own throughput/queue statistics and
+//! spreads it by parameter hash, while the heavy type stays pinned to its
+//! home replica — isolating light traffic from the heavy cycles exactly as
+//! the paper's §4.5 replication argument prescribes.
+//!
+//! Arguments: `--replicas N[,M,...]` (replica counts to sweep, default `1`),
+//! `--json PATH` (machine-readable results, default
+//! `BENCH_server_throughput.json`).
 //!
 //! Environment: `TPCW_ITEMS` (scale, default 2000), `BENCH_SECONDS` (per
-//! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 1024).
+//! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 1024),
+//! `SERVER_MIN_CLIENTS` (sweep floor, default 1).
 //!
-//! Output: CSV `clients,ok,errors,throughput_per_s,mean_latency_us,batches_per_s`.
+//! Output: CSV on stdout
+//! (`replicas,clients,heavy,ok,errors,throughput_per_s,light_p50_us,light_p99_us,mean_latency_us,batches_per_s`)
+//! plus the JSON file with per-replica engine statistics per point. The
+//! percentiles cover the **light** connections only (the tail the cluster is
+//! supposed to protect); `mean_latency_us` covers all statements including
+//! the heavy ones.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header};
 use shareddb_client::Connection;
+use shareddb_cluster::ClusterConfig;
 use shareddb_common::Value;
 use shareddb_core::EngineConfig;
 use shareddb_server::{Server, ServerConfig};
+use shareddb_tpcw::schema::SUBJECTS;
 use shareddb_tpcw::{build_catalog, build_shared_plan};
+use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+struct PointResult {
+    replicas: usize,
+    clients: usize,
+    heavy: usize,
+    ok: u64,
+    errors: u64,
+    throughput_per_s: f64,
+    light_p50_us: u64,
+    light_p99_us: u64,
+    mean_latency_us: f64,
+    batches_per_s: f64,
+    per_replica: Vec<ReplicaPoint>,
+}
+
+struct ReplicaPoint {
+    batches: u64,
+    queries: u64,
+    updates: u64,
+    failed: u64,
+}
+
 fn main() {
+    let (replica_counts, json_path) = parse_args();
     let scale = bench_scale();
     let duration = bench_duration();
     let max_clients = env_usize("SERVER_MAX_CLIENTS", 1024);
+    let min_clients = env_usize("SERVER_MIN_CLIENTS", 1);
     let items = scale.items as i64;
 
     print_header(&[
+        "replicas",
         "clients",
+        "heavy",
         "ok",
         "errors",
         "throughput_per_s",
+        "light_p50_us",
+        "light_p99_us",
         "mean_latency_us",
         "batches_per_s",
     ]);
 
-    let mut clients = 1usize;
-    while clients <= max_clients {
-        let catalog = Arc::new(build_catalog(&scale).expect("catalog"));
-        let (plan, registry) = build_shared_plan(&catalog).expect("plan");
-        let mut server = Server::start(
-            catalog,
-            plan,
-            registry,
-            EngineConfig::default(),
-            ServerConfig {
-                max_inflight_per_session: 16,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("server");
-        let addr = server.local_addr();
+    let mut points: Vec<PointResult> = Vec::new();
+    for &replicas in &replica_counts {
+        let mut clients = min_clients.max(1);
+        while clients <= max_clients {
+            let point = run_point(replicas, clients, items, duration, &scale);
+            println!(
+                "{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
+                point.replicas,
+                point.clients,
+                point.heavy,
+                point.ok,
+                point.errors,
+                point.throughput_per_s,
+                point.light_p50_us,
+                point.light_p99_us,
+                point.mean_latency_us,
+                point.batches_per_s,
+            );
+            points.push(point);
+            clients *= 2;
+        }
+    }
 
-        let ok = Arc::new(AtomicU64::new(0));
-        let errors = Arc::new(AtomicU64::new(0));
-        let latency_ns = Arc::new(AtomicU64::new(0));
-        let batches_before = server.engine_stats().map(|s| s.batches).unwrap_or(0);
-        let started = Instant::now();
-        std::thread::scope(|scope| {
-            for client_idx in 0..clients {
-                let ok = Arc::clone(&ok);
-                let errors = Arc::clone(&errors);
-                let latency_ns = Arc::clone(&latency_ns);
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(1000 + client_idx as u64);
-                    let mut conn = match Connection::connect(addr) {
-                        Ok(c) => c,
+    if let Err(e) = write_json(&json_path, &scale.items, duration.as_secs_f64(), &points) {
+        eprintln!("failed to write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {json_path} ({} points)", points.len());
+}
+
+fn run_point(
+    replicas: usize,
+    clients: usize,
+    items: i64,
+    duration: std::time::Duration,
+    scale: &shareddb_tpcw::TpcwScale,
+) -> PointResult {
+    let catalog = Arc::new(build_catalog(scale).expect("catalog"));
+    let (plan, registry) = build_shared_plan(&catalog).expect("plan");
+    let mut server = Server::start(
+        catalog,
+        plan,
+        registry,
+        EngineConfig::default(),
+        ServerConfig {
+            max_inflight_per_session: 16,
+            cluster: ClusterConfig::with_replicas(replicas),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let addr = server.local_addr();
+
+    // One heavy (getBestSellers) connection per 64 clients; the rest run the
+    // hot point look-up.
+    let heavy = clients / 64;
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let latencies_us = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let batches_before = server.engine_stats().map(|s| s.batches).unwrap_or(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..clients {
+            let ok = Arc::clone(&ok);
+            let errors = Arc::clone(&errors);
+            let latency_ns = Arc::clone(&latency_ns);
+            let latencies_us = Arc::clone(&latencies_us);
+            let is_heavy = client_idx < heavy;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + client_idx as u64);
+                let mut conn = match Connection::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let statement = if is_heavy {
+                    "getBestSellers"
+                } else {
+                    "getItemById"
+                };
+                let prepared = match conn.prepare(statement) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut local_latencies = Vec::new();
+                while started.elapsed() < duration {
+                    let params = if is_heavy {
+                        vec![
+                            Value::text(SUBJECTS[rng.gen_range(0..SUBJECTS.len())]),
+                            Value::Int(0),
+                        ]
+                    } else {
+                        vec![Value::Int(rng.gen_range(0..items.max(1)))]
+                    };
+                    let begun = Instant::now();
+                    match conn.execute(&prepared, &params) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            let elapsed = begun.elapsed();
+                            latency_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                            if !is_heavy {
+                                local_latencies.push(elapsed.as_micros() as u64);
+                            }
+                        }
+                        Err(e) if e.is_retryable() => {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
                             return;
-                        }
-                    };
-                    let get_item = match conn.prepare("getItemById") {
-                        Ok(p) => p,
-                        Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    };
-                    while started.elapsed() < duration {
-                        let id = rng.gen_range(0..items.max(1));
-                        let begun = Instant::now();
-                        match conn.execute(&get_item, &[Value::Int(id)]) {
-                            Ok(_) => {
-                                ok.fetch_add(1, Ordering::Relaxed);
-                                latency_ns.fetch_add(
-                                    begun.elapsed().as_nanos() as u64,
-                                    Ordering::Relaxed,
-                                );
-                            }
-                            Err(e) if e.is_retryable() => {
-                                std::thread::sleep(std::time::Duration::from_micros(200));
-                            }
-                            Err(_) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                return;
-                            }
                         }
                     }
-                    let _ = conn.close();
-                });
-            }
-        });
-        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-        let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0) - batches_before;
-        let ok_count = ok.load(Ordering::Relaxed);
-        let mean_latency_us = if ok_count == 0 {
-            0.0
+                }
+                latencies_us
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .append(&mut local_latencies);
+                let _ = conn.close();
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0) - batches_before;
+    let per_replica = server
+        .replica_stats()
+        .unwrap_or_default()
+        .iter()
+        .map(|s| ReplicaPoint {
+            batches: s.batches,
+            queries: s.queries,
+            updates: s.updates,
+            failed: s.failed,
+        })
+        .collect();
+    let ok_count = ok.load(Ordering::Relaxed);
+    let mean_latency_us = if ok_count == 0 {
+        0.0
+    } else {
+        latency_ns.load(Ordering::Relaxed) as f64 / ok_count as f64 / 1_000.0
+    };
+    let mut sorted = std::mem::take(&mut *latencies_us.lock().unwrap_or_else(|e| e.into_inner()));
+    sorted.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if sorted.is_empty() {
+            0
         } else {
-            latency_ns.load(Ordering::Relaxed) as f64 / ok_count as f64 / 1_000.0
-        };
-        println!(
-            "{},{},{},{:.1},{:.1},{:.1}",
-            clients,
-            ok_count,
-            errors.load(Ordering::Relaxed),
-            ok_count as f64 / elapsed,
-            mean_latency_us,
-            batches as f64 / elapsed,
-        );
-        server.shutdown();
-        clients *= 2;
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        }
+    };
+    let point = PointResult {
+        replicas,
+        clients,
+        heavy,
+        ok: ok_count,
+        errors: errors.load(Ordering::Relaxed),
+        throughput_per_s: ok_count as f64 / elapsed,
+        light_p50_us: percentile(0.50),
+        light_p99_us: percentile(0.99),
+        mean_latency_us,
+        batches_per_s: batches as f64 / elapsed,
+        per_replica,
+    };
+    server.shutdown();
+    point
+}
+
+fn parse_args() -> (Vec<usize>, String) {
+    let mut replicas = vec![1usize];
+    let mut json_path =
+        std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_server_throughput.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--replicas" => {
+                let list = args.next().unwrap_or_else(|| usage("--replicas needs N"));
+                replicas = list
+                    .split(',')
+                    .map(|n| {
+                        n.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| usage("bad --replicas value"))
+                            .max(1)
+                    })
+                    .collect();
+            }
+            "--json" => {
+                json_path = args.next().unwrap_or_else(|| usage("--json needs PATH"));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
     }
+    (replicas, json_path)
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: server_throughput [--replicas N[,M,...]] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn write_json(
+    path: &str,
+    items: &usize,
+    seconds: f64,
+    points: &[PointResult],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"server_throughput\",\n");
+    out.push_str(&format!("  \"tpcw_items\": {items},\n"));
+    out.push_str(&format!("  \"seconds_per_point\": {seconds},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"replicas\": {}, \"clients\": {}, \"heavy_clients\": {}, \"ok\": {}, \
+             \"errors\": {}, \"throughput_per_s\": {:.1}, \"light_p50_us\": {}, \
+             \"light_p99_us\": {}, \"mean_latency_us\": {:.1}, \"batches_per_s\": {:.1}, \
+             \"per_replica\": [",
+            p.replicas,
+            p.clients,
+            p.heavy,
+            p.ok,
+            p.errors,
+            p.throughput_per_s,
+            p.light_p50_us,
+            p.light_p99_us,
+            p.mean_latency_us,
+            p.batches_per_s,
+        ));
+        for (j, r) in p.per_replica.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"replica\": {j}, \"batches\": {}, \"queries\": {}, \"updates\": {}, \
+                 \"failed\": {}}}",
+                r.batches, r.queries, r.updates, r.failed
+            ));
+            if j + 1 < p.per_replica.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
 }

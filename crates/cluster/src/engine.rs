@@ -1,0 +1,695 @@
+//! The clustered engine: N replicas of the shared-operator runtime behind one
+//! submit interface.
+
+use crate::merge::{merge_results, MergeSpec};
+use crate::router::{Route, Router};
+use crate::ClusterConfig;
+use shareddb_common::agg::AggregateFunction;
+use shareddb_common::{Error, Result, Value};
+use shareddb_core::engine::{QueryHandle, QueryOutcome, ResultSet};
+use shareddb_core::plan::{ActivationTemplate, StatementKind};
+use shareddb_core::stats::EngineStatsSnapshot;
+use shareddb_core::{
+    Engine, EngineConfig, GlobalPlan, OperatorSpec, StatementRegistry, StatementSpec, SubmitOptions,
+};
+use shareddb_storage::Catalog;
+use std::sync::Arc;
+
+/// Fanout ("scatter/gather") execution plan of one eligible statement type.
+#[derive(Debug, Clone)]
+struct FanoutSpec {
+    merge: MergeSpec,
+    /// Statement-level LIMIT, re-applied after the merge.
+    limit: Option<usize>,
+}
+
+/// N engine replicas over one shared [`Catalog`], fronted by a [`Router`]
+/// that dispatches each admitted statement by type (see the crate docs).
+pub struct ClusterEngine {
+    engines: Vec<Engine>,
+    router: Router,
+    registry: StatementRegistry,
+    fanout: Vec<Option<FanoutSpec>>,
+    catalog: Arc<Catalog>,
+}
+
+impl ClusterEngine {
+    /// Starts `config.replicas` engines over one shared catalog and global
+    /// plan. With `replicas == 1` the cluster behaves exactly like a single
+    /// [`Engine`] (everything pinned to replica 0, no fanout).
+    pub fn start(
+        catalog: Arc<Catalog>,
+        plan: GlobalPlan,
+        registry: StatementRegistry,
+        engine_config: EngineConfig,
+        config: ClusterConfig,
+    ) -> Result<ClusterEngine> {
+        let replicas = config.replicas.max(1);
+        let mut engines = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            engines.push(Engine::start(
+                Arc::clone(&catalog),
+                plan.clone(),
+                registry.clone(),
+                engine_config.clone(),
+            )?);
+        }
+        let router = Router::new(&registry, &config);
+        let fanout = registry
+            .iter()
+            .map(|spec| fanout_spec(&plan, spec))
+            .collect();
+        Ok(ClusterEngine {
+            engines,
+            router,
+            registry,
+            fanout,
+            catalog,
+        })
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Number of engine replicas.
+    pub fn replicas(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Submits a statement; the router picks the replica (or fans the query
+    /// out over all replicas with partitioned scans).
+    pub fn submit(
+        &self,
+        statement: &str,
+        params: &[Value],
+        opts: SubmitOptions,
+    ) -> Result<ClusterHandle> {
+        let (index, spec) = self.registry.get(statement)?;
+        self.router.note_submit(index);
+        self.router
+            .maybe_refresh(|| self.engines.iter().map(|e| e.queued()).collect());
+        if !spec.is_update()
+            && self.engines.len() > 1
+            && params.is_empty()
+            && matches!(self.router.route(index), Route::Replicated)
+        {
+            if let Some(fanout) = &self.fanout[index] {
+                return self.submit_fanout(statement, params, &opts, fanout);
+            }
+        }
+        let replica = self.router.pick_replica(index, params);
+        let handle = self.engines[replica].submit(statement, params, opts)?;
+        Ok(ClusterHandle::Single { replica, handle })
+    }
+
+    fn submit_fanout(
+        &self,
+        statement: &str,
+        params: &[Value],
+        opts: &SubmitOptions,
+        fanout: &FanoutSpec,
+    ) -> Result<ClusterHandle> {
+        let of = self.engines.len() as u32;
+        let mut parts = Vec::with_capacity(self.engines.len());
+        for (index, engine) in self.engines.iter().enumerate() {
+            let mut opts = opts.clone();
+            opts.scan_partition = Some((index as u32, of));
+            // On a partial-admission failure the already-submitted partitions
+            // complete into dropped handles (harmless discarded work) and the
+            // caller sees the rejection.
+            let handle = engine.submit(statement, params, opts)?;
+            parts.push(FanoutPart { handle, done: None });
+        }
+        Ok(ClusterHandle::Fanout {
+            parts,
+            merge: fanout.merge.clone(),
+            limit: fanout.limit,
+        })
+    }
+
+    /// Submits and returns the handle (default options).
+    pub fn execute(&self, statement: &str, params: &[Value]) -> Result<ClusterHandle> {
+        self.submit(statement, params, SubmitOptions::default())
+    }
+
+    /// Submits and blocks until the (merged) result is available.
+    pub fn execute_sync(&self, statement: &str, params: &[Value]) -> Result<QueryOutcome> {
+        self.execute(statement, params)?.wait()
+    }
+
+    /// Aggregated statistics over all replicas.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        let mut total = EngineStatsSnapshot::default();
+        let mut weighted_latency_nanos: u128 = 0;
+        for stats in self.engines.iter().map(|e| e.stats()) {
+            let completed = stats.queries + stats.updates;
+            weighted_latency_nanos += stats.mean_latency.as_nanos() * completed as u128;
+            total.batches += stats.batches;
+            total.queries += stats.queries;
+            total.updates += stats.updates;
+            total.failed += stats.failed;
+            total.result_rows += stats.result_rows;
+            total.max_latency = total.max_latency.max(stats.max_latency);
+            total.p99_latency = total.p99_latency.max(stats.p99_latency);
+        }
+        let completed = (total.queries + total.updates) as u128;
+        if let Some(mean) = weighted_latency_nanos.checked_div(completed) {
+            total.mean_latency = std::time::Duration::from_nanos(mean as u64);
+        }
+        total
+    }
+
+    /// Per-replica statistics snapshots, in replica order.
+    pub fn replica_stats(&self) -> Vec<EngineStatsSnapshot> {
+        self.engines.iter().map(|e| e.stats()).collect()
+    }
+
+    /// Statements queued but not yet batched, summed over replicas.
+    pub fn queued(&self) -> usize {
+        self.engines.iter().map(|e| e.queued()).sum()
+    }
+
+    /// Per-replica admission-queue depths.
+    pub fn queued_per_replica(&self) -> Vec<usize> {
+        self.engines.iter().map(|e| e.queued()).collect()
+    }
+
+    /// Current route per statement type (name, route).
+    pub fn routes(&self) -> Vec<(String, Route)> {
+        self.registry
+            .iter()
+            .map(|s| s.name.clone())
+            .zip(self.router.routes())
+            .collect()
+    }
+
+    /// Stops every replica.
+    pub fn shutdown(&mut self) {
+        for engine in &mut self.engines {
+            engine.shutdown();
+        }
+    }
+}
+
+impl Drop for ClusterEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// One partition of a fanned-out execution.
+pub struct FanoutPart {
+    handle: QueryHandle,
+    done: Option<Result<QueryOutcome>>,
+}
+
+/// Handle to a statement submitted to the cluster. Like
+/// [`shareddb_core::engine::QueryHandle`] it supports blocking
+/// ([`ClusterHandle::wait`]) and event-driven polling
+/// ([`ClusterHandle::try_wait`], paired with
+/// [`SubmitOptions::completion_waker`] — fanned-out executions fire the waker
+/// once per partition, and `try_wait` reports `Some` only when every
+/// partition has completed and the merge ran).
+pub enum ClusterHandle {
+    /// The statement runs wholly on one replica.
+    Single {
+        /// Executing replica.
+        replica: usize,
+        /// The replica's handle.
+        handle: QueryHandle,
+    },
+    /// The statement was scattered over all replicas with partitioned scans.
+    Fanout {
+        /// Per-partition handles and buffered outcomes.
+        parts: Vec<FanoutPart>,
+        /// How the partials recombine.
+        merge: MergeSpec,
+        /// Statement-level LIMIT re-applied after the merge.
+        limit: Option<usize>,
+    },
+}
+
+impl ClusterHandle {
+    /// The executing replica for single-replica submissions (fanned-out
+    /// executions run everywhere).
+    pub fn replica(&self) -> Option<usize> {
+        match self {
+            ClusterHandle::Single { replica, .. } => Some(*replica),
+            ClusterHandle::Fanout { .. } => None,
+        }
+    }
+
+    /// Blocks until the (merged) outcome is available.
+    pub fn wait(self) -> Result<QueryOutcome> {
+        match self {
+            ClusterHandle::Single { handle, .. } => handle.wait(),
+            ClusterHandle::Fanout {
+                parts,
+                merge,
+                limit,
+            } => {
+                let mut partials = Vec::with_capacity(parts.len());
+                for part in parts {
+                    let outcome = match part.done {
+                        Some(outcome) => outcome,
+                        None => part.handle.wait(),
+                    };
+                    partials.push(expect_rows(outcome?)?);
+                }
+                finish_merge(&merge, limit, partials)
+            }
+        }
+    }
+
+    /// Non-blocking poll: `None` while any partition is in flight,
+    /// `Some(outcome)` exactly once when the merged result is ready.
+    pub fn try_wait(&mut self) -> Option<Result<QueryOutcome>> {
+        match self {
+            ClusterHandle::Single { handle, .. } => handle.try_wait(),
+            ClusterHandle::Fanout {
+                parts,
+                merge,
+                limit,
+            } => {
+                if parts.is_empty() {
+                    return None; // outcome already consumed
+                }
+                let mut all_done = true;
+                for part in parts.iter_mut() {
+                    if part.done.is_none() {
+                        match part.handle.try_wait() {
+                            Some(outcome) => part.done = Some(outcome),
+                            None => all_done = false,
+                        }
+                    }
+                }
+                if !all_done {
+                    return None;
+                }
+                let parts = std::mem::take(parts);
+                let mut partials = Vec::with_capacity(parts.len());
+                for part in parts {
+                    match part
+                        .done
+                        .expect("all partitions done")
+                        .and_then(expect_rows)
+                    {
+                        Ok(rows) => partials.push(rows),
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                Some(finish_merge(merge, *limit, partials))
+            }
+        }
+    }
+}
+
+fn expect_rows(outcome: QueryOutcome) -> Result<ResultSet> {
+    match outcome {
+        QueryOutcome::Rows(rows) => Ok(rows),
+        QueryOutcome::Updated { .. } => Err(Error::Internal(
+            "fanned-out statement produced an update outcome".into(),
+        )),
+    }
+}
+
+fn finish_merge(
+    merge: &MergeSpec,
+    limit: Option<usize>,
+    partials: Vec<ResultSet>,
+) -> Result<QueryOutcome> {
+    let mut merged = merge_results(merge, partials)?;
+    if let Some(limit) = limit {
+        merged.rows.truncate(limit);
+    }
+    Ok(QueryOutcome::Rows(merged))
+}
+
+// ---------------------------------------------------------------------------
+// Fanout eligibility
+// ---------------------------------------------------------------------------
+
+/// Decides whether a statement type can be scattered over partitioned scans,
+/// and how its partial results merge. Conservative by construction: a shape
+/// this function does not recognise is simply not fanned out (it still
+/// benefits from hash-partitioned input routing when hot).
+fn fanout_spec(plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
+    let StatementKind::Query {
+        root,
+        projection,
+        compute,
+        limit,
+    } = &spec.kind
+    else {
+        return None;
+    };
+    // Computed projections and non-identity column projections change the
+    // row layout relative to the root schema the merge keys index into.
+    if !compute.is_empty() {
+        return None;
+    }
+    let width = plan.node(*root).schema.len();
+    if !projection.is_empty() && *projection != (0..width).collect::<Vec<_>>() {
+        return None;
+    }
+
+    let mut scans = 0usize;
+    let mut topn_limit: Option<usize> = None;
+    for (op, template) in &spec.activations {
+        let node = plan.node(*op);
+        match (&node.spec, template) {
+            (OperatorSpec::TableScan { .. }, ActivationTemplate::Scan { .. }) => scans += 1,
+            (OperatorSpec::Filter, ActivationTemplate::Filter { .. }) => {}
+            (OperatorSpec::Sort { .. }, ActivationTemplate::Participate) if *op == *root => {}
+            (OperatorSpec::TopN { .. }, ActivationTemplate::TopN { limit }) if *op == *root => {
+                topn_limit = Some(*limit);
+            }
+            (OperatorSpec::GroupBy { .. }, ActivationTemplate::Having { predicate: None })
+                if *op == *root => {}
+            (OperatorSpec::Distinct, ActivationTemplate::Participate) if *op == *root => {}
+            // Joins would lose cross-partition matches, probes bypass the
+            // partitioned scan, HAVING over partial groups is wrong, and any
+            // blocking operator *below* the root breaks merge semantics.
+            _ => return None,
+        }
+    }
+    // Exactly one partitioned scan feeds the path; zero scans (e.g. probe
+    // statements) or several (joins) are ineligible.
+    if scans != 1 {
+        return None;
+    }
+
+    let merge = match &plan.node(*root).spec {
+        OperatorSpec::TableScan { .. } | OperatorSpec::Filter => MergeSpec::Concat,
+        OperatorSpec::Sort { keys } => MergeSpec::Ordered {
+            keys: keys.clone(),
+            limit: *limit,
+        },
+        OperatorSpec::TopN { keys } => MergeSpec::Ordered {
+            keys: keys.clone(),
+            limit: match (topn_limit, *limit) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        },
+        OperatorSpec::GroupBy {
+            group_columns,
+            aggregates,
+        } => {
+            // Partial AVGs cannot be recombined, and a LIMIT over groups
+            // would drop partial groups per partition.
+            if limit.is_some()
+                || aggregates
+                    .iter()
+                    .any(|a| a.function == AggregateFunction::Avg)
+            {
+                return None;
+            }
+            MergeSpec::Grouped {
+                group_width: group_columns.len(),
+                functions: aggregates.iter().map(|a| a.function).collect(),
+            }
+        }
+        OperatorSpec::Distinct => {
+            if limit.is_some() {
+                return None;
+            }
+            MergeSpec::Distinct
+        }
+        _ => return None,
+    };
+    Some(FanoutSpec {
+        merge,
+        limit: *limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareddb_common::tuple;
+    use shareddb_common::DataType;
+    use shareddb_sql::compile_workload;
+    use shareddb_storage::TableDef;
+    use std::time::Duration;
+
+    fn catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("ITEM")
+                    .column("I_ID", DataType::Int)
+                    .column("I_SUBJECT", DataType::Text)
+                    .column("I_COST", DataType::Float)
+                    .primary_key(&["I_ID"]),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ITEM",
+                (0..200i64)
+                    .map(|i| {
+                        tuple![
+                            i,
+                            if i % 4 == 0 { "HISTORY" } else { "FICTION" },
+                            (i % 50) as f64
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        Arc::new(catalog)
+    }
+
+    const WORKLOAD: &[(&str, &str)] = &[
+        ("getItem", "SELECT * FROM ITEM WHERE I_ID = ?"),
+        ("allItems", "SELECT * FROM ITEM ORDER BY I_ID"),
+        (
+            "costBySubject",
+            "SELECT I_SUBJECT, SUM(I_COST), COUNT(*), MIN(I_COST), MAX(I_COST) \
+             FROM ITEM GROUP BY I_SUBJECT",
+        ),
+        ("addItem", "INSERT INTO ITEM VALUES (?, ?, ?)"),
+    ];
+
+    fn start(replicas: usize, config: ClusterConfig) -> ClusterEngine {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(&catalog, WORKLOAD).unwrap();
+        ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig::default(),
+            ClusterConfig { replicas, ..config },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_replica_behaves_like_one_engine() {
+        let cluster = start(1, ClusterConfig::default());
+        assert_eq!(cluster.replicas(), 1);
+        let outcome = cluster.execute_sync("getItem", &[Value::Int(7)]).unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][0], Value::Int(7));
+        for (_, route) in cluster.routes() {
+            assert_eq!(route, Route::Pinned(0));
+        }
+    }
+
+    #[test]
+    fn cold_types_pin_to_one_replica() {
+        let cluster = start(4, ClusterConfig::default());
+        for i in 0..20 {
+            let outcome = cluster.execute_sync("getItem", &[Value::Int(i)]).unwrap();
+            assert_eq!(outcome.rows().len(), 1);
+        }
+        let active: Vec<usize> = cluster
+            .replica_stats()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.queries > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(active.len(), 1, "cold type ran on replicas {active:?}");
+    }
+
+    #[test]
+    fn replicated_type_spreads_by_parameter_hash() {
+        let config = ClusterConfig {
+            replicate_statements: vec!["getItem".into()],
+            ..ClusterConfig::default()
+        };
+        let cluster = start(4, config);
+        // Same key → same replica (twice); across keys the load spreads.
+        let h1 = cluster.execute("getItem", &[Value::Int(1)]).unwrap();
+        let h2 = cluster.execute("getItem", &[Value::Int(1)]).unwrap();
+        assert_eq!(h1.replica(), h2.replica());
+        h1.wait().unwrap();
+        h2.wait().unwrap();
+        for i in 0..64 {
+            let outcome = cluster.execute_sync("getItem", &[Value::Int(i)]).unwrap();
+            assert_eq!(outcome.rows().len(), 1, "item {i}");
+        }
+        let active = cluster
+            .replica_stats()
+            .iter()
+            .filter(|s| s.queries > 0)
+            .count();
+        assert!(active > 1, "hot type never left one replica");
+    }
+
+    #[test]
+    fn updates_pin_to_the_write_replica_and_are_visible_everywhere() {
+        let cluster = start(3, ClusterConfig::default());
+        // getItem (query type 0) homes on replica 0, allItems on replica 1 —
+        // read the insert back through a statement pinned elsewhere.
+        let outcome = cluster
+            .execute_sync(
+                "addItem",
+                &[Value::Int(9_000), Value::text("HISTORY"), Value::Float(1.0)],
+            )
+            .unwrap();
+        assert_eq!(outcome.rows_affected(), 1);
+        let all = cluster.execute_sync("allItems", &[]).unwrap();
+        assert_eq!(all.rows().len(), 201);
+        // Updates stay on replica 0 regardless of load.
+        assert_eq!(cluster.replica_stats()[0].updates, 1);
+        assert!(cluster.replica_stats()[1..].iter().all(|s| s.updates == 0));
+    }
+
+    /// The merge step: a parameterless ordered statement on a hot route
+    /// scatters over all replicas with disjoint scan partitions and the
+    /// ordered merge reassembles the exact single-engine result.
+    #[test]
+    fn fanout_ordered_merge_matches_single_engine() {
+        let config = ClusterConfig {
+            replicate_statements: vec!["allItems".into()],
+            ..ClusterConfig::default()
+        };
+        let cluster = start(4, config);
+        let outcome = cluster.execute_sync("allItems", &[]).unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 200);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], Value::Int(i as i64), "order broken at {i}");
+        }
+        // Every replica executed its partition.
+        assert!(
+            cluster.replica_stats().iter().all(|s| s.queries == 1),
+            "scatter did not reach all replicas: {:?}",
+            cluster.replica_stats()
+        );
+    }
+
+    #[test]
+    fn fanout_grouped_merge_recombines_partial_aggregates() {
+        let config = ClusterConfig {
+            replicate_statements: vec!["costBySubject".into()],
+            ..ClusterConfig::default()
+        };
+        let cluster = start(4, config);
+        let outcome = cluster.execute_sync("costBySubject", &[]).unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 2);
+        let history = rows
+            .iter()
+            .find(|r| r[0] == Value::text("HISTORY"))
+            .unwrap();
+        // 50 HISTORY items, ids 0,4,..,196; costs id % 50.
+        let expected_sum: f64 = (0..200i64)
+            .filter(|i| i % 4 == 0)
+            .map(|i| (i % 50) as f64)
+            .sum();
+        assert_eq!(history[1], Value::Float(expected_sum));
+        assert_eq!(history[2], Value::Int(50));
+        assert_eq!(history[3], Value::Float(0.0));
+        assert_eq!(history[4], Value::Float(48.0));
+    }
+
+    /// Dynamic promotion: a statement type whose submission rate crosses the
+    /// threshold is promoted to replicated routing by the stats-driven
+    /// refresh, without any static configuration.
+    #[test]
+    fn hot_types_are_promoted_from_engine_stats() {
+        let config = ClusterConfig {
+            hot_rate_per_s: 50.0,
+            refresh_interval: Duration::from_millis(10),
+            ..ClusterConfig::default()
+        };
+        let cluster = start(2, config);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut promoted = false;
+        while std::time::Instant::now() < deadline {
+            for i in 0..64 {
+                cluster.execute_sync("getItem", &[Value::Int(i)]).unwrap();
+            }
+            if cluster
+                .routes()
+                .iter()
+                .any(|(name, route)| name == "getItem" && *route == Route::Replicated)
+            {
+                promoted = true;
+                break;
+            }
+        }
+        assert!(
+            promoted,
+            "hot type was never promoted: {:?}",
+            cluster.routes()
+        );
+        // Updates are never promoted, whatever their rate looks like.
+        assert!(cluster
+            .routes()
+            .iter()
+            .any(|(name, route)| name == "addItem" && *route == Route::Pinned(0)));
+    }
+
+    /// The admission bound is accounted per replica: saturating one replica's
+    /// queue rejects retryably without touching the others.
+    #[test]
+    fn queue_depth_is_per_replica() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(&catalog, WORKLOAD).unwrap();
+        let cluster = ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig {
+                eager_heartbeat: false,
+                heartbeat: Duration::from_secs(30),
+                ..EngineConfig::default()
+            },
+            ClusterConfig::with_replicas(2),
+        )
+        .unwrap();
+        // Arm the heartbeat pacing of the home replica of getItem.
+        cluster.execute_sync("getItem", &[Value::Int(0)]).unwrap();
+        let opts = SubmitOptions {
+            max_queue_depth: Some(2),
+            ..SubmitOptions::default()
+        };
+        let mut handles = Vec::new();
+        let mut rejected = 0;
+        for i in 0..6 {
+            match cluster.submit("getItem", &[Value::Int(i)], opts.clone()) {
+                Ok(h) => handles.push(h),
+                Err(Error::Overloaded(_)) => rejected += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(rejected, 4, "per-replica bound of 2 not enforced");
+        // The other replica's queue is untouched: a statement pinned there
+        // is admitted under the same bound.
+        cluster
+            .submit("allItems", &[], opts)
+            .expect("other replica should admit");
+        drop(handles);
+    }
+}

@@ -1,0 +1,271 @@
+//! The merge step of fanned-out queries.
+//!
+//! A replicated statement without parameters can be *scattered*: every engine
+//! replica executes it over one disjoint horizontal partition of the table
+//! (see `shareddb_core::tuple_partition`), and the partial results are merged
+//! here into one result that is equivalent to a single-engine execution:
+//!
+//! * plain scans/filters concatenate,
+//! * ordered results (shared sort / Top-N roots) merge by the root's sort
+//!   keys (and re-apply the limit),
+//! * aggregated results (shared group-by roots) re-combine partial groups
+//!   (SUM of SUMs, SUM of COUNTs, MIN of MINs, MAX of MAXes),
+//! * DISTINCT roots re-deduplicate across partitions.
+
+use shareddb_common::agg::AggregateFunction;
+use shareddb_common::sort::compare_tuples;
+use shareddb_common::{Error, Result, SortKey, Tuple, Value};
+use shareddb_core::engine::ResultSet;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// How the partial results of one fanned-out statement recombine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeSpec {
+    /// Unordered union of the partitions.
+    Concat,
+    /// Merge by the root operator's sort keys, then re-apply the limit.
+    Ordered {
+        /// Sort keys of the root operator.
+        keys: Vec<SortKey>,
+        /// Row limit (Top-N activation limit and/or statement LIMIT).
+        limit: Option<usize>,
+    },
+    /// Re-aggregate partial groups: the first `group_width` columns are the
+    /// grouping key, the remaining columns are partial aggregates combined
+    /// per `functions`.
+    Grouped {
+        /// Number of grouping columns.
+        group_width: usize,
+        /// Aggregate function per aggregate column, in schema order.
+        functions: Vec<AggregateFunction>,
+    },
+    /// Union with duplicate elimination over the whole tuple.
+    Distinct,
+}
+
+/// Merges the partial results of all partitions into one result set.
+pub fn merge_results(spec: &MergeSpec, mut parts: Vec<ResultSet>) -> Result<ResultSet> {
+    let Some(first) = parts.first() else {
+        return Err(Error::Internal("merge of zero partial results".into()));
+    };
+    let schema = first.schema.clone();
+    let mut rows: Vec<Tuple> = Vec::with_capacity(parts.iter().map(|p| p.rows.len()).sum());
+    for part in &mut parts {
+        rows.append(&mut part.rows);
+    }
+    let rows = match spec {
+        MergeSpec::Concat => rows,
+        MergeSpec::Ordered { keys, limit } => {
+            // The partial results are each sorted already; a plain stable
+            // sort over the concatenation keeps ties in partition order and
+            // is O(n log n) with tiny constants at these sizes.
+            let mut rows = rows;
+            rows.sort_by(|a, b| compare_tuples(a, b, keys));
+            if let Some(limit) = limit {
+                rows.truncate(*limit);
+            }
+            rows
+        }
+        MergeSpec::Grouped {
+            group_width,
+            functions,
+        } => merge_groups(rows, *group_width, functions)?,
+        MergeSpec::Distinct => {
+            let mut rows = rows;
+            rows.sort_by(compare_all);
+            rows.dedup();
+            rows
+        }
+    };
+    Ok(ResultSet { schema, rows })
+}
+
+fn compare_all(a: &Tuple, b: &Tuple) -> Ordering {
+    for (va, vb) in a.values().iter().zip(b.values()) {
+        let ord = va.cmp(vb);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn merge_groups(
+    rows: Vec<Tuple>,
+    group_width: usize,
+    functions: &[AggregateFunction],
+) -> Result<Vec<Tuple>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    for row in rows {
+        let values = row.values();
+        if values.len() != group_width + functions.len() {
+            return Err(Error::Internal(format!(
+                "partial group row has {} columns, expected {}",
+                values.len(),
+                group_width + functions.len()
+            )));
+        }
+        let key: Vec<Value> = values[..group_width].to_vec();
+        match groups.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(values[group_width..].to_vec());
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let acc = e.get_mut();
+                for (i, function) in functions.iter().enumerate() {
+                    acc[i] = combine(*function, &acc[i], &values[group_width + i])?;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<Tuple> = groups
+        .into_iter()
+        .map(|(mut key, mut aggs)| {
+            key.append(&mut aggs);
+            Tuple::new(key)
+        })
+        .collect();
+    // Deterministic output order (single-engine group-by order is
+    // hash-dependent anyway, so any stable order is fine).
+    rows.sort_by(compare_all);
+    Ok(rows)
+}
+
+/// Combines two partial aggregate values of one group.
+fn combine(function: AggregateFunction, a: &Value, b: &Value) -> Result<Value> {
+    // A NULL partial aggregate means "no qualifying rows in this partition".
+    if a.is_null() {
+        return Ok(b.clone());
+    }
+    if b.is_null() {
+        return Ok(a.clone());
+    }
+    Ok(match function {
+        AggregateFunction::Sum | AggregateFunction::Count => add(a, b)?,
+        AggregateFunction::Min => {
+            if b.cmp(a) == Ordering::Less {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        }
+        AggregateFunction::Max => {
+            if b.cmp(a) == Ordering::Greater {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        }
+        AggregateFunction::Avg => {
+            return Err(Error::Internal(
+                "AVG cannot be merged from partial averages".into(),
+            ))
+        }
+    })
+}
+
+fn add(a: &Value, b: &Value) -> Result<Value> {
+    Ok(match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+        _ => Value::Float(a.as_float()? + b.as_float()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareddb_common::{tuple, DataType, Schema};
+
+    fn result(rows: Vec<Tuple>) -> ResultSet {
+        ResultSet {
+            schema: Schema::new(vec![
+                shareddb_common::Column::new("A", DataType::Int),
+                shareddb_common::Column::new("B", DataType::Int),
+            ]),
+            rows,
+        }
+    }
+
+    #[test]
+    fn ordered_merge_respects_keys_and_limit() {
+        let a = result(vec![tuple![1i64, 10i64], tuple![3i64, 30i64]]);
+        let b = result(vec![tuple![2i64, 20i64], tuple![4i64, 40i64]]);
+        let merged = merge_results(
+            &MergeSpec::Ordered {
+                keys: vec![SortKey::asc(0)],
+                limit: Some(3),
+            },
+            vec![a, b],
+        )
+        .unwrap();
+        let ids: Vec<i64> = merged
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grouped_merge_recombines_partials() {
+        // Two partitions each holding partial (key, SUM, COUNT, MIN, MAX).
+        let schema_row = |k: &str, s: i64, c: i64, lo: i64, hi: i64| tuple![k, s, c, lo, hi];
+        let a = ResultSet {
+            schema: Schema::new(vec![
+                shareddb_common::Column::new("K", DataType::Text),
+                shareddb_common::Column::new("S", DataType::Int),
+                shareddb_common::Column::new("C", DataType::Int),
+                shareddb_common::Column::new("LO", DataType::Int),
+                shareddb_common::Column::new("HI", DataType::Int),
+            ]),
+            rows: vec![schema_row("x", 10, 2, 1, 9), schema_row("y", 5, 1, 5, 5)],
+        };
+        let mut b = a.clone();
+        b.rows = vec![schema_row("x", 7, 3, 0, 4)];
+        let merged = merge_results(
+            &MergeSpec::Grouped {
+                group_width: 1,
+                functions: vec![
+                    AggregateFunction::Sum,
+                    AggregateFunction::Count,
+                    AggregateFunction::Min,
+                    AggregateFunction::Max,
+                ],
+            },
+            vec![a, b],
+        )
+        .unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        let x = merged
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("x"))
+            .unwrap();
+        assert_eq!(x[1], Value::Int(17));
+        assert_eq!(x[2], Value::Int(5));
+        assert_eq!(x[3], Value::Int(0));
+        assert_eq!(x[4], Value::Int(9));
+    }
+
+    #[test]
+    fn distinct_merge_deduplicates() {
+        let a = result(vec![tuple![1i64, 1i64], tuple![2i64, 2i64]]);
+        let b = result(vec![tuple![2i64, 2i64], tuple![3i64, 3i64]]);
+        let merged = merge_results(&MergeSpec::Distinct, vec![a, b]).unwrap();
+        assert_eq!(merged.rows.len(), 3);
+    }
+
+    #[test]
+    fn avg_partials_cannot_merge() {
+        assert!(combine(AggregateFunction::Avg, &Value::Int(1), &Value::Int(2)).is_err());
+        // NULL partials pass through untouched for every function.
+        assert_eq!(
+            combine(AggregateFunction::Sum, &Value::Null, &Value::Int(2)).unwrap(),
+            Value::Int(2)
+        );
+    }
+}

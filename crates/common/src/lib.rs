@@ -34,4 +34,4 @@ pub use queryset::QuerySet;
 pub use schema::{Column, Schema};
 pub use sort::{SortKey, SortOrder};
 pub use tuple::Tuple;
-pub use value::{DataType, Value};
+pub use value::{hash_values, DataType, Value};

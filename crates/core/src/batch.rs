@@ -6,7 +6,9 @@
 //! and are grouped into a [`QueryBatch`] at the next heartbeat (Section 3.2).
 
 use crate::plan::OperatorId;
-use crate::plan::{ActivationTemplate, StatementKind, StatementSpec, UpdateTemplate};
+use crate::plan::{
+    ActivationTemplate, ComputedColumn, StatementKind, StatementSpec, UpdateTemplate,
+};
 use shareddb_common::ids::{BatchId, TicketId};
 use shareddb_common::{Error, Expr, QueryId, Result, Tuple, Value};
 use shareddb_storage::{ProbeRange, UpdateOp};
@@ -18,6 +20,11 @@ pub enum Activation {
     Scan {
         /// Bound predicate.
         predicate: Expr,
+        /// Optional horizontal partition `(index, of)`: the scan only
+        /// subscribes this query to rows whose
+        /// [`crate::storage_ops::tuple_partition`] equals `index`. Used by the
+        /// cluster layer to fan a query out over engine replicas (§4.5).
+        partition: Option<(u32, u32)>,
     },
     /// Key/range look-up for a shared index probe.
     Probe {
@@ -62,6 +69,8 @@ pub struct ActiveQuery {
     pub root: OperatorId,
     /// Output projection (empty = all columns of the root schema).
     pub projection: Vec<usize>,
+    /// Computed output columns (bound); non-empty replaces `projection`.
+    pub compute: Vec<ComputedColumn>,
     /// Optional row limit applied during routing.
     pub limit: Option<usize>,
     /// Bound activations per operator.
@@ -130,10 +139,12 @@ pub fn bind_query(
     query_id: QueryId,
     ticket: TicketId,
     params: &[Value],
+    scan_partition: Option<(u32, u32)>,
 ) -> Result<ActiveQuery> {
     let StatementKind::Query {
         root,
         projection,
+        compute,
         limit,
     } = &spec.kind
     else {
@@ -147,6 +158,7 @@ pub fn bind_query(
         let bound = match template {
             ActivationTemplate::Scan { predicate } => Activation::Scan {
                 predicate: predicate.bind(params)?,
+                partition: scan_partition,
             },
             ActivationTemplate::Probe {
                 column,
@@ -168,12 +180,23 @@ pub fn bind_query(
         };
         activations.push((*op, bound));
     }
+    let compute = compute
+        .iter()
+        .map(|c| {
+            Ok(ComputedColumn {
+                name: c.name.clone(),
+                data_type: c.data_type,
+                expr: c.expr.bind(params)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(ActiveQuery {
         query_id,
         statement_index,
         ticket,
         root: *root,
         projection: projection.clone(),
+        compute,
         limit: *limit,
         activations,
     })
@@ -256,6 +279,7 @@ mod tests {
             QueryId(42),
             TicketId(9),
             &[Value::text("CH"), Value::Int(11)],
+            None,
         )
         .unwrap();
         assert_eq!(q.query_id, QueryId(42));
@@ -264,7 +288,7 @@ mod tests {
         assert_eq!(q.limit, Some(10));
         assert_eq!(q.activations.len(), 3);
         match &q.activations[0].1 {
-            Activation::Scan { predicate } => assert!(predicate.is_bound()),
+            Activation::Scan { predicate, .. } => assert!(predicate.is_bound()),
             other => panic!("unexpected {other:?}"),
         }
         match &q.activations[1].1 {
@@ -275,7 +299,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Missing parameters are an error.
-        assert!(bind_query(&spec, 7, QueryId(1), TicketId(1), &[]).is_err());
+        assert!(bind_query(&spec, 7, QueryId(1), TicketId(1), &[], None).is_err());
         // Binding it as an update is an error.
         assert!(bind_update(&spec, 7, TicketId(1), &[]).is_err());
     }
@@ -311,7 +335,7 @@ mod tests {
             UpdateOp::Delete { predicate } => assert!(predicate.is_bound()),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(bind_query(&spec, 0, QueryId(1), TicketId(1), &[]).is_err());
+        assert!(bind_query(&spec, 0, QueryId(1), TicketId(1), &[], None).is_err());
     }
 
     #[test]
@@ -322,8 +346,8 @@ mod tests {
                 predicate: Expr::lit(true),
             },
         );
-        let q1 = bind_query(&spec, 0, QueryId(1), TicketId(1), &[]).unwrap();
-        let q2 = bind_query(&spec, 0, QueryId(2), TicketId(2), &[]).unwrap();
+        let q1 = bind_query(&spec, 0, QueryId(1), TicketId(1), &[], None).unwrap();
+        let q2 = bind_query(&spec, 0, QueryId(2), TicketId(2), &[], None).unwrap();
         let batch = QueryBatch {
             id: BatchId(1),
             queries: vec![q1, q2],

@@ -188,6 +188,13 @@ pub struct SubmitOptions {
     /// Lets a nonblocking caller poll [`QueryHandle::try_wait`] only when
     /// woken instead of parking a thread per statement.
     pub completion_waker: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Restrict every shared-scan activation of this query to one horizontal
+    /// partition `(index, of)` of its table: a row participates iff
+    /// `tuple_partition(row, of) == index`. This is the replica-aware hook the
+    /// cluster layer uses to fan one logical query out over N engine replicas
+    /// (paper §4.5) and merge the partial results; a plain engine caller
+    /// leaves it `None`.
+    pub scan_partition: Option<(u32, u32)>,
 }
 
 struct Admission {
@@ -316,7 +323,14 @@ impl Engine {
             Submission::Update(bind_update(spec, index, ticket, params)?)
         } else {
             let query_id = self.inner.query_ids.next_id();
-            Submission::Query(bind_query(spec, index, query_id, ticket, params)?)
+            Submission::Query(bind_query(
+                spec,
+                index,
+                query_id,
+                ticket,
+                params,
+                opts.scan_partition,
+            )?)
         };
         let (tx, rx) = unbounded();
         let submitted = Instant::now();
@@ -723,15 +737,40 @@ fn finalize_query_result(
     query: &ActiveQuery,
     mut rows: Vec<Tuple>,
 ) -> Result<QueryOutcome> {
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    // Computed output columns (expression projections) replace the plain
+    // index projection: each result row is the evaluation of the bound
+    // expressions over the root row.
+    if !query.compute.is_empty() {
+        let schema = Schema::new(
+            query
+                .compute
+                .iter()
+                .map(|c| shareddb_common::Column::nullable(c.name.clone(), c.data_type))
+                .collect(),
+        );
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                Ok(Tuple::new(
+                    query
+                        .compute
+                        .iter()
+                        .map(|c| c.expr.eval(&r))
+                        .collect::<Result<Vec<Value>>>()?,
+                ))
+            })
+            .collect::<Result<Vec<Tuple>>>()?;
+        return Ok(QueryOutcome::Rows(ResultSet { schema, rows }));
+    }
     let root_schema = inner.plan.node(query.root).schema.clone();
     let schema = if query.projection.is_empty() {
         root_schema
     } else {
         root_schema.project(&query.projection)
     };
-    if let Some(limit) = query.limit {
-        rows.truncate(limit);
-    }
     if !query.projection.is_empty() {
         rows = rows
             .into_iter()

@@ -46,6 +46,7 @@ pub use batch::{Activation, ActiveQuery, QueryBatch};
 pub use config::EngineConfig;
 pub use engine::{Engine, QueryOutcome, ResultSet, SubmitOptions};
 pub use plan::{
-    ActivationTemplate, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder, StatementKind,
-    StatementRegistry, StatementSpec,
+    ActivationTemplate, ComputedColumn, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder,
+    StatementKind, StatementRegistry, StatementSpec,
 };
+pub use storage_ops::tuple_partition;

@@ -537,6 +537,21 @@ impl ProbeTemplate {
     }
 }
 
+/// One computed output column of a query statement: a scalar expression
+/// evaluated over the root operator's output rows when results are routed
+/// back to the client (`SELECT a + b, price * qty FROM ...`). Expressions are
+/// resolved (only [`Expr::Column`] references) and may contain parameters,
+/// which are bound per execution like activation templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputedColumn {
+    /// Output column name (e.g. the rendered expression text).
+    pub name: String,
+    /// Output column type (best-effort static inference).
+    pub data_type: shareddb_common::DataType,
+    /// The expression over the root schema.
+    pub expr: Expr,
+}
+
 /// Whether a statement reads or writes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StatementKind {
@@ -546,6 +561,10 @@ pub enum StatementKind {
         root: OperatorId,
         /// Output projection (indices into the root schema; empty = all).
         projection: Vec<usize>,
+        /// Computed output columns. When non-empty this replaces `projection`:
+        /// each result row is the evaluation of these expressions over the
+        /// root row.
+        compute: Vec<ComputedColumn>,
         /// Optional row limit applied when routing results.
         limit: Option<usize>,
     },
@@ -600,6 +619,7 @@ impl StatementSpec {
             kind: StatementKind::Query {
                 root,
                 projection: Vec::new(),
+                compute: Vec::new(),
                 limit: None,
             },
             activations: Vec::new(),
@@ -632,6 +652,15 @@ impl StatementSpec {
     pub fn project(mut self, columns: Vec<usize>) -> Self {
         if let StatementKind::Query { projection, .. } = &mut self.kind {
             *projection = columns;
+        }
+        self
+    }
+
+    /// Sets computed output columns (queries only); replaces the plain
+    /// projection.
+    pub fn compute(mut self, columns: Vec<ComputedColumn>) -> Self {
+        if let StatementKind::Query { compute, .. } = &mut self.kind {
+            *compute = columns;
         }
         self
     }
@@ -723,6 +752,19 @@ impl StatementRegistry {
                         "statement {} roots at unknown operator {root}",
                         spec.name
                     )));
+                }
+                if let StatementKind::Query { compute, .. } = &spec.kind {
+                    let width = plan.node(root).schema.len();
+                    for column in compute {
+                        for idx in column.expr.referenced_columns() {
+                            if idx >= width {
+                                return Err(Error::Internal(format!(
+                                    "statement {} computes {} over unknown root column {idx}",
+                                    spec.name, column.name
+                                )));
+                            }
+                        }
+                    }
                 }
             }
             for (op, template) in &spec.activations {

@@ -10,14 +10,49 @@
 //! same ordering ClockScan implements internally.
 
 use crate::batch::Activation;
-use shareddb_common::{Error, QTuple, QueryId, Result};
+use shareddb_common::{hash_values, Error, QTuple, QueryId, Result, Tuple};
 use shareddb_storage::{Catalog, ClockScan, IndexProbe, ProbeQuery, ScanQuery};
 use std::sync::Arc;
 
+/// Deterministic horizontal partition of a row: a stable FNV-1a hash
+/// ([`shareddb_common::hash_values`]) of the row's primary-key values
+/// (`key_columns`; the whole tuple when the table has no primary key) modulo
+/// `of`. Every engine replica computes the same partition for the same row,
+/// which is what lets the cluster layer fan a query out with `(index, of)`
+/// scan partitions and merge the disjoint partial results (paper §4.5).
+///
+/// Hashing the *key* (not the full tuple) keeps a row's partition stable
+/// under updates to non-key columns: even though each replica's batch reads
+/// its own MVCC snapshot, a concurrently updated row still lands in exactly
+/// one partition (at whichever version that partition's snapshot sees) —
+/// it can never be duplicated into two partitions or vanish from all.
+pub fn tuple_partition(tuple: &Tuple, key_columns: &[usize], of: u32) -> u32 {
+    if of <= 1 {
+        return 0;
+    }
+    let values = tuple.values();
+    let hash = if key_columns.is_empty() {
+        hash_values(0, values)
+    } else {
+        let key: Vec<shareddb_common::Value> = key_columns
+            .iter()
+            .filter_map(|&c| values.get(c).cloned())
+            .collect();
+        hash_values(0, &key)
+    };
+    (hash % of as u64) as u32
+}
+
 /// A storage operator instance owned by one plan node.
 pub enum StorageOperator {
-    /// Shared full-table scan.
-    Scan(ClockScan),
+    /// Shared full-table scan (with the table's primary-key columns, the
+    /// stable identity rows are partitioned by).
+    Scan {
+        /// The shared scan.
+        scan: ClockScan,
+        /// Primary-key column indices (empty = no primary key).
+        key_columns: Vec<usize>,
+    },
     /// Shared index probe.
     Probe(IndexProbe),
 }
@@ -25,10 +60,12 @@ pub enum StorageOperator {
 impl StorageOperator {
     /// Creates the storage operator for a `TableScan` plan node.
     pub fn scan(catalog: &Catalog, table: &str) -> Result<Self> {
-        Ok(StorageOperator::Scan(ClockScan::new(
-            catalog.table(table)?,
-            catalog.oracle(),
-        )))
+        let handle = catalog.table(table)?;
+        let key_columns = handle.read().primary_key().to_vec();
+        Ok(StorageOperator::Scan {
+            scan: ClockScan::new(handle, catalog.oracle()),
+            key_columns,
+        })
     }
 
     /// Creates the storage operator for an `IndexProbe` plan node.
@@ -42,17 +79,42 @@ impl StorageOperator {
     /// Executes the storage operator for one batch of activations.
     pub fn execute(&self, activations: &[(QueryId, Activation)]) -> Result<Vec<QTuple>> {
         match self {
-            StorageOperator::Scan(scan) => {
+            StorageOperator::Scan { scan, key_columns } => {
+                let mut partitioned: Vec<(QueryId, (u32, u32))> = Vec::new();
                 let queries: Vec<ScanQuery> = activations
                     .iter()
                     .map(|(q, a)| match a {
-                        Activation::Scan { predicate } => Ok(ScanQuery::new(*q, predicate.clone())),
+                        Activation::Scan {
+                            predicate,
+                            partition,
+                        } => {
+                            if let Some(partition) = partition {
+                                partitioned.push((*q, *partition));
+                            }
+                            Ok(ScanQuery::new(*q, predicate.clone()))
+                        }
                         other => Err(Error::Internal(format!(
                             "scan operator received a non-scan activation: {other:?}"
                         ))),
                     })
                     .collect::<Result<_>>()?;
-                Ok(scan.execute_batch(&queries, &[])?.tuples)
+                let mut tuples = scan.execute_batch(&queries, &[])?.tuples;
+                // Partitioned activations only subscribe to their slice of the
+                // table: unsubscribe them from out-of-partition rows and drop
+                // tuples no query is interested in any more.
+                if !partitioned.is_empty() {
+                    tuples.retain_mut(|t| {
+                        for (q, (index, of)) in &partitioned {
+                            if t.queries.contains(*q)
+                                && tuple_partition(&t.tuple, key_columns, *of) != *index
+                            {
+                                t.queries.remove(*q);
+                            }
+                        }
+                        !t.queries.is_empty()
+                    });
+                }
+                Ok(tuples)
             }
             StorageOperator::Probe(probe) => {
                 let queries: Vec<ProbeQuery> = activations
@@ -136,12 +198,14 @@ mod tests {
                     QueryId(1),
                     Activation::Scan {
                         predicate: Expr::col(1).eq(Expr::lit("HISTORY")),
+                        partition: None,
                     },
                 ),
                 (
                     QueryId(2),
                     Activation::Scan {
                         predicate: Expr::col(0).lt(Expr::lit(3i64)),
+                        partition: None,
                     },
                 ),
             ])
@@ -181,6 +245,85 @@ mod tests {
         assert!(probe
             .execute(&[(QueryId(1), Activation::Participate)])
             .is_err());
+    }
+
+    /// Partitioned scan activations split a table into disjoint, complete
+    /// slices: the union over all partitions equals the unpartitioned scan
+    /// and no row lands in two partitions.
+    #[test]
+    fn partitioned_scans_are_disjoint_and_complete() {
+        let catalog = catalog();
+        let scan = StorageOperator::scan(&catalog, "ITEM").unwrap();
+        const OF: u32 = 4;
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for index in 0..OF {
+            let out = scan
+                .execute(&[(
+                    QueryId(1),
+                    Activation::Scan {
+                        predicate: Expr::lit(true),
+                        partition: Some((index, OF)),
+                    },
+                )])
+                .unwrap();
+            for t in &out {
+                assert_eq!(tuple_partition(&t.tuple, &[0], OF), index);
+                assert!(seen.insert(t.tuple[0].clone()), "row in two partitions");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 50);
+        // A mixed batch: one partitioned and one unpartitioned query share
+        // the scan; the unpartitioned one still sees every row.
+        let out = scan
+            .execute(&[
+                (
+                    QueryId(1),
+                    Activation::Scan {
+                        predicate: Expr::lit(true),
+                        partition: Some((0, OF)),
+                    },
+                ),
+                (
+                    QueryId(2),
+                    Activation::Scan {
+                        predicate: Expr::lit(true),
+                        partition: None,
+                    },
+                ),
+            ])
+            .unwrap();
+        let q2: usize = out
+            .iter()
+            .filter(|t| t.queries.contains(QueryId(2)))
+            .count();
+        assert_eq!(q2, 50);
+        let q1: usize = out
+            .iter()
+            .filter(|t| t.queries.contains(QueryId(1)))
+            .count();
+        assert!(q1 < 50, "partition 0 of 4 held the whole table");
+    }
+
+    #[test]
+    fn partition_of_one_is_identity() {
+        let t = shareddb_common::tuple![1i64, "x"];
+        assert_eq!(tuple_partition(&t, &[0], 0), 0);
+        assert_eq!(tuple_partition(&t, &[0], 1), 0);
+        // Stable across calls, and key-based: updating a non-key column
+        // never moves the row to another partition.
+        assert_eq!(tuple_partition(&t, &[0], 7), tuple_partition(&t, &[0], 7));
+        let updated = shareddb_common::tuple![1i64, "y"];
+        assert_eq!(
+            tuple_partition(&t, &[0], 7),
+            tuple_partition(&updated, &[0], 7)
+        );
+        // Without a primary key the whole tuple is the identity.
+        assert_ne!(
+            tuple_partition(&t, &[], 1 << 30),
+            tuple_partition(&updated, &[], 1 << 30)
+        );
     }
 
     #[test]

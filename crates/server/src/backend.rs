@@ -1,0 +1,89 @@
+//! The engine backend of the network frontend: an engine cluster behind the
+//! reactor.
+//!
+//! The reactor does not talk to a [`shareddb_core::Engine`] directly any
+//! more; it submits through a [`ClusterBackend`], which owns a
+//! [`ClusterEngine`] of N replicas over one shared catalog (1 by default —
+//! exactly the old single-engine behaviour). The backend is what ties the
+//! wire protocol's admission control to the cluster:
+//!
+//! * the queue-depth bound is enforced **per replica**, under each replica's
+//!   own admission-queue lock (the cluster router picks the replica first,
+//!   then the bound applies to that queue — so N replicas admit up to
+//!   N × `max_queue_depth` in total, each queue individually exact);
+//! * completion wakers pass through to every replica (a fanned-out statement
+//!   wakes the reactor once per partition; the reply pump treats spurious
+//!   wakes as no-ops);
+//! * per-replica statistics feed the `Stats` wire frame.
+
+use shareddb_cluster::{ClusterConfig, ClusterEngine, ClusterHandle};
+use shareddb_common::{Result, Value};
+use shareddb_core::stats::EngineStatsSnapshot;
+use shareddb_core::{EngineConfig, GlobalPlan, StatementRegistry, SubmitOptions};
+use shareddb_storage::Catalog;
+use std::sync::Arc;
+
+/// The server's engine backend: a cluster of engine replicas.
+pub struct ClusterBackend {
+    cluster: ClusterEngine,
+}
+
+impl ClusterBackend {
+    /// Starts the backend (`cluster.replicas` engines over one catalog).
+    pub fn start(
+        catalog: Arc<Catalog>,
+        plan: GlobalPlan,
+        registry: StatementRegistry,
+        engine_config: EngineConfig,
+        cluster_config: ClusterConfig,
+    ) -> Result<ClusterBackend> {
+        Ok(ClusterBackend {
+            cluster: ClusterEngine::start(catalog, plan, registry, engine_config, cluster_config)?,
+        })
+    }
+
+    /// Submits one statement through the router.
+    pub fn submit(
+        &self,
+        statement: &str,
+        params: &[Value],
+        opts: SubmitOptions,
+    ) -> Result<ClusterHandle> {
+        self.cluster.submit(statement, params, opts)
+    }
+
+    /// Number of engine replicas.
+    pub fn replicas(&self) -> usize {
+        self.cluster.replicas()
+    }
+
+    /// Aggregated engine statistics.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.cluster.stats()
+    }
+
+    /// Per-replica statistics, in replica order.
+    pub fn replica_stats(&self) -> Vec<EngineStatsSnapshot> {
+        self.cluster.replica_stats()
+    }
+
+    /// Statements queued but not yet batched, summed over replicas.
+    pub fn queued(&self) -> usize {
+        self.cluster.queued()
+    }
+
+    /// Per-replica admission-queue depths.
+    pub fn queued_per_replica(&self) -> Vec<usize> {
+        self.cluster.queued_per_replica()
+    }
+
+    /// Current route of every statement type.
+    pub fn routes(&self) -> Vec<(String, shareddb_cluster::Route)> {
+        self.cluster.routes()
+    }
+
+    /// Stops every replica (completes or cleanly fails queued work).
+    pub fn shutdown(&mut self) {
+        self.cluster.shutdown();
+    }
+}

@@ -23,9 +23,11 @@
 //! compiled statement *types* — queries whose type is not part of the plan are
 //! rejected, mirroring the paper's prepared-workload model.
 
+pub mod backend;
 pub mod protocol;
 mod reactor;
 pub mod server;
 
-pub use protocol::{Frame, WireStats, PROTOCOL_VERSION};
+pub use backend::ClusterBackend;
+pub use protocol::{Frame, WireReplicaStats, WireStats, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerStatsSnapshot};

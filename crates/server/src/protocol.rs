@@ -39,8 +39,9 @@
 use shareddb_common::{DataType, Error, Result, Value};
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version spoken by this build. v2 added the per-replica section
+/// of [`Frame::StatsReply`] (the engine-cluster frontend).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frames larger than this are rejected (malformed or hostile peer).
 pub const MAX_FRAME_LEN: usize = 64 << 20;
@@ -88,6 +89,23 @@ pub mod error_codes {
     pub const OVERLOADED: u8 = 14;
 }
 
+/// Per-replica engine counters reported by [`Frame::StatsReply`] when the
+/// server runs an engine cluster (one entry per replica, in replica order;
+/// a single-engine server reports one entry).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireReplicaStats {
+    /// Batches executed by this replica.
+    pub batches: u64,
+    /// Queries answered by this replica.
+    pub queries: u64,
+    /// Updates applied by this replica.
+    pub updates: u64,
+    /// Statements that failed on this replica.
+    pub failed: u64,
+    /// Statements in this replica's admission queue.
+    pub queued: u64,
+}
+
 /// Engine and server counters reported by [`Frame::StatsReply`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WireStats {
@@ -105,6 +123,8 @@ pub struct WireStats {
     pub sessions: u64,
     /// Requests rejected by admission control since the server started.
     pub rejected: u64,
+    /// Per-replica breakdown (replica order); one entry per engine replica.
+    pub replicas: Vec<WireReplicaStats>,
 }
 
 /// One column of a result schema on the wire.
@@ -486,6 +506,14 @@ impl Frame {
                 put_u64(&mut body, stats.queued);
                 put_u64(&mut body, stats.sessions);
                 put_u64(&mut body, stats.rejected);
+                put_u32(&mut body, stats.replicas.len() as u32);
+                for replica in &stats.replicas {
+                    put_u64(&mut body, replica.batches);
+                    put_u64(&mut body, replica.queries);
+                    put_u64(&mut body, replica.updates);
+                    put_u64(&mut body, replica.failed);
+                    put_u64(&mut body, replica.queued);
+                }
             }
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -564,9 +592,9 @@ impl Frame {
                 retryable: c.u8()? != 0,
                 message: c.string()?,
             },
-            0x85 => Frame::StatsReply {
-                request_id: c.u64()?,
-                stats: WireStats {
+            0x85 => {
+                let request_id = c.u64()?;
+                let mut stats = WireStats {
                     batches: c.u64()?,
                     queries: c.u64()?,
                     updates: c.u64()?,
@@ -574,8 +602,20 @@ impl Frame {
                     queued: c.u64()?,
                     sessions: c.u64()?,
                     rejected: c.u64()?,
-                },
-            },
+                    replicas: Vec::new(),
+                };
+                let n_replicas = c.u32()? as usize;
+                for _ in 0..n_replicas.min(4096) {
+                    stats.replicas.push(WireReplicaStats {
+                        batches: c.u64()?,
+                        queries: c.u64()?,
+                        updates: c.u64()?,
+                        failed: c.u64()?,
+                        queued: c.u64()?,
+                    });
+                }
+                Frame::StatsReply { request_id, stats }
+            }
             0x86 => Frame::GoodbyeOk,
             0x87 => Frame::Pong {
                 request_id: c.u64()?,
@@ -851,6 +891,16 @@ mod tests {
                 queued: 5,
                 sessions: 6,
                 rejected: 7,
+                replicas: vec![
+                    WireReplicaStats {
+                        batches: 1,
+                        queries: 2,
+                        updates: 0,
+                        failed: 0,
+                        queued: 3,
+                    },
+                    WireReplicaStats::default(),
+                ],
             },
         });
         round_trip(Frame::GoodbyeOk);

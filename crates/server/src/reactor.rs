@@ -38,12 +38,12 @@
 //! deadline is armed.
 
 use crate::protocol::{
-    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireStats, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireReplicaStats, WireStats,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::server::Shared;
+use shareddb_cluster::ClusterHandle;
 use shareddb_common::Error;
-use shareddb_core::engine::QueryHandle;
 use shareddb_core::{QueryOutcome, SubmitOptions};
 use shareddb_sql::compile::{bind_adhoc, canonicalize};
 use std::collections::{HashMap, VecDeque};
@@ -488,10 +488,11 @@ enum Reply {
     /// Already-encoded frames, ready to move to the write queue.
     Ready(Vec<u8>),
     /// A submitted statement; its outcome is pumped out (in submission order)
-    /// when the engine's completion waker fires.
+    /// when the engine's completion waker fires. Fanned-out statements hold
+    /// one sub-handle per replica and complete when the last partition does.
     Pending {
         request_id: u64,
-        handle: QueryHandle,
+        handle: ClusterHandle,
     },
 }
 
@@ -1022,9 +1023,24 @@ impl Reactor {
             }
             Frame::Stats { request_id } => {
                 let engine = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
-                let (engine_stats, queued) = match engine.as_ref() {
-                    Some(e) => (e.stats(), e.queued()),
-                    None => (Default::default(), 0),
+                let (engine_stats, queued, replicas) = match engine.as_ref() {
+                    Some(e) => {
+                        let per_replica = e.replica_stats();
+                        let depths = e.queued_per_replica();
+                        let replicas = per_replica
+                            .iter()
+                            .zip(depths)
+                            .map(|(stats, queued)| WireReplicaStats {
+                                batches: stats.batches,
+                                queries: stats.queries,
+                                updates: stats.updates,
+                                failed: stats.failed,
+                                queued: queued as u64,
+                            })
+                            .collect();
+                        (e.stats(), e.queued(), replicas)
+                    }
+                    None => (Default::default(), 0, Vec::new()),
                 };
                 drop(engine);
                 let reply = Frame::StatsReply {
@@ -1037,6 +1053,7 @@ impl Reactor {
                         queued: queued as u64,
                         sessions: self.shared.sessions_active.load(Ordering::Relaxed),
                         rejected: self.shared.rejected.load(Ordering::Relaxed),
+                        replicas,
                     },
                 };
                 self.enqueue_reply(token, &reply);
@@ -1110,6 +1127,7 @@ impl Reactor {
                 SubmitOptions {
                     max_queue_depth: Some(self.shared.config.max_queue_depth),
                     completion_waker: Some(waker),
+                    scan_partition: None,
                 },
             ),
             None => Err(Error::EngineShutdown),

@@ -47,12 +47,14 @@
 //! in-flight work (bounded by `drain_timeout`, signalled event-driven by the
 //! reactor rather than polled), and only then is the engine stopped.
 
+use crate::backend::ClusterBackend;
 use crate::reactor::{Poller, Reactor, ScanPoller};
+use shareddb_cluster::ClusterConfig;
 use shareddb_common::{Error, Expr, Result};
 use shareddb_core::plan::{
     ActivationTemplate, GlobalPlan, ProbeTemplate, StatementKind, UpdateTemplate,
 };
-use shareddb_core::{Engine, EngineConfig, StatementRegistry};
+use shareddb_core::{EngineConfig, StatementRegistry};
 use shareddb_sql::compile::{canonicalize, SqlTemplate};
 use shareddb_sql::compile_workload;
 use shareddb_storage::Catalog;
@@ -84,6 +86,10 @@ pub struct ServerConfig {
     /// facility (Linux `epoll`) is available. Mainly for tests and for
     /// diagnosing platform-specific reactor issues.
     pub force_portable_poller: bool,
+    /// Engine-cluster configuration: `cluster.replicas` engines serve this
+    /// one wire endpoint (1 = the classic single-engine frontend). See
+    /// [`shareddb_cluster::ClusterConfig`] for the hot-type thresholds.
+    pub cluster: ClusterConfig,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +102,7 @@ impl Default for ServerConfig {
             chunk_rows: 512,
             drain_timeout: Duration::from_secs(5),
             force_portable_poller: false,
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -114,7 +121,7 @@ pub struct ServerStatsSnapshot {
 }
 
 pub(crate) struct Shared {
-    pub(crate) engine: RwLock<Option<Engine>>,
+    pub(crate) engine: RwLock<Option<ClusterBackend>>,
     pub(crate) registry: StatementRegistry,
     pub(crate) param_counts: Vec<usize>,
     /// canonical SQL text → (statement name, template slot map); used to
@@ -212,7 +219,13 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Server> {
         let param_counts = registry.iter().map(spec_param_count).collect();
-        let engine = Engine::start(catalog, plan, registry.clone(), engine_config)?;
+        let engine = ClusterBackend::start(
+            catalog,
+            plan,
+            registry.clone(),
+            engine_config,
+            config.cluster.clone(),
+        )?;
         let listener = TcpListener::bind(&config.bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -253,7 +266,8 @@ impl Server {
         self.addr
     }
 
-    /// Engine statistics (batches, queries, latencies).
+    /// Engine statistics (batches, queries, latencies), aggregated over all
+    /// replicas.
     pub fn engine_stats(&self) -> Option<shareddb_core::stats::EngineStatsSnapshot> {
         self.shared
             .engine
@@ -261,6 +275,27 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner())
             .as_ref()
             .map(|e| e.stats())
+    }
+
+    /// Per-replica engine statistics, in replica order.
+    pub fn replica_stats(&self) -> Option<Vec<shareddb_core::stats::EngineStatsSnapshot>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.replica_stats())
+    }
+
+    /// Current route of every statement type (cold types pinned, hot types
+    /// replicated).
+    pub fn routes(&self) -> Option<Vec<(String, shareddb_cluster::Route)>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.routes())
     }
 
     /// Statements admitted to the engine but not yet formed into a batch.
@@ -374,6 +409,11 @@ fn spec_param_count(spec: &shareddb_core::plan::StatementSpec) -> usize {
             ActivationTemplate::Having { predicate: None }
             | ActivationTemplate::Participate
             | ActivationTemplate::TopN { .. } => {}
+        }
+    }
+    if let StatementKind::Query { compute, .. } = &spec.kind {
+        for column in compute {
+            scan(&column.expr, &mut max);
         }
     }
     if let StatementKind::Update { template, .. } = &spec.kind {

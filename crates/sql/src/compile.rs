@@ -26,8 +26,8 @@ use crate::token::{tokenize, Token};
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::{Column, DataType, Error, Expr, Result, Schema, SortKey, Value};
 use shareddb_core::plan::{
-    ActivationTemplate, GlobalPlan, OperatorId, PlanBuilder, StatementRegistry, StatementSpec,
-    UpdateTemplate,
+    ActivationTemplate, ComputedColumn, GlobalPlan, OperatorId, PlanBuilder, StatementRegistry,
+    StatementSpec, UpdateTemplate,
 };
 use shareddb_storage::Catalog;
 use std::collections::HashMap;
@@ -359,18 +359,47 @@ impl<'a> SqlCompiler<'a> {
             root = node;
         }
 
-        // Projection: map the SELECT list onto the root schema.
+        // Projection: map the SELECT list onto the root schema. Plain column
+        // references (and aggregate outputs) become an index projection; any
+        // other expression (`a + b`, `price * qty`, ...) switches the whole
+        // list to computed output columns evaluated during result routing.
         let mut projection: Vec<usize> = Vec::new();
+        let mut computed: Vec<ComputedColumn> = Vec::new();
+        let mut has_expression = false;
         let mut wildcard = false;
         let mut agg_seen = 0usize;
         for item in &select.items {
             match item {
                 SelectItem::Wildcard => wildcard = true,
                 SelectItem::Expr(expr) => {
-                    projection.push(resolve_column(expr, &res_schema, "SELECT list")?);
+                    let resolved = expr.resolve(&res_schema)?;
+                    match resolved {
+                        Expr::Column(idx) => {
+                            projection.push(idx);
+                            computed.push(ComputedColumn {
+                                name: res_schema.column(idx).name.clone(),
+                                data_type: res_schema.column(idx).data_type,
+                                expr: Expr::Column(idx),
+                            });
+                        }
+                        other => {
+                            has_expression = true;
+                            computed.push(ComputedColumn {
+                                name: render_expr_name(expr),
+                                data_type: infer_type(&other, &res_schema),
+                                expr: other,
+                            });
+                        }
+                    }
                 }
                 SelectItem::Aggregate { .. } => {
-                    projection.push(group_width + agg_seen);
+                    let idx = group_width + agg_seen;
+                    projection.push(idx);
+                    computed.push(ComputedColumn {
+                        name: res_schema.column(idx).name.clone(),
+                        data_type: res_schema.column(idx).data_type,
+                        expr: Expr::Column(idx),
+                    });
                     agg_seen += 1;
                 }
             }
@@ -383,7 +412,11 @@ impl<'a> SqlCompiler<'a> {
 
         let mut spec = StatementSpec::query(name, root);
         if !wildcard {
-            spec = spec.project(projection);
+            if has_expression {
+                spec = spec.compute(computed);
+            } else {
+                spec = spec.project(projection);
+            }
         }
         if let Some(limit) = lp.limit {
             spec = spec.limit(limit);
@@ -481,6 +514,49 @@ impl<'a> SqlCompiler<'a> {
             table,
             UpdateTemplate::Delete { predicate },
         ))
+    }
+}
+
+/// Column name of a computed SELECT item: the rendered expression text
+/// without the outermost parentheses (`A + B`, `PRICE * QTY`).
+fn render_expr_name(expr: &Expr) -> String {
+    let rendered = expr.to_string();
+    match rendered.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        Some(inner) => inner.to_string(),
+        None => rendered,
+    }
+}
+
+/// Best-effort static type of a resolved scalar expression. Arithmetic
+/// follows the evaluator's promotion rules (Int only when both sides are
+/// Int; division always Float because of NULL-on-zero); parameters default
+/// to Float, the widest numeric type.
+fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
+    use shareddb_common::{BinaryOp, UnaryOp};
+    match expr {
+        Expr::Column(idx) => schema.column(*idx).data_type,
+        Expr::NamedColumn { .. } => DataType::Float, // resolved before use
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Float),
+        Expr::Param(_) => DataType::Float,
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And | BinaryOp::Or => DataType::Bool,
+            _ if op.is_comparison() => DataType::Bool,
+            BinaryOp::Div => DataType::Float,
+            _ => {
+                if infer_type(left, schema) == DataType::Int
+                    && infer_type(right, schema) == DataType::Int
+                {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                }
+            }
+        },
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Neg => infer_type(expr, schema),
+            UnaryOp::Not | UnaryOp::IsNull | UnaryOp::IsNotNull => DataType::Bool,
+        },
+        Expr::Like { .. } | Expr::InList { .. } | Expr::Between { .. } => DataType::Bool,
     }
 }
 
@@ -858,6 +934,86 @@ mod tests {
         assert_eq!(rows[0].len(), 2);
         assert_eq!(rows[0][1], Value::Int(490));
         assert_eq!(rows[1][1], Value::Int(480));
+    }
+
+    /// Expression projections compile into the shared plan and evaluate
+    /// during result routing: `SELECT a + b, price * qty FROM ...`.
+    #[test]
+    fn expression_projections_execute() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "accountPlusId",
+                "SELECT USERNAME, ACCOUNT + USER_ID, ACCOUNT / 2 FROM USERS WHERE USER_ID = ?",
+            )],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine
+            .execute_sync("accountPlusId", &[Value::Int(7)])
+            .unwrap();
+        match outcome {
+            shareddb_core::QueryOutcome::Rows(rs) => {
+                assert_eq!(rs.rows.len(), 1);
+                // user7: ACCOUNT = 70, USER_ID = 7.
+                assert_eq!(rs.rows[0][0], Value::text("user7"));
+                assert_eq!(rs.rows[0][1], Value::Int(77));
+                assert_eq!(rs.rows[0][2], Value::Float(35.0));
+                assert_eq!(rs.schema.column(0).name, "USERNAME");
+                assert_eq!(rs.schema.column(1).name, "ACCOUNT + USER_ID");
+                assert_eq!(rs.schema.column(1).data_type, DataType::Int);
+                assert_eq!(rs.schema.column(2).data_type, DataType::Float);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Parameters inside expression projections bind per execution, and
+    /// expressions over join outputs resolve against the joined schema.
+    #[test]
+    fn expression_projections_bind_parameters_and_join_columns() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "scaledTotal",
+                "SELECT O.ORDER_ID, O.TOTAL * ? FROM USERS U, ORDERS O \
+                 WHERE U.USER_ID = O.USER_ID AND U.USERNAME = ?",
+            )],
+        )
+        .unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine
+            .execute_sync("scaledTotal", &[Value::Float(2.0), Value::text("user3")])
+            .unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 3); // orders 3, 53, 103
+        for row in rows {
+            let id = match row[0] {
+                Value::Int(i) => i,
+                ref other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(row[1], Value::Float(((id % 40) as f64) * 2.0));
+        }
+    }
+
+    /// Auto-parameterisation still matches statement types whose SELECT list
+    /// carries expressions: the literal inside the expression is a slot like
+    /// any other.
+    #[test]
+    fn expression_projection_templates_match_adhoc_sql() {
+        let template =
+            canonicalize("SELECT USERNAME, ACCOUNT * 2 FROM USERS WHERE USER_ID = ?").unwrap();
+        let adhoc =
+            canonicalize("select username, account * 2 from users where user_id = 9").unwrap();
+        assert_eq!(template.canonical, adhoc.canonical);
+        assert_eq!(bind_adhoc(&template, &adhoc).unwrap(), vec![Value::Int(9)]);
+        // A different scale factor is a different statement type.
+        let other =
+            canonicalize("SELECT USERNAME, ACCOUNT * 3 FROM USERS WHERE USER_ID = 9").unwrap();
+        assert!(bind_adhoc(&template, &other).is_err());
     }
 
     #[test]

@@ -29,13 +29,20 @@ pub struct RemoteSystem {
 }
 
 impl RemoteSystem {
-    /// Creates an adapter for the server at `addr`. Connections are opened
-    /// lazily, one per concurrently executing driver thread.
-    pub fn connect(addr: SocketAddr) -> RemoteSystem {
-        RemoteSystem {
+    /// Creates an adapter for the server at `addr`. The first connection is
+    /// opened eagerly so an unreachable or refusing server surfaces as an
+    /// error here (propagated through the driver's setup) instead of a panic
+    /// in the middle of the run; further connections are opened lazily, one
+    /// per concurrently executing driver thread.
+    pub fn connect(addr: SocketAddr) -> Result<RemoteSystem> {
+        let probe = PooledConnection {
+            conn: Connection::connect_named(addr, "tpcw-driver")?,
+            prepared: HashMap::new(),
+        };
+        Ok(RemoteSystem {
             addr,
-            pool: Mutex::new(Vec::new()),
-        }
+            pool: Mutex::new(vec![probe]),
+        })
     }
 
     fn checkout(&self) -> Result<PooledConnection> {
@@ -138,7 +145,7 @@ mod tests {
     #[test]
     fn tpcw_point_query_over_the_wire() {
         let mut server = start_server();
-        let db = RemoteSystem::connect(server.local_addr());
+        let db = RemoteSystem::connect(server.local_addr()).unwrap();
         let rows = db
             .execute("getItemById", &[Value::Int(1)], Duration::from_secs(10))
             .unwrap();
@@ -151,7 +158,7 @@ mod tests {
     fn tpcw_mix_runs_over_the_wire() {
         let mut server = start_server();
         let scale = TpcwScale::tiny();
-        let db = RemoteSystem::connect(server.local_addr());
+        let db = RemoteSystem::connect(server.local_addr()).unwrap();
         let config = DriverConfig {
             mix: Mix::Shopping,
             emulated_browsers: 40,
@@ -170,5 +177,22 @@ mod tests {
         assert!(stats.batches > 0);
         assert!(stats.queries + stats.updates >= report.successful);
         server.shutdown();
+    }
+
+    /// A refused connection is a clean error from `connect`, not a panic in
+    /// the driver.
+    #[test]
+    fn refused_connection_is_an_error() {
+        // Bind a listener to reserve a free port, then drop it so the
+        // connection is refused.
+        let addr = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        match RemoteSystem::connect(addr) {
+            Err(Error::Io(_)) => {}
+            Err(other) => panic!("expected an I/O error, got {other:?}"),
+            Ok(_) => panic!("connect to a closed port succeeded"),
+        }
     }
 }

@@ -44,6 +44,10 @@ const WORKLOAD: &[(&str, &str)] = &[
         "SELECT * FROM ITEM WHERE I_COST < ? ORDER BY I_COST LIMIT 10",
     ),
     ("addItem", "INSERT INTO ITEM VALUES (?, ?, ?)"),
+    (
+        "itemValue",
+        "SELECT I_ID, I_COST * 2 FROM ITEM WHERE I_ID = ?",
+    ),
 ];
 
 fn start_server(engine_config: EngineConfig, server_config: ServerConfig) -> Server {
@@ -263,6 +267,14 @@ fn adhoc_sql_matches_compiled_statement_types() {
     let outcome = conn.query("SELECT * FROM ITEM WHERE I_ID = 900").unwrap();
     assert_eq!(outcome.rows()[0][1], Value::text("net book"));
 
+    // Expression projections match their statement type over the wire and
+    // evaluate per row.
+    let outcome = conn
+        .query("select i_id, i_cost * 2 from item where i_id = 30")
+        .unwrap();
+    assert_eq!(outcome.rows().len(), 1);
+    assert_eq!(outcome.rows()[0][1], Value::Int(60)); // cost 30 % 50 = 30
+
     // A statement type that is not part of the plan is rejected.
     let err = conn
         .query("SELECT * FROM ITEM WHERE I_TITLE = 'title1'")
@@ -404,6 +416,18 @@ fn admission_queue_bound_is_never_exceeded() {
 /// mid-frame is cleanly disconnected — neither can make shutdown hang.
 #[test]
 fn shutdown_drains_inflight_and_closes_stalled_clients() {
+    run_shutdown_under_load(false);
+}
+
+/// The same shutdown-under-load scenario through the portable
+/// adaptive-parking poller (`ServerConfig::force_portable_poller`): drain
+/// signalling and stalled-client handling must not depend on epoll.
+#[test]
+fn shutdown_under_load_portable_poller() {
+    run_shutdown_under_load(true);
+}
+
+fn run_shutdown_under_load(force_portable_poller: bool) {
     let engine_config = EngineConfig {
         eager_heartbeat: false,
         heartbeat: Duration::from_secs(30),
@@ -411,6 +435,7 @@ fn shutdown_drains_inflight_and_closes_stalled_clients() {
     };
     let server_config = ServerConfig {
         drain_timeout: Duration::from_millis(200),
+        force_portable_poller,
         ..ServerConfig::default()
     };
     let mut server = start_server(engine_config, server_config);
@@ -472,7 +497,25 @@ fn shutdown_drains_inflight_and_closes_stalled_clients() {
 /// client library.
 #[test]
 fn byte_dribbled_frames_reassemble_and_ping_round_trips() {
-    let mut server = start_server(EngineConfig::default(), ServerConfig::default());
+    run_frame_reassembly(false);
+}
+
+/// Frame reassembly through the portable poller: the incremental decoder
+/// must behave identically when readiness comes from the adaptive parking
+/// loop instead of epoll.
+#[test]
+fn byte_dribbled_frames_reassemble_portable_poller() {
+    run_frame_reassembly(true);
+}
+
+fn run_frame_reassembly(force_portable_poller: bool) {
+    let mut server = start_server(
+        EngineConfig::default(),
+        ServerConfig {
+            force_portable_poller,
+            ..ServerConfig::default()
+        },
+    );
     let addr = server.local_addr();
 
     // Client-library keepalive.
