@@ -1,0 +1,403 @@
+//! CI perf-regression gate: compares a `server_throughput` result JSON
+//! against a checked-in baseline of floors and fails (exit 1) on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! check_regression --bench BENCH_server_throughput.json --baseline BENCH_baseline.json
+//! ```
+//!
+//! The baseline declares, per `(replicas, clients)` point, a total-throughput
+//! floor, a light-p99 ceiling and an error budget, plus a global `slack_pct`
+//! that widens every bound (CI runners are noisy; the gate is meant to catch
+//! *regressions*, not to benchmark):
+//!
+//! ```json
+//! {
+//!   "slack_pct": 30,
+//!   "floors": [
+//!     {"replicas": 4, "clients": 64,
+//!      "min_throughput_per_s": 4000, "max_light_p99_us": 200000,
+//!      "max_errors": 0}
+//!   ]
+//! }
+//! ```
+//!
+//! A floor entry with no matching point in the bench output is itself a
+//! failure — a lane that silently stopped producing the point would
+//! otherwise pass forever. The JSON parser below is deliberately minimal
+//! (objects, arrays, strings, numbers, booleans, null): the repo has no
+//! serde, and both input files are machine-written.
+
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn arr(&self, key: &str) -> Option<&[Json]> {
+        match self.get(key)? {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    out.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'u' => {
+                            // Accept \uXXXX (BMP only — enough for these files).
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad unicode escape".to_string())?;
+                            self.pos += 4;
+                            char::from_u32(hex).unwrap_or('\u{fffd}')
+                        }
+                        other => *other as char,
+                    });
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| *b != b'"' && *b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf8".to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = HashMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected , or }} at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let (bench_path, baseline_path) = parse_args();
+    let bench = load(&bench_path);
+    let baseline = load(&baseline_path);
+
+    let slack = baseline.num("slack_pct").unwrap_or(0.0) / 100.0;
+    let floors = baseline.arr("floors").unwrap_or_else(|| {
+        eprintln!("{baseline_path}: missing \"floors\" array");
+        std::process::exit(2);
+    });
+    let points = bench.arr("points").unwrap_or_else(|| {
+        eprintln!("{bench_path}: missing \"points\" array");
+        std::process::exit(2);
+    });
+
+    let mut failures = 0usize;
+    for floor in floors {
+        let replicas = floor.num("replicas").unwrap_or(-1.0);
+        let clients = floor.num("clients").unwrap_or(-1.0);
+        let label = format!("replicas={replicas} clients={clients}");
+        let Some(point) = points
+            .iter()
+            .find(|p| p.num("replicas") == Some(replicas) && p.num("clients") == Some(clients))
+        else {
+            println!("FAIL [{label}] point missing from {bench_path}");
+            failures += 1;
+            continue;
+        };
+
+        if let Some(min_tp) = floor.num("min_throughput_per_s") {
+            let bound = min_tp * (1.0 - slack);
+            let got = point.num("throughput_per_s").unwrap_or(0.0);
+            if got < bound {
+                println!(
+                    "FAIL [{label}] throughput {got:.0}/s below floor {bound:.0}/s \
+                     (baseline {min_tp:.0}/s - {:.0}% slack)",
+                    slack * 100.0
+                );
+                failures += 1;
+            } else {
+                println!("PASS [{label}] throughput {got:.0}/s >= floor {bound:.0}/s");
+            }
+        }
+        if let Some(max_p99) = floor.num("max_light_p99_us") {
+            let bound = max_p99 * (1.0 + slack);
+            let got = point.num("light_p99_us").unwrap_or(f64::MAX);
+            if got > bound {
+                println!(
+                    "FAIL [{label}] light p99 {got:.0}us above ceiling {bound:.0}us \
+                     (baseline {max_p99:.0}us + {:.0}% slack)",
+                    slack * 100.0
+                );
+                failures += 1;
+            } else {
+                println!("PASS [{label}] light p99 {got:.0}us <= ceiling {bound:.0}us");
+            }
+        }
+        if let Some(min_updates) = floor.num("min_updates_ok") {
+            let bound = min_updates * (1.0 - slack);
+            let got = point.num("updates_ok").unwrap_or(0.0);
+            if got < bound {
+                println!(
+                    "FAIL [{label}] only {got:.0} concurrent updates ran, floor {bound:.0} \
+                     (the write-load soak exercised nothing)"
+                );
+                failures += 1;
+            } else {
+                println!("PASS [{label}] {got:.0} concurrent updates >= floor {bound:.0}");
+            }
+        }
+        if let Some(max_errors) = floor.num("max_errors") {
+            let got = point.num("errors").unwrap_or(f64::MAX);
+            if got > max_errors {
+                println!("FAIL [{label}] {got:.0} errors > budget {max_errors:.0}");
+                failures += 1;
+            } else {
+                println!("PASS [{label}] {got:.0} errors <= budget {max_errors:.0}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} regression check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all regression checks passed");
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Parser::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> (String, String) {
+    let mut bench = "BENCH_server_throughput.json".to_string();
+    let mut baseline = "crates/bench/baselines/BENCH_baseline.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => bench = args.next().unwrap_or_else(|| usage("--bench needs PATH")),
+            "--baseline" => {
+                baseline = args
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline needs PATH"))
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    (bench, baseline)
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: check_regression [--bench PATH] [--baseline PATH]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_bench_shape() {
+        let json = Parser::parse(
+            r#"{"bench": "x", "points": [{"replicas": 4, "clients": 64,
+                "throughput_per_s": 1234.5, "errors": 0, "nested": [1, -2.5e1],
+                "flag": true, "nothing": null, "esc": "a\"b\nA"}]}"#,
+        )
+        .unwrap();
+        let points = json.arr("points").unwrap();
+        assert_eq!(points[0].num("replicas"), Some(4.0));
+        assert_eq!(points[0].num("throughput_per_s"), Some(1234.5));
+        assert_eq!(
+            points[0].get("esc"),
+            Some(&Json::Str("a\"b\nA".to_string()))
+        );
+        assert_eq!(
+            points[0].get("nested"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(-25.0)]))
+        );
+        assert!(Parser::parse("{\"a\": }").is_err());
+        assert!(Parser::parse("[1, 2] trailing").is_err());
+    }
+}

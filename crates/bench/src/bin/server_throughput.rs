@@ -20,7 +20,12 @@
 //!
 //! Environment: `TPCW_ITEMS` (scale, default 2000), `BENCH_SECONDS` (per
 //! point, default 2), `SERVER_MAX_CLIENTS` (sweep ceiling, default 1024),
-//! `SERVER_MIN_CLIENTS` (sweep floor, default 1).
+//! `SERVER_MIN_CLIENTS` (sweep floor, default 1), `BENCH_UPDATE_CLIENTS`
+//! (extra connections issuing `addOrderLine` inserts concurrently, default
+//! 0 — the cluster-soak lane uses this to exercise snapshot-pinned fanout
+//! under write load), `BENCH_REPLICATE` (comma-separated statement names
+//! forced onto the replicated route from the start, e.g. `getBestSellers`
+//! to exercise co-partitioned join fanout deterministically).
 //!
 //! Output: CSV on stdout
 //! (`replicas,clients,heavy,ok,errors,throughput_per_s,light_p50_us,light_p99_us,mean_latency_us,batches_per_s`)
@@ -48,7 +53,9 @@ struct PointResult {
     replicas: usize,
     clients: usize,
     heavy: usize,
+    update_clients: usize,
     ok: u64,
+    updates_ok: u64,
     errors: u64,
     throughput_per_s: f64,
     light_p50_us: u64,
@@ -71,13 +78,24 @@ fn main() {
     let duration = bench_duration();
     let max_clients = env_usize("SERVER_MAX_CLIENTS", 1024);
     let min_clients = env_usize("SERVER_MIN_CLIENTS", 1);
+    let update_clients = env_usize("BENCH_UPDATE_CLIENTS", 0);
+    let replicate: Vec<String> = std::env::var("BENCH_REPLICATE")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
     let items = scale.items as i64;
 
     print_header(&[
         "replicas",
         "clients",
         "heavy",
+        "upd_clients",
         "ok",
+        "updates",
         "errors",
         "throughput_per_s",
         "light_p50_us",
@@ -90,13 +108,23 @@ fn main() {
     for &replicas in &replica_counts {
         let mut clients = min_clients.max(1);
         while clients <= max_clients {
-            let point = run_point(replicas, clients, items, duration, &scale);
+            let point = run_point(
+                replicas,
+                clients,
+                update_clients,
+                &replicate,
+                items,
+                duration,
+                &scale,
+            );
             println!(
-                "{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
+                "{},{},{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
                 point.replicas,
                 point.clients,
                 point.heavy,
+                point.update_clients,
                 point.ok,
+                point.updates_ok,
                 point.errors,
                 point.throughput_per_s,
                 point.light_p50_us,
@@ -116,9 +144,12 @@ fn main() {
     eprintln!("wrote {json_path} ({} points)", points.len());
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     replicas: usize,
     clients: usize,
+    update_clients: usize,
+    replicate: &[String],
     items: i64,
     duration: std::time::Duration,
     scale: &shareddb_tpcw::TpcwScale,
@@ -132,7 +163,11 @@ fn run_point(
         EngineConfig::default(),
         ServerConfig {
             max_inflight_per_session: 16,
-            cluster: ClusterConfig::with_replicas(replicas),
+            cluster: ClusterConfig {
+                replicas,
+                replicate_statements: replicate.to_vec(),
+                ..ClusterConfig::default()
+            },
             ..ServerConfig::default()
         },
     )
@@ -143,12 +178,62 @@ fn run_point(
     // hot point look-up.
     let heavy = clients / 64;
     let ok = Arc::new(AtomicU64::new(0));
+    let updates_ok = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let latency_ns = Arc::new(AtomicU64::new(0));
     let latencies_us = Arc::new(Mutex::new(Vec::<u64>::new()));
     let batches_before = server.engine_stats().map(|s| s.batches).unwrap_or(0);
     let started = Instant::now();
+    let orders = scale.orders as i64;
     std::thread::scope(|scope| {
+        // Concurrent writers: each keeps appending ORDER_LINE rows (the
+        // probe side of the getBestSellers join), so fanned-out joins and
+        // aggregates run against a continuously moving version set.
+        for writer_idx in 0..update_clients {
+            let updates_ok = Arc::clone(&updates_ok);
+            let errors = Arc::clone(&errors);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9_000 + writer_idx as u64);
+                let mut conn = match Connection::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let prepared = match conn.prepare("addOrderLine") {
+                    Ok(p) => p,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut seq: i64 = 0;
+                while started.elapsed() < duration {
+                    seq += 1;
+                    // Unique OL_ID far above the generated data.
+                    let params = vec![
+                        Value::Int(50_000_000 + writer_idx as i64 * 1_000_000 + seq),
+                        Value::Int(rng.gen_range(0..orders.max(1))),
+                        Value::Int(rng.gen_range(0..items.max(1))),
+                        Value::Int(rng.gen_range(1..5)),
+                    ];
+                    match conn.execute(&prepared, &params) {
+                        Ok(_) => {
+                            updates_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_retryable() => {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                let _ = conn.close();
+            });
+        }
         for client_idx in 0..clients {
             let ok = Arc::clone(&ok);
             let errors = Arc::clone(&errors);
@@ -246,7 +331,9 @@ fn run_point(
         replicas,
         clients,
         heavy,
+        update_clients,
         ok: ok_count,
+        updates_ok: updates_ok.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         throughput_per_s: ok_count as f64 / elapsed,
         light_p50_us: percentile(0.50),
@@ -307,14 +394,17 @@ fn write_json(
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"replicas\": {}, \"clients\": {}, \"heavy_clients\": {}, \"ok\": {}, \
+            "    {{\"replicas\": {}, \"clients\": {}, \"heavy_clients\": {}, \
+             \"update_clients\": {}, \"ok\": {}, \"updates_ok\": {}, \
              \"errors\": {}, \"throughput_per_s\": {:.1}, \"light_p50_us\": {}, \
              \"light_p99_us\": {}, \"mean_latency_us\": {:.1}, \"batches_per_s\": {:.1}, \
              \"per_replica\": [",
             p.replicas,
             p.clients,
             p.heavy,
+            p.update_clients,
             p.ok,
+            p.updates_ok,
             p.errors,
             p.throughput_per_s,
             p.light_p50_us,

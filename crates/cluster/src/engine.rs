@@ -1,19 +1,22 @@
 //! The clustered engine: N replicas of the shared-operator runtime behind one
 //! submit interface.
 
-use crate::merge::{merge_results, MergeSpec};
+use crate::fanout::{FanoutState, MergePool};
+use crate::merge::MergeSpec;
 use crate::router::{Route, Router};
 use crate::ClusterConfig;
 use shareddb_common::agg::AggregateFunction;
-use shareddb_common::{Error, Result, Value};
-use shareddb_core::engine::{QueryHandle, QueryOutcome, ResultSet};
-use shareddb_core::plan::{ActivationTemplate, StatementKind};
+use shareddb_common::{Result, Value};
+use shareddb_core::engine::{QueryHandle, QueryOutcome};
+use shareddb_core::plan::{ActivationTemplate, OperatorId, StatementKind};
 use shareddb_core::stats::EngineStatsSnapshot;
 use shareddb_core::{
     Engine, EngineConfig, GlobalPlan, OperatorSpec, StatementRegistry, StatementSpec, SubmitOptions,
 };
 use shareddb_storage::Catalog;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Fanout ("scatter/gather") execution plan of one eligible statement type.
 #[derive(Debug, Clone)]
@@ -21,6 +24,19 @@ struct FanoutSpec {
     merge: MergeSpec,
     /// Statement-level LIMIT, re-applied after the merge.
     limit: Option<usize>,
+    /// Per-scan partition-hash column overrides (co-partitioned join fanout:
+    /// both join inputs hash the join key). `None` = every scan hashes its
+    /// table's primary key.
+    partition_columns: Option<Arc<HashMap<OperatorId, Vec<usize>>>>,
+    /// Ship AVG aggregates as (sum, hidden count) partials
+    /// ([`SubmitOptions::partial_aggregation`]).
+    partial_aggregation: bool,
+    /// Scatter parameterised executions too. Heavy shapes (joins, blocking
+    /// roots) win from partitioned work even when every execution carries
+    /// parameters; cheap scan/filter roots keep hash-partitioned input
+    /// routing instead, which preserves per-key batch locality and does not
+    /// multiply per-statement admission work.
+    scatter_with_params: bool,
 }
 
 /// N engine replicas over one shared [`Catalog`], fronted by a [`Router`]
@@ -31,6 +47,8 @@ pub struct ClusterEngine {
     registry: StatementRegistry,
     fanout: Vec<Option<FanoutSpec>>,
     catalog: Arc<Catalog>,
+    merge_pool: MergePool,
+    merge_workers: Vec<JoinHandle<()>>,
 }
 
 impl ClusterEngine {
@@ -57,14 +75,17 @@ impl ClusterEngine {
         let router = Router::new(&registry, &config);
         let fanout = registry
             .iter()
-            .map(|spec| fanout_spec(&plan, spec))
+            .map(|spec| fanout_spec(&catalog, &plan, spec))
             .collect();
+        let (merge_pool, merge_workers) = MergePool::start(config.merge_threads);
         Ok(ClusterEngine {
             engines,
             router,
             registry,
             fanout,
             catalog,
+            merge_pool,
+            merge_workers,
         })
     }
 
@@ -92,11 +113,12 @@ impl ClusterEngine {
             .maybe_refresh(|| self.engines.iter().map(|e| e.queued()).collect());
         if !spec.is_update()
             && self.engines.len() > 1
-            && params.is_empty()
             && matches!(self.router.route(index), Route::Replicated)
         {
             if let Some(fanout) = &self.fanout[index] {
-                return self.submit_fanout(statement, params, &opts, fanout);
+                if params.is_empty() || fanout.scatter_with_params {
+                    return self.submit_fanout(statement, params, opts, fanout);
+                }
             }
         }
         let replica = self.router.pick_replica(index, params);
@@ -108,25 +130,47 @@ impl ClusterEngine {
         &self,
         statement: &str,
         params: &[Value],
-        opts: &SubmitOptions,
+        opts: SubmitOptions,
         fanout: &FanoutSpec,
     ) -> Result<ClusterHandle> {
         let of = self.engines.len() as u32;
-        let mut parts = Vec::with_capacity(self.engines.len());
+        // One MVCC snapshot per fanned-out execution: every partition reads
+        // the same version set, so the merged result is indistinguishable
+        // from a single-engine execution at that snapshot even under
+        // concurrent writes (and co-partitioning by non-key join columns
+        // stays exactly-once: a row version cannot move between partitions
+        // within one pinned snapshot).
+        let snapshot = self.catalog.snapshot();
+        let state = FanoutState::new(
+            self.engines.len(),
+            fanout.merge.clone(),
+            fanout.limit,
+            opts.completion_waker.clone(),
+        );
         for (index, engine) in self.engines.iter().enumerate() {
-            let mut opts = opts.clone();
-            opts.scan_partition = Some((index as u32, of));
-            // On a partial-admission failure the already-submitted partitions
-            // complete into dropped handles (harmless discarded work) and the
-            // caller sees the rejection.
-            let handle = engine.submit(statement, params, opts)?;
-            parts.push(FanoutPart { handle, done: None });
+            let mut part_opts = opts.clone();
+            part_opts.scan_partition = Some((index as u32, of));
+            part_opts.partition_columns = fanout.partition_columns.clone();
+            part_opts.pinned_snapshot = Some(snapshot);
+            part_opts.partial_aggregation = fanout.partial_aggregation;
+            // Partitions wake the cluster, not the caller: the last one
+            // dispatches the merge to the worker pool, and the caller's own
+            // waker fires once the merged result is posted.
+            part_opts.completion_waker = Some(state.partition_waker(&self.merge_pool));
+            match engine.submit(statement, params, part_opts) {
+                Ok(handle) => state.push_part(handle),
+                Err(e) => {
+                    // Partial-admission failure: the already-submitted
+                    // partitions complete into an abandoned merge job
+                    // (harmless discarded work) and the caller sees the
+                    // rejection.
+                    state.abandon(self.engines.len() - index, &self.merge_pool);
+                    return Err(e);
+                }
+            }
         }
-        Ok(ClusterHandle::Fanout {
-            parts,
-            merge: fanout.merge.clone(),
-            limit: fanout.limit,
-        })
+        state.arm(&self.merge_pool);
+        Ok(ClusterHandle::Fanout { state })
     }
 
     /// Submits and returns the handle (default options).
@@ -185,10 +229,17 @@ impl ClusterEngine {
             .collect()
     }
 
-    /// Stops every replica.
+    /// Stops every replica, then drains and joins the merge workers.
     pub fn shutdown(&mut self) {
+        // Engines first: their shutdown fails in-flight work and fires the
+        // partition wakers, so every outstanding fanout dispatches its merge
+        // job before the pool closes.
         for engine in &mut self.engines {
             engine.shutdown();
+        }
+        self.merge_pool.shutdown();
+        for worker in self.merge_workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -203,19 +254,13 @@ impl Drop for ClusterEngine {
 // Handles
 // ---------------------------------------------------------------------------
 
-/// One partition of a fanned-out execution.
-pub struct FanoutPart {
-    handle: QueryHandle,
-    done: Option<Result<QueryOutcome>>,
-}
-
 /// Handle to a statement submitted to the cluster. Like
 /// [`shareddb_core::engine::QueryHandle`] it supports blocking
 /// ([`ClusterHandle::wait`]) and event-driven polling
 /// ([`ClusterHandle::try_wait`], paired with
-/// [`SubmitOptions::completion_waker`] — fanned-out executions fire the waker
-/// once per partition, and `try_wait` reports `Some` only when every
-/// partition has completed and the merge ran).
+/// [`SubmitOptions::completion_waker`]). For fanned-out executions the
+/// caller's waker fires exactly **once**, after the merge worker posted the
+/// recombined result — polling never runs the merge on the caller's thread.
 pub enum ClusterHandle {
     /// The statement runs wholly on one replica.
     Single {
@@ -224,14 +269,12 @@ pub enum ClusterHandle {
         /// The replica's handle.
         handle: QueryHandle,
     },
-    /// The statement was scattered over all replicas with partitioned scans.
+    /// The statement was scattered over all replicas with partitioned scans;
+    /// the shared state tracks the partitions and receives the merged
+    /// outcome from the merge pool.
     Fanout {
-        /// Per-partition handles and buffered outcomes.
-        parts: Vec<FanoutPart>,
-        /// How the partials recombine.
-        merge: MergeSpec,
-        /// Statement-level LIMIT re-applied after the merge.
-        limit: Option<usize>,
+        /// Shared state of the fanned-out execution.
+        state: Arc<FanoutState>,
     },
 }
 
@@ -249,97 +292,74 @@ impl ClusterHandle {
     pub fn wait(self) -> Result<QueryOutcome> {
         match self {
             ClusterHandle::Single { handle, .. } => handle.wait(),
-            ClusterHandle::Fanout {
-                parts,
-                merge,
-                limit,
-            } => {
-                let mut partials = Vec::with_capacity(parts.len());
-                for part in parts {
-                    let outcome = match part.done {
-                        Some(outcome) => outcome,
-                        None => part.handle.wait(),
-                    };
-                    partials.push(expect_rows(outcome?)?);
-                }
-                finish_merge(&merge, limit, partials)
-            }
+            ClusterHandle::Fanout { state } => state.wait(),
         }
     }
 
-    /// Non-blocking poll: `None` while any partition is in flight,
-    /// `Some(outcome)` exactly once when the merged result is ready.
+    /// Non-blocking poll: `None` while any partition is in flight or the
+    /// merge has not been posted yet, `Some(outcome)` exactly once when the
+    /// merged result is ready.
     pub fn try_wait(&mut self) -> Option<Result<QueryOutcome>> {
         match self {
             ClusterHandle::Single { handle, .. } => handle.try_wait(),
-            ClusterHandle::Fanout {
-                parts,
-                merge,
-                limit,
-            } => {
-                if parts.is_empty() {
-                    return None; // outcome already consumed
-                }
-                let mut all_done = true;
-                for part in parts.iter_mut() {
-                    if part.done.is_none() {
-                        match part.handle.try_wait() {
-                            Some(outcome) => part.done = Some(outcome),
-                            None => all_done = false,
-                        }
-                    }
-                }
-                if !all_done {
-                    return None;
-                }
-                let parts = std::mem::take(parts);
-                let mut partials = Vec::with_capacity(parts.len());
-                for part in parts {
-                    match part
-                        .done
-                        .expect("all partitions done")
-                        .and_then(expect_rows)
-                    {
-                        Ok(rows) => partials.push(rows),
-                        Err(e) => return Some(Err(e)),
-                    }
-                }
-                Some(finish_merge(merge, *limit, partials))
-            }
+            ClusterHandle::Fanout { state } => state.try_take(),
         }
     }
-}
-
-fn expect_rows(outcome: QueryOutcome) -> Result<ResultSet> {
-    match outcome {
-        QueryOutcome::Rows(rows) => Ok(rows),
-        QueryOutcome::Updated { .. } => Err(Error::Internal(
-            "fanned-out statement produced an update outcome".into(),
-        )),
-    }
-}
-
-fn finish_merge(
-    merge: &MergeSpec,
-    limit: Option<usize>,
-    partials: Vec<ResultSet>,
-) -> Result<QueryOutcome> {
-    let mut merged = merge_results(merge, partials)?;
-    if let Some(limit) = limit {
-        merged.rows.truncate(limit);
-    }
-    Ok(QueryOutcome::Rows(merged))
 }
 
 // ---------------------------------------------------------------------------
 // Fanout eligibility
 // ---------------------------------------------------------------------------
 
+/// Where a statement's tuples come from: one partitioned scan, or a
+/// co-partitioned equi-join of two scans.
+enum Source {
+    /// One shared table scan (partitioned by the table's primary key).
+    Scan(OperatorId),
+    /// A hash equi-join whose build and probe inputs are each a shared scan
+    /// (possibly through filters). Both scans partition by the join key with
+    /// the same `(index, of)`, so rows that join always land in the same
+    /// partition.
+    Join {
+        build_scan: OperatorId,
+        probe_scan: OperatorId,
+        /// Join key in the build input's (= build scan's) schema.
+        build_key: usize,
+        /// Join key in the probe input's (= probe scan's) schema.
+        probe_key: usize,
+        /// Width of the build input schema (probe columns follow it in the
+        /// join output).
+        build_width: usize,
+    },
+}
+
+/// A shared group-by on the path between the source and the root.
+struct GroupInfo {
+    group_columns: Vec<usize>,
+}
+
 /// Decides whether a statement type can be scattered over partitioned scans,
 /// and how its partial results merge. Conservative by construction: a shape
 /// this function does not recognise is simply not fanned out (it still
 /// benefits from hash-partitioned input routing when hot).
-fn fanout_spec(plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
+///
+/// Recognised shapes (all with identity projection and no computed columns):
+///
+/// * `scan → [filter*] → root`, where root is the scan/filter itself
+///   (concat merge), a sort/Top-N (ordered merge), a group-by with no HAVING
+///   (partial-aggregate merge, AVG shipped as sum/count partials) or a
+///   DISTINCT (re-deduplicating merge);
+/// * `scan ⨝ scan` equi-joins of the same form, **when the join is keyed on
+///   a partitioning key**: at least one side joins on its table's
+///   single-column primary key. Both sides then scatter with the same
+///   partition function over the join key (co-partitioning), which keeps
+///   every join match inside one partition. Joins not keyed on a partition
+///   column stay pinned.
+/// * a group-by *below* a sort/Top-N root (the `getBestSellers` shape) is
+///   eligible when the grouping key contains the partition key — then every
+///   group is complete within its partition and the per-partition Top-N
+///   partials merge exactly.
+fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
     let StatementKind::Query {
         root,
         projection,
@@ -359,34 +379,124 @@ fn fanout_spec(plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
         return None;
     }
 
-    let mut scans = 0usize;
-    let mut topn_limit: Option<usize> = None;
+    let mut templates: HashMap<OperatorId, &ActivationTemplate> = HashMap::new();
     for (op, template) in &spec.activations {
-        let node = plan.node(*op);
-        match (&node.spec, template) {
-            (OperatorSpec::TableScan { .. }, ActivationTemplate::Scan { .. }) => scans += 1,
-            (OperatorSpec::Filter, ActivationTemplate::Filter { .. }) => {}
-            (OperatorSpec::Sort { .. }, ActivationTemplate::Participate) if *op == *root => {}
-            (OperatorSpec::TopN { .. }, ActivationTemplate::TopN { limit }) if *op == *root => {
-                topn_limit = Some(*limit);
-            }
-            (OperatorSpec::GroupBy { .. }, ActivationTemplate::Having { predicate: None })
-                if *op == *root => {}
-            (OperatorSpec::Distinct, ActivationTemplate::Participate) if *op == *root => {}
-            // Joins would lose cross-partition matches, probes bypass the
-            // partitioned scan, HAVING over partial groups is wrong, and any
-            // blocking operator *below* the root breaks merge semantics.
-            _ => return None,
+        if templates.insert(*op, template).is_some() {
+            return None; // several activations on one operator: bail
         }
     }
-    // Exactly one partitioned scan feeds the path; zero scans (e.g. probe
-    // statements) or several (joins) are ineligible.
-    if scans != 1 {
+    let mut visited: HashSet<OperatorId> = HashSet::new();
+
+    // Classify the root, then walk down to the source.
+    let root_node = plan.node(*root);
+    let mut topn_limit: Option<usize> = None;
+    let mut group: Option<GroupInfo> = None;
+    let source = match (&root_node.spec, templates.get(root)?) {
+        (OperatorSpec::TableScan { .. }, _)
+        | (OperatorSpec::Filter, _)
+        | (OperatorSpec::HashJoin { .. }, _) => find_source(plan, &templates, &mut visited, *root)?,
+        (OperatorSpec::Sort { .. }, ActivationTemplate::Participate) => {
+            visited.insert(*root);
+            let (g, source) =
+                peel_group(plan, &templates, &mut visited, root_node.inputs.first()?)?;
+            group = g;
+            source
+        }
+        (OperatorSpec::TopN { .. }, ActivationTemplate::TopN { limit }) => {
+            topn_limit = Some(*limit);
+            visited.insert(*root);
+            let (g, source) =
+                peel_group(plan, &templates, &mut visited, root_node.inputs.first()?)?;
+            group = g;
+            source
+        }
+        (
+            OperatorSpec::GroupBy { .. },
+            ActivationTemplate::Having {
+                predicate: None, ..
+            },
+        )
+        | (OperatorSpec::Distinct, ActivationTemplate::Participate) => {
+            visited.insert(*root);
+            find_source(plan, &templates, &mut visited, *root_node.inputs.first()?)?
+        }
+        // Probes bypass the partitioned scan; HAVING over partial groups is
+        // wrong; anything else is unknown.
+        _ => return None,
+    };
+
+    // Every activated operator must lie on the recognised path — a stray
+    // activation (second scan, probe, another join) breaks the shape.
+    if visited.len() != spec.activations.len() {
         return None;
     }
 
-    let merge = match &plan.node(*root).spec {
-        OperatorSpec::TableScan { .. } | OperatorSpec::Filter => MergeSpec::Concat,
+    // Partitioning: single scans hash their primary key; join inputs
+    // co-partition by the join key, which must be a partitioning key (the
+    // single-column primary key) on at least one side.
+    let partition_columns = match &source {
+        Source::Scan(_) => None,
+        Source::Join {
+            build_scan,
+            probe_scan,
+            build_key,
+            probe_key,
+            ..
+        } => {
+            if build_scan == probe_scan {
+                return None; // one shared scan cannot hash two key sets
+            }
+            let keyed_on_partition_key = table_pk(catalog, plan, *build_scan)?
+                == std::slice::from_ref(build_key)
+                || table_pk(catalog, plan, *probe_scan)? == std::slice::from_ref(probe_key);
+            if !keyed_on_partition_key {
+                return None;
+            }
+            // The partition hash is type-tagged (`hash_values` distinguishes
+            // Int from Float) while SQL join equality is numeric-normalizing
+            // (`Int(5)` joins `Float(5.0)`): a cross-type equi-join would
+            // scatter matching rows into different partitions and silently
+            // lose the match. Such joins stay pinned.
+            let build_type = plan.node(*build_scan).schema.column(*build_key).data_type;
+            let probe_type = plan.node(*probe_scan).schema.column(*probe_key).data_type;
+            if build_type != probe_type {
+                return None;
+            }
+            let mut columns = HashMap::new();
+            columns.insert(*build_scan, vec![*build_key]);
+            columns.insert(*probe_scan, vec![*probe_key]);
+            Some(Arc::new(columns))
+        }
+    };
+
+    // A group-by below the root: every group must be complete within its
+    // partition, i.e. the grouping key must contain the partition key.
+    if let Some(info) = &group {
+        let determined = match &source {
+            Source::Scan(scan) => {
+                let pk = table_pk(catalog, plan, *scan)?;
+                !pk.is_empty() && pk.iter().all(|c| info.group_columns.contains(c))
+            }
+            Source::Join {
+                build_key,
+                probe_key,
+                build_width,
+                ..
+            } => {
+                info.group_columns.contains(build_key)
+                    || info.group_columns.contains(&(build_width + probe_key))
+            }
+        };
+        if !determined {
+            return None;
+        }
+    }
+
+    let mut partial_aggregation = false;
+    let merge = match &root_node.spec {
+        OperatorSpec::TableScan { .. } | OperatorSpec::Filter | OperatorSpec::HashJoin { .. } => {
+            MergeSpec::Concat
+        }
         OperatorSpec::Sort { keys } => MergeSpec::Ordered {
             keys: keys.clone(),
             limit: *limit,
@@ -402,18 +512,20 @@ fn fanout_spec(plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
             group_columns,
             aggregates,
         } => {
-            // Partial AVGs cannot be recombined, and a LIMIT over groups
-            // would drop partial groups per partition.
-            if limit.is_some()
-                || aggregates
-                    .iter()
-                    .any(|a| a.function == AggregateFunction::Avg)
-            {
+            // A LIMIT over groups would drop partial groups per partition.
+            if limit.is_some() {
                 return None;
             }
+            // AVG partials ship as (sum, hidden count) and recombine exactly
+            // at the merge.
+            let avg_partials = aggregates
+                .iter()
+                .any(|a| a.function == AggregateFunction::Avg);
+            partial_aggregation = avg_partials;
             MergeSpec::Grouped {
                 group_width: group_columns.len(),
                 functions: aggregates.iter().map(|a| a.function).collect(),
+                avg_partials,
             }
         }
         OperatorSpec::Distinct => {
@@ -424,10 +536,125 @@ fn fanout_spec(plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
         }
         _ => return None,
     };
+    // Heavy shapes — joins and blocking roots (sort / Top-N / group-by /
+    // distinct) — scatter even when parameterised; a bare scan/filter root
+    // with parameters stays hash-routed (point look-ups must not multiply
+    // their admission work N-fold).
+    let scatter_with_params =
+        matches!(source, Source::Join { .. }) || !matches!(merge, MergeSpec::Concat);
     Some(FanoutSpec {
         merge,
         limit: *limit,
+        partition_columns,
+        partial_aggregation,
+        scatter_with_params,
     })
+}
+
+/// The primary-key column indices of the table scanned by `scan_op`.
+fn table_pk(catalog: &Catalog, plan: &GlobalPlan, scan_op: OperatorId) -> Option<Vec<usize>> {
+    let OperatorSpec::TableScan { table } = &plan.node(scan_op).spec else {
+        return None;
+    };
+    Some(catalog.table(table).ok()?.read().primary_key().to_vec())
+}
+
+/// Walks `filter* → (group-by)?` from a sort/Top-N root's input: returns the
+/// group-by (if one is on the path) and the source below it.
+fn peel_group(
+    plan: &GlobalPlan,
+    templates: &HashMap<OperatorId, &ActivationTemplate>,
+    visited: &mut HashSet<OperatorId>,
+    start: &OperatorId,
+) -> Option<(Option<GroupInfo>, Source)> {
+    let mut op = *start;
+    loop {
+        let node = plan.node(op);
+        match (&node.spec, templates.get(&op)?) {
+            (
+                OperatorSpec::Filter,
+                ActivationTemplate::Filter { .. } | ActivationTemplate::Participate,
+            ) => {
+                visited.insert(op);
+                op = *node.inputs.first()?;
+            }
+            (
+                OperatorSpec::GroupBy { group_columns, .. },
+                ActivationTemplate::Having {
+                    predicate: None, ..
+                },
+            ) => {
+                visited.insert(op);
+                let info = GroupInfo {
+                    group_columns: group_columns.clone(),
+                };
+                let source = find_source(plan, templates, visited, *node.inputs.first()?)?;
+                return Some((Some(info), source));
+            }
+            _ => return Some((None, find_source(plan, templates, visited, op)?)),
+        }
+    }
+}
+
+/// Walks `filter* → (scan | join)` and returns the source. Join inputs must
+/// each be a `filter* → scan` chain.
+fn find_source(
+    plan: &GlobalPlan,
+    templates: &HashMap<OperatorId, &ActivationTemplate>,
+    visited: &mut HashSet<OperatorId>,
+    start: OperatorId,
+) -> Option<Source> {
+    let mut op = start;
+    loop {
+        let node = plan.node(op);
+        match (&node.spec, templates.get(&op)?) {
+            (OperatorSpec::TableScan { .. }, ActivationTemplate::Scan { .. }) => {
+                visited.insert(op);
+                return Some(Source::Scan(op));
+            }
+            (
+                OperatorSpec::Filter,
+                ActivationTemplate::Filter { .. } | ActivationTemplate::Participate,
+            ) => {
+                visited.insert(op);
+                op = *node.inputs.first()?;
+            }
+            (
+                OperatorSpec::HashJoin {
+                    build_key,
+                    probe_key,
+                },
+                ActivationTemplate::Participate,
+            ) => {
+                visited.insert(op);
+                let build_input = *node.inputs.first()?;
+                let probe_input = *node.inputs.get(1)?;
+                let build = scan_chain(plan, templates, visited, build_input)?;
+                let probe = scan_chain(plan, templates, visited, probe_input)?;
+                return Some(Source::Join {
+                    build_scan: build,
+                    probe_scan: probe,
+                    build_key: *build_key,
+                    probe_key: *probe_key,
+                    build_width: plan.node(build_input).schema.len(),
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Walks `filter* → scan` (no joins) and returns the scan.
+fn scan_chain(
+    plan: &GlobalPlan,
+    templates: &HashMap<OperatorId, &ActivationTemplate>,
+    visited: &mut HashSet<OperatorId>,
+    start: OperatorId,
+) -> Option<OperatorId> {
+    match find_source(plan, templates, visited, start)? {
+        Source::Scan(op) => Some(op),
+        Source::Join { .. } => None,
+    }
 }
 
 #[cfg(test)]
@@ -435,6 +662,7 @@ mod tests {
     use super::*;
     use shareddb_common::tuple;
     use shareddb_common::DataType;
+    use shareddb_common::Error;
     use shareddb_sql::compile_workload;
     use shareddb_storage::TableDef;
     use std::time::Duration;
@@ -649,6 +877,309 @@ mod tests {
             .routes()
             .iter()
             .any(|(name, route)| name == "addItem" && *route == Route::Pinned(0)));
+    }
+
+    // -- join fanout -------------------------------------------------------
+
+    use shareddb_common::{Expr, SortKey};
+    use shareddb_core::plan::{PlanBuilder, StatementSpec as Spec};
+
+    /// ITEM ⨝ ORDER_LINE catalog (the `getBestSellers` shape): ITEM's pk is
+    /// the join key, ORDER_LINE joins on a non-key column.
+    fn join_catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("ITEM")
+                    .column("I_ID", DataType::Int)
+                    .column("I_SUBJECT", DataType::Text)
+                    .column("I_COST", DataType::Float)
+                    .primary_key(&["I_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_table(
+                TableDef::new("ORDER_LINE")
+                    .column("OL_ID", DataType::Int)
+                    .column("OL_I_ID", DataType::Int)
+                    .column("OL_QTY", DataType::Int)
+                    .column("OL_WEIGHT", DataType::Float)
+                    .primary_key(&["OL_ID"]),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ITEM",
+                (0..40i64)
+                    .map(|i| tuple![i, format!("S{}", i % 3), (i % 7) as f64])
+                    .collect(),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ORDER_LINE",
+                (0..200i64)
+                    .map(|ol| tuple![ol, (ol * 13) % 40, 1 + ol % 5, ((ol * 13) % 40) as f64])
+                    .collect(),
+            )
+            .unwrap();
+        Arc::new(catalog)
+    }
+
+    /// Builds the bestsellers-style plan: two scans, a hash equi-join on the
+    /// ITEM pk, a group-by whose key contains the join key, a Top-N root;
+    /// plus a plain join root, an AVG group-by root and a non-key join.
+    fn join_cluster(replicas: usize, replicate: &[&str]) -> ClusterEngine {
+        let catalog = join_catalog();
+        let mut b = PlanBuilder::new(&catalog);
+        let item_scan = b.table_scan("ITEM").unwrap();
+        let ol_scan = b.table_scan("ORDER_LINE").unwrap();
+        let join = b
+            .hash_join(item_scan, ol_scan, "ITEM.I_ID", "ORDER_LINE.OL_I_ID")
+            .unwrap();
+        let group = b
+            .group_by(
+                join,
+                vec!["ITEM.I_ID", "ITEM.I_SUBJECT"],
+                vec![(AggregateFunction::Sum, "ORDER_LINE.OL_QTY", "TOTAL")],
+            )
+            .unwrap();
+        let topn = b
+            .top_n(group, vec![SortKey::desc(2), SortKey::asc(0)])
+            .unwrap();
+        let avg_group = b
+            .group_by(
+                item_scan,
+                vec!["ITEM.I_SUBJECT"],
+                vec![
+                    (AggregateFunction::Avg, "ITEM.I_COST", "AVG_COST"),
+                    (AggregateFunction::Count, "ITEM.I_ID", "CNT"),
+                ],
+            )
+            .unwrap();
+        // Non-key equi-join: neither side joins on its primary key.
+        let nonkey_join = b
+            .hash_join(item_scan, ol_scan, "ITEM.I_COST", "ORDER_LINE.OL_QTY")
+            .unwrap();
+        // Cross-type equi-join: keyed on the ITEM pk, but Int joins Float —
+        // join equality is numeric-normalizing while the partition hash is
+        // type-tagged, so this shape must never scatter.
+        let crosstype_join = b
+            .hash_join(item_scan, ol_scan, "ITEM.I_ID", "ORDER_LINE.OL_WEIGHT")
+            .unwrap();
+        let plan = b.build();
+
+        let mut registry = StatementRegistry::new();
+        registry
+            .register(
+                Spec::query("bestsellers", topn)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(
+                        ol_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::col(0).gt_eq(Expr::param(0)),
+                        },
+                    )
+                    .activate(join, ActivationTemplate::Participate)
+                    .activate(group, ActivationTemplate::Having { predicate: None })
+                    .activate(topn, ActivationTemplate::TopN { limit: 10 }),
+            )
+            .unwrap();
+        registry
+            .register(
+                Spec::query("joinAll", join)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(
+                        ol_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(join, ActivationTemplate::Participate),
+            )
+            .unwrap();
+        registry
+            .register(
+                Spec::query("avgCost", avg_group)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(avg_group, ActivationTemplate::Having { predicate: None }),
+            )
+            .unwrap();
+        registry
+            .register(
+                Spec::query("nonKeyJoin", nonkey_join)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(
+                        ol_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(nonkey_join, ActivationTemplate::Participate),
+            )
+            .unwrap();
+        registry
+            .register(
+                Spec::query("crossTypeJoin", crosstype_join)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(
+                        ol_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(crosstype_join, ActivationTemplate::Participate),
+            )
+            .unwrap();
+        ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig::default(),
+            ClusterConfig {
+                replicas,
+                replicate_statements: replicate.iter().map(|s| s.to_string()).collect(),
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn sorted_rows(outcome: &QueryOutcome) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> =
+            outcome.rows().iter().map(|r| r.values().to_vec()).collect();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// The tentpole shape: a parameterised equi-join on the partitioning key
+    /// (ITEM pk ⨝ ORDER_LINE.OL_I_ID) with group-by and Top-N scatters over
+    /// all replicas and merges to exactly the single-replica result.
+    #[test]
+    fn join_fanout_matches_single_replica() {
+        let single = join_cluster(1, &[]);
+        let fanned = join_cluster(4, &["bestsellers", "joinAll"]);
+        let params = [Value::Int(20)];
+        let expect = single.execute_sync("bestsellers", &params).unwrap();
+        let got = fanned.execute_sync("bestsellers", &params).unwrap();
+        assert_eq!(
+            expect.rows(),
+            got.rows(),
+            "fanned-out join result diverged from single engine"
+        );
+        assert!(!got.rows().is_empty());
+        // The scatter really used every replica.
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "join fanout did not reach all replicas: {:?}",
+            fanned.replica_stats()
+        );
+        // A join root without blocking operators concat-merges completely.
+        let expect = sorted_rows(&single.execute_sync("joinAll", &[]).unwrap());
+        let got = sorted_rows(&fanned.execute_sync("joinAll", &[]).unwrap());
+        assert_eq!(expect.len(), 200);
+        assert_eq!(expect, got, "concat join merge lost or duplicated rows");
+    }
+
+    /// AVG fanout: partial (sum, count) shipping recombines to the exact
+    /// single-engine average.
+    #[test]
+    fn avg_fanout_recombines_exactly() {
+        let single = join_cluster(1, &[]);
+        let fanned = join_cluster(4, &["avgCost"]);
+        let expect = single.execute_sync("avgCost", &[]).unwrap();
+        let got = fanned.execute_sync("avgCost", &[]).unwrap();
+        assert_eq!(got.rows().len(), 3);
+        let find = |o: &QueryOutcome, key: &Value| {
+            o.rows()
+                .iter()
+                .find(|r| &r[0] == key)
+                .map(|r| r.values().to_vec())
+                .unwrap()
+        };
+        for row in expect.rows() {
+            assert_eq!(
+                find(&got, &row[0]),
+                row.values().to_vec(),
+                "AVG diverged for group {:?}",
+                row[0]
+            );
+        }
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "AVG fanout did not scatter: {:?}",
+            fanned.replica_stats()
+        );
+    }
+
+    /// A cross-type equi-join (Int pk = Float column) must NOT fan out even
+    /// though it is keyed on a primary key: `Int(5)` joins `Float(5.0)` under
+    /// SQL equality, but the type-tagged partition hash would send the two
+    /// rows to different partitions and silently drop the match. The result
+    /// must equal the single-replica execution AND run whole on one replica.
+    #[test]
+    fn cross_type_join_stays_whole_and_exact() {
+        let single = join_cluster(1, &[]);
+        let cluster = join_cluster(4, &["crossTypeJoin"]);
+        let expect = sorted_rows(&single.execute_sync("crossTypeJoin", &[]).unwrap());
+        let got = sorted_rows(&cluster.execute_sync("crossTypeJoin", &[]).unwrap());
+        assert!(!expect.is_empty(), "cross-type join matched nothing");
+        assert_eq!(expect, got, "cross-type join lost matches");
+        let active = cluster
+            .replica_stats()
+            .iter()
+            .filter(|s| s.queries > 0)
+            .count();
+        assert_eq!(
+            active,
+            1,
+            "cross-type join was scattered: {:?}",
+            cluster.replica_stats()
+        );
+    }
+
+    /// A join keyed on neither side's primary key must NOT fan out: it runs
+    /// whole on one replica (round-robin of the replicated route).
+    #[test]
+    fn non_key_join_stays_whole() {
+        let cluster = join_cluster(4, &["nonKeyJoin"]);
+        cluster.execute_sync("nonKeyJoin", &[]).unwrap();
+        let active = cluster
+            .replica_stats()
+            .iter()
+            .filter(|s| s.queries > 0)
+            .count();
+        assert_eq!(
+            active,
+            1,
+            "non-key join was scattered: {:?}",
+            cluster.replica_stats()
+        );
     }
 
     /// The admission bound is accounted per replica: saturating one replica's

@@ -14,19 +14,26 @@
 //! * **hot types are replicated**: the router watches per-type submission
 //!   throughput and per-replica admission-queue depth (the engines'
 //!   [`shareddb_core::stats::EngineStats`]) and promotes a type once it
-//!   saturates its home engine. Parameterised executions then route by a
+//!   saturates its home engine. Fanout-eligible statements — single-scan
+//!   shapes *and* equi-joins keyed on a partitioning key, see
+//!   [`engine::ClusterEngine`] — then **scatter** over all replicas with
+//!   disjoint scan partitions
+//!   ([`shareddb_core::SubmitOptions::scan_partition`]) and their partial
+//!   results recombine in a [`merge::MergeSpec`] merge step (ordered merge,
+//!   partial-aggregate recombination incl. exact AVG from sum/count
+//!   partials, re-deduplication). Other parameterised executions route by a
 //!   hash of the parameter vector (hash-partitioned input routing);
-//!   parameterless ordered/aggregated statements **scatter** over all
-//!   replicas with disjoint scan partitions
-//!   ([`shareddb_core::SubmitOptions::scan_partition`]; rows partition by a
-//!   stable hash of their primary key, so each row lands in exactly one
-//!   partition even while non-key columns are concurrently updated) and
-//!   their partial results recombine in a [`merge::MergeSpec`] merge step
-//!   (ordered merge, partial-aggregate recombination, re-deduplication).
-//!   Each partition executes under its own replica's batch snapshot:
-//!   per-row results are exact, but different rows of one fanned-out result
-//!   may reflect different commit points under concurrent writes (see the
-//!   ROADMAP item on snapshot pinning);
+//! * **fanned-out executions are snapshot-pinned**: the cluster captures one
+//!   [`shareddb_storage::Catalog::snapshot`] per execution and every
+//!   partition reads exactly that version set
+//!   ([`shareddb_core::SubmitOptions::pinned_snapshot`]), so a scattered
+//!   query is transactionally indistinguishable from a single-engine
+//!   execution even under concurrent writes;
+//! * **merges run off the caller's thread**: the last-completing partition
+//!   dispatches the recombination to a small merge worker pool
+//!   ([`ClusterConfig::merge_threads`]), and the submitter's completion
+//!   waker fires once with the finished result — the network reactor never
+//!   merges on its event loop;
 //! * **updates always pin to replica 0**, keeping the shared catalog's group
 //!   commit single-writer; MVCC snapshots make the writes visible to every
 //!   replica's next batch.
@@ -35,6 +42,7 @@
 //! behaviour, which is how the network server embeds it by default.
 
 pub mod engine;
+pub mod fanout;
 pub mod merge;
 pub mod router;
 
@@ -61,6 +69,10 @@ pub struct ClusterConfig {
     /// Statement types that are replicated from the start (no detection
     /// delay); used by benchmarks and tests.
     pub replicate_statements: Vec<String>,
+    /// Size of the worker pool that recombines fanned-out partial results
+    /// (at least 1). Merges run here instead of on the polling caller (the
+    /// network reactor), so huge merged results cannot stall the event loop.
+    pub merge_threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +83,7 @@ impl Default for ClusterConfig {
             hot_queue_depth: 128,
             refresh_interval: Duration::from_millis(200),
             replicate_statements: Vec::new(),
+            merge_threads: 2,
         }
     }
 }

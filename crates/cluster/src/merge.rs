@@ -9,7 +9,8 @@
 //! * ordered results (shared sort / Top-N roots) merge by the root's sort
 //!   keys (and re-apply the limit),
 //! * aggregated results (shared group-by roots) re-combine partial groups
-//!   (SUM of SUMs, SUM of COUNTs, MIN of MINs, MAX of MAXes),
+//!   (SUM of SUMs, SUM of COUNTs, MIN of MINs, MAX of MAXes; AVG ships as
+//!   (sum, hidden count) partials and recombines exactly),
 //! * DISTINCT roots re-deduplicate across partitions.
 
 use shareddb_common::agg::AggregateFunction;
@@ -39,6 +40,12 @@ pub enum MergeSpec {
         group_width: usize,
         /// Aggregate function per aggregate column, in schema order.
         functions: Vec<AggregateFunction>,
+        /// True when the partial rows ship AVG aggregates as mergeable
+        /// partials (`SubmitOptions::partial_aggregation`): each AVG column
+        /// carries the partial **sum** and one hidden count column per AVG is
+        /// appended to the row, in aggregate order. The merge recombines
+        /// sum/count, emits the exact average and drops the hidden columns.
+        avg_partials: bool,
     },
     /// Union with duplicate elimination over the whole tuple.
     Distinct,
@@ -70,7 +77,8 @@ pub fn merge_results(spec: &MergeSpec, mut parts: Vec<ResultSet>) -> Result<Resu
         MergeSpec::Grouped {
             group_width,
             functions,
-        } => merge_groups(rows, *group_width, functions)?,
+            avg_partials,
+        } => merge_groups(rows, *group_width, functions, *avg_partials)?,
         MergeSpec::Distinct => {
             let mut rows = rows;
             rows.sort_by(compare_all);
@@ -95,15 +103,26 @@ fn merge_groups(
     rows: Vec<Tuple>,
     group_width: usize,
     functions: &[AggregateFunction],
+    avg_partials: bool,
 ) -> Result<Vec<Tuple>> {
+    // With AVG partials each row carries one hidden count column per AVG
+    // aggregate after the regular aggregate columns.
+    let avg_count = if avg_partials {
+        functions
+            .iter()
+            .filter(|f| **f == AggregateFunction::Avg)
+            .count()
+    } else {
+        0
+    };
+    let width = group_width + functions.len() + avg_count;
     let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
     for row in rows {
         let values = row.values();
-        if values.len() != group_width + functions.len() {
+        if values.len() != width {
             return Err(Error::Internal(format!(
-                "partial group row has {} columns, expected {}",
+                "partial group row has {} columns, expected {width}",
                 values.len(),
-                group_width + functions.len()
             )));
         }
         let key: Vec<Value> = values[..group_width].to_vec();
@@ -114,7 +133,17 @@ fn merge_groups(
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let acc = e.get_mut();
                 for (i, function) in functions.iter().enumerate() {
-                    acc[i] = combine(*function, &acc[i], &values[group_width + i])?;
+                    // A shipped AVG partial is a plain sum: recombine it (and
+                    // its hidden count) additively.
+                    let effective = if avg_partials && *function == AggregateFunction::Avg {
+                        AggregateFunction::Sum
+                    } else {
+                        *function
+                    };
+                    acc[i] = combine(effective, &acc[i], &values[group_width + i])?;
+                }
+                for i in functions.len()..functions.len() + avg_count {
+                    acc[i] = combine(AggregateFunction::Count, &acc[i], &values[group_width + i])?;
                 }
             }
         }
@@ -122,14 +151,40 @@ fn merge_groups(
     let mut rows: Vec<Tuple> = groups
         .into_iter()
         .map(|(mut key, mut aggs)| {
+            if avg_count > 0 {
+                finalize_avg_partials(&mut aggs, functions)?;
+            }
             key.append(&mut aggs);
-            Tuple::new(key)
+            Ok(Tuple::new(key))
         })
-        .collect();
+        .collect::<Result<_>>()?;
     // Deterministic output order (single-engine group-by order is
     // hash-dependent anyway, so any stable order is fine).
     rows.sort_by(compare_all);
     Ok(rows)
+}
+
+/// Divides each recombined AVG sum by its recombined hidden count and drops
+/// the hidden count columns.
+fn finalize_avg_partials(aggs: &mut Vec<Value>, functions: &[AggregateFunction]) -> Result<()> {
+    let mut count_idx = functions.len();
+    for (i, function) in functions.iter().enumerate() {
+        if *function != AggregateFunction::Avg {
+            continue;
+        }
+        let count = match &aggs[count_idx] {
+            Value::Int(n) => *n,
+            _ => 0,
+        };
+        aggs[i] = if count > 0 && !aggs[i].is_null() {
+            Value::Float(aggs[i].as_float()? / count as f64)
+        } else {
+            Value::Null
+        };
+        count_idx += 1;
+    }
+    aggs.truncate(functions.len());
+    Ok(())
 }
 
 /// Combines two partial aggregate values of one group.
@@ -235,6 +290,7 @@ mod tests {
                     AggregateFunction::Min,
                     AggregateFunction::Max,
                 ],
+                avg_partials: false,
             },
             vec![a, b],
         )
@@ -257,6 +313,81 @@ mod tests {
         let b = result(vec![tuple![2i64, 2i64], tuple![3i64, 3i64]]);
         let merged = merge_results(&MergeSpec::Distinct, vec![a, b]).unwrap();
         assert_eq!(merged.rows.len(), 3);
+    }
+
+    /// AVG fanout: partial rows ship (sum, hidden count); the merge divides
+    /// the recombined sum by the recombined count and drops the hidden
+    /// column, so the merged average is exact (not an average of averages).
+    #[test]
+    fn grouped_merge_recombines_avg_partials() {
+        let schema = Schema::new(vec![
+            shareddb_common::Column::new("K", DataType::Text),
+            shareddb_common::Column::new("AVG_V", DataType::Float),
+            shareddb_common::Column::new("CNT", DataType::Int),
+        ]);
+        // Partition A: key x has sum 30 over 3 rows; partition B: sum 10
+        // over 1 row. Average of averages would be (10 + 10) / 2 = 10;
+        // the exact merged average is 40 / 4 = 10 — pick asymmetric values
+        // so a wrong merge shows: A sum 30/3, B sum 50/1.
+        let a = ResultSet {
+            schema: schema.clone(),
+            rows: vec![tuple!["x", 30.0f64, 3i64], tuple!["y", 8.0f64, 2i64]],
+        };
+        let b = ResultSet {
+            schema,
+            rows: vec![tuple!["x", 50.0f64, 1i64]],
+        };
+        let merged = merge_results(
+            &MergeSpec::Grouped {
+                group_width: 1,
+                functions: vec![AggregateFunction::Avg],
+                avg_partials: true,
+            },
+            vec![a, b],
+        )
+        .unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        let x = merged
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("x"))
+            .unwrap();
+        // Exact: (30 + 50) / (3 + 1) = 20. Average-of-averages would be 30.
+        assert_eq!(x.values().len(), 2, "hidden count column leaked");
+        assert_eq!(x[1], Value::Float(20.0));
+        let y = merged
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("y"))
+            .unwrap();
+        assert_eq!(y[1], Value::Float(4.0));
+    }
+
+    /// An AVG group empty in every partition merges to NULL.
+    #[test]
+    fn avg_partials_all_null_merge_to_null() {
+        let schema = Schema::new(vec![
+            shareddb_common::Column::new("K", DataType::Text),
+            shareddb_common::Column::new("AVG_V", DataType::Float),
+            shareddb_common::Column::new("CNT", DataType::Int),
+        ]);
+        let part = |rows| ResultSet {
+            schema: schema.clone(),
+            rows,
+        };
+        let merged = merge_results(
+            &MergeSpec::Grouped {
+                group_width: 1,
+                functions: vec![AggregateFunction::Avg],
+                avg_partials: true,
+            },
+            vec![
+                part(vec![tuple!["x", Value::Null, 0i64]]),
+                part(vec![tuple!["x", Value::Null, 0i64]]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.rows[0][1], Value::Null);
     }
 
     #[test]

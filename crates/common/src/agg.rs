@@ -144,6 +144,23 @@ impl Accumulator {
         }
     }
 
+    /// Number of non-null inputs folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The partial sum of an AVG accumulator, as shipped between partitions
+    /// of a fanned-out aggregate: `Float(sum)` (or `Null` with no inputs).
+    /// The merge step divides the recombined sum by the recombined count, so
+    /// partial averages never lose precision to intermediate division.
+    pub fn partial_sum(&self) -> Value {
+        if self.count == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.sum)
+        }
+    }
+
     /// Produces the final aggregate value.
     pub fn finish(&self) -> Value {
         match self.function {

@@ -5,12 +5,14 @@
 //! producing an [`ActiveQuery`] (or [`ActiveUpdate`]); active queries queue up
 //! and are grouped into a [`QueryBatch`] at the next heartbeat (Section 3.2).
 
+use crate::engine::SubmitOptions;
 use crate::plan::OperatorId;
 use crate::plan::{
     ActivationTemplate, ComputedColumn, StatementKind, StatementSpec, UpdateTemplate,
 };
 use shareddb_common::ids::{BatchId, TicketId};
 use shareddb_common::{Error, Expr, QueryId, Result, Tuple, Value};
+use shareddb_storage::mvcc::Snapshot;
 use shareddb_storage::{ProbeRange, UpdateOp};
 
 /// A bound (parameter-free) activation of one operator for one query.
@@ -25,6 +27,14 @@ pub enum Activation {
         /// [`crate::storage_ops::tuple_partition`] equals `index`. Used by the
         /// cluster layer to fan a query out over engine replicas (§4.5).
         partition: Option<(u32, u32)>,
+        /// Columns hashed by the partition function for this scan (indices
+        /// into the table schema); `None` hashes the table's primary key.
+        /// Set per operator from [`SubmitOptions::partition_columns`] to
+        /// co-partition join inputs by the join key.
+        partition_columns: Option<Vec<usize>>,
+        /// Pinned MVCC read snapshot ([`SubmitOptions::pinned_snapshot`]);
+        /// `None` reads the executing batch's own snapshot.
+        snapshot: Option<Snapshot>,
     },
     /// Key/range look-up for a shared index probe.
     Probe {
@@ -34,6 +44,8 @@ pub enum Activation {
         range: ProbeRange,
         /// Residual predicate on fetched rows.
         residual: Option<Expr>,
+        /// Pinned MVCC read snapshot ([`SubmitOptions::pinned_snapshot`]).
+        snapshot: Option<Snapshot>,
     },
     /// Residual predicate for a shared filter.
     Filter {
@@ -51,6 +63,11 @@ pub enum Activation {
     Having {
         /// Bound predicate (over the group-by output schema).
         predicate: Option<Expr>,
+        /// Ship mergeable partials for AVG aggregates
+        /// ([`SubmitOptions::partial_aggregation`]): the AVG output column
+        /// carries the partial sum and one hidden count column per AVG is
+        /// appended to the row.
+        partial: bool,
     },
 }
 
@@ -132,14 +149,14 @@ impl QueryBatch {
 }
 
 /// Binds a query statement: substitutes parameters into every activation
-/// template.
+/// template and attaches the submission's partitioning / snapshot options.
 pub fn bind_query(
     spec: &StatementSpec,
     statement_index: usize,
     query_id: QueryId,
     ticket: TicketId,
     params: &[Value],
-    scan_partition: Option<(u32, u32)>,
+    opts: &SubmitOptions,
 ) -> Result<ActiveQuery> {
     let StatementKind::Query {
         root,
@@ -158,7 +175,12 @@ pub fn bind_query(
         let bound = match template {
             ActivationTemplate::Scan { predicate } => Activation::Scan {
                 predicate: predicate.bind(params)?,
-                partition: scan_partition,
+                partition: opts.scan_partition,
+                partition_columns: opts
+                    .partition_columns
+                    .as_ref()
+                    .and_then(|m| m.get(op).cloned()),
+                snapshot: opts.pinned_snapshot,
             },
             ActivationTemplate::Probe {
                 column,
@@ -168,6 +190,7 @@ pub fn bind_query(
                 column: *column,
                 range: range.bind(params)?,
                 residual: residual.as_ref().map(|e| e.bind(params)).transpose()?,
+                snapshot: opts.pinned_snapshot,
             },
             ActivationTemplate::Filter { predicate } => Activation::Filter {
                 predicate: predicate.bind(params)?,
@@ -176,6 +199,7 @@ pub fn bind_query(
             ActivationTemplate::TopN { limit } => Activation::TopN { limit: *limit },
             ActivationTemplate::Having { predicate } => Activation::Having {
                 predicate: predicate.as_ref().map(|e| e.bind(params)).transpose()?,
+                partial: opts.partial_aggregation,
             },
         };
         activations.push((*op, bound));
@@ -279,7 +303,7 @@ mod tests {
             QueryId(42),
             TicketId(9),
             &[Value::text("CH"), Value::Int(11)],
-            None,
+            &SubmitOptions::default(),
         )
         .unwrap();
         assert_eq!(q.query_id, QueryId(42));
@@ -299,7 +323,15 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Missing parameters are an error.
-        assert!(bind_query(&spec, 7, QueryId(1), TicketId(1), &[], None).is_err());
+        assert!(bind_query(
+            &spec,
+            7,
+            QueryId(1),
+            TicketId(1),
+            &[],
+            &SubmitOptions::default()
+        )
+        .is_err());
         // Binding it as an update is an error.
         assert!(bind_update(&spec, 7, TicketId(1), &[]).is_err());
     }
@@ -335,7 +367,15 @@ mod tests {
             UpdateOp::Delete { predicate } => assert!(predicate.is_bound()),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(bind_query(&spec, 0, QueryId(1), TicketId(1), &[], None).is_err());
+        assert!(bind_query(
+            &spec,
+            0,
+            QueryId(1),
+            TicketId(1),
+            &[],
+            &SubmitOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -346,8 +386,24 @@ mod tests {
                 predicate: Expr::lit(true),
             },
         );
-        let q1 = bind_query(&spec, 0, QueryId(1), TicketId(1), &[], None).unwrap();
-        let q2 = bind_query(&spec, 0, QueryId(2), TicketId(2), &[], None).unwrap();
+        let q1 = bind_query(
+            &spec,
+            0,
+            QueryId(1),
+            TicketId(1),
+            &[],
+            &SubmitOptions::default(),
+        )
+        .unwrap();
+        let q2 = bind_query(
+            &spec,
+            0,
+            QueryId(2),
+            TicketId(2),
+            &[],
+            &SubmitOptions::default(),
+        )
+        .unwrap();
         let batch = QueryBatch {
             id: BatchId(1),
             queries: vec![q1, q2],

@@ -190,11 +190,32 @@ pub struct SubmitOptions {
     pub completion_waker: Option<Arc<dyn Fn() + Send + Sync>>,
     /// Restrict every shared-scan activation of this query to one horizontal
     /// partition `(index, of)` of its table: a row participates iff
-    /// `tuple_partition(row, of) == index`. This is the replica-aware hook the
-    /// cluster layer uses to fan one logical query out over N engine replicas
-    /// (paper §4.5) and merge the partial results; a plain engine caller
-    /// leaves it `None`.
+    /// `tuple_partition(row, hash_columns, of) == index`. This is the
+    /// replica-aware hook the cluster layer uses to fan one logical query out
+    /// over N engine replicas (paper §4.5) and merge the partial results; a
+    /// plain engine caller leaves it `None`.
     pub scan_partition: Option<(u32, u32)>,
+    /// Per-scan-operator override of the columns hashed by the partition
+    /// function (operator id → column indices into that scan's table schema).
+    /// Scans not listed hash the table's primary key. The cluster layer uses
+    /// this to co-partition the build and probe sides of a fanned-out
+    /// equi-join by the join key, so rows that join always land in the same
+    /// partition.
+    pub partition_columns: Option<Arc<std::collections::HashMap<OperatorId, Vec<usize>>>>,
+    /// Pin every storage read (shared scan / index probe) of this query to a
+    /// fixed MVCC snapshot instead of the executing batch's own snapshot.
+    /// The cluster layer captures one [`Catalog::snapshot`] per fanned-out
+    /// execution and pins all partitions to it, so one logical query reads
+    /// one version set even while its partitions run in different batches on
+    /// different replicas under concurrent writes.
+    pub pinned_snapshot: Option<Snapshot>,
+    /// Ship partition-mergeable partial aggregates instead of final values:
+    /// a shared group-by emits, for every AVG aggregate of this query, the
+    /// partial sum in the AVG column plus a trailing hidden count column.
+    /// Set by the cluster layer for fanned-out group-by roots (the merge
+    /// step recombines sum/count and drops the hidden columns); meaningless
+    /// without a merge step consuming the partials.
+    pub partial_aggregation: bool,
 }
 
 struct Admission {
@@ -323,14 +344,7 @@ impl Engine {
             Submission::Update(bind_update(spec, index, ticket, params)?)
         } else {
             let query_id = self.inner.query_ids.next_id();
-            Submission::Query(bind_query(
-                spec,
-                index,
-                query_id,
-                ticket,
-                params,
-                opts.scan_partition,
-            )?)
+            Submission::Query(bind_query(spec, index, query_id, ticket, params, &opts)?)
         };
         let (tx, rx) = unbounded();
         let submitted = Instant::now();

@@ -18,7 +18,7 @@
 
 use crate::batch::Activation;
 use crate::plan::{AggregateSpec, OperatorSpec};
-use shareddb_common::agg::Accumulator;
+use shareddb_common::agg::{Accumulator, AggregateFunction};
 use shareddb_common::sort::compare_tuples;
 use shareddb_common::{Error, Expr, QTuple, QueryId, QuerySet, Result, SortKey, Tuple, Value};
 use shareddb_storage::mvcc::Snapshot;
@@ -309,9 +309,15 @@ fn execute_group_by(
 ) -> Result<Vec<QTuple>> {
     let active = active_set(activations);
     let mut having: HashMap<QueryId, Option<&Expr>> = HashMap::new();
+    // Queries in partial-aggregation mode (fanned-out group-by roots): their
+    // AVG output columns carry the partial sum, with one hidden count column
+    // per AVG appended to the row so the cluster merge step can recombine
+    // exact averages across partitions.
+    let mut partials: HashMap<QueryId, bool> = HashMap::new();
     for (q, a) in activations {
-        if let Activation::Having { predicate } = a {
+        if let Activation::Having { predicate, partial } = a {
             having.insert(*q, predicate.as_ref());
+            partials.insert(*q, *partial);
         }
     }
 
@@ -359,8 +365,26 @@ fn execute_group_by(
         queries.sort_unstable();
         for q in queries {
             let accumulators = &state.per_query[&q];
+            let partial = partials.get(&q).copied().unwrap_or(false);
             let mut values = state.key.clone();
-            values.extend(accumulators.iter().map(|a| a.finish()));
+            if partial {
+                values.extend(accumulators.iter().map(|a| {
+                    if a.function() == AggregateFunction::Avg {
+                        a.partial_sum()
+                    } else {
+                        a.finish()
+                    }
+                }));
+                // Hidden AVG count columns, in aggregate order.
+                values.extend(
+                    accumulators
+                        .iter()
+                        .filter(|a| a.function() == AggregateFunction::Avg)
+                        .map(|a| Value::Int(a.count() as i64)),
+                );
+            } else {
+                values.extend(accumulators.iter().map(|a| a.finish()));
+            }
             let row = Tuple::new(values);
             if let Some(Some(pred)) = having.get(&q) {
                 if !pred.eval_predicate(&row)? {
@@ -670,12 +694,19 @@ mod tests {
             ],
         };
         let activations = vec![
-            (QueryId(1), Activation::Having { predicate: None }),
+            (
+                QueryId(1),
+                Activation::Having {
+                    predicate: None,
+                    partial: false,
+                },
+            ),
             (
                 QueryId(2),
                 Activation::Having {
                     // HAVING SUM(ACCOUNT) > 150
                     predicate: Some(Expr::col(1).gt(Expr::lit(150i64))),
+                    partial: false,
                 },
             ),
         ];
@@ -691,6 +722,62 @@ mod tests {
         assert_eq!(find(1, "DE").unwrap().tuple[1], Value::Int(300));
         assert!(find(2, "CH").is_none());
         assert_eq!(find(2, "DE").unwrap().tuple[1], Value::Int(700));
+    }
+
+    /// Partial-aggregation mode (fanout): AVG columns ship the partial sum
+    /// with a hidden count column appended; other aggregates and non-partial
+    /// queries of the same batch are untouched.
+    #[test]
+    fn group_by_partial_mode_ships_avg_sum_and_count() {
+        let catalog = Catalog::new();
+        let input = vec![
+            qt(tuple!["CH", 100i64], &[1, 2]),
+            qt(tuple!["CH", 200i64], &[1, 2]),
+        ];
+        let spec = OperatorSpec::GroupBy {
+            group_columns: vec![0],
+            aggregates: vec![
+                AggregateSpec {
+                    function: AggregateFunction::Avg,
+                    column: 1,
+                    output_name: "AVG_ACCOUNT".into(),
+                },
+                AggregateSpec {
+                    function: AggregateFunction::Sum,
+                    column: 1,
+                    output_name: "SUM_ACCOUNT".into(),
+                },
+            ],
+        };
+        let activations = vec![
+            (
+                QueryId(1),
+                Activation::Having {
+                    predicate: None,
+                    partial: true,
+                },
+            ),
+            (
+                QueryId(2),
+                Activation::Having {
+                    predicate: None,
+                    partial: false,
+                },
+            ),
+        ];
+        let out = execute_operator(&spec, &activations, vec![input], &ctx(&catalog)).unwrap();
+        let row = |q: u32| out.iter().find(|t| t.queries.contains(QueryId(q))).unwrap();
+        // Partial query: [key, partial AVG sum, SUM, hidden AVG count].
+        let partial = row(1);
+        assert_eq!(partial.tuple.len(), 4);
+        assert_eq!(partial.tuple[1], Value::Float(300.0));
+        assert_eq!(partial.tuple[2], Value::Int(300));
+        assert_eq!(partial.tuple[3], Value::Int(2));
+        // Normal query: final values, no hidden columns.
+        let normal = row(2);
+        assert_eq!(normal.tuple.len(), 3);
+        assert_eq!(normal.tuple[1], Value::Float(150.0));
+        assert_eq!(normal.tuple[2], Value::Int(300));
     }
 
     #[test]

@@ -22,10 +22,12 @@ use std::sync::Arc;
 /// scan partitions and merge the disjoint partial results (paper §4.5).
 ///
 /// Hashing the *key* (not the full tuple) keeps a row's partition stable
-/// under updates to non-key columns: even though each replica's batch reads
-/// its own MVCC snapshot, a concurrently updated row still lands in exactly
-/// one partition (at whichever version that partition's snapshot sees) —
-/// it can never be duplicated into two partitions or vanish from all.
+/// under updates to non-key columns even without a pinned snapshot. The
+/// cluster additionally pins every partition of one fanned-out execution to
+/// a single MVCC snapshot ([`crate::SubmitOptions::pinned_snapshot`]), which
+/// makes partitioning by *any* column set exactly-once — this is what lets
+/// co-partitioned join fanout hash a non-key join column
+/// ([`crate::SubmitOptions::partition_columns`]).
 pub fn tuple_partition(tuple: &Tuple, key_columns: &[usize], of: u32) -> u32 {
     if of <= 1 {
         return 0;
@@ -78,20 +80,25 @@ impl StorageOperator {
 
     /// Executes the storage operator for one batch of activations.
     pub fn execute(&self, activations: &[(QueryId, Activation)]) -> Result<Vec<QTuple>> {
+        // A query's partition restriction: `(query, (index, of), hash-column
+        // override)`.
+        type PartitionedQuery<'a> = (QueryId, (u32, u32), Option<&'a Vec<usize>>);
         match self {
             StorageOperator::Scan { scan, key_columns } => {
-                let mut partitioned: Vec<(QueryId, (u32, u32))> = Vec::new();
+                let mut partitioned: Vec<PartitionedQuery<'_>> = Vec::new();
                 let queries: Vec<ScanQuery> = activations
                     .iter()
                     .map(|(q, a)| match a {
                         Activation::Scan {
                             predicate,
                             partition,
+                            partition_columns,
+                            snapshot,
                         } => {
                             if let Some(partition) = partition {
-                                partitioned.push((*q, *partition));
+                                partitioned.push((*q, *partition, partition_columns.as_ref()));
                             }
-                            Ok(ScanQuery::new(*q, predicate.clone()))
+                            Ok(ScanQuery::new(*q, predicate.clone()).at_snapshot(*snapshot))
                         }
                         other => Err(Error::Internal(format!(
                             "scan operator received a non-scan activation: {other:?}"
@@ -101,12 +108,16 @@ impl StorageOperator {
                 let mut tuples = scan.execute_batch(&queries, &[])?.tuples;
                 // Partitioned activations only subscribe to their slice of the
                 // table: unsubscribe them from out-of-partition rows and drop
-                // tuples no query is interested in any more.
+                // tuples no query is interested in any more. Each activation
+                // hashes either the table's primary key (stable row identity)
+                // or its per-operator column override (e.g. the join key of a
+                // co-partitioned fanout).
                 if !partitioned.is_empty() {
                     tuples.retain_mut(|t| {
-                        for (q, (index, of)) in &partitioned {
+                        for (q, (index, of), columns) in &partitioned {
+                            let hash_columns = columns.map(|c| c.as_slice()).unwrap_or(key_columns);
                             if t.queries.contains(*q)
-                                && tuple_partition(&t.tuple, key_columns, *of) != *index
+                                && tuple_partition(&t.tuple, hash_columns, *of) != *index
                             {
                                 t.queries.remove(*q);
                             }
@@ -124,8 +135,10 @@ impl StorageOperator {
                             column,
                             range,
                             residual,
+                            snapshot,
                         } => {
-                            let mut pq = ProbeQuery::range(*q, *column, range.clone());
+                            let mut pq = ProbeQuery::range(*q, *column, range.clone())
+                                .at_snapshot(*snapshot);
                             if let Some(residual) = residual {
                                 pq = pq.with_residual(residual.clone());
                             }
@@ -188,6 +201,15 @@ mod tests {
         Arc::new(catalog)
     }
 
+    fn scan_act(predicate: Expr, partition: Option<(u32, u32)>) -> Activation {
+        Activation::Scan {
+            predicate,
+            partition,
+            partition_columns: None,
+            snapshot: None,
+        }
+    }
+
     #[test]
     fn scan_operator_executes_activations() {
         let catalog = catalog();
@@ -196,18 +218,9 @@ mod tests {
             .execute(&[
                 (
                     QueryId(1),
-                    Activation::Scan {
-                        predicate: Expr::col(1).eq(Expr::lit("HISTORY")),
-                        partition: None,
-                    },
+                    scan_act(Expr::col(1).eq(Expr::lit("HISTORY")), None),
                 ),
-                (
-                    QueryId(2),
-                    Activation::Scan {
-                        predicate: Expr::col(0).lt(Expr::lit(3i64)),
-                        partition: None,
-                    },
-                ),
+                (QueryId(2), scan_act(Expr::col(0).lt(Expr::lit(3i64)), None)),
             ])
             .unwrap();
         let q1 = out
@@ -237,6 +250,7 @@ mod tests {
                     column: 0,
                     range: ProbeRange::Key(Value::Int(10)),
                     residual: None,
+                    snapshot: None,
                 },
             )])
             .unwrap();
@@ -259,13 +273,7 @@ mod tests {
         let mut total = 0usize;
         for index in 0..OF {
             let out = scan
-                .execute(&[(
-                    QueryId(1),
-                    Activation::Scan {
-                        predicate: Expr::lit(true),
-                        partition: Some((index, OF)),
-                    },
-                )])
+                .execute(&[(QueryId(1), scan_act(Expr::lit(true), Some((index, OF))))])
                 .unwrap();
             for t in &out {
                 assert_eq!(tuple_partition(&t.tuple, &[0], OF), index);
@@ -278,20 +286,8 @@ mod tests {
         // the scan; the unpartitioned one still sees every row.
         let out = scan
             .execute(&[
-                (
-                    QueryId(1),
-                    Activation::Scan {
-                        predicate: Expr::lit(true),
-                        partition: Some((0, OF)),
-                    },
-                ),
-                (
-                    QueryId(2),
-                    Activation::Scan {
-                        predicate: Expr::lit(true),
-                        partition: None,
-                    },
-                ),
+                (QueryId(1), scan_act(Expr::lit(true), Some((0, OF)))),
+                (QueryId(2), scan_act(Expr::lit(true), None)),
             ])
             .unwrap();
         let q2: usize = out
@@ -304,6 +300,95 @@ mod tests {
             .filter(|t| t.queries.contains(QueryId(1)))
             .count();
         assert!(q1 < 50, "partition 0 of 4 held the whole table");
+    }
+
+    /// A per-operator column override hashes the named columns instead of the
+    /// primary key, and the override partitions stay disjoint and complete —
+    /// this is what co-partitions the probe side of a fanned-out equi-join by
+    /// the join key.
+    #[test]
+    fn partition_column_override_is_disjoint_and_complete() {
+        let catalog = catalog();
+        let scan = StorageOperator::scan(&catalog, "ITEM").unwrap();
+        const OF: u32 = 3;
+        let override_cols = vec![1usize]; // hash I_SUBJECT, not the pk
+        let mut total = 0usize;
+        for index in 0..OF {
+            let out = scan
+                .execute(&[(
+                    QueryId(1),
+                    Activation::Scan {
+                        predicate: Expr::lit(true),
+                        partition: Some((index, OF)),
+                        partition_columns: Some(override_cols.clone()),
+                        snapshot: None,
+                    },
+                )])
+                .unwrap();
+            for t in &out {
+                assert_eq!(tuple_partition(&t.tuple, &override_cols, OF), index);
+                total += 1;
+            }
+        }
+        assert_eq!(total, 50);
+        // All rows with the same override-column value land in one partition.
+        let history_partition = tuple_partition(&tuple![0i64, "HISTORY"], &override_cols, OF);
+        let out = scan
+            .execute(&[(
+                QueryId(1),
+                Activation::Scan {
+                    predicate: Expr::lit(true),
+                    partition: Some((history_partition, OF)),
+                    partition_columns: Some(override_cols.clone()),
+                    snapshot: None,
+                },
+            )])
+            .unwrap();
+        assert_eq!(
+            out.iter()
+                .filter(|t| t.tuple[1] == Value::text("HISTORY"))
+                .count(),
+            10,
+            "co-partitioning split a key group across partitions"
+        );
+    }
+
+    /// A pinned snapshot flows through the scan adapter: the query reads the
+    /// pinned version set even after later commits.
+    #[test]
+    fn pinned_snapshot_flows_through_scan() {
+        let catalog = catalog();
+        let scan = StorageOperator::scan(&catalog, "ITEM").unwrap();
+        let pinned = catalog.snapshot();
+        catalog
+            .apply_batch(&[(
+                "ITEM".into(),
+                shareddb_storage::UpdateOp::Delete {
+                    predicate: Expr::lit(true),
+                },
+            )])
+            .unwrap();
+        let out = scan
+            .execute(&[
+                (
+                    QueryId(1),
+                    Activation::Scan {
+                        predicate: Expr::lit(true),
+                        partition: None,
+                        partition_columns: None,
+                        snapshot: Some(pinned),
+                    },
+                ),
+                (QueryId(2), scan_act(Expr::lit(true), None)),
+            ])
+            .unwrap();
+        let count = |q: u32| {
+            out.iter()
+                .filter(|t| t.queries.contains(QueryId(q)))
+                .count()
+        };
+        assert_eq!(count(1), 50, "pinned query lost the old version set");
+        assert_eq!(count(2), 0);
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   own admission-queue lock (the cluster router picks the replica first,
 //!   then the bound applies to that queue — so N replicas admit up to
 //!   N × `max_queue_depth` in total, each queue individually exact);
-//! * completion wakers pass through to every replica (a fanned-out statement
-//!   wakes the reactor once per partition; the reply pump treats spurious
-//!   wakes as no-ops);
+//! * completion wakers pass through to the cluster: a single-replica
+//!   statement wakes the reactor when its outcome is delivered, and a
+//!   fanned-out statement wakes it exactly **once**, after the cluster's
+//!   merge pool has recombined the partitions — the reactor never runs a
+//!   merge on its event loop (the reply pump treats spurious wakes as
+//!   no-ops either way);
 //! * per-replica statistics feed the `Stats` wire frame.
 
 use shareddb_cluster::{ClusterConfig, ClusterEngine, ClusterHandle};

@@ -1127,7 +1127,7 @@ impl Reactor {
                 SubmitOptions {
                     max_queue_depth: Some(self.shared.config.max_queue_depth),
                     completion_waker: Some(waker),
-                    scan_partition: None,
+                    ..SubmitOptions::default()
                 },
             ),
             None => Err(Error::EngineShutdown),

@@ -107,6 +107,18 @@ impl Catalog {
         Arc::clone(&self.oracle)
     }
 
+    /// Captures the current read snapshot (the latest committed state).
+    ///
+    /// The handle can be carried across threads and engines that share this
+    /// catalog: every scan or probe executed with the pinned snapshot reads
+    /// exactly the version set that was committed when the snapshot was
+    /// taken. The cluster layer uses this to give a fanned-out query one
+    /// consistent view across all of its partitions (see
+    /// `SubmitOptions::pinned_snapshot` in `shareddb-core`).
+    pub fn snapshot(&self) -> crate::mvcc::Snapshot {
+        self.oracle.read_ts()
+    }
+
     /// The write-ahead log.
     pub fn wal(&self) -> Arc<Wal> {
         Arc::clone(&self.wal)

@@ -32,6 +32,12 @@ pub struct ScanQuery {
     /// Bound selection predicate on the scanned table (use
     /// `Expr::lit(true)` for a full scan).
     pub predicate: Expr,
+    /// Optional pinned read snapshot. `None` (the default) reads the cycle's
+    /// own snapshot — the latest committed state after the cycle's updates.
+    /// A pinned snapshot lets a caller that spreads one logical query over
+    /// several scan cycles (e.g. the cluster fanout) give every part the same
+    /// consistent view.
+    pub snapshot: Option<Snapshot>,
 }
 
 impl ScanQuery {
@@ -40,12 +46,19 @@ impl ScanQuery {
         ScanQuery {
             query_id,
             predicate,
+            snapshot: None,
         }
     }
 
     /// A full-table scan for the given query.
     pub fn full_scan(query_id: QueryId) -> Self {
         ScanQuery::new(query_id, Expr::lit(true))
+    }
+
+    /// Pins the query to a fixed read snapshot.
+    pub fn at_snapshot(mut self, snapshot: Option<Snapshot>) -> Self {
+        self.snapshot = snapshot;
+        self
     }
 }
 
@@ -141,25 +154,32 @@ impl ClockScan {
         }
 
         // Phase 2: evaluate all queries against one consistent snapshot that
-        // includes the updates applied above.
+        // includes the updates applied above. Queries pinned to an explicit
+        // snapshot read that version set instead; the pass groups queries by
+        // effective snapshot so each group still shares one table scan
+        // (with no pinned queries — the common case — this is exactly one
+        // pass).
         let snapshot = self.oracle.read_ts();
         result.snapshot = snapshot;
         result.served_queries = queries.iter().map(|q| q.query_id).collect();
         if !queries.is_empty() {
-            let index = PredicateIndex::build(
-                queries
-                    .iter()
-                    .map(|q| IndexedQuery {
-                        query_id: q.query_id,
-                        predicate: q.predicate.clone(),
-                    })
-                    .collect(),
-            );
+            let groups = crate::mvcc::group_by_snapshot(queries, snapshot, |q| q.snapshot);
             let table = self.table.read();
-            for (_, row) in table.scan(snapshot) {
-                let matches = index.matching_queries(row)?;
-                if !matches.is_empty() {
-                    result.tuples.push(QTuple::new(row.clone(), matches));
+            for (snapshot, members) in groups {
+                let index = PredicateIndex::build(
+                    members
+                        .iter()
+                        .map(|q| IndexedQuery {
+                            query_id: q.query_id,
+                            predicate: q.predicate.clone(),
+                        })
+                        .collect(),
+                );
+                for (_, row) in table.scan(snapshot) {
+                    let matches = index.matching_queries(row)?;
+                    if !matches.is_empty() {
+                        result.tuples.push(QTuple::new(row.clone(), matches));
+                    }
                 }
             }
         }
@@ -347,6 +367,36 @@ mod tests {
         // Every tuple is annotated with all queries that want it.
         let total_subscriptions: usize = result.tuples.iter().map(|t| t.queries.len()).sum();
         assert!(total_subscriptions >= 500);
+    }
+
+    /// A query pinned to an older snapshot reads that version set even when
+    /// the cycle's own snapshot has moved on; unpinned queries of the same
+    /// batch read the current state.
+    #[test]
+    fn pinned_snapshot_reads_older_version_set() {
+        let (_, oracle, scan) = setup();
+        let pinned = oracle.read_ts();
+        scan.enqueue_update(UpdateOp::Delete {
+            predicate: Expr::lit(true),
+        });
+        scan.run_cycle().unwrap();
+        let res = scan
+            .execute_batch(
+                &[
+                    ScanQuery::full_scan(QueryId(1)).at_snapshot(Some(pinned)),
+                    ScanQuery::full_scan(QueryId(2)),
+                ],
+                &[],
+            )
+            .unwrap();
+        let count = |q: u32| {
+            res.tuples
+                .iter()
+                .filter(|t| t.queries.contains(QueryId(q)))
+                .count()
+        };
+        assert_eq!(count(1), 100, "pinned query lost the old version set");
+        assert_eq!(count(2), 0, "unpinned query saw resurrected rows");
     }
 
     #[test]

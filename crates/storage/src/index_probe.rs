@@ -74,6 +74,9 @@ pub struct ProbeQuery {
     pub range: ProbeRange,
     /// Optional residual predicate evaluated on the fetched rows.
     pub residual: Option<Expr>,
+    /// Optional pinned read snapshot (`None` = the cycle's own snapshot; see
+    /// [`crate::clockscan::ScanQuery::snapshot`]).
+    pub snapshot: Option<crate::mvcc::Snapshot>,
 }
 
 impl ProbeQuery {
@@ -84,6 +87,7 @@ impl ProbeQuery {
             column,
             range: ProbeRange::Key(key),
             residual: None,
+            snapshot: None,
         }
     }
 
@@ -94,12 +98,19 @@ impl ProbeQuery {
             column,
             range,
             residual: None,
+            snapshot: None,
         }
     }
 
     /// Attaches a residual predicate.
     pub fn with_residual(mut self, residual: Expr) -> Self {
         self.residual = Some(residual);
+        self
+    }
+
+    /// Pins the probe to a fixed read snapshot.
+    pub fn at_snapshot(mut self, snapshot: Option<crate::mvcc::Snapshot>) -> Self {
+        self.snapshot = snapshot;
         self
     }
 }
@@ -184,13 +195,32 @@ impl IndexProbe {
             self.oracle.publish(commit_ts);
         }
 
-        let snapshot = self.oracle.read_ts();
+        let default_snapshot = self.oracle.read_ts();
         result.served_queries = queries.iter().map(|q| q.query_id).collect();
         if queries.is_empty() {
             return Ok(result);
         }
 
+        // Group probes by their effective snapshot (pinned probes read their
+        // own version set); within each group the fetched rows deduplicate as
+        // before.
+        let groups = crate::mvcc::group_by_snapshot(queries, default_snapshot, |q| q.snapshot);
         let table = self.table.read();
+        for (snapshot, members) in groups {
+            self.probe_group(&table, snapshot, &members, &mut result)?;
+        }
+        Ok(result)
+    }
+
+    /// Executes one snapshot group of probes: every look-up reads `snapshot`,
+    /// and rows fetched by several probes of the group are emitted once.
+    fn probe_group(
+        &self,
+        table: &Table,
+        snapshot: crate::mvcc::Snapshot,
+        queries: &[&ProbeQuery],
+        result: &mut ProbeCycleResult,
+    ) -> Result<()> {
         // Deduplicate fetched rows across all probes of the batch: the NF²
         // data-query model stores each row once with the union of interested
         // queries.
@@ -242,7 +272,7 @@ impl IndexProbe {
                 result.tuples.push(QTuple::new(row.clone(), queries));
             }
         }
-        Ok(result)
+        Ok(())
     }
 }
 

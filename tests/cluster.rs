@@ -1,11 +1,12 @@
 //! Engine-cluster integration tests over the wire: N engine replicas behind
-//! one endpoint, statement-type routing, the scatter/merge step, and the
-//! per-replica section of the `Stats` frame — all through the real reactor
-//! and client library.
+//! one endpoint, statement-type routing, the scatter/merge step (snapshot
+//! pinning, off-reactor merging), and the per-replica section of the `Stats`
+//! frame — all through the real reactor and client library.
 
 use shareddb::client::Connection;
-use shareddb::cluster::ClusterConfig;
-use shareddb::common::{tuple, DataType, Value};
+use shareddb::cluster::{ClusterConfig, ClusterEngine};
+use shareddb::common::{tuple, DataType, Expr, Value};
+use shareddb::core::plan::{ActivationTemplate, PlanBuilder, StatementSpec, UpdateTemplate};
 use shareddb::core::EngineConfig;
 use shareddb::server::{Server, ServerConfig};
 use shareddb::storage::{Catalog, TableDef};
@@ -128,6 +129,195 @@ fn updates_are_visible_across_replicas() {
     assert_eq!(
         stats.replicas[0].updates, 1,
         "update left the write replica"
+    );
+    conn.close().unwrap();
+    server.shutdown();
+}
+
+/// Property-style snapshot-pinning check: a writer thread keeps bumping every
+/// row's generation column (one UPDATE statement per generation, atomic under
+/// group commit), while fanned-out reads scatter over 4 replicas. Every
+/// merged result must be a *single-snapshot* view: the full row set with one
+/// uniform generation value — exactly what a 1-replica execution would
+/// return at some commit point. Before snapshot pinning, each partition read
+/// its own replica's batch snapshot and mixed generations freely under this
+/// load.
+#[test]
+fn fanout_under_concurrent_updates_is_single_snapshot_consistent() {
+    const ROWS: i64 = 256;
+    let catalog = Catalog::new();
+    catalog
+        .create_table(
+            TableDef::new("G")
+                .column("ID", DataType::Int)
+                .column("GEN", DataType::Int)
+                .primary_key(&["ID"]),
+        )
+        .unwrap();
+    catalog
+        .bulk_load("G", (0..ROWS).map(|i| tuple![i, 0i64]).collect())
+        .unwrap();
+    let catalog = Arc::new(catalog);
+
+    let mut b = PlanBuilder::new(&catalog);
+    let scan = b.table_scan("G").unwrap();
+    let sort = b
+        .sort(scan, vec![shareddb::common::SortKey::asc(0)])
+        .unwrap();
+    let plan = b.build();
+    let mut registry = shareddb::core::StatementRegistry::new();
+    registry
+        .register(
+            StatementSpec::query("snap", sort)
+                .activate(
+                    scan,
+                    ActivationTemplate::Scan {
+                        predicate: Expr::lit(true),
+                    },
+                )
+                .activate(sort, ActivationTemplate::Participate),
+        )
+        .unwrap();
+    registry
+        .register(StatementSpec::update(
+            "tick",
+            "G",
+            UpdateTemplate::Update {
+                assignments: vec![(1, Expr::param(0))],
+                predicate: Expr::lit(true),
+            },
+        ))
+        .unwrap();
+
+    let cluster = ClusterEngine::start(
+        catalog,
+        plan,
+        registry,
+        EngineConfig::default(),
+        ClusterConfig {
+            replicas: 4,
+            replicate_statements: vec!["snap".into()],
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    let cluster = Arc::new(cluster);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut gen = 0i64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                gen += 1;
+                cluster.execute_sync("tick", &[Value::Int(gen)]).unwrap();
+            }
+            gen
+        })
+    };
+
+    let mut distinct_generations = std::collections::HashSet::new();
+    for round in 0..80 {
+        let outcome = cluster.execute_sync("snap", &[]).unwrap();
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), ROWS as usize, "round {round}: torn row set");
+        let generation = rows[0][1].clone();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], Value::Int(i as i64), "round {round}: order broken");
+            assert_eq!(
+                row[1], generation,
+                "round {round}: rows from different snapshots in one \
+                 fanned-out result (row {i} vs row 0)"
+            );
+        }
+        distinct_generations.insert(format!("{generation:?}"));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let final_gen = writer.join().unwrap();
+    assert!(final_gen > 0, "writer never ran");
+    assert!(
+        distinct_generations.len() > 1,
+        "updates never interleaved with the reads — the test exercised \
+         nothing (final generation {final_gen})"
+    );
+}
+
+/// Off-reactor merge: a multi-megabyte fanned-out merged result must not
+/// stall an unrelated connection's ping. The merge runs on the cluster's
+/// worker pool; the reactor only ships the already-merged bytes.
+#[test]
+fn huge_fanout_merge_does_not_block_ping() {
+    const ROWS: i64 = 8_000;
+    let catalog = Catalog::new();
+    catalog
+        .create_table(
+            TableDef::new("BIG")
+                .column("ID", DataType::Int)
+                .column("PAD", DataType::Text)
+                .primary_key(&["ID"]),
+        )
+        .unwrap();
+    let pad = "x".repeat(256);
+    catalog
+        .bulk_load("BIG", (0..ROWS).map(|i| tuple![i, pad.clone()]).collect())
+        .unwrap();
+    let mut server = Server::start_sql(
+        Arc::new(catalog),
+        &[("bigSort", "SELECT * FROM BIG ORDER BY ID")],
+        EngineConfig::default(),
+        ServerConfig {
+            cluster: ClusterConfig {
+                replicas: 4,
+                replicate_statements: vec!["bigSort".into()],
+                ..ClusterConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let heavy = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).unwrap();
+            let big = conn.prepare("bigSort").unwrap();
+            let mut merged = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let outcome = conn.execute(&big, &[]).unwrap();
+                assert_eq!(outcome.rows().len(), ROWS as usize);
+                merged += 1;
+            }
+            let _ = conn.close();
+            merged
+        })
+    };
+
+    // Concurrent light path: pings must keep completing promptly while ~2 MB
+    // merges run back to back. The bound is deliberately generous (CI noise);
+    // the regression this guards against is a reactor wedged for the whole
+    // merge + encode of the big result, which showed up as multi-second
+    // stalls.
+    let mut conn = Connection::connect(addr).unwrap();
+    let mut worst = std::time::Duration::ZERO;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+    let mut pings = 0u32;
+    while std::time::Instant::now() < deadline {
+        let begun = std::time::Instant::now();
+        conn.ping().unwrap();
+        worst = worst.max(begun.elapsed());
+        pings += 1;
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let merged = heavy.join().unwrap();
+    assert!(merged > 0, "no big merge ever completed");
+    assert!(pings > 50, "ping loop starved entirely ({pings} pings)");
+    assert!(
+        worst < std::time::Duration::from_secs(2),
+        "ping stalled {worst:?} behind a fanned-out merge ({merged} merges)"
     );
     conn.close().unwrap();
     server.shutdown();

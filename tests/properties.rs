@@ -220,7 +220,7 @@ proptest! {
             ],
         };
         let all: Vec<(QueryId, Activation)> =
-            (0..3u32).map(|q| (QueryId(q + 1), Activation::Having { predicate: None })).collect();
+            (0..3u32).map(|q| (QueryId(q + 1), Activation::Having { predicate: None, partial: false })).collect();
         let shared = execute_operator(&spec, &all, vec![to_qtuples(&input)], &ctx).unwrap();
         for q in 0..3u32 {
             let iq: Vec<QTuple> = to_qtuples(&input)
@@ -230,7 +230,7 @@ proptest! {
                 .collect();
             let solo = execute_operator(
                 &spec,
-                &[(QueryId(q + 1), Activation::Having { predicate: None })],
+                &[(QueryId(q + 1), Activation::Having { predicate: None, partial: false })],
                 vec![iq],
                 &ctx,
             )
