@@ -252,10 +252,20 @@ impl<'a> Parser<'a> {
 // The gate
 // ---------------------------------------------------------------------------
 
+/// One evaluated bound, for stdout and the step-summary table.
+struct Check {
+    label: String,
+    metric: &'static str,
+    measured: String,
+    bound: String,
+    pass: bool,
+}
+
 fn main() {
     let (bench_path, baseline_path) = parse_args();
     let bench = load(&bench_path);
     let baseline = load(&baseline_path);
+    let mut checks: Vec<Check> = Vec::new();
 
     let slack = baseline.num("slack_pct").unwrap_or(0.0) / 100.0;
     let floors = baseline.arr("floors").unwrap_or_else(|| {
@@ -277,6 +287,13 @@ fn main() {
             .find(|p| p.num("replicas") == Some(replicas) && p.num("clients") == Some(clients))
         else {
             println!("FAIL [{label}] point missing from {bench_path}");
+            checks.push(Check {
+                label: label.clone(),
+                metric: "point",
+                measured: "missing".into(),
+                bound: "present".into(),
+                pass: false,
+            });
             failures += 1;
             continue;
         };
@@ -284,59 +301,141 @@ fn main() {
         if let Some(min_tp) = floor.num("min_throughput_per_s") {
             let bound = min_tp * (1.0 - slack);
             let got = point.num("throughput_per_s").unwrap_or(0.0);
-            if got < bound {
+            let pass = got >= bound;
+            if pass {
+                println!("PASS [{label}] throughput {got:.0}/s >= floor {bound:.0}/s");
+            } else {
                 println!(
                     "FAIL [{label}] throughput {got:.0}/s below floor {bound:.0}/s \
                      (baseline {min_tp:.0}/s - {:.0}% slack)",
                     slack * 100.0
                 );
                 failures += 1;
-            } else {
-                println!("PASS [{label}] throughput {got:.0}/s >= floor {bound:.0}/s");
             }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "throughput",
+                measured: format!("{got:.0}/s"),
+                bound: format!(">= {bound:.0}/s"),
+                pass,
+            });
         }
         if let Some(max_p99) = floor.num("max_light_p99_us") {
             let bound = max_p99 * (1.0 + slack);
             let got = point.num("light_p99_us").unwrap_or(f64::MAX);
-            if got > bound {
+            let pass = got <= bound;
+            if pass {
+                println!("PASS [{label}] light p99 {got:.0}us <= ceiling {bound:.0}us");
+            } else {
                 println!(
                     "FAIL [{label}] light p99 {got:.0}us above ceiling {bound:.0}us \
                      (baseline {max_p99:.0}us + {:.0}% slack)",
                     slack * 100.0
                 );
                 failures += 1;
-            } else {
-                println!("PASS [{label}] light p99 {got:.0}us <= ceiling {bound:.0}us");
             }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "light p99",
+                measured: format!("{got:.0}us"),
+                bound: format!("<= {bound:.0}us"),
+                pass,
+            });
         }
         if let Some(min_updates) = floor.num("min_updates_ok") {
             let bound = min_updates * (1.0 - slack);
             let got = point.num("updates_ok").unwrap_or(0.0);
-            if got < bound {
+            let pass = got >= bound;
+            if pass {
+                println!("PASS [{label}] {got:.0} concurrent updates >= floor {bound:.0}");
+            } else {
                 println!(
                     "FAIL [{label}] only {got:.0} concurrent updates ran, floor {bound:.0} \
                      (the write-load soak exercised nothing)"
                 );
                 failures += 1;
-            } else {
-                println!("PASS [{label}] {got:.0} concurrent updates >= floor {bound:.0}");
             }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "updates ok",
+                measured: format!("{got:.0}"),
+                bound: format!(">= {bound:.0}"),
+                pass,
+            });
         }
         if let Some(max_errors) = floor.num("max_errors") {
             let got = point.num("errors").unwrap_or(f64::MAX);
-            if got > max_errors {
+            let pass = got <= max_errors;
+            if pass {
+                println!("PASS [{label}] {got:.0} errors <= budget {max_errors:.0}");
+            } else {
                 println!("FAIL [{label}] {got:.0} errors > budget {max_errors:.0}");
                 failures += 1;
-            } else {
-                println!("PASS [{label}] {got:.0} errors <= budget {max_errors:.0}");
             }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "errors",
+                measured: format!("{got:.0}"),
+                bound: format!("<= {max_errors:.0}"),
+                pass,
+            });
         }
     }
+    write_step_summary(&bench_path, slack, &checks, failures);
     if failures > 0 {
         eprintln!("{failures} regression check(s) failed");
         std::process::exit(1);
     }
     println!("all regression checks passed");
+}
+
+/// Appends a measured-vs-floor markdown table to `$GITHUB_STEP_SUMMARY`, so
+/// perf-gate results are readable from the job page without downloading the
+/// bench artifact. A no-op outside GitHub Actions.
+fn write_step_summary(bench_path: &str, slack: f64, checks: &[Check], failures: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut summary = String::new();
+    let verdict = if failures == 0 {
+        "all checks passed"
+    } else {
+        "REGRESSION"
+    };
+    summary.push_str(&format!(
+        "### Perf gate: `{bench_path}` — {verdict}\n\n\
+         Bounds include {:.0}% slack over the committed baseline.\n\n\
+         | Point | Metric | Measured | Bound | Status |\n\
+         |---|---|---|---|---|\n",
+        slack * 100.0
+    ));
+    for check in checks {
+        summary.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            check.label,
+            check.metric,
+            check.measured,
+            check.bound,
+            if check.pass { "✅ pass" } else { "❌ FAIL" }
+        ));
+    }
+    summary.push('\n');
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            if let Err(e) = file.write_all(summary.as_bytes()) {
+                eprintln!("cannot write step summary {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("cannot open step summary {path}: {e}"),
+    }
 }
 
 fn load(path: &str) -> Json {

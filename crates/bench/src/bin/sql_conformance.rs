@@ -1,0 +1,52 @@
+//! CI SQL-conformance gate: compiles and executes the checked-in corpus
+//! (`tests/sql_corpus/`) against its expected results and exits 1 on any
+//! drift. See `shareddb_bench::conformance` for the file format and the
+//! fixed dataset.
+//!
+//! ```text
+//! sql_conformance [--corpus tests/sql_corpus]
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut corpus = PathBuf::from("tests/sql_corpus");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => {
+                corpus = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--corpus needs PATH");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: sql_conformance [--corpus PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    match shareddb_bench::conformance::run_corpus(&corpus) {
+        Err(message) => {
+            eprintln!("corpus run failed: {message}");
+            std::process::exit(2);
+        }
+        Ok(report) => {
+            for name in &report.passed {
+                println!("PASS {name}");
+            }
+            for failure in &report.failures {
+                println!("FAIL {failure}");
+            }
+            println!(
+                "{} passed, {} failed",
+                report.passed.len(),
+                report.failures.len()
+            );
+            if !report.ok() {
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! (shared operators, ClockScan, B-tree, query-set representations) live in
 //! `benches/`.
 
+pub mod conformance;
+
 use shareddb_baseline::EngineProfile;
 use shareddb_core::EngineConfig;
 use shareddb_storage::Catalog;

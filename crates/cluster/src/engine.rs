@@ -6,7 +6,7 @@ use crate::merge::MergeSpec;
 use crate::router::{Route, Router};
 use crate::ClusterConfig;
 use shareddb_common::agg::AggregateFunction;
-use shareddb_common::{Result, Value};
+use shareddb_common::{Expr, Result, Value};
 use shareddb_core::engine::{QueryHandle, QueryOutcome};
 use shareddb_core::plan::{ActivationTemplate, OperatorId, StatementKind};
 use shareddb_core::stats::EngineStatsSnapshot;
@@ -141,9 +141,11 @@ impl ClusterEngine {
         // stays exactly-once: a row version cannot move between partitions
         // within one pinned snapshot).
         let snapshot = self.catalog.snapshot();
+        // Bind statement parameters into the merge spec: the deferred HAVING
+        // of a grouped merge may carry `?` placeholders.
         let state = FanoutState::new(
             self.engines.len(),
-            fanout.merge.clone(),
+            fanout.merge.bind(params)?,
             fanout.limit,
             opts.completion_waker.clone(),
         );
@@ -312,25 +314,28 @@ impl ClusterHandle {
 // ---------------------------------------------------------------------------
 
 /// Where a statement's tuples come from: one partitioned scan, or a
-/// co-partitioned equi-join of two scans.
+/// co-partitioned tree of hash equi-joins over scans.
 enum Source {
     /// One shared table scan (partitioned by the table's primary key).
     Scan(OperatorId),
-    /// A hash equi-join whose build and probe inputs are each a shared scan
-    /// (possibly through filters). Both scans partition by the join key with
-    /// the same `(index, of)`, so rows that join always land in the same
-    /// partition.
-    Join {
-        build_scan: OperatorId,
-        probe_scan: OperatorId,
-        /// Join key in the build input's (= build scan's) schema.
-        build_key: usize,
-        /// Join key in the probe input's (= probe scan's) schema.
-        probe_key: usize,
-        /// Width of the build input schema (probe columns follow it in the
-        /// join output).
-        build_width: usize,
-    },
+    /// A tree of hash equi-joins whose leaves are shared scans (possibly
+    /// through filters), **every join keyed on one transitive equivalence
+    /// class** that contains the partition key. Each leaf scan partitions by
+    /// its own join-key column with the same `(index, of)`, so rows that join
+    /// — directly or through the chain — always land in the same partition.
+    Join(JoinTree),
+}
+
+/// Partitioning summary of a hash-equi-join tree.
+struct JoinTree {
+    /// Per-scan partition-hash column override (the scan's join key).
+    scan_columns: HashMap<OperatorId, Vec<usize>>,
+    /// Columns of the tree root's output schema that carry the partition key
+    /// (the transitive join-key equivalence class).
+    key_columns: Vec<usize>,
+    /// At least one scan of the tree joins on its table's single-column
+    /// primary key (the partitioning-key rule).
+    keyed_on_pk: bool,
 }
 
 /// A shared group-by on the path between the source and the root.
@@ -349,22 +354,32 @@ struct GroupInfo {
 ///   (concat merge), a sort/Top-N (ordered merge), a group-by with no HAVING
 ///   (partial-aggregate merge, AVG shipped as sum/count partials) or a
 ///   DISTINCT (re-deduplicating merge);
-/// * `scan ⨝ scan` equi-joins of the same form, **when the join is keyed on
-///   a partitioning key**: at least one side joins on its table's
-///   single-column primary key. Both sides then scatter with the same
-///   partition function over the join key (co-partitioning), which keeps
-///   every join match inside one partition. Joins not keyed on a partition
-///   column stay pinned.
+/// * `scan ⨝ scan` equi-joins of the same form — including **multi-join
+///   chains** (trees of hash equi-joins over scans) — **when every join of
+///   the chain is keyed on the partitioning key**: the joins' key columns
+///   form one transitive equivalence class, and at least one scan joins on
+///   its table's single-column primary key. Every scan then scatters with
+///   the same partition function over its own join-key column
+///   (co-partitioning), which keeps every join match — direct or through the
+///   chain — inside one partition. Joins not keyed on the partition class
+///   stay pinned.
+/// * a group-by **root** may carry a HAVING predicate: the group-by operators
+///   run in partial mode (HAVING deferred) and the merge applies the
+///   predicate to each recombined group — a partition must not filter a
+///   partial group another partition may complete.
 /// * a group-by *below* a sort/Top-N root (the `getBestSellers` shape) is
 ///   eligible when the grouping key contains the partition key — then every
 ///   group is complete within its partition and the per-partition Top-N
-///   partials merge exactly.
+///   partials (and any local HAVING) merge exactly.
 fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Option<FanoutSpec> {
     let StatementKind::Query {
         root,
         projection,
         compute,
         limit,
+        // With the identity projection required below, the post-projection
+        // DISTINCT equals the full-row dedup the Distinct merge performs.
+        distinct: _,
     } = &spec.kind
     else {
         return None;
@@ -391,37 +406,61 @@ fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Op
     let root_node = plan.node(*root);
     let mut topn_limit: Option<usize> = None;
     let mut group: Option<GroupInfo> = None;
+    // HAVING of a group-by *root*: deferred to the merge (partial mode).
+    let mut root_having: Option<Expr> = None;
     let source = match (&root_node.spec, templates.get(root)?) {
         (OperatorSpec::TableScan { .. }, _)
         | (OperatorSpec::Filter, _)
-        | (OperatorSpec::HashJoin { .. }, _) => find_source(plan, &templates, &mut visited, *root)?,
+        | (OperatorSpec::HashJoin { .. }, _) => {
+            find_source(catalog, plan, &templates, &mut visited, *root)?
+        }
         (OperatorSpec::Sort { .. }, ActivationTemplate::Participate) => {
             visited.insert(*root);
-            let (g, source) =
-                peel_group(plan, &templates, &mut visited, root_node.inputs.first()?)?;
+            let (g, source) = peel_group(
+                catalog,
+                plan,
+                &templates,
+                &mut visited,
+                root_node.inputs.first()?,
+            )?;
             group = g;
             source
         }
         (OperatorSpec::TopN { .. }, ActivationTemplate::TopN { limit }) => {
             topn_limit = Some(*limit);
             visited.insert(*root);
-            let (g, source) =
-                peel_group(plan, &templates, &mut visited, root_node.inputs.first()?)?;
+            let (g, source) = peel_group(
+                catalog,
+                plan,
+                &templates,
+                &mut visited,
+                root_node.inputs.first()?,
+            )?;
             group = g;
             source
         }
-        (
-            OperatorSpec::GroupBy { .. },
-            ActivationTemplate::Having {
-                predicate: None, ..
-            },
-        )
-        | (OperatorSpec::Distinct, ActivationTemplate::Participate) => {
+        (OperatorSpec::GroupBy { .. }, ActivationTemplate::Having { predicate }) => {
+            root_having = predicate.clone();
             visited.insert(*root);
-            find_source(plan, &templates, &mut visited, *root_node.inputs.first()?)?
+            find_source(
+                catalog,
+                plan,
+                &templates,
+                &mut visited,
+                *root_node.inputs.first()?,
+            )?
         }
-        // Probes bypass the partitioned scan; HAVING over partial groups is
-        // wrong; anything else is unknown.
+        (OperatorSpec::Distinct, ActivationTemplate::Participate) => {
+            visited.insert(*root);
+            find_source(
+                catalog,
+                plan,
+                &templates,
+                &mut visited,
+                *root_node.inputs.first()?,
+            )?
+        }
+        // Probes bypass the partitioned scan; anything else is unknown.
         _ => return None,
     };
 
@@ -431,41 +470,17 @@ fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Op
         return None;
     }
 
-    // Partitioning: single scans hash their primary key; join inputs
-    // co-partition by the join key, which must be a partitioning key (the
-    // single-column primary key) on at least one side.
+    // Partitioning: single scans hash their primary key; join-tree scans
+    // co-partition by their join-key column, and the tree must be keyed on a
+    // partitioning key (at least one scan joins on its single-column primary
+    // key). Per-join key-class and data-type checks live in [`join_tree`].
     let partition_columns = match &source {
         Source::Scan(_) => None,
-        Source::Join {
-            build_scan,
-            probe_scan,
-            build_key,
-            probe_key,
-            ..
-        } => {
-            if build_scan == probe_scan {
-                return None; // one shared scan cannot hash two key sets
-            }
-            let keyed_on_partition_key = table_pk(catalog, plan, *build_scan)?
-                == std::slice::from_ref(build_key)
-                || table_pk(catalog, plan, *probe_scan)? == std::slice::from_ref(probe_key);
-            if !keyed_on_partition_key {
+        Source::Join(tree) => {
+            if !tree.keyed_on_pk {
                 return None;
             }
-            // The partition hash is type-tagged (`hash_values` distinguishes
-            // Int from Float) while SQL join equality is numeric-normalizing
-            // (`Int(5)` joins `Float(5.0)`): a cross-type equi-join would
-            // scatter matching rows into different partitions and silently
-            // lose the match. Such joins stay pinned.
-            let build_type = plan.node(*build_scan).schema.column(*build_key).data_type;
-            let probe_type = plan.node(*probe_scan).schema.column(*probe_key).data_type;
-            if build_type != probe_type {
-                return None;
-            }
-            let mut columns = HashMap::new();
-            columns.insert(*build_scan, vec![*build_key]);
-            columns.insert(*probe_scan, vec![*probe_key]);
-            Some(Arc::new(columns))
+            Some(Arc::new(tree.scan_columns.clone()))
         }
     };
 
@@ -477,15 +492,10 @@ fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Op
                 let pk = table_pk(catalog, plan, *scan)?;
                 !pk.is_empty() && pk.iter().all(|c| info.group_columns.contains(c))
             }
-            Source::Join {
-                build_key,
-                probe_key,
-                build_width,
-                ..
-            } => {
-                info.group_columns.contains(build_key)
-                    || info.group_columns.contains(&(build_width + probe_key))
-            }
+            Source::Join(tree) => tree
+                .key_columns
+                .iter()
+                .any(|c| info.group_columns.contains(c)),
         };
         if !determined {
             return None;
@@ -517,15 +527,17 @@ fn fanout_spec(catalog: &Catalog, plan: &GlobalPlan, spec: &StatementSpec) -> Op
                 return None;
             }
             // AVG partials ship as (sum, hidden count) and recombine exactly
-            // at the merge.
+            // at the merge. Partial mode also defers HAVING to the merge —
+            // either one requires it.
             let avg_partials = aggregates
                 .iter()
                 .any(|a| a.function == AggregateFunction::Avg);
-            partial_aggregation = avg_partials;
+            partial_aggregation = avg_partials || root_having.is_some();
             MergeSpec::Grouped {
                 group_width: group_columns.len(),
                 functions: aggregates.iter().map(|a| a.function).collect(),
                 avg_partials,
+                having: root_having,
             }
         }
         OperatorSpec::Distinct => {
@@ -560,8 +572,12 @@ fn table_pk(catalog: &Catalog, plan: &GlobalPlan, scan_op: OperatorId) -> Option
 }
 
 /// Walks `filter* → (group-by)?` from a sort/Top-N root's input: returns the
-/// group-by (if one is on the path) and the source below it.
+/// group-by (if one is on the path) and the source below it. A HAVING on
+/// this group-by stays local: eligibility later requires the grouping key to
+/// contain the partition key, so every group is complete — and its final
+/// aggregate values filterable — within its own partition.
 fn peel_group(
+    catalog: &Catalog,
     plan: &GlobalPlan,
     templates: &HashMap<OperatorId, &ActivationTemplate>,
     visited: &mut HashSet<OperatorId>,
@@ -578,27 +594,22 @@ fn peel_group(
                 visited.insert(op);
                 op = *node.inputs.first()?;
             }
-            (
-                OperatorSpec::GroupBy { group_columns, .. },
-                ActivationTemplate::Having {
-                    predicate: None, ..
-                },
-            ) => {
+            (OperatorSpec::GroupBy { group_columns, .. }, ActivationTemplate::Having { .. }) => {
                 visited.insert(op);
                 let info = GroupInfo {
                     group_columns: group_columns.clone(),
                 };
-                let source = find_source(plan, templates, visited, *node.inputs.first()?)?;
+                let source = find_source(catalog, plan, templates, visited, *node.inputs.first()?)?;
                 return Some((Some(info), source));
             }
-            _ => return Some((None, find_source(plan, templates, visited, op)?)),
+            _ => return Some((None, find_source(catalog, plan, templates, visited, op)?)),
         }
     }
 }
 
-/// Walks `filter* → (scan | join)` and returns the source. Join inputs must
-/// each be a `filter* → scan` chain.
+/// Walks `filter* → (scan | join tree)` and returns the source.
 fn find_source(
+    catalog: &Catalog,
     plan: &GlobalPlan,
     templates: &HashMap<OperatorId, &ActivationTemplate>,
     visited: &mut HashSet<OperatorId>,
@@ -619,42 +630,85 @@ fn find_source(
                 visited.insert(op);
                 op = *node.inputs.first()?;
             }
-            (
-                OperatorSpec::HashJoin {
-                    build_key,
-                    probe_key,
-                },
-                ActivationTemplate::Participate,
-            ) => {
-                visited.insert(op);
-                let build_input = *node.inputs.first()?;
-                let probe_input = *node.inputs.get(1)?;
-                let build = scan_chain(plan, templates, visited, build_input)?;
-                let probe = scan_chain(plan, templates, visited, probe_input)?;
-                return Some(Source::Join {
-                    build_scan: build,
-                    probe_scan: probe,
-                    build_key: *build_key,
-                    probe_key: *probe_key,
-                    build_width: plan.node(build_input).schema.len(),
-                });
+            (OperatorSpec::HashJoin { .. }, ActivationTemplate::Participate) => {
+                return join_tree(catalog, plan, templates, visited, op).map(Source::Join);
             }
             _ => return None,
         }
     }
 }
 
-/// Walks `filter* → scan` (no joins) and returns the scan.
-fn scan_chain(
+/// Recursively walks a tree of hash equi-joins whose leaves are
+/// `filter* → scan` chains, accumulating the partitioning summary. Returns
+/// `None` when the tree is not co-partitionable:
+///
+/// * a join over a nested join subtree must be keyed on the subtree's
+///   partition-key class (its side key ∈ the subtree's key columns), so one
+///   transitive equivalence class spans the whole chain;
+/// * every scan hashes exactly one column — a scan reached twice (both sides
+///   of one join, or two chain levels) cannot hash two key sets and bails;
+/// * the partition hash is type-tagged (`hash_values` distinguishes Int from
+///   Float) while SQL join equality is numeric-normalizing (`Int(5)` joins
+///   `Float(5.0)`): a cross-type equi-join would scatter matching rows into
+///   different partitions and silently lose the match, so all key columns
+///   must share one data type.
+fn join_tree(
+    catalog: &Catalog,
     plan: &GlobalPlan,
     templates: &HashMap<OperatorId, &ActivationTemplate>,
     visited: &mut HashSet<OperatorId>,
-    start: OperatorId,
-) -> Option<OperatorId> {
-    match find_source(plan, templates, visited, start)? {
-        Source::Scan(op) => Some(op),
-        Source::Join { .. } => None,
+    join_op: OperatorId,
+) -> Option<JoinTree> {
+    let node = plan.node(join_op);
+    let OperatorSpec::HashJoin {
+        build_key,
+        probe_key,
+    } = &node.spec
+    else {
+        return None;
+    };
+    visited.insert(join_op);
+    let build_input = *node.inputs.first()?;
+    let probe_input = *node.inputs.get(1)?;
+    let build_width = plan.node(build_input).schema.len();
+    let build_type = plan.node(build_input).schema.column(*build_key).data_type;
+    let probe_type = plan.node(probe_input).schema.column(*probe_key).data_type;
+    if build_type != probe_type {
+        return None;
     }
+    let mut tree = JoinTree {
+        scan_columns: HashMap::new(),
+        key_columns: Vec::new(),
+        keyed_on_pk: false,
+    };
+    for (input, key, offset) in [
+        (build_input, *build_key, 0usize),
+        (probe_input, *probe_key, build_width),
+    ] {
+        match find_source(catalog, plan, templates, visited, input)? {
+            Source::Scan(scan) => {
+                if tree.scan_columns.insert(scan, vec![key]).is_some() {
+                    return None;
+                }
+                tree.keyed_on_pk |= table_pk(catalog, plan, scan)? == std::slice::from_ref(&key);
+                tree.key_columns.push(offset + key);
+            }
+            Source::Join(sub) => {
+                if !sub.key_columns.contains(&key) {
+                    return None;
+                }
+                for (scan, cols) in sub.scan_columns {
+                    if tree.scan_columns.insert(scan, cols).is_some() {
+                        return None;
+                    }
+                }
+                tree.keyed_on_pk |= sub.keyed_on_pk;
+                tree.key_columns
+                    .extend(sub.key_columns.iter().map(|c| offset + c));
+            }
+        }
+    }
+    Some(tree)
 }
 
 #[cfg(test)]
@@ -990,6 +1044,34 @@ mod tests {
                     .activate(topn, ActivationTemplate::TopN { limit: 10 }),
             )
             .unwrap();
+        // Same shape with a HAVING under the Top-N: the grouping key contains
+        // the join (= partition) key, so every group is complete within its
+        // partition and the HAVING filters locally on final values.
+        registry
+            .register(
+                Spec::query("bestsellersHaving", topn)
+                    .activate(
+                        item_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(
+                        ol_scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::col(0).gt_eq(Expr::param(0)),
+                        },
+                    )
+                    .activate(join, ActivationTemplate::Participate)
+                    .activate(
+                        group,
+                        ActivationTemplate::Having {
+                            predicate: Some(Expr::col(2).gt(Expr::param(1))),
+                        },
+                    )
+                    .activate(topn, ActivationTemplate::TopN { limit: 10 }),
+            )
+            .unwrap();
         registry
             .register(
                 Spec::query("joinAll", join)
@@ -1106,6 +1188,26 @@ mod tests {
         assert_eq!(expect, got, "concat join merge lost or duplicated rows");
     }
 
+    /// HAVING below a Top-N root (the real `getBestSellers` shape): groups
+    /// are partition-complete, the HAVING filters locally, and the fanned
+    /// result matches the single engine exactly.
+    #[test]
+    fn having_under_topn_fanout_matches_single_replica() {
+        let single = join_cluster(1, &[]);
+        let fanned = join_cluster(4, &["bestsellersHaving"]);
+        let params = [Value::Int(0), Value::Int(20)];
+        let expect = single.execute_sync("bestsellersHaving", &params).unwrap();
+        let got = fanned.execute_sync("bestsellersHaving", &params).unwrap();
+        assert!(!expect.rows().is_empty(), "threshold filtered everything");
+        assert!(expect.rows().len() < 10, "threshold filtered nothing");
+        assert_eq!(expect.rows(), got.rows());
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "HAVING-under-TopN did not scatter: {:?}",
+            fanned.replica_stats()
+        );
+    }
+
     /// AVG fanout: partial (sum, count) shipping recombines to the exact
     /// single-engine average.
     #[test]
@@ -1179,6 +1281,227 @@ mod tests {
             1,
             "non-key join was scattered: {:?}",
             cluster.replica_stats()
+        );
+    }
+
+    // -- multi-join chains & HAVING fanout (SQL-compiled) -------------------
+
+    /// ITEM / ORDER_LINE / STOCK catalog: both ITEM and STOCK key their pk
+    /// on the chain's join class; ORDER_LINE joins on a non-key column.
+    fn chain_catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("ITEM")
+                    .column("I_ID", DataType::Int)
+                    .column("I_SUBJECT", DataType::Text)
+                    .column("I_COST", DataType::Float)
+                    .primary_key(&["I_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_table(
+                TableDef::new("ORDER_LINE")
+                    .column("OL_ID", DataType::Int)
+                    .column("OL_I_ID", DataType::Int)
+                    .column("OL_QTY", DataType::Int)
+                    .primary_key(&["OL_ID"]),
+            )
+            .unwrap();
+        catalog
+            .create_table(
+                TableDef::new("STOCK")
+                    .column("ST_I_ID", DataType::Int)
+                    .column("ST_QTY", DataType::Int)
+                    .primary_key(&["ST_I_ID"]),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ITEM",
+                (0..40i64)
+                    .map(|i| tuple![i, format!("S{}", i % 3), (i % 7) as f64])
+                    .collect(),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "ORDER_LINE",
+                (0..200i64)
+                    .map(|ol| tuple![ol, (ol * 13) % 40, 1 + ol % 5])
+                    .collect(),
+            )
+            .unwrap();
+        catalog
+            .bulk_load(
+                "STOCK",
+                (0..40i64).map(|i| tuple![i, (i * 3) % 11]).collect(),
+            )
+            .unwrap();
+        Arc::new(catalog)
+    }
+
+    const CHAIN_WORKLOAD: &[(&str, &str)] = &[
+        // Two-join chain, every join keyed on the I_ID equivalence class
+        // (ITEM pk and STOCK pk are both members) → co-partitionable.
+        (
+            "chainAll",
+            "SELECT * FROM ITEM I, ORDER_LINE OL, STOCK S \
+             WHERE I.I_ID = OL.OL_I_ID AND I.I_ID = S.ST_I_ID",
+        ),
+        // The second join leaves the partition-key class (OL_QTY is not in
+        // it) → must stay pinned whole.
+        (
+            "offClassChain",
+            "SELECT * FROM ITEM I, ORDER_LINE OL, STOCK S \
+             WHERE I.I_ID = OL.OL_I_ID AND OL.OL_QTY = S.ST_QTY",
+        ),
+        // Group-by root with HAVING: groups span partitions, so HAVING is
+        // deferred to the merge (partial mode).
+        (
+            "bigSubjects",
+            "SELECT I_SUBJECT, SUM(I_COST) FROM ITEM GROUP BY I_SUBJECT \
+             HAVING SUM(I_COST) > ?",
+        ),
+        // SQL-compiled AVG fanout: the compiler emits an *identity*
+        // projection, which must not strip the hidden AVG count columns the
+        // partial rows ship to the merge.
+        (
+            "avgBySubject",
+            "SELECT I_SUBJECT, AVG(I_COST) FROM ITEM GROUP BY I_SUBJECT",
+        ),
+        (
+            "avgHaving",
+            "SELECT I_SUBJECT, AVG(I_COST) FROM ITEM GROUP BY I_SUBJECT \
+             HAVING AVG(I_COST) > ?",
+        ),
+    ];
+
+    fn chain_cluster(replicas: usize, replicate: &[&str]) -> ClusterEngine {
+        let catalog = chain_catalog();
+        let (plan, registry) = compile_workload(&catalog, CHAIN_WORKLOAD).unwrap();
+        ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig::default(),
+            ClusterConfig {
+                replicas,
+                replicate_statements: replicate.iter().map(|s| s.to_string()).collect(),
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// A two-join chain keyed on the partition-key class end to end scatters
+    /// over all replicas and concat-merges to exactly the single-engine
+    /// result.
+    #[test]
+    fn multi_join_chain_fanout_matches_single_replica() {
+        let single = chain_cluster(1, &[]);
+        let fanned = chain_cluster(4, &["chainAll"]);
+        let expect = sorted_rows(&single.execute_sync("chainAll", &[]).unwrap());
+        let got = sorted_rows(&fanned.execute_sync("chainAll", &[]).unwrap());
+        assert_eq!(expect.len(), 200); // every ORDER_LINE matches one item + stock
+        assert_eq!(expect, got, "chain fanout lost or duplicated rows");
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "chain fanout did not reach all replicas: {:?}",
+            fanned.replica_stats()
+        );
+    }
+
+    /// A chain whose second join leaves the partition-key class must not
+    /// scatter: co-location would break at the second join.
+    #[test]
+    fn off_class_chain_stays_whole() {
+        let single = chain_cluster(1, &[]);
+        let cluster = chain_cluster(4, &["offClassChain"]);
+        let expect = sorted_rows(&single.execute_sync("offClassChain", &[]).unwrap());
+        let got = sorted_rows(&cluster.execute_sync("offClassChain", &[]).unwrap());
+        assert!(!expect.is_empty());
+        assert_eq!(expect, got);
+        let active = cluster
+            .replica_stats()
+            .iter()
+            .filter(|s| s.queries > 0)
+            .count();
+        assert_eq!(
+            active,
+            1,
+            "off-class chain was scattered: {:?}",
+            cluster.replica_stats()
+        );
+    }
+
+    /// HAVING on a fanned-out group-by root: the predicate must see the
+    /// recombined totals, not per-partition partials. Thresholds are picked
+    /// around one group's exact total, so a partition-local HAVING (which
+    /// would drop every partial of that group) cannot pass the test.
+    #[test]
+    fn having_fanout_filters_on_recombined_groups() {
+        let single = chain_cluster(1, &[]);
+        let fanned = chain_cluster(4, &["bigSubjects"]);
+        // All groups with their totals.
+        let all = single
+            .execute_sync("bigSubjects", &[Value::Float(-1.0)])
+            .unwrap();
+        assert_eq!(all.rows().len(), 3);
+        let top_total = all
+            .rows()
+            .iter()
+            .map(|r| r[1].as_float().unwrap())
+            .fold(f64::MIN, f64::max);
+        for threshold in [top_total - 0.5, top_total, -1.0] {
+            let params = [Value::Float(threshold)];
+            let expect = sorted_rows(&single.execute_sync("bigSubjects", &params).unwrap());
+            let got = sorted_rows(&fanned.execute_sync("bigSubjects", &params).unwrap());
+            assert_eq!(expect, got, "HAVING fanout diverged at {threshold}");
+        }
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "HAVING fanout did not scatter: {:?}",
+            fanned.replica_stats()
+        );
+        // The strictest threshold keeps exactly the top group.
+        let got = fanned
+            .execute_sync("bigSubjects", &[Value::Float(top_total - 0.5)])
+            .unwrap();
+        assert_eq!(got.rows().len(), 1);
+    }
+
+    /// SQL-compiled AVG statements fan out correctly despite their identity
+    /// projection: partial-mode executions skip the projection so the hidden
+    /// (sum, count) columns reach the merge, and the recombined average is
+    /// exact. Regression test for a merge-width crash found in review.
+    #[test]
+    fn sql_compiled_avg_fanout_matches_single_replica() {
+        let single = chain_cluster(1, &[]);
+        let fanned = chain_cluster(4, &["avgBySubject", "avgHaving"]);
+        let expect = sorted_rows(&single.execute_sync("avgBySubject", &[]).unwrap());
+        let got = sorted_rows(&fanned.execute_sync("avgBySubject", &[]).unwrap());
+        assert_eq!(expect.len(), 3);
+        assert_eq!(expect, got, "SQL-compiled AVG fanout diverged");
+        // Deferred HAVING over the *finalized* average.
+        let all = single
+            .execute_sync("avgHaving", &[Value::Float(-1.0)])
+            .unwrap();
+        let top_avg = all
+            .rows()
+            .iter()
+            .map(|r| r[1].as_float().unwrap())
+            .fold(f64::MIN, f64::max);
+        for threshold in [top_avg - 0.01, -1.0] {
+            let params = [Value::Float(threshold)];
+            let expect = sorted_rows(&single.execute_sync("avgHaving", &params).unwrap());
+            let got = sorted_rows(&fanned.execute_sync("avgHaving", &params).unwrap());
+            assert_eq!(expect, got, "AVG HAVING fanout diverged at {threshold}");
+        }
+        assert!(
+            fanned.replica_stats().iter().all(|s| s.queries >= 1),
+            "AVG statements did not scatter: {:?}",
+            fanned.replica_stats()
         );
     }
 

@@ -15,7 +15,7 @@
 
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::sort::compare_tuples;
-use shareddb_common::{Error, Result, SortKey, Tuple, Value};
+use shareddb_common::{Error, Expr, Result, SortKey, Tuple, Value};
 use shareddb_core::engine::ResultSet;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -46,9 +46,37 @@ pub enum MergeSpec {
         /// appended to the row, in aggregate order. The merge recombines
         /// sum/count, emits the exact average and drops the hidden columns.
         avg_partials: bool,
+        /// HAVING predicate over the *recombined* group row (group columns
+        /// followed by final aggregate values). A partition cannot filter its
+        /// partial groups — another partition may complete them — so the
+        /// group-by operators run in partial mode (HAVING deferred) and the
+        /// predicate is applied here, once per merged group. Parameters are
+        /// bound at submit time.
+        having: Option<Expr>,
     },
     /// Union with duplicate elimination over the whole tuple.
     Distinct,
+}
+
+impl MergeSpec {
+    /// Binds statement parameters into the spec's predicate templates (the
+    /// deferred HAVING of grouped merges); other variants pass through.
+    pub fn bind(&self, params: &[Value]) -> Result<MergeSpec> {
+        match self {
+            MergeSpec::Grouped {
+                group_width,
+                functions,
+                avg_partials,
+                having: Some(having),
+            } => Ok(MergeSpec::Grouped {
+                group_width: *group_width,
+                functions: functions.clone(),
+                avg_partials: *avg_partials,
+                having: Some(having.bind(params)?),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
 }
 
 /// Merges the partial results of all partitions into one result set.
@@ -78,7 +106,14 @@ pub fn merge_results(spec: &MergeSpec, mut parts: Vec<ResultSet>) -> Result<Resu
             group_width,
             functions,
             avg_partials,
-        } => merge_groups(rows, *group_width, functions, *avg_partials)?,
+            having,
+        } => merge_groups(
+            rows,
+            *group_width,
+            functions,
+            *avg_partials,
+            having.as_ref(),
+        )?,
         MergeSpec::Distinct => {
             let mut rows = rows;
             rows.sort_by(compare_all);
@@ -104,6 +139,7 @@ fn merge_groups(
     group_width: usize,
     functions: &[AggregateFunction],
     avg_partials: bool,
+    having: Option<&Expr>,
 ) -> Result<Vec<Tuple>> {
     // With AVG partials each row carries one hidden count column per AVG
     // aggregate after the regular aggregate columns.
@@ -148,16 +184,22 @@ fn merge_groups(
             }
         }
     }
-    let mut rows: Vec<Tuple> = groups
-        .into_iter()
-        .map(|(mut key, mut aggs)| {
-            if avg_count > 0 {
-                finalize_avg_partials(&mut aggs, functions)?;
+    let mut rows: Vec<Tuple> = Vec::with_capacity(groups.len());
+    for (mut key, mut aggs) in groups {
+        if avg_count > 0 {
+            finalize_avg_partials(&mut aggs, functions)?;
+        }
+        key.append(&mut aggs);
+        let row = Tuple::new(key);
+        // The deferred HAVING: evaluated over the recombined final row
+        // (exactly what a single engine's group-by would have filtered on).
+        if let Some(predicate) = having {
+            if !predicate.eval_predicate(&row)? {
+                continue;
             }
-            key.append(&mut aggs);
-            Ok(Tuple::new(key))
-        })
-        .collect::<Result<_>>()?;
+        }
+        rows.push(row);
+    }
     // Deterministic output order (single-engine group-by order is
     // hash-dependent anyway, so any stable order is fine).
     rows.sort_by(compare_all);
@@ -291,6 +333,7 @@ mod tests {
                     AggregateFunction::Max,
                 ],
                 avg_partials: false,
+                having: None,
             },
             vec![a, b],
         )
@@ -342,6 +385,7 @@ mod tests {
                 group_width: 1,
                 functions: vec![AggregateFunction::Avg],
                 avg_partials: true,
+                having: None,
             },
             vec![a, b],
         )
@@ -363,6 +407,98 @@ mod tests {
         assert_eq!(y[1], Value::Float(4.0));
     }
 
+    /// The deferred HAVING runs over *recombined* groups: a group whose
+    /// partial sums each miss the threshold still survives when the
+    /// recombined total passes (filtering per partition would wrongly drop
+    /// it), and a group whose total misses is dropped exactly once.
+    #[test]
+    fn grouped_merge_applies_having_after_recombination() {
+        let schema = Schema::new(vec![
+            shareddb_common::Column::new("K", DataType::Text),
+            shareddb_common::Column::new("S", DataType::Int),
+        ]);
+        let part = |rows| ResultSet {
+            schema: schema.clone(),
+            rows,
+        };
+        // x: partials 60 + 60 = 120; y: 40 + 30 = 70. HAVING S > 100 keeps
+        // only x — but every individual partial is below 100.
+        let merged = merge_results(
+            &MergeSpec::Grouped {
+                group_width: 1,
+                functions: vec![AggregateFunction::Sum],
+                avg_partials: false,
+                having: Some(Expr::col(1).gt(Expr::lit(100i64))),
+            },
+            vec![
+                part(vec![tuple!["x", 60i64], tuple!["y", 40i64]]),
+                part(vec![tuple!["x", 60i64], tuple!["y", 30i64]]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.rows.len(), 1);
+        assert_eq!(merged.rows[0][0], Value::text("x"));
+        assert_eq!(merged.rows[0][1], Value::Int(120));
+    }
+
+    /// Deferred HAVING over an AVG aggregate sees the *finalized* average
+    /// (sum/count recombined and divided), not the shipped partial sum.
+    #[test]
+    fn grouped_merge_having_sees_final_avg() {
+        let schema = Schema::new(vec![
+            shareddb_common::Column::new("K", DataType::Text),
+            shareddb_common::Column::new("AVG_V", DataType::Float),
+            shareddb_common::Column::new("CNT", DataType::Int),
+        ]);
+        let part = |rows| ResultSet {
+            schema: schema.clone(),
+            rows,
+        };
+        // x: (30 + 50) / (3 + 1) = 20; y: (8) / (2) = 4. HAVING AVG > 10
+        // must keep x and drop y; filtering on the raw partial sums (30, 50,
+        // 8) would keep both.
+        let merged = merge_results(
+            &MergeSpec::Grouped {
+                group_width: 1,
+                functions: vec![AggregateFunction::Avg],
+                avg_partials: true,
+                having: Some(Expr::col(1).gt(Expr::lit(10.0f64))),
+            },
+            vec![
+                part(vec![tuple!["x", 30.0f64, 3i64], tuple!["y", 8.0f64, 2i64]]),
+                part(vec![tuple!["x", 50.0f64, 1i64]]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.rows.len(), 1);
+        assert_eq!(merged.rows[0][0], Value::text("x"));
+        assert_eq!(merged.rows[0][1], Value::Float(20.0));
+    }
+
+    /// `MergeSpec::bind` substitutes statement parameters into the deferred
+    /// HAVING and leaves parameterless specs untouched.
+    #[test]
+    fn merge_spec_binds_having_parameters() {
+        let spec = MergeSpec::Grouped {
+            group_width: 1,
+            functions: vec![AggregateFunction::Sum],
+            avg_partials: false,
+            having: Some(Expr::col(1).gt(Expr::param(0))),
+        };
+        let bound = spec.bind(&[Value::Int(100)]).unwrap();
+        let MergeSpec::Grouped {
+            having: Some(having),
+            ..
+        } = &bound
+        else {
+            panic!("unexpected {bound:?}");
+        };
+        assert!(having.is_bound());
+        // Missing parameters surface as an error at submit time.
+        assert!(spec.bind(&[]).is_err());
+        assert_eq!(MergeSpec::Concat.bind(&[]).unwrap(), MergeSpec::Concat);
+    }
+
     /// An AVG group empty in every partition merges to NULL.
     #[test]
     fn avg_partials_all_null_merge_to_null() {
@@ -380,6 +516,7 @@ mod tests {
                 group_width: 1,
                 functions: vec![AggregateFunction::Avg],
                 avg_partials: true,
+                having: None,
             },
             vec![
                 part(vec![tuple!["x", Value::Null, 0i64]]),

@@ -90,6 +90,8 @@ pub struct ActiveQuery {
     pub compute: Vec<ComputedColumn>,
     /// Optional row limit applied during routing.
     pub limit: Option<usize>,
+    /// Re-deduplicate the projected output rows (SELECT DISTINCT).
+    pub distinct: bool,
     /// Bound activations per operator.
     pub activations: Vec<(OperatorId, Activation)>,
 }
@@ -163,6 +165,7 @@ pub fn bind_query(
         projection,
         compute,
         limit,
+        distinct,
     } = &spec.kind
     else {
         return Err(Error::Internal(format!(
@@ -214,14 +217,26 @@ pub fn bind_query(
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    // Partial-aggregation executions must deliver the operator's raw rows —
+    // including the dynamic hidden AVG count columns, which the root schema
+    // (and therefore an identity projection over it) does not know about —
+    // to the cluster merge. The fanout walker only scatters statements whose
+    // projection is empty or the identity, so dropping it here is
+    // semantics-preserving.
+    let projection = if opts.partial_aggregation {
+        Vec::new()
+    } else {
+        projection.clone()
+    };
     Ok(ActiveQuery {
         query_id,
         statement_index,
         ticket,
         root: *root,
-        projection: projection.clone(),
+        projection,
         compute,
         limit: *limit,
+        distinct: *distinct,
         activations,
     })
 }

@@ -751,8 +751,13 @@ fn finalize_query_result(
     query: &ActiveQuery,
     mut rows: Vec<Tuple>,
 ) -> Result<QueryOutcome> {
-    if let Some(limit) = query.limit {
-        rows.truncate(limit);
+    // DISTINCT statements dedup the *projected* rows, and their limit counts
+    // deduplicated rows — so the truncate-early fast path only runs for
+    // non-distinct statements.
+    if !query.distinct {
+        if let Some(limit) = query.limit {
+            rows.truncate(limit);
+        }
     }
     // Computed output columns (expression projections) replace the plain
     // index projection: each result row is the evaluation of the bound
@@ -777,7 +782,10 @@ fn finalize_query_result(
                 ))
             })
             .collect::<Result<Vec<Tuple>>>()?;
-        return Ok(QueryOutcome::Rows(ResultSet { schema, rows }));
+        return Ok(QueryOutcome::Rows(ResultSet {
+            schema,
+            rows: finish_output_rows(query, rows),
+        }));
     }
     let root_schema = inner.plan.node(query.root).schema.clone();
     let schema = if query.projection.is_empty() {
@@ -791,7 +799,23 @@ fn finalize_query_result(
             .map(|r| r.project(&query.projection))
             .collect();
     }
-    Ok(QueryOutcome::Rows(ResultSet { schema, rows }))
+    Ok(QueryOutcome::Rows(ResultSet {
+        schema,
+        rows: finish_output_rows(query, rows),
+    }))
+}
+
+/// Applies the statement's post-projection DISTINCT (keeping the first
+/// occurrence, which preserves any ORDER BY) and the deferred limit.
+fn finish_output_rows(query: &ActiveQuery, mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    if query.distinct {
+        let mut seen = std::collections::HashSet::with_capacity(rows.len());
+        rows.retain(|row| seen.insert(row.clone()));
+        if let Some(limit) = query.limit {
+            rows.truncate(limit);
+        }
+    }
+    rows
 }
 
 fn complete(inner: &Arc<EngineInner>, ticket: TicketId, outcome: Result<QueryOutcome>) {

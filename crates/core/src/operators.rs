@@ -59,6 +59,12 @@ pub fn execute_operator(
             let probe = inputs.next().unwrap_or_default();
             execute_hash_join(activations, build, probe, *build_key, *probe_key)
         }
+        OperatorSpec::NestedLoopJoin => {
+            let mut inputs = inputs.into_iter();
+            let build = inputs.next().unwrap_or_default();
+            let probe = inputs.next().unwrap_or_default();
+            execute_nested_loop_join(activations, build, probe)
+        }
         OperatorSpec::IndexNlJoin {
             table,
             outer_key,
@@ -188,6 +194,40 @@ fn execute_hash_join(
         if let Some(matches) = table.get(key) {
             for build_tuple in matches {
                 if let Some(joined) = build_tuple.join(&restricted) {
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Nested-loop join (cross product)
+// ---------------------------------------------------------------------------
+
+/// Tuples per block of the block-nested loop. Each outer block is combined
+/// with the whole inner side before the next outer block starts, keeping the
+/// working set of the quadratic pass cache-sized while still performing it
+/// once for *all* statements of the batch.
+const NL_BLOCK: usize = 256;
+
+fn execute_nested_loop_join(
+    activations: &[(QueryId, Activation)],
+    build: Vec<QTuple>,
+    probe: Vec<QTuple>,
+) -> Result<Vec<QTuple>> {
+    let active = active_set(activations);
+    // Restrict both sides once; the pairing below only has to intersect the
+    // two per-tuple query sets (the shared-join rule of Section 3.3 with the
+    // key predicate dropped: `build.query_id ∩ probe.query_id ≠ ∅`).
+    let build: Vec<QTuple> = build.iter().filter_map(|t| restrict(t, &active)).collect();
+    let probe: Vec<QTuple> = probe.iter().filter_map(|t| restrict(t, &active)).collect();
+    let mut out = Vec::new();
+    for build_block in build.chunks(NL_BLOCK) {
+        for probe_tuple in &probe {
+            for build_tuple in build_block {
+                if let Some(joined) = build_tuple.join(probe_tuple) {
                     out.push(joined);
                 }
             }
@@ -386,9 +426,14 @@ fn execute_group_by(
                 values.extend(accumulators.iter().map(|a| a.finish()));
             }
             let row = Tuple::new(values);
-            if let Some(Some(pred)) = having.get(&q) {
-                if !pred.eval_predicate(&row)? {
-                    continue;
+            // HAVING evaluates over *final* aggregate values; a query in
+            // partial mode ships partial groups, so its predicate is applied
+            // after recombination (the cluster merge), not here.
+            if !partial {
+                if let Some(Some(pred)) = having.get(&q) {
+                    if !pred.eval_predicate(&row)? {
+                        continue;
+                    }
                 }
             }
             out.push(QTuple::new(row, QuerySet::singleton(q)));
@@ -557,6 +602,97 @@ mod tests {
         )
         .unwrap();
         assert!(out.is_empty());
+    }
+
+    /// The cross-product operator combines every pair whose query sets
+    /// intersect — and only those pairs (the shared-join rule without the
+    /// key predicate).
+    #[test]
+    fn nested_loop_join_is_a_query_set_aware_cross_product() {
+        let catalog = Catalog::new();
+        let build = vec![
+            qt(tuple![1i64, "r1"], &[1]),
+            qt(tuple![2i64, "r2"], &[1, 2]),
+        ];
+        let probe = vec![qt(tuple![10i64], &[2]), qt(tuple![20i64], &[1, 2])];
+        let out = execute_operator(
+            &OperatorSpec::NestedLoopJoin,
+            &participate(&[1, 2]),
+            vec![build, probe],
+            &ctx(&catalog),
+        )
+        .unwrap();
+        // r1×10 has empty intersection; the other three pairs survive.
+        assert_eq!(out.len(), 3);
+        for t in &out {
+            assert_eq!(t.tuple.len(), 3);
+        }
+        assert!(out
+            .iter()
+            .any(|t| t.tuple[1] == Value::text("r1") && t.queries == [1u32].into_iter().collect()));
+        assert!(out.iter().any(|t| t.tuple[0] == Value::Int(2)
+            && t.tuple[2] == Value::Int(10)
+            && t.queries == [2u32].into_iter().collect()));
+    }
+
+    /// Blocking must not change the result: a build side wider than one
+    /// block produces exactly |build| × |probe| pairs.
+    #[test]
+    fn nested_loop_join_blocks_cover_everything() {
+        let catalog = Catalog::new();
+        let n = NL_BLOCK + 17;
+        let build: Vec<QTuple> = (0..n as i64).map(|i| qt(tuple![i], &[1])).collect();
+        let probe = vec![qt(tuple![100i64], &[1]), qt(tuple![200i64], &[1])];
+        let out = execute_operator(
+            &OperatorSpec::NestedLoopJoin,
+            &participate(&[1]),
+            vec![build, probe],
+            &ctx(&catalog),
+        )
+        .unwrap();
+        assert_eq!(out.len(), n * 2);
+    }
+
+    /// Partial mode defers HAVING to the merge step: partial groups must not
+    /// be filtered on their (incomplete) aggregate values.
+    #[test]
+    fn group_by_partial_mode_defers_having() {
+        let catalog = Catalog::new();
+        let input = vec![
+            qt(tuple!["CH", 100i64], &[1]),
+            qt(tuple!["DE", 300i64], &[1]),
+        ];
+        let spec = OperatorSpec::GroupBy {
+            group_columns: vec![0],
+            aggregates: vec![AggregateSpec {
+                function: AggregateFunction::Sum,
+                column: 1,
+                output_name: "S".into(),
+            }],
+        };
+        // HAVING SUM > 200 would drop CH locally; in partial mode another
+        // partition may complete the group, so both rows must ship.
+        let having = Some(Expr::col(1).gt(Expr::lit(200i64)));
+        let partial = vec![(
+            QueryId(1),
+            Activation::Having {
+                predicate: having.clone(),
+                partial: true,
+            },
+        )];
+        let out = execute_operator(&spec, &partial, vec![input.clone()], &ctx(&catalog)).unwrap();
+        assert_eq!(out.len(), 2, "partial mode filtered partial groups");
+        // The same activation without partial mode filters as usual.
+        let final_mode = vec![(
+            QueryId(1),
+            Activation::Having {
+                predicate: having,
+                partial: false,
+            },
+        )];
+        let out = execute_operator(&spec, &final_mode, vec![input], &ctx(&catalog)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple[0], Value::text("DE"));
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub enum OperatorSpec {
         /// Join column in the probe input's schema.
         probe_key: usize,
     },
+    /// Shared nested-loop join (cross product) between input 0 and input 1.
+    /// There is no key predicate: every pair of tuples whose query sets
+    /// intersect combines. Residual equality predicates (cycle-closing join
+    /// edges) are applied by a shared filter above. Execution is a batched
+    /// block-nested loop, so the quadratic pass is amortised across all
+    /// statements of the batch (the inner block is scanned once per outer
+    /// block, not once per outer tuple).
+    NestedLoopJoin,
     /// Shared index nested-loops join: for every tuple of input 0 (outer), the
     /// inner base table is probed through its index on `inner_column`.
     IndexNlJoin {
@@ -103,6 +111,7 @@ impl OperatorSpec {
             OperatorSpec::IndexProbe { table } => format!("Probe({table})"),
             OperatorSpec::Filter => "Filter".to_string(),
             OperatorSpec::HashJoin { .. } => "HashJoin".to_string(),
+            OperatorSpec::NestedLoopJoin => "NestedLoopJoin".to_string(),
             OperatorSpec::IndexNlJoin { table, .. } => format!("IndexNlJoin({table})"),
             OperatorSpec::Sort { .. } => "Sort".to_string(),
             OperatorSpec::TopN { .. } => "TopN".to_string(),
@@ -323,6 +332,15 @@ impl<'a> PlanBuilder<'a> {
             vec![build, probe],
             schema,
         ))
+    }
+
+    /// Adds a shared nested-loop join (cross product) of two inputs. The
+    /// output schema is the concatenation `build × probe`.
+    pub fn nested_loop_join(&mut self, build: OperatorId, probe: OperatorId) -> Result<OperatorId> {
+        let build_schema = self.input_schema(build)?;
+        let probe_schema = self.input_schema(probe)?;
+        let schema = build_schema.join(&probe_schema);
+        Ok(self.push(OperatorSpec::NestedLoopJoin, vec![build, probe], schema))
     }
 
     /// Adds a shared index nested-loops join probing `table` on
@@ -567,6 +585,12 @@ pub enum StatementKind {
         compute: Vec<ComputedColumn>,
         /// Optional row limit applied when routing results.
         limit: Option<usize>,
+        /// Re-deduplicate the *projected* output rows when routing results
+        /// (SELECT DISTINCT). The shared Distinct operator eliminates
+        /// duplicates over the full root tuple; a narrowing projection can
+        /// reintroduce them, so distinct statements dedup again after
+        /// projecting — and before the limit.
+        distinct: bool,
     },
     /// An update: applied by the storage operator owning `table`.
     Update {
@@ -621,6 +645,7 @@ impl StatementSpec {
                 projection: Vec::new(),
                 compute: Vec::new(),
                 limit: None,
+                distinct: false,
             },
             activations: Vec::new(),
         }
@@ -669,6 +694,15 @@ impl StatementSpec {
     pub fn limit(mut self, n: usize) -> Self {
         if let StatementKind::Query { limit, .. } = &mut self.kind {
             *limit = Some(n);
+        }
+        self
+    }
+
+    /// Marks the output as SELECT DISTINCT: the projected result rows are
+    /// re-deduplicated when routed (queries only).
+    pub fn distinct(mut self) -> Self {
+        if let StatementKind::Query { distinct, .. } = &mut self.kind {
+            *distinct = true;
         }
         self
     }

@@ -8,6 +8,14 @@
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::Expr;
 
+/// Qualifier marking a placeholder reference to an aggregate output inside a
+/// scalar expression (HAVING, ORDER BY). The placeholder's column *name* is
+/// the decimal index into [`SelectStatement::agg_refs`]; the compiler maps it
+/// to the matching output column of the shared group-by operator. `$` cannot
+/// appear in a real SQL identifier, so the marker can never collide with a
+/// table alias.
+pub const AGG_REF_QUALIFIER: &str = "$AGG";
+
 /// A table reference in a FROM clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableRef {
@@ -69,6 +77,11 @@ pub struct SelectStatement {
     pub order_by: Vec<OrderByItem>,
     /// LIMIT row count.
     pub limit: Option<usize>,
+    /// Aggregate calls referenced *inside expressions* (HAVING, ORDER BY),
+    /// in placeholder order: `HAVING SUM(QTY) > ?` parses the aggregate into
+    /// this list and leaves an [`AGG_REF_QUALIFIER`] placeholder column in
+    /// the expression tree.
+    pub agg_refs: Vec<(AggregateFunction, Expr)>,
 }
 
 /// Any parsed statement.

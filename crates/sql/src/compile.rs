@@ -10,8 +10,15 @@
 //!   distinct nodes) activated with each statement's pushed-down predicate,
 //! * one shared **hash join** per `(inputs, join columns)` pair — statements
 //!   joining the same tables on the same keys reuse the same operator,
+//! * general join **graphs**: the equi-join edges are clustered into a
+//!   spanning tree of shared hash joins; cycle-closing edges become residual
+//!   equality filters over the join output, and FROM pieces with no join
+//!   edge at all connect through a shared batched **nested-loop join**
+//!   (cross product),
 //! * one shared **filter**, **group-by**, **distinct** and **sort** node per
-//!   distinct configuration.
+//!   distinct configuration. HAVING (and ORDER BY) may reference aggregate
+//!   outputs; aggregates not in the SELECT list are computed as hidden
+//!   columns of the shared group-by.
 //!
 //! The module also provides [`canonicalize`] / [`SqlTemplate`]: token-level
 //! auto-parameterisation that rewrites literals to `?` so that an ad-hoc SQL
@@ -19,7 +26,7 @@
 //! always-on plan (queries whose type is not part of the compiled plan are
 //! rejected, exactly as in the paper's prepared-workload model).
 
-use crate::ast::{SelectItem, SelectStatement, Statement};
+use crate::ast::{SelectItem, SelectStatement, Statement, AGG_REF_QUALIFIER};
 use crate::logical::LogicalPlan;
 use crate::parser::parse;
 use crate::token::{tokenize, Token};
@@ -55,6 +62,8 @@ pub struct SqlCompiler<'a> {
     scans: HashMap<(String, usize), OperatorId>,
     /// (build node, probe node, build column, probe column) → shared join.
     joins: HashMap<(OperatorId, OperatorId, usize, usize), OperatorId>,
+    /// (build node, probe node) → shared nested-loop join (cross product).
+    cross_joins: HashMap<(OperatorId, OperatorId), OperatorId>,
     /// input node → shared residual-filter node.
     filters: HashMap<OperatorId, OperatorId>,
     /// (input node, grouping + aggregate shape) → shared group-by node.
@@ -74,6 +83,7 @@ impl<'a> SqlCompiler<'a> {
             builder: PlanBuilder::new(catalog),
             scans: HashMap::new(),
             joins: HashMap::new(),
+            cross_joins: HashMap::new(),
             filters: HashMap::new(),
             group_bys: HashMap::new(),
             sorts: HashMap::new(),
@@ -149,7 +159,13 @@ impl<'a> SqlCompiler<'a> {
             });
         }
 
-        // Shared joins: merge clusters along the equi-join edges.
+        // Shared joins: merge clusters along the equi-join edges. The edges
+        // form a general join *graph*; merging builds a spanning tree of
+        // shared hash joins, and every cycle-closing edge (both endpoints
+        // already in one cluster) is kept as a residual equality filter over
+        // the join output — the Yannakakis-style treatment of cyclic queries:
+        // join along a tree, check the remaining edges afterwards.
+        let mut residual_edges: Vec<Expr> = Vec::new();
         for edge in &lp.joins {
             let li = clusters
                 .iter()
@@ -160,10 +176,17 @@ impl<'a> SqlCompiler<'a> {
                 .position(|c| c.aliases.iter().any(|a| a == &edge.right_table))
                 .ok_or_else(|| Error::UnknownTable(edge.right_table.clone()))?;
             if li == ri {
-                return Err(Error::Unsupported(format!(
-                    "cyclic join predicate {} is not supported",
-                    edge.share_key()
-                )));
+                residual_edges.push(
+                    Expr::NamedColumn {
+                        qualifier: Some(edge.left_table.clone()),
+                        name: edge.left_column.clone(),
+                    }
+                    .eq(Expr::NamedColumn {
+                        qualifier: Some(edge.right_table.clone()),
+                        name: edge.right_column.clone(),
+                    }),
+                );
+                continue;
             }
             // Canonical build/probe order (smaller node id builds) so that the
             // same pair of inputs shares one join regardless of alias order.
@@ -216,10 +239,31 @@ impl<'a> SqlCompiler<'a> {
             build.joins.push(join_node);
             build.node = join_node;
         }
-        if clusters.len() != 1 {
-            return Err(Error::Unsupported(
-                "queries must join all FROM tables (cross products are not supported)".into(),
-            ));
+        // Disconnected pieces (no equi-join edge between them) connect
+        // through shared nested-loop joins: the cross product runs once per
+        // batch for every statement that needs it (batched block-nested
+        // loop). Combining always pairs the two clusters with the smallest
+        // current root ids, so the same FROM list shares one operator chain
+        // regardless of statement order.
+        while clusters.len() > 1 {
+            clusters.sort_by_key(|c| c.node);
+            let probe = clusters.remove(1);
+            let build = &mut clusters[0];
+            let key = (build.node, probe.node);
+            let join_node = match self.cross_joins.get(&key) {
+                Some(&node) => node,
+                None => {
+                    let node = self.builder.nested_loop_join(build.node, probe.node)?;
+                    self.cross_joins.insert(key, node);
+                    node
+                }
+            };
+            build.res = build.res.join(&probe.res);
+            build.plan = build.plan.join(&probe.plan);
+            build.aliases.extend(probe.aliases);
+            build.joins.extend(probe.joins);
+            build.joins.push(join_node);
+            build.node = join_node;
         }
         let cluster = clusters.pop().expect("one cluster");
         for join in &cluster.joins {
@@ -229,8 +273,10 @@ impl<'a> SqlCompiler<'a> {
         let mut res_schema = cluster.res;
         let plan_schema = cluster.plan;
 
-        // Residual predicates that could not be pushed down → shared filter.
-        if !lp.residual.is_empty() {
+        // Residual predicates that could not be pushed down, plus the
+        // cycle-closing join edges, → shared filter over the join output.
+        let residuals: Vec<Expr> = lp.residual.iter().cloned().chain(residual_edges).collect();
+        if !residuals.is_empty() {
             let node = match self.filters.get(&root) {
                 Some(&node) => node,
                 None => {
@@ -239,14 +285,24 @@ impl<'a> SqlCompiler<'a> {
                     node
                 }
             };
-            let predicate = Expr::conjunction(lp.residual.clone()).resolve(&res_schema)?;
+            let predicate = Expr::conjunction(residuals).resolve(&res_schema)?;
             activations.push((node, ActivationTemplate::Filter { predicate }));
             root = node;
         }
 
         // Aggregation → shared group-by.
         let grouped = !lp.group_by.is_empty() || !lp.aggregates.is_empty();
+        if !grouped && (lp.having.is_some() || !lp.agg_refs.is_empty()) {
+            return Err(Error::Unsupported(
+                "HAVING and aggregate references require GROUP BY or aggregates in the SELECT \
+                 list"
+                    .into(),
+            ));
+        }
         let mut group_width = 0;
+        // Output column of the group-by for each aggregate placeholder of
+        // HAVING / ORDER BY, in placeholder order.
+        let mut agg_ref_cols: Vec<usize> = Vec::new();
         if grouped {
             let mut group_cols = Vec::new();
             for expr in &lp.group_by {
@@ -261,6 +317,24 @@ impl<'a> SqlCompiler<'a> {
                     other => resolve_column(other, &res_schema, "aggregate")?,
                 };
                 aggs.push((*function, col));
+            }
+            // Aggregates referenced inside HAVING / ORDER BY: reuse the
+            // matching SELECT aggregate, or append a *hidden* aggregate —
+            // computed by the shared group-by but dropped by the statement's
+            // projection.
+            for (function, argument) in &lp.agg_refs {
+                let col = match argument {
+                    Expr::Literal(_) if *function == AggregateFunction::Count => 0,
+                    other => resolve_column(other, &res_schema, "aggregate")?,
+                };
+                let idx = match aggs.iter().position(|a| *a == (*function, col)) {
+                    Some(i) => i,
+                    None => {
+                        aggs.push((*function, col));
+                        aggs.len() - 1
+                    }
+                };
+                agg_ref_cols.push(group_width + idx);
             }
             let shape = format!("{group_cols:?}/{aggs:?}");
             let key = (root, shape);
@@ -314,7 +388,7 @@ impl<'a> SqlCompiler<'a> {
             }
             res_schema = Schema::new(res_cols);
             let predicate = match &lp.having {
-                Some(expr) => Some(expr.resolve(&res_schema)?),
+                Some(expr) => Some(substitute_agg_refs(expr, &agg_ref_cols)?.resolve(&res_schema)?),
                 None => None,
             };
             activations.push((node, ActivationTemplate::Having { predicate }));
@@ -339,7 +413,8 @@ impl<'a> SqlCompiler<'a> {
         if !lp.order_by.is_empty() {
             let mut keys = Vec::new();
             for (expr, descending) in &lp.order_by {
-                let col = resolve_column(expr, &res_schema, "ORDER BY")?;
+                let expr = substitute_agg_refs(expr, &agg_ref_cols)?;
+                let col = resolve_column(&expr, &res_schema, "ORDER BY")?;
                 keys.push(if *descending {
                     SortKey::desc(col)
                 } else {
@@ -411,6 +486,17 @@ impl<'a> SqlCompiler<'a> {
         }
 
         let mut spec = StatementSpec::query(name, root);
+        if lp.distinct {
+            // The shared Distinct node already dedups full root tuples; the
+            // per-statement flag re-dedups at result routing only when this
+            // statement's output differs from the root tuple — a narrowing
+            // projection or computed columns can reintroduce duplicates, an
+            // identity projection or wildcard cannot.
+            let identity: Vec<usize> = (0..res_schema.len()).collect();
+            if !wildcard && (has_expression || projection != identity) {
+                spec = spec.distinct();
+            }
+        }
         if !wildcard {
             if has_expression {
                 spec = spec.compute(computed);
@@ -558,6 +644,63 @@ fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
         },
         Expr::Like { .. } | Expr::InList { .. } | Expr::Between { .. } => DataType::Bool,
     }
+}
+
+/// Replaces [`AGG_REF_QUALIFIER`] aggregate placeholders with the group-by
+/// output column each placeholder was mapped to. Other nodes pass through
+/// untouched (named columns are resolved later, against the group output
+/// schema).
+fn substitute_agg_refs(expr: &Expr, agg_ref_cols: &[usize]) -> Result<Expr> {
+    let sub = |e: &Expr| substitute_agg_refs(e, agg_ref_cols);
+    Ok(match expr {
+        Expr::NamedColumn {
+            qualifier: Some(q),
+            name,
+        } if q == AGG_REF_QUALIFIER => {
+            let idx: usize = name
+                .parse()
+                .map_err(|_| Error::Internal(format!("bad aggregate placeholder {name}")))?;
+            let col = agg_ref_cols.get(idx).copied().ok_or_else(|| {
+                Error::Internal(format!("aggregate placeholder {idx} out of range"))
+            })?;
+            Expr::Column(col)
+        }
+        Expr::Column(_) | Expr::NamedColumn { .. } | Expr::Literal(_) | Expr::Param(_) => {
+            expr.clone()
+        }
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(sub(left)?),
+            right: Box::new(sub(right)?),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(sub(expr)?),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(sub(expr)?),
+            pattern: Box::new(sub(pattern)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(sub(expr)?),
+            list: list.iter().map(sub).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high } => Expr::Between {
+            expr: Box::new(sub(expr)?),
+            low: Box::new(sub(low)?),
+            high: Box::new(sub(high)?),
+        },
+    })
 }
 
 /// Resolves an expression that must denote a single input column.
@@ -1014,6 +1157,263 @@ mod tests {
         let other =
             canonicalize("SELECT USERNAME, ACCOUNT * 3 FROM USERS WHERE USER_ID = 9").unwrap();
         assert!(bind_adhoc(&template, &other).is_err());
+    }
+
+    /// A cycle over two tables (two join edges between the same pair): the
+    /// first edge becomes the shared hash join, the second a residual
+    /// equality filter on the join output.
+    #[test]
+    fn cyclic_two_table_join_compiles_and_filters() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "doubleKeyed",
+                "SELECT * FROM USERS U, ORDERS O \
+                 WHERE U.USER_ID = O.USER_ID AND U.ACCOUNT = O.ORDER_ID",
+            )],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let census = plan.operator_census();
+        assert_eq!(census.get("HashJoin"), Some(&1), "plan:\n{plan}");
+        assert_eq!(census.get("Filter"), Some(&1), "plan:\n{plan}");
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine.execute_sync("doubleKeyed", &[]).unwrap();
+        // USER_ID match: order i belongs to user i % 50; ACCOUNT = 10 *
+        // USER_ID must equal ORDER_ID. ORDER_ID = 10 u and user u = 10u % 50
+        // → u ∈ {0} only (10u % 50 == u requires 9u ≡ 0 mod 50 → u = 0).
+        let rows = outcome.rows();
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(rows[0][0], Value::Int(0)); // USER_ID
+        assert_eq!(rows[0][4], Value::Int(0)); // ORDER_ID
+    }
+
+    /// A triangle cycle over three tables: two spanning-tree hash joins, one
+    /// residual edge. The result matches the hand-computed triangle set.
+    #[test]
+    fn triangle_join_cycle_matches_hand_computed_result() {
+        let catalog = Catalog::new();
+        for (name, cols) in [("R", ["A", "B"]), ("S", ["A", "C"]), ("T", ["B", "C"])] {
+            catalog
+                .create_table(
+                    TableDef::new(name)
+                        .column(cols[0], DataType::Int)
+                        .column(cols[1], DataType::Int),
+                )
+                .unwrap();
+        }
+        // R(a, b), S(a, c), T(b, c) over small domains; triangle iff all
+        // three equalities hold.
+        let r: Vec<_> = (0..4i64)
+            .flat_map(|a| (0..4i64).map(move |b| shareddb_common::tuple![a, b]))
+            .collect();
+        let s: Vec<_> = (0..4i64)
+            .map(|a| shareddb_common::tuple![a, (a + 1) % 4])
+            .collect();
+        let t: Vec<_> = (0..4i64)
+            .map(|b| shareddb_common::tuple![b, (b + 2) % 4])
+            .collect();
+        catalog.bulk_load("R", r).unwrap();
+        catalog.bulk_load("S", s).unwrap();
+        catalog.bulk_load("T", t).unwrap();
+        let catalog = Arc::new(catalog);
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "triangle",
+                "SELECT R.A, R.B FROM R, S, T \
+                 WHERE R.A = S.A AND R.B = T.B AND S.C = T.C",
+            )],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let census = plan.operator_census();
+        assert_eq!(census.get("HashJoin"), Some(&2), "plan:\n{plan}");
+        assert_eq!(census.get("Filter"), Some(&1), "plan:\n{plan}");
+        // Hand-computed: S(a, a+1), T(b, b+2); S.C = T.C ⇒ a+1 ≡ b+2 (mod 4)
+        // ⇒ b = (a + 3) % 4. R holds every (a, b) pair, so 4 triangles.
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine.execute_sync("triangle", &[]).unwrap();
+        let mut rows: Vec<(i64, i64)> = outcome
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(0, 3), (1, 0), (2, 1), (3, 2)]);
+    }
+
+    /// FROM pieces without a join edge connect through the shared
+    /// nested-loop join (cross product), and two statements over the same
+    /// FROM pair share one operator.
+    #[test]
+    fn cross_products_compile_and_share() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[
+                (
+                    "userTimesOrders",
+                    "SELECT * FROM USERS U, ORDERS O WHERE U.USER_ID = ?",
+                ),
+                (
+                    "pairCount",
+                    "SELECT COUNT(*) FROM USERS U, ORDERS O WHERE U.USER_ID = ? AND O.STATUS = 'OK'",
+                ),
+            ],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let census = plan.operator_census();
+        assert_eq!(census.get("NestedLoopJoin"), Some(&1), "plan:\n{plan}");
+        assert_eq!(census.get("HashJoin"), None);
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine
+            .execute_sync("userTimesOrders", &[Value::Int(3)])
+            .unwrap();
+        // 1 user × 150 orders.
+        assert_eq!(outcome.rows().len(), 150);
+        assert_eq!(outcome.rows()[0].len(), 8);
+        // 1 user × 50 OK orders (every third of 150).
+        let outcome = engine.execute_sync("pairCount", &[Value::Int(3)]).unwrap();
+        assert_eq!(outcome.rows()[0][0], Value::Int(50));
+    }
+
+    /// HAVING referencing a SELECT-list aggregate binds to the group-by
+    /// output column; parameters inside HAVING bind per execution.
+    #[test]
+    fn having_over_select_aggregate_executes() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[(
+                "bigCountries",
+                "SELECT COUNTRY, SUM(ACCOUNT) FROM USERS GROUP BY COUNTRY \
+                 HAVING SUM(ACCOUNT) > ?",
+            )],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        // CH: 10·(0+2+..+48) = 6000; DE: 10·(1+3+..+49) = 6250.
+        let outcome = engine
+            .execute_sync("bigCountries", &[Value::Int(6100)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0][0], Value::text("DE"));
+        assert_eq!(outcome.rows()[0][1], Value::Int(6250));
+        let outcome = engine
+            .execute_sync("bigCountries", &[Value::Int(0)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 2);
+    }
+
+    /// HAVING (and ORDER BY) may reference aggregates that are NOT in the
+    /// SELECT list: they are computed as hidden group-by columns and dropped
+    /// by the projection.
+    #[test]
+    fn having_and_order_by_over_hidden_aggregates() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[
+                (
+                    "richCountryNames",
+                    "SELECT COUNTRY FROM USERS GROUP BY COUNTRY HAVING SUM(ACCOUNT) > 6100",
+                ),
+                (
+                    "countriesByWealth",
+                    "SELECT COUNTRY FROM USERS GROUP BY COUNTRY ORDER BY SUM(ACCOUNT) DESC",
+                ),
+            ],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine.execute_sync("richCountryNames", &[]).unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+        assert_eq!(outcome.rows()[0].len(), 1, "hidden aggregate leaked");
+        assert_eq!(outcome.rows()[0][0], Value::text("DE"));
+        let outcome = engine.execute_sync("countriesByWealth", &[]).unwrap();
+        let names: Vec<&Value> = outcome.rows().iter().map(|r| &r[0]).collect();
+        assert_eq!(names, vec![&Value::text("DE"), &Value::text("CH")]);
+        assert_eq!(outcome.rows()[0].len(), 1);
+    }
+
+    /// A HAVING variant shares the group-by operator with the plain
+    /// aggregation of the same shape (HAVING is an activation, not a new
+    /// operator), and COUNT(*) in HAVING reuses the SELECT COUNT(*).
+    #[test]
+    fn having_variants_share_the_group_by() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(
+            &catalog,
+            &[
+                (
+                    "countByCountry",
+                    "SELECT COUNTRY, COUNT(*) FROM USERS GROUP BY COUNTRY",
+                ),
+                (
+                    "popularCountries",
+                    "SELECT COUNTRY, COUNT(*) FROM USERS GROUP BY COUNTRY HAVING COUNT(*) > ?",
+                ),
+            ],
+        )
+        .unwrap();
+        registry.validate(&plan).unwrap();
+        let census = plan.operator_census();
+        assert_eq!(census.get("GroupBy"), Some(&1), "plan:\n{plan}");
+        let engine = Engine::start(catalog, plan, registry, EngineConfig::default()).unwrap();
+        let outcome = engine
+            .execute_sync("popularCountries", &[Value::Int(24)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 2); // both countries hold 25 users
+        let outcome = engine
+            .execute_sync("popularCountries", &[Value::Int(25)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 0);
+    }
+
+    /// Aggregates in WHERE and duplicate FROM aliases are rejected with
+    /// clear messages instead of confusing downstream errors.
+    #[test]
+    fn aggregates_in_where_and_duplicate_aliases_are_rejected() {
+        let catalog = catalog();
+        let mut compiler = SqlCompiler::new(&catalog);
+        let err = compiler
+            .add_statement("bad", "SELECT * FROM USERS WHERE SUM(ACCOUNT) > 1")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("HAVING"),
+            "unexpected message: {err}"
+        );
+        let err = compiler
+            .add_statement(
+                "bad2",
+                "SELECT * FROM USERS U, ORDERS U WHERE U.USER_ID = 1",
+            )
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate table alias"),
+            "unexpected message: {err}"
+        );
+        // Same base table twice without aliases is the same mistake.
+        let err = compiler
+            .add_statement("bad3", "SELECT * FROM USERS, USERS")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate table alias"),
+            "unexpected message: {err}"
+        );
+        // HAVING without any grouping is rejected, not silently dropped.
+        let err = compiler
+            .add_statement("bad4", "SELECT USERNAME FROM USERS HAVING USERNAME = 'x'")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("GROUP BY"),
+            "unexpected message: {err}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! predicates, and the query-level operations (group-by, order-by, limit,
 //! distinct).
 
-use crate::ast::{SelectItem, SelectStatement, Statement};
+use crate::ast::{SelectItem, SelectStatement, Statement, AGG_REF_QUALIFIER};
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::{BinaryOp, Error, Expr, Result};
 use std::collections::BTreeMap;
@@ -64,6 +64,10 @@ pub struct LogicalPlan {
     pub aggregates: Vec<(AggregateFunction, Expr)>,
     /// HAVING predicate.
     pub having: Option<Expr>,
+    /// Aggregate calls referenced inside HAVING / ORDER BY expressions
+    /// ([`crate::ast::AGG_REF_QUALIFIER`] placeholders), in placeholder
+    /// order.
+    pub agg_refs: Vec<(AggregateFunction, Expr)>,
     /// ORDER BY keys (expression, descending).
     pub order_by: Vec<(Expr, bool)>,
     /// LIMIT.
@@ -101,6 +105,7 @@ impl LogicalPlan {
             limit: select.limit,
             group_by: select.group_by.clone(),
             having: select.having.clone(),
+            agg_refs: select.agg_refs.clone(),
             order_by: select
                 .order_by
                 .iter()
@@ -109,8 +114,19 @@ impl LogicalPlan {
             ..Default::default()
         };
         for table in &select.from {
-            plan.tables
-                .insert(table.effective_name().to_string(), table.name.clone());
+            if plan
+                .tables
+                .insert(table.effective_name().to_string(), table.name.clone())
+                .is_some()
+            {
+                // The parser rejects this too; the check here covers
+                // hand-built ASTs, where a silent overwrite would misattribute
+                // every predicate of the shadowed table.
+                return Err(Error::Parse(format!(
+                    "duplicate table alias {} in FROM: each table needs a distinct alias",
+                    table.effective_name()
+                )));
+            }
             plan.table_predicates
                 .insert(table.effective_name().to_string(), Vec::new());
         }
@@ -122,6 +138,20 @@ impl LogicalPlan {
 
         // Classify the WHERE conjuncts.
         if let Some(where_clause) = &select.where_clause {
+            let mut has_aggregate = false;
+            where_clause.visit(&mut |e| {
+                if let Expr::NamedColumn {
+                    qualifier: Some(q), ..
+                } = e
+                {
+                    has_aggregate |= q == AGG_REF_QUALIFIER;
+                }
+            });
+            if has_aggregate {
+                return Err(Error::Unsupported(
+                    "aggregates are not allowed in WHERE; filter groups with HAVING".into(),
+                ));
+            }
             for conjunct in where_clause.split_conjuncts() {
                 match classify(conjunct, &plan) {
                     Classification::Join(edge) => plan.joins.push(edge.canonical()),
@@ -317,6 +347,32 @@ mod tests {
         assert!(plan.summary().has_group_by);
         assert_eq!(plan.aggregates.len(), 1);
         assert_eq!(plan.aggregates[0].0, AggregateFunction::Sum);
+    }
+
+    #[test]
+    fn aggregates_in_where_are_rejected() {
+        let Statement::Select(s) = parse("SELECT * FROM T WHERE SUM(A) > 1").unwrap() else {
+            panic!()
+        };
+        let err = LogicalPlan::from_select(&s).unwrap_err();
+        assert!(err.to_string().contains("HAVING"), "{err}");
+    }
+
+    /// Cycle-closing edges classify as join edges like any other; the
+    /// compiler decides which span the tree and which turn residual.
+    #[test]
+    fn cyclic_join_graphs_keep_all_edges() {
+        let plan = plan_of("SELECT * FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND T.B = R.B");
+        assert_eq!(plan.joins.len(), 3);
+        assert!(plan.residual.is_empty());
+    }
+
+    #[test]
+    fn having_aggregate_refs_are_carried() {
+        let plan = plan_of("SELECT COUNTRY FROM USERS GROUP BY COUNTRY HAVING COUNT(*) > 3");
+        assert_eq!(plan.agg_refs.len(), 1);
+        assert_eq!(plan.agg_refs[0].0, AggregateFunction::Count);
+        assert!(plan.having.is_some());
     }
 
     #[test]

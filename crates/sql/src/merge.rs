@@ -52,6 +52,14 @@ pub struct GlobalPlanSketch {
     pub sorting_queries: Vec<String>,
     /// Query types that group / aggregate (these add shared Γ operators).
     pub grouping_queries: Vec<String>,
+    /// Query types whose join graph is cyclic: the compiler spans a tree of
+    /// shared hash joins and applies the remaining edges as residual
+    /// equality filters.
+    pub cyclic_queries: Vec<String>,
+    /// Query types whose FROM list has pieces with no join edge between
+    /// them: those connect through shared nested-loop joins (cross
+    /// products).
+    pub cross_product_queries: Vec<String>,
 }
 
 impl GlobalPlanSketch {
@@ -61,8 +69,17 @@ impl GlobalPlanSketch {
         let mut joins: BTreeMap<String, SharedJoinGroup> = BTreeMap::new();
         let mut sorting = Vec::new();
         let mut grouping = Vec::new();
+        let mut cyclic = Vec::new();
+        let mut cross = Vec::new();
 
         for (name, plan) in workload {
+            let shape = join_graph_shape(plan);
+            if shape.cyclic {
+                cyclic.push(name.clone());
+            }
+            if shape.disconnected {
+                cross.push(name.clone());
+            }
             for (alias, table) in &plan.tables {
                 let entry = scans
                     .entry(table.clone())
@@ -129,6 +146,8 @@ impl GlobalPlanSketch {
             joins: joins.into_values().collect(),
             sorting_queries: sorting,
             grouping_queries: grouping,
+            cyclic_queries: cyclic,
+            cross_product_queries: cross,
         }
     }
 
@@ -171,10 +190,54 @@ impl fmt::Display for GlobalPlanSketch {
         }
         writeln!(
             f,
-            "sorting query types: {} / grouping query types: {}",
+            "sorting query types: {} / grouping query types: {} / cyclic: {} / cross products: {}",
             self.sorting_queries.len(),
-            self.grouping_queries.len()
+            self.grouping_queries.len(),
+            self.cyclic_queries.len(),
+            self.cross_product_queries.len()
         )
+    }
+}
+
+/// The shape of one query's join graph over its FROM tables.
+struct JoinGraphShape {
+    /// At least one edge closes a cycle (more edges than a spanning tree
+    /// within some connected component).
+    cyclic: bool,
+    /// The FROM tables fall into more than one connected component.
+    disconnected: bool,
+}
+
+/// Union-find classification of a logical plan's join graph.
+fn join_graph_shape(plan: &LogicalPlan) -> JoinGraphShape {
+    let names: Vec<&String> = plan.tables.keys().collect();
+    let index = |name: &str| names.iter().position(|n| n.as_str() == name);
+    let mut parent: Vec<usize> = (0..names.len()).collect();
+    fn root(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut cyclic = false;
+    for edge in &plan.joins {
+        let (Some(l), Some(r)) = (index(&edge.left_table), index(&edge.right_table)) else {
+            continue;
+        };
+        let (lr, rr) = (root(&mut parent, l), root(&mut parent, r));
+        if lr == rr {
+            cyclic = true;
+        } else {
+            parent[lr] = rr;
+        }
+    }
+    let mut components: Vec<usize> = (0..names.len()).map(|i| root(&mut parent, i)).collect();
+    components.sort_unstable();
+    components.dedup();
+    JoinGraphShape {
+        cyclic,
+        disconnected: components.len() > 1,
     }
 }
 
@@ -298,6 +361,23 @@ mod tests {
         assert_eq!(sketch.joins.len(), 2);
         assert_eq!(sketch.joins_saved(), 0);
         assert!(sketch.shared_joins().is_empty());
+    }
+
+    #[test]
+    fn cyclic_and_cross_product_shapes_are_classified() {
+        let sketch = GlobalPlanSketch::merge(&workload(&[
+            (
+                "triangle",
+                "SELECT * FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND T.B = R.B",
+            ),
+            ("cross", "SELECT * FROM R, S WHERE R.A = 1"),
+            ("tree", "SELECT * FROM R, S WHERE R.A = S.A"),
+        ]));
+        assert_eq!(sketch.cyclic_queries, vec!["triangle".to_string()]);
+        assert_eq!(sketch.cross_product_queries, vec!["cross".to_string()]);
+        let rendered = sketch.to_string();
+        assert!(rendered.contains("cyclic: 1"), "{rendered}");
+        assert!(rendered.contains("cross products: 1"), "{rendered}");
     }
 
     #[test]

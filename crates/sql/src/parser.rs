@@ -5,7 +5,9 @@
 //! SELECT with joins in the FROM/WHERE style, GROUP BY/HAVING, ORDER BY,
 //! LIMIT and DISTINCT, plus INSERT / UPDATE / DELETE.
 
-use crate::ast::{OrderByItem, SelectItem, SelectStatement, Statement, TableRef};
+use crate::ast::{
+    OrderByItem, SelectItem, SelectStatement, Statement, TableRef, AGG_REF_QUALIFIER,
+};
 use crate::token::{tokenize, Token};
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::{BinaryOp, Error, Expr, Result, UnaryOp, Value};
@@ -17,6 +19,7 @@ pub fn parse(sql: &str) -> Result<Statement> {
         tokens,
         pos: 0,
         params: 0,
+        agg_refs: Vec::new(),
     };
     let statement = parser.statement()?;
     if parser.pos != parser.tokens.len() {
@@ -24,6 +27,15 @@ pub fn parse(sql: &str) -> Result<Statement> {
             "trailing tokens after statement: {:?}",
             &parser.tokens[parser.pos..]
         )));
+    }
+    // select() drains the aggregate references it owns; anything left came
+    // from an INSERT / UPDATE / DELETE expression, where aggregates have no
+    // meaning — reject them here instead of leaking a placeholder column
+    // into resolution.
+    if !parser.agg_refs.is_empty() {
+        return Err(Error::Parse(
+            "aggregate calls are only allowed in SELECT statements".into(),
+        ));
     }
     Ok(statement)
 }
@@ -33,6 +45,9 @@ struct Parser {
     pos: usize,
     /// Number of `?` parameters seen so far (assigns positional indices).
     params: usize,
+    /// Aggregate calls seen inside scalar expressions (HAVING / ORDER BY),
+    /// in placeholder order; moved into the SELECT statement when it closes.
+    agg_refs: Vec<(AggregateFunction, Expr)>,
 }
 
 impl Parser {
@@ -123,7 +138,18 @@ impl Parser {
                 Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.identifier()?),
                 _ => None,
             };
-            stmt.from.push(TableRef { name, alias });
+            let table = TableRef { name, alias };
+            if stmt
+                .from
+                .iter()
+                .any(|t| t.effective_name() == table.effective_name())
+            {
+                return Err(Error::Parse(format!(
+                    "duplicate table alias {} in FROM: each table needs a distinct alias",
+                    table.effective_name()
+                )));
+            }
+            stmt.from.push(table);
             if !matches!(self.peek(), Some(Token::Comma)) {
                 break;
             }
@@ -177,6 +203,7 @@ impl Parser {
                 }
             }
         }
+        stmt.agg_refs = std::mem::take(&mut self.agg_refs);
         Ok(stmt)
     }
 
@@ -456,24 +483,29 @@ impl Parser {
                 if name.eq_ignore_ascii_case("NULL") {
                     return Ok(Expr::Literal(Value::Null));
                 }
-                // Aggregate reference inside HAVING / ORDER BY, e.g.
-                // `HAVING SUM(QTY) > 1`: parsed as a named reference to the
-                // aggregate's output column (resolution happens against the
-                // group-by output schema).
-                if AggregateFunction::from_name(&name).is_some()
-                    && matches!(self.peek(), Some(Token::LParen))
-                {
-                    self.pos += 1; // consume '('
-                    if matches!(self.peek(), Some(Token::Star)) {
-                        self.pos += 1;
-                    } else {
-                        let _ = self.expr()?;
+                // Aggregate call inside HAVING / ORDER BY, e.g.
+                // `HAVING SUM(QTY) > 1`: the (function, argument) pair is
+                // recorded on the statement and the expression keeps a
+                // placeholder column; the compiler maps it to the matching
+                // output column of the shared group-by operator (appending a
+                // hidden aggregate when the SELECT list does not compute it).
+                if let Some(function) = AggregateFunction::from_name(&name) {
+                    if matches!(self.peek(), Some(Token::LParen)) {
+                        self.pos += 1; // consume '('
+                        let argument = if matches!(self.peek(), Some(Token::Star)) {
+                            self.pos += 1;
+                            Expr::lit(1i64)
+                        } else {
+                            self.expr()?
+                        };
+                        self.expect(&Token::RParen)?;
+                        let idx = self.agg_refs.len();
+                        self.agg_refs.push((function, argument));
+                        return Ok(Expr::NamedColumn {
+                            qualifier: Some(AGG_REF_QUALIFIER.to_string()),
+                            name: idx.to_string(),
+                        });
                     }
-                    self.expect(&Token::RParen)?;
-                    return Ok(Expr::NamedColumn {
-                        qualifier: None,
-                        name: name.to_ascii_uppercase(),
-                    });
                 }
                 // Qualified column reference?
                 if matches!(self.peek(), Some(Token::Dot)) {
@@ -653,6 +685,46 @@ mod tests {
         assert!(parse("INSERT INTO T VALUES (1").is_err());
         assert!(parse("SELECT * FROM T LIMIT abc").is_err());
         assert!(parse("SELECT * FROM T extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn having_and_order_by_aggregates_parse_to_placeholders() {
+        let stmt = parse(
+            "SELECT COUNTRY, SUM(ACCOUNT) FROM USERS GROUP BY COUNTRY \
+             HAVING SUM(ACCOUNT) > ? ORDER BY COUNT(*) DESC",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.agg_refs.len(), 2);
+        assert_eq!(s.agg_refs[0].0, AggregateFunction::Sum);
+        assert_eq!(s.agg_refs[1].0, AggregateFunction::Count);
+        let mut placeholders = 0;
+        s.having.as_ref().unwrap().visit(&mut |e| {
+            if let Expr::NamedColumn {
+                qualifier: Some(q), ..
+            } = e
+            {
+                if q == crate::ast::AGG_REF_QUALIFIER {
+                    placeholders += 1;
+                }
+            }
+        });
+        assert_eq!(placeholders, 1);
+    }
+
+    #[test]
+    fn aggregates_outside_select_are_rejected() {
+        assert!(parse("UPDATE T SET A = 1 WHERE COUNT(*) > 1").is_err());
+        assert!(parse("DELETE FROM T WHERE SUM(A) > 2").is_err());
+        assert!(parse("INSERT INTO T VALUES (MAX(B))").is_err());
+    }
+
+    #[test]
+    fn duplicate_from_aliases_are_a_parse_error() {
+        assert!(parse("SELECT * FROM T, T").is_err());
+        assert!(parse("SELECT * FROM A X, B X").is_err());
+        // Distinct aliases of one base table are fine (self-join).
+        assert!(parse("SELECT * FROM T A, T B WHERE A.X = B.Y").is_ok());
     }
 
     #[test]

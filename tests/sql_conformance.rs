@@ -1,0 +1,24 @@
+//! Runs the SQL conformance corpus (`tests/sql_corpus/`) under `cargo test`,
+//! so tier-1 verification covers exactly what the CI `sql-conformance` lane
+//! gates on. The corpus compiles into ONE shared global plan and executes
+//! against the fixed dataset described in `shareddb_bench::conformance`.
+
+use std::path::Path;
+
+#[test]
+fn sql_corpus_conforms() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/sql_corpus");
+    let report = shareddb_bench::conformance::run_corpus(&dir).expect("corpus run");
+    assert!(
+        report.ok(),
+        "SQL corpus drift:\n{}",
+        report.failures.join("\n")
+    );
+    // The corpus must keep covering the breadth it was written for; a lane
+    // that silently lost its cases would otherwise pass forever.
+    assert!(
+        report.passed.len() >= 18,
+        "corpus shrank to {} cases",
+        report.passed.len()
+    );
+}
