@@ -342,6 +342,32 @@ fn main() {
                 pass,
             });
         }
+        if let Some(max_p99) = floor.num("max_server_light_p99_us") {
+            // Server-side end-to-end (Total phase) p99 of the light
+            // statement, from the engines' own histograms — unlike the
+            // client-side number it excludes bench-thread scheduling noise,
+            // so it can carry a tighter ceiling.
+            let bound = max_p99 * (1.0 + slack);
+            let got = point.num("server_light_p99_us").unwrap_or(f64::MAX);
+            let pass = got <= bound;
+            if pass {
+                println!("PASS [{label}] server light p99 {got:.0}us <= ceiling {bound:.0}us");
+            } else {
+                println!(
+                    "FAIL [{label}] server light p99 {got:.0}us above ceiling {bound:.0}us \
+                     (baseline {max_p99:.0}us + {:.0}% slack)",
+                    slack * 100.0
+                );
+                failures += 1;
+            }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "server light p99",
+                measured: format!("{got:.0}us"),
+                bound: format!("<= {bound:.0}us"),
+                pass,
+            });
+        }
         if let Some(min_updates) = floor.num("min_updates_ok") {
             let bound = min_updates * (1.0 - slack);
             let got = point.num("updates_ok").unwrap_or(0.0);

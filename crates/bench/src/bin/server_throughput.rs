@@ -25,7 +25,10 @@
 //! 0 — the cluster-soak lane uses this to exercise snapshot-pinned fanout
 //! under write load), `BENCH_REPLICATE` (comma-separated statement names
 //! forced onto the replicated route from the start, e.g. `getBestSellers`
-//! to exercise co-partitioned join fanout deterministically).
+//! to exercise co-partitioned join fanout deterministically),
+//! `BENCH_SCRAPE_HZ` (scrape the server's `/metrics` endpoint this many
+//! times per second while the bench runs, writing the last exposition to
+//! `BENCH_metrics_scrape.prom` — exercises scrape-under-load overhead).
 //!
 //! Output: CSV on stdout
 //! (`replicas,clients,heavy,ok,errors,throughput_per_s,light_p50_us,light_p99_us,mean_latency_us,batches_per_s`)
@@ -40,13 +43,14 @@ use shareddb_bench::{bench_duration, bench_scale, env_usize, print_header};
 use shareddb_client::Connection;
 use shareddb_cluster::ClusterConfig;
 use shareddb_common::Value;
-use shareddb_core::EngineConfig;
+use shareddb_core::stats::StatementPhaseSnapshot;
+use shareddb_core::{EngineConfig, Phase};
 use shareddb_server::{Server, ServerConfig};
 use shareddb_tpcw::schema::SUBJECTS;
 use shareddb_tpcw::{build_catalog, build_shared_plan};
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 struct PointResult {
@@ -60,9 +64,11 @@ struct PointResult {
     throughput_per_s: f64,
     light_p50_us: u64,
     light_p99_us: u64,
+    server_light_p99_us: u64,
     mean_latency_us: f64,
     batches_per_s: f64,
     per_replica: Vec<ReplicaPoint>,
+    cluster_phases: Vec<PhaseRow>,
 }
 
 struct ReplicaPoint {
@@ -70,6 +76,38 @@ struct ReplicaPoint {
     queries: u64,
     updates: u64,
     failed: u64,
+    phases: Vec<PhaseRow>,
+}
+
+/// One statement × phase latency summary flattened for the JSON report.
+struct PhaseRow {
+    statement: String,
+    phase: &'static str,
+    count: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn phase_rows(statements: &[StatementPhaseSnapshot]) -> Vec<PhaseRow> {
+    let mut rows = Vec::new();
+    for snap in statements {
+        for phase in Phase::ALL {
+            let histogram = snap.phase(phase);
+            if histogram.is_empty() {
+                continue;
+            }
+            rows.push(PhaseRow {
+                statement: snap.statement.clone(),
+                phase: phase.name(),
+                count: histogram.count,
+                p50_us: histogram.percentile_us(0.50),
+                p99_us: histogram.percentile_us(0.99),
+                max_us: histogram.max_us,
+            });
+        }
+    }
+    rows
 }
 
 fn main() {
@@ -177,37 +215,46 @@ fn run_point(
     // One heavy (getBestSellers) connection per 64 clients; the rest run the
     // hot point look-up.
     let heavy = clients / 64;
+    let scrape_hz = env_usize("BENCH_SCRAPE_HZ", 0);
     let ok = Arc::new(AtomicU64::new(0));
     let updates_ok = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let latency_ns = Arc::new(AtomicU64::new(0));
     let latencies_us = Arc::new(Mutex::new(Vec::<u64>::new()));
-    let batches_before = server.engine_stats().map(|s| s.batches).unwrap_or(0);
-    let started = Instant::now();
+    let last_scrape = Arc::new(Mutex::new(String::new()));
+    // Two barriers gate the measurement window: every connection finishes
+    // connect + prepare before `ready`, the main thread zeroes all engine /
+    // cluster / frontend statistics, and `go` releases the load — so the
+    // server-side histograms in this point's JSON cover exactly this window.
+    let parties = clients + update_clients + usize::from(scrape_hz > 0) + 1;
+    let ready = Arc::new(Barrier::new(parties));
+    let go = Arc::new(Barrier::new(parties));
     let orders = scale.orders as i64;
-    std::thread::scope(|scope| {
+    let started = std::thread::scope(|scope| {
         // Concurrent writers: each keeps appending ORDER_LINE rows (the
         // probe side of the getBestSellers join), so fanned-out joins and
         // aggregates run against a continuously moving version set.
         for writer_idx in 0..update_clients {
             let updates_ok = Arc::clone(&updates_ok);
             let errors = Arc::clone(&errors);
+            let ready = Arc::clone(&ready);
+            let go = Arc::clone(&go);
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(9_000 + writer_idx as u64);
-                let mut conn = match Connection::connect(addr) {
-                    Ok(c) => c,
+                let setup = Connection::connect(addr).and_then(|mut conn| {
+                    let prepared = conn.prepare("addOrderLine")?;
+                    Ok((conn, prepared))
+                });
+                ready.wait();
+                go.wait();
+                let (mut conn, prepared) = match setup {
+                    Ok(pair) => pair,
                     Err(_) => {
                         errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                 };
-                let prepared = match conn.prepare("addOrderLine") {
-                    Ok(p) => p,
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
+                let started = Instant::now();
                 let mut seq: i64 = 0;
                 while started.elapsed() < duration {
                     seq += 1;
@@ -239,28 +286,30 @@ fn run_point(
             let errors = Arc::clone(&errors);
             let latency_ns = Arc::clone(&latency_ns);
             let latencies_us = Arc::clone(&latencies_us);
+            let ready = Arc::clone(&ready);
+            let go = Arc::clone(&go);
             let is_heavy = client_idx < heavy;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + client_idx as u64);
-                let mut conn = match Connection::connect(addr) {
-                    Ok(c) => c,
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
                 let statement = if is_heavy {
                     "getBestSellers"
                 } else {
                     "getItemById"
                 };
-                let prepared = match conn.prepare(statement) {
-                    Ok(p) => p,
+                let setup = Connection::connect(addr).and_then(|mut conn| {
+                    let prepared = conn.prepare(statement)?;
+                    Ok((conn, prepared))
+                });
+                ready.wait();
+                go.wait();
+                let (mut conn, prepared) = match setup {
+                    Ok(pair) => pair,
                     Err(_) => {
                         errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                 };
+                let started = Instant::now();
                 let mut local_latencies = Vec::new();
                 while started.elapsed() < duration {
                     let params = if is_heavy {
@@ -297,20 +346,76 @@ fn run_point(
                 let _ = conn.close();
             });
         }
+        if scrape_hz > 0 {
+            // In-process Prometheus scraper: plain HTTP GETs against the
+            // same port the binary protocol uses, at BENCH_SCRAPE_HZ, while
+            // the load runs — the overhead shows up in the point's numbers.
+            let last_scrape = Arc::clone(&last_scrape);
+            let ready = Arc::clone(&ready);
+            let go = Arc::clone(&go);
+            scope.spawn(move || {
+                let interval = std::time::Duration::from_secs_f64(1.0 / scrape_hz as f64);
+                ready.wait();
+                go.wait();
+                let started = Instant::now();
+                while started.elapsed() < duration {
+                    if let Some(body) = scrape_metrics(addr) {
+                        *last_scrape.lock().unwrap_or_else(|e| e.into_inner()) = body;
+                    }
+                    std::thread::sleep(interval.min(duration.saturating_sub(started.elapsed())));
+                }
+            });
+        }
+        ready.wait();
+        server.reset_stats();
+        go.wait();
+        Instant::now()
     });
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-    let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0) - batches_before;
-    let per_replica = server
+    let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0);
+    let replica_phases = server.replica_phase_stats().unwrap_or_default();
+    let per_replica: Vec<ReplicaPoint> = server
         .replica_stats()
         .unwrap_or_default()
         .iter()
-        .map(|s| ReplicaPoint {
+        .enumerate()
+        .map(|(i, s)| ReplicaPoint {
             batches: s.batches,
             queries: s.queries,
             updates: s.updates,
             failed: s.failed,
+            phases: replica_phases
+                .get(i)
+                .map(|p| phase_rows(p))
+                .unwrap_or_default(),
         })
         .collect();
+    // Scatter + merge live in the cluster-level table, reply-flush in the
+    // frontend's; both happen outside any single replica, so they share the
+    // JSON's `cluster_phases` section.
+    let mut cluster_phases = phase_rows(&server.cluster_phase_stats().unwrap_or_default());
+    cluster_phases.extend(phase_rows(&server.flush_phase_stats()));
+    // Server-side tail of the light statement: merge the Total-phase
+    // histograms for getItemById across replicas and read the p99 — this is
+    // the latency floor check_regression guards (client-side p99 includes
+    // scheduling noise from hundreds of bench threads; this does not).
+    let mut light_total = shareddb_common::metrics::HistogramSnapshot::default();
+    for statements in &replica_phases {
+        if let Some(snap) = statements.iter().find(|s| s.statement == "getItemById") {
+            light_total.merge_from(snap.phase(Phase::Total));
+        }
+    }
+    if scrape_hz > 0 {
+        let body = last_scrape
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if !body.is_empty() {
+            if let Err(e) = std::fs::write("BENCH_metrics_scrape.prom", body) {
+                eprintln!("failed to write BENCH_metrics_scrape.prom: {e}");
+            }
+        }
+    }
     let ok_count = ok.load(Ordering::Relaxed);
     let mean_latency_us = if ok_count == 0 {
         0.0
@@ -338,12 +443,30 @@ fn run_point(
         throughput_per_s: ok_count as f64 / elapsed,
         light_p50_us: percentile(0.50),
         light_p99_us: percentile(0.99),
+        server_light_p99_us: light_total.percentile_us(0.99),
         mean_latency_us,
         batches_per_s: batches as f64 / elapsed,
         per_replica,
+        cluster_phases,
     };
     server.shutdown();
     point
+}
+
+/// One blocking `/metrics` scrape over a throwaway TCP connection (the
+/// server answers with `Connection: close`); returns the response body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> Option<String> {
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_string())
 }
 
 fn parse_args() -> (Vec<usize>, String) {
@@ -397,7 +520,8 @@ fn write_json(
             "    {{\"replicas\": {}, \"clients\": {}, \"heavy_clients\": {}, \
              \"update_clients\": {}, \"ok\": {}, \"updates_ok\": {}, \
              \"errors\": {}, \"throughput_per_s\": {:.1}, \"light_p50_us\": {}, \
-             \"light_p99_us\": {}, \"mean_latency_us\": {:.1}, \"batches_per_s\": {:.1}, \
+             \"light_p99_us\": {}, \"server_light_p99_us\": {}, \
+             \"mean_latency_us\": {:.1}, \"batches_per_s\": {:.1}, \
              \"per_replica\": [",
             p.replicas,
             p.clients,
@@ -409,20 +533,25 @@ fn write_json(
             p.throughput_per_s,
             p.light_p50_us,
             p.light_p99_us,
+            p.server_light_p99_us,
             p.mean_latency_us,
             p.batches_per_s,
         ));
         for (j, r) in p.per_replica.iter().enumerate() {
             out.push_str(&format!(
                 "{{\"replica\": {j}, \"batches\": {}, \"queries\": {}, \"updates\": {}, \
-                 \"failed\": {}}}",
+                 \"failed\": {}, \"phases\": ",
                 r.batches, r.queries, r.updates, r.failed
             ));
+            write_phase_rows(&mut out, &r.phases);
+            out.push('}');
             if j + 1 < p.per_replica.len() {
                 out.push_str(", ");
             }
         }
-        out.push_str("]}");
+        out.push_str("], \"cluster_phases\": ");
+        write_phase_rows(&mut out, &p.cluster_phases);
+        out.push('}');
         if i + 1 < points.len() {
             out.push(',');
         }
@@ -431,4 +560,19 @@ fn write_json(
     out.push_str("  ]\n}\n");
     let mut file = std::fs::File::create(path)?;
     file.write_all(out.as_bytes())
+}
+
+fn write_phase_rows(out: &mut String, rows: &[PhaseRow]) {
+    out.push('[');
+    for (k, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"statement\": \"{}\", \"phase\": \"{}\", \"count\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            row.statement, row.phase, row.count, row.p50_us, row.p99_us, row.max_us
+        ));
+        if k + 1 < rows.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push(']');
 }

@@ -27,8 +27,10 @@
 //! ```
 
 use shareddb_common::{DataType, Error, Result, Value};
+pub use shareddb_core::Phase;
 use shareddb_server::protocol::{
-    chunk_flags, read_frame, wire_to_error, write_frame, Frame, WireStats, PROTOCOL_VERSION,
+    chunk_flags, read_frame, wire_to_error, write_frame, Frame, WirePhaseSummary,
+    WireStatementPhases, WireStats, PROTOCOL_VERSION,
 };
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -103,6 +105,73 @@ impl Outcome {
 /// submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ticket(u64);
+
+/// Typed latency summary of one execution phase, decoded from a v3
+/// [`Frame::StatsReply`]: percentiles and extremes as [`Duration`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseLatency {
+    /// Durations recorded in this phase.
+    pub count: u64,
+    /// Mean recorded duration.
+    pub mean: Duration,
+    /// Exact maximum.
+    pub max: Duration,
+    /// 50th percentile (histogram-bucket resolution).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+impl PhaseLatency {
+    fn from_wire(summary: &WirePhaseSummary) -> PhaseLatency {
+        let mean_us = summary.sum_us.checked_div(summary.count).unwrap_or(0);
+        PhaseLatency {
+            count: summary.count,
+            mean: Duration::from_micros(mean_us),
+            max: Duration::from_micros(summary.max_us),
+            p50: Duration::from_micros(summary.p50_us),
+            p95: Duration::from_micros(summary.p95_us),
+            p99: Duration::from_micros(summary.p99_us),
+        }
+    }
+}
+
+fn find_phase(
+    statements: &[WireStatementPhases],
+    statement: &str,
+    phase: Phase,
+) -> Option<PhaseLatency> {
+    statements
+        .iter()
+        .find(|s| s.statement == statement)?
+        .phases
+        .iter()
+        .find(|p| p.phase == phase as u8)
+        .map(PhaseLatency::from_wire)
+}
+
+/// Typed accessors over the phase-tagged latency summaries of a
+/// [`WireStats`] snapshot (protocol v3).
+pub trait StatsPhases {
+    /// One replica's latency summary for `statement` in `phase` (admission,
+    /// batch-wait, execute, total), if that phase recorded anything there.
+    fn replica_phase(&self, replica: usize, statement: &str, phase: Phase) -> Option<PhaseLatency>;
+    /// The cluster-level summary for `statement` in `phase` — the scatter,
+    /// merge and reply-flush phases, which happen outside any replica.
+    fn cluster_phase(&self, statement: &str, phase: Phase) -> Option<PhaseLatency>;
+}
+
+impl StatsPhases for WireStats {
+    fn replica_phase(&self, replica: usize, statement: &str, phase: Phase) -> Option<PhaseLatency> {
+        find_phase(&self.replicas.get(replica)?.statements, statement, phase)
+    }
+
+    fn cluster_phase(&self, statement: &str, phase: Phase) -> Option<PhaseLatency> {
+        find_phase(&self.cluster, statement, phase)
+    }
+}
 
 /// A blocking connection to a SharedDB server.
 ///

@@ -9,7 +9,11 @@ use shareddb_common::agg::AggregateFunction;
 use shareddb_common::{Expr, Result, Value};
 use shareddb_core::engine::{QueryHandle, QueryOutcome};
 use shareddb_core::plan::{ActivationTemplate, OperatorId, StatementKind};
-use shareddb_core::stats::EngineStatsSnapshot;
+use shareddb_core::stats::{
+    EngineStatsSnapshot, OperatorStatsSnapshot, Phase, PhaseTable, SlowQueryRecord,
+    StatementPhaseSnapshot,
+};
+use shareddb_core::trace::TraceRecord;
 use shareddb_core::{
     Engine, EngineConfig, GlobalPlan, OperatorSpec, StatementRegistry, StatementSpec, SubmitOptions,
 };
@@ -17,6 +21,7 @@ use shareddb_storage::Catalog;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Fanout ("scatter/gather") execution plan of one eligible statement type.
 #[derive(Debug, Clone)]
@@ -49,6 +54,9 @@ pub struct ClusterEngine {
     catalog: Arc<Catalog>,
     merge_pool: MergePool,
     merge_workers: Vec<JoinHandle<()>>,
+    /// Cluster-level phase histograms (scatter + merge of fanned-out
+    /// statements), keyed by statement index like the per-engine tables.
+    phases: Arc<PhaseTable>,
 }
 
 impl ClusterEngine {
@@ -78,6 +86,9 @@ impl ClusterEngine {
             .map(|spec| fanout_spec(&catalog, &plan, spec))
             .collect();
         let (merge_pool, merge_workers) = MergePool::start(config.merge_threads);
+        let phases = Arc::new(PhaseTable::new(
+            registry.iter().map(|s| s.name.clone()).collect(),
+        ));
         Ok(ClusterEngine {
             engines,
             router,
@@ -86,6 +97,7 @@ impl ClusterEngine {
             catalog,
             merge_pool,
             merge_workers,
+            phases,
         })
     }
 
@@ -117,7 +129,7 @@ impl ClusterEngine {
         {
             if let Some(fanout) = &self.fanout[index] {
                 if params.is_empty() || fanout.scatter_with_params {
-                    return self.submit_fanout(statement, params, opts, fanout);
+                    return self.submit_fanout(statement, index, params, opts, fanout);
                 }
             }
         }
@@ -129,11 +141,13 @@ impl ClusterEngine {
     fn submit_fanout(
         &self,
         statement: &str,
+        index: usize,
         params: &[Value],
         opts: SubmitOptions,
         fanout: &FanoutSpec,
     ) -> Result<ClusterHandle> {
         let of = self.engines.len() as u32;
+        let scatter_started = Instant::now();
         // One MVCC snapshot per fanned-out execution: every partition reads
         // the same version set, so the merged result is indistinguishable
         // from a single-engine execution at that snapshot even under
@@ -149,9 +163,10 @@ impl ClusterEngine {
             fanout.limit,
             opts.completion_waker.clone(),
         );
-        for (index, engine) in self.engines.iter().enumerate() {
+        state.tag_phases(Arc::clone(&self.phases), index);
+        for (part_index, engine) in self.engines.iter().enumerate() {
             let mut part_opts = opts.clone();
-            part_opts.scan_partition = Some((index as u32, of));
+            part_opts.scan_partition = Some((part_index as u32, of));
             part_opts.partition_columns = fanout.partition_columns.clone();
             part_opts.pinned_snapshot = Some(snapshot);
             part_opts.partial_aggregation = fanout.partial_aggregation;
@@ -166,12 +181,16 @@ impl ClusterEngine {
                     // partitions complete into an abandoned merge job
                     // (harmless discarded work) and the caller sees the
                     // rejection.
-                    state.abandon(self.engines.len() - index, &self.merge_pool);
+                    state.abandon(self.engines.len() - part_index, &self.merge_pool);
                     return Err(e);
                 }
             }
         }
         state.arm(&self.merge_pool);
+        // Scatter phase: snapshot capture, merge binding and the submission
+        // of every partition to its replica.
+        self.phases
+            .record(index, Phase::Scatter, scatter_started.elapsed());
         Ok(ClusterHandle::Fanout { state })
     }
 
@@ -185,7 +204,10 @@ impl ClusterEngine {
         self.execute(statement, params)?.wait()
     }
 
-    /// Aggregated statistics over all replicas.
+    /// Aggregated statistics over all replicas. Latency percentiles are
+    /// computed from the **merged** per-replica histograms, so they are the
+    /// same numbers a single engine seeing all the traffic would report —
+    /// not a max-of-p99s approximation.
     pub fn stats(&self) -> EngineStatsSnapshot {
         let mut total = EngineStatsSnapshot::default();
         let mut weighted_latency_nanos: u128 = 0;
@@ -198,18 +220,73 @@ impl ClusterEngine {
             total.failed += stats.failed;
             total.result_rows += stats.result_rows;
             total.max_latency = total.max_latency.max(stats.max_latency);
-            total.p99_latency = total.p99_latency.max(stats.p99_latency);
+            total.histogram.merge_from(&stats.histogram);
         }
         let completed = (total.queries + total.updates) as u128;
         if let Some(mean) = weighted_latency_nanos.checked_div(completed) {
             total.mean_latency = std::time::Duration::from_nanos(mean as u64);
         }
+        total.p50_latency = Duration::from_micros(total.histogram.percentile_us(0.50));
+        total.p95_latency = Duration::from_micros(total.histogram.percentile_us(0.95));
+        total.p99_latency = Duration::from_micros(total.histogram.percentile_us(0.99));
         total
     }
 
     /// Per-replica statistics snapshots, in replica order.
     pub fn replica_stats(&self) -> Vec<EngineStatsSnapshot> {
         self.engines.iter().map(|e| e.stats()).collect()
+    }
+
+    /// Per-replica, per-statement, per-phase latency histograms (admission /
+    /// batch-wait / execute / total recorded by each engine).
+    pub fn replica_phase_stats(&self) -> Vec<Vec<StatementPhaseSnapshot>> {
+        self.engines.iter().map(|e| e.phase_snapshot()).collect()
+    }
+
+    /// Cluster-level phase histograms (scatter + merge of fanned-out
+    /// statements).
+    pub fn cluster_phase_stats(&self) -> Vec<StatementPhaseSnapshot> {
+        self.phases.snapshot()
+    }
+
+    /// Per-replica operator statistics with the wall-clock length of each
+    /// replica's statistics window (the busy-fraction denominator).
+    pub fn replica_operator_stats(&self) -> Vec<(Duration, Vec<OperatorStatsSnapshot>)> {
+        self.engines
+            .iter()
+            .map(|e| (e.stats_wall(), e.operator_stats()))
+            .collect()
+    }
+
+    /// Slow-query offenders summed over replicas: total count plus the
+    /// retained records (replica order preserved within the concatenation).
+    pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
+        let mut total = 0;
+        let mut records = Vec::new();
+        for engine in &self.engines {
+            let (count, tail) = engine.slow_queries();
+            total += count;
+            records.extend(tail);
+        }
+        (total, records)
+    }
+
+    /// The batch-lifecycle trace journal of one replica, oldest first.
+    pub fn replica_trace(&self, replica: usize) -> Vec<TraceRecord> {
+        self.engines
+            .get(replica)
+            .map(|e| e.trace())
+            .unwrap_or_default()
+    }
+
+    /// Zeroes every replica's statistics (counters, histograms, slow-query
+    /// logs, operator counters) and the cluster-level scatter/merge
+    /// histograms. Bench harnesses call this after warm-up.
+    pub fn reset_stats(&self) {
+        for engine in &self.engines {
+            engine.reset_stats();
+        }
+        self.phases.reset();
     }
 
     /// Statements queued but not yet batched, summed over replicas.
@@ -893,6 +970,69 @@ mod tests {
         assert_eq!(history[2], Value::Int(50));
         assert_eq!(history[3], Value::Float(0.0));
         assert_eq!(history[4], Value::Float(48.0));
+    }
+
+    /// Observability satellite: under concurrent fanout the cluster-level
+    /// latency histogram must be the exact bucket-wise sum of the per-replica
+    /// histograms (lossless merge), its percentiles must be monotone, and
+    /// the scatter/merge phase histograms must have seen every fanout.
+    #[test]
+    fn fanout_histograms_merge_losslessly() {
+        let config = ClusterConfig {
+            replicate_statements: vec!["allItems".into()],
+            ..ClusterConfig::default()
+        };
+        let cluster = start(4, config);
+        const FANOUTS: usize = 16;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..FANOUTS / 4 {
+                        let outcome = cluster.execute_sync("allItems", &[]).unwrap();
+                        assert_eq!(outcome.rows().len(), 200);
+                    }
+                });
+            }
+        });
+
+        let total = cluster.stats();
+        let replicas = cluster.replica_stats();
+        // Each fanout scattered one partition per replica.
+        assert_eq!(total.queries, (FANOUTS * cluster.replicas()) as u64);
+        // Lossless merge: bucket-wise the cluster histogram is the sum of
+        // the replica histograms, as if one engine had seen all the traffic.
+        let mut merged = shareddb_common::metrics::HistogramSnapshot::default();
+        for replica in &replicas {
+            merged.merge_from(&replica.histogram);
+        }
+        assert_eq!(total.histogram.counts, merged.counts);
+        assert_eq!(total.histogram.count, merged.count);
+        assert_eq!(total.histogram.sum_us, merged.sum_us);
+        assert_eq!(total.histogram.max_us, merged.max_us);
+        // Percentiles monotone and bounded by the exact max.
+        let p50 = total.histogram.percentile_us(0.50);
+        let p95 = total.histogram.percentile_us(0.95);
+        let p99 = total.histogram.percentile_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= total.histogram.max_us);
+        assert_eq!(total.p99_latency.as_micros() as u64, p99);
+
+        // The cluster phase table saw every scatter and every merge.
+        let phases = cluster.cluster_phase_stats();
+        let all_items = phases.iter().find(|s| s.statement == "allItems").unwrap();
+        assert_eq!(all_items.phase(Phase::Scatter).count, FANOUTS as u64);
+        assert_eq!(all_items.phase(Phase::Merge).count, FANOUTS as u64);
+        // Each replica recorded execute/total phases for its partitions.
+        for replica in cluster.replica_phase_stats() {
+            let snap = replica.iter().find(|s| s.statement == "allItems").unwrap();
+            assert_eq!(snap.phase(Phase::Execute).count, FANOUTS as u64);
+            assert_eq!(snap.phase(Phase::Total).count, FANOUTS as u64);
+        }
+
+        // reset_stats zeroes replicas and the cluster phase table.
+        cluster.reset_stats();
+        assert_eq!(cluster.stats().queries, 0);
+        assert!(cluster.stats().histogram.is_empty());
+        assert!(cluster.cluster_phase_stats().is_empty());
     }
 
     /// Dynamic promotion: a statement type whose submission rate crosses the

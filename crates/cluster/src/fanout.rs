@@ -23,9 +23,11 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use shareddb_common::{Error, Result};
 use shareddb_core::engine::{QueryHandle, QueryOutcome, ResultSet};
+use shareddb_core::stats::{Phase, PhaseTable};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Shared state of one fanned-out execution: the per-partition handles, the
 /// completion countdown, and the merged outcome once a pool worker produced
@@ -55,6 +57,9 @@ pub struct FanoutState {
     /// The submitting caller's own completion waker, fired once after the
     /// merge.
     waker: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Cluster phase table + statement index for the Merge histogram; set
+    /// once by the submitter before `arm` releases the guard token.
+    phases: Mutex<Option<(Arc<PhaseTable>, usize)>>,
 }
 
 impl FanoutState {
@@ -74,7 +79,14 @@ impl FanoutState {
             result: Mutex::new(None),
             done: Condvar::new(),
             waker,
+            phases: Mutex::new(None),
         })
+    }
+
+    /// Points the merge at the cluster's phase histograms: `run_merge` will
+    /// record its duration under `Phase::Merge` for statement `index`.
+    pub(crate) fn tag_phases(&self, table: Arc<PhaseTable>, index: usize) {
+        *self.phases.lock() = Some((table, index));
     }
 
     /// Registers one successfully submitted partition handle.
@@ -146,7 +158,11 @@ impl FanoutState {
             }
             return;
         }
+        let merge_started = Instant::now();
         let outcome = merge_parts(&self.merge, self.limit, parts);
+        if let Some((table, index)) = self.phases.lock().as_ref() {
+            table.record(*index, Phase::Merge, merge_started.elapsed());
+        }
         *self.result.lock() = Some(outcome);
         self.done.notify_all();
         if let Some(waker) = &self.waker {

@@ -13,12 +13,14 @@
 //! * [`agg`] — aggregate functions and accumulators.
 //! * [`sort`] — sort specifications and comparators.
 //! * [`ids`] — strongly-typed identifiers (queries, tables, clients, ...).
+//! * [`metrics`] — lock-free histograms, counters, gauges and registries.
 //! * [`error`] — the common error type.
 
 pub mod agg;
 pub mod error;
 pub mod expr;
 pub mod ids;
+pub mod metrics;
 pub mod qtuple;
 pub mod queryset;
 pub mod schema;

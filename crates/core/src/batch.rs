@@ -14,6 +14,7 @@ use shareddb_common::ids::{BatchId, TicketId};
 use shareddb_common::{Error, Expr, QueryId, Result, Tuple, Value};
 use shareddb_storage::mvcc::Snapshot;
 use shareddb_storage::{ProbeRange, UpdateOp};
+use std::time::Instant;
 
 /// A bound (parameter-free) activation of one operator for one query.
 #[derive(Debug, Clone)]
@@ -94,6 +95,8 @@ pub struct ActiveQuery {
     pub distinct: bool,
     /// Bound activations per operator.
     pub activations: Vec<(OperatorId, Activation)>,
+    /// When the query was bound and enqueued (start of the batch-wait phase).
+    pub enqueued: Instant,
 }
 
 /// One admitted update.
@@ -107,6 +110,8 @@ pub struct ActiveUpdate {
     pub table: String,
     /// The bound update operation.
     pub op: UpdateOp,
+    /// When the update was bound and enqueued (start of the batch-wait phase).
+    pub enqueued: Instant,
 }
 
 /// One batch ("generation") of queries and updates processed by a heartbeat.
@@ -238,6 +243,7 @@ pub fn bind_query(
         limit: *limit,
         distinct: *distinct,
         activations,
+        enqueued: Instant::now(),
     })
 }
 
@@ -284,6 +290,7 @@ pub fn bind_update(
         statement_index,
         table: table.clone(),
         op,
+        enqueued: Instant::now(),
     })
 }
 

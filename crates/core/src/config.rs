@@ -21,6 +21,13 @@ pub struct EngineConfig {
     /// waiting for the full heartbeat interval (keeps latency low under light
     /// load; the paper's worst case of one queueing cycle still holds).
     pub eager_heartbeat: bool,
+    /// Statements whose end-to-end latency reaches this threshold are written
+    /// to the engine's slow-query log with their full phase breakdown
+    /// (admission / batch-wait / execute). `None` disables the log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Capacity (in events) of the batch-lifecycle trace journal — a bounded
+    /// ring, so tracing is always-on with fixed memory. `0` disables tracing.
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +37,8 @@ impl Default for EngineConfig {
             max_batch_size: 0,
             core_budget: usize::MAX,
             eager_heartbeat: true,
+            slow_query_threshold: None,
+            trace_capacity: 1024,
         }
     }
 }
@@ -52,6 +61,18 @@ impl EngineConfig {
     /// Sets the maximum batch size (0 = unlimited).
     pub fn max_batch(mut self, n: usize) -> Self {
         self.max_batch_size = n;
+        self
+    }
+
+    /// Sets the slow-query threshold (`None` disables the slow-query log).
+    pub fn slow_query(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Sets the trace-journal capacity in events (0 disables tracing).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
         self
     }
 }

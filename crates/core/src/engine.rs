@@ -20,8 +20,12 @@ use crate::budget::CoreBudget;
 use crate::config::EngineConfig;
 use crate::operators::{execute_operator, ExecContext};
 use crate::plan::{GlobalPlan, OperatorId, StatementRegistry};
-use crate::stats::{EngineStats, EngineStatsSnapshot, OperatorStats, OperatorStatsSnapshot};
+use crate::stats::{
+    EngineStats, EngineStatsSnapshot, OperatorStats, OperatorStatsSnapshot, Phase, SlowQueryRecord,
+    StatementPhaseSnapshot,
+};
 use crate::storage_ops::{build_storage_operators, StorageOperator};
+use crate::trace::{TraceEvent, TraceJournal, TraceRecord};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use shareddb_common::ids::{BatchId, QueryIdGenerator, TicketGenerator, TicketId};
@@ -234,8 +238,12 @@ struct EngineInner {
     tickets: TicketGenerator,
     shutdown: AtomicBool,
     stats: EngineStats,
+    /// Start of the current statistics window (engine start, or the last
+    /// [`Engine::reset_stats`]); the wall clock for busy-fraction numbers.
+    stats_epoch: Mutex<Instant>,
     operator_stats: Vec<OperatorStats>,
     operator_senders: Vec<Sender<OperatorMessage>>,
+    trace: TraceJournal,
 }
 
 /// The SharedDB engine: an always-on global plan plus the batching runtime.
@@ -266,6 +274,8 @@ impl Engine {
             operator_receivers.push(rx);
         }
 
+        let statement_names: Vec<String> = registry.iter().map(|s| s.name.clone()).collect();
+        let trace = TraceJournal::new(config.trace_capacity);
         let inner = Arc::new(EngineInner {
             catalog: Arc::clone(&catalog),
             plan: plan.clone(),
@@ -279,9 +289,11 @@ impl Engine {
             query_ids: QueryIdGenerator::new(),
             tickets: TicketGenerator::new(),
             shutdown: AtomicBool::new(false),
-            stats: EngineStats::default(),
+            stats: EngineStats::with_statements(statement_names),
+            stats_epoch: Mutex::new(Instant::now()),
             operator_stats: (0..plan.len()).map(|_| OperatorStats::default()).collect(),
             operator_senders,
+            trace,
         });
 
         // Operator threads.
@@ -338,6 +350,10 @@ impl Engine {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(Error::EngineShutdown);
         }
+        // The admission phase spans binding, pending registration and the
+        // queue push — everything between the caller's submit call and the
+        // statement waiting for its heartbeat.
+        let submitted = Instant::now();
         let (index, spec) = self.inner.registry.get(statement)?;
         let ticket = self.inner.tickets.next_id();
         let submission = if spec.is_update() {
@@ -347,7 +363,6 @@ impl Engine {
             Submission::Query(bind_query(spec, index, query_id, ticket, params, &opts)?)
         };
         let (tx, rx) = unbounded();
-        let submitted = Instant::now();
         self.inner.pending.lock().insert(
             ticket,
             PendingResult {
@@ -370,6 +385,9 @@ impl Engine {
             queue.push_back(submission);
         }
         self.inner.admission.signal.notify_one();
+        self.inner
+            .stats
+            .record_phase(index, Phase::Admission, submitted.elapsed());
         Ok(QueryHandle {
             ticket,
             receiver: rx,
@@ -395,6 +413,40 @@ impl Engine {
             .iter()
             .map(|n| self.inner.operator_stats[n.id].snapshot(&n.name))
             .collect()
+    }
+
+    /// Per-statement-type, per-phase latency histograms.
+    pub fn phase_snapshot(&self) -> Vec<StatementPhaseSnapshot> {
+        self.inner.stats.phase_snapshot()
+    }
+
+    /// Total slow-query offenders plus the retained tail of the log.
+    pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
+        self.inner.stats.slow_queries()
+    }
+
+    /// The retained batch-lifecycle trace, oldest first.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.inner.trace.snapshot()
+    }
+
+    /// Wall-clock length of the current statistics window (time since engine
+    /// start or the last [`Engine::reset_stats`]); the denominator for
+    /// per-operator busy fractions.
+    pub fn stats_wall(&self) -> Duration {
+        self.inner.stats_epoch.lock().elapsed()
+    }
+
+    /// Zeroes the engine-level statistics, phase histograms, slow-query log
+    /// and per-operator counters, and restarts the busy-fraction wall clock.
+    /// Bench harnesses call this after warm-up so reported numbers cover only
+    /// the measured window.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+        for op in &self.inner.operator_stats {
+            op.reset();
+        }
+        *self.inner.stats_epoch.lock() = Instant::now();
     }
 
     /// Number of statements queued but not yet admitted into a batch.
@@ -599,6 +651,13 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
 }
 
 fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
+    let batch_started = Instant::now();
+    inner.trace.push(TraceEvent::BatchFormed {
+        batch: batch.id.0,
+        queries: batch.queries.len(),
+        updates: batch.updates.len(),
+    });
+
     // Phase 1: apply the batch's updates in arrival order (one commit
     // timestamp for the whole batch, group commit into the WAL).
     if !batch.updates.is_empty() {
@@ -616,12 +675,26 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                         Ok(QueryOutcome::Updated {
                             rows_affected: result.rows_affected,
                         }),
+                        Some(PhaseCtx {
+                            statement_index: update.statement_index,
+                            enqueued: update.enqueued,
+                            batch_started,
+                        }),
                     );
                 }
             }
             Err(e) => {
                 for update in &batch.updates {
-                    complete(inner, update.ticket, Err(e.clone()));
+                    complete(
+                        inner,
+                        update.ticket,
+                        Err(e.clone()),
+                        Some(PhaseCtx {
+                            statement_index: update.statement_index,
+                            enqueued: update.enqueued,
+                            batch_started,
+                        }),
+                    );
                 }
             }
         }
@@ -682,6 +755,8 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
 
     // Gather per-operator completion and statistics.
     let mut batch_error: Option<Error> = None;
+    let mut active_operators = 0usize;
+    let mut total_busy = Duration::ZERO;
     for _ in 0..plan.len() {
         match done_rx.recv() {
             Ok(done) => {
@@ -695,6 +770,16 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                     }
                 };
                 inner.operator_stats[done.id].record_cycle(done.had_queries, tuples, done.busy);
+                total_busy += done.busy;
+                if done.had_queries {
+                    active_operators += 1;
+                    inner.trace.push(TraceEvent::OperatorFired {
+                        batch: batch.id.0,
+                        operator: done.id,
+                        tuples,
+                        busy_us: done.busy.as_micros() as u64,
+                    });
+                }
             }
             Err(_) => {
                 batch_error = Some(Error::Internal("operator thread disappeared".into()));
@@ -702,6 +787,12 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
             }
         }
     }
+    inner.trace.push(TraceEvent::OperatorsFired {
+        batch: batch.id.0,
+        fired: plan.len(),
+        active: active_operators,
+        total_busy_us: total_busy.as_micros() as u64,
+    });
 
     // Gather the root outputs.
     let mut root_outputs: HashMap<OperatorId, TaskData> = HashMap::new();
@@ -732,8 +823,20 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
         }
     }
     for q in &batch.queries {
+        let ctx = Some(PhaseCtx {
+            statement_index: q.statement_index,
+            enqueued: q.enqueued,
+            batch_started,
+        });
         if let Some(error) = &batch_error {
-            complete(inner, q.ticket, Err(error.clone()));
+            inner.trace.push(TraceEvent::QueryRouted {
+                batch: batch.id.0,
+                statement: q.statement_index,
+                ticket: q.ticket.0,
+                rows: 0,
+                ok: false,
+            });
+            complete(inner, q.ticket, Err(error.clone()), ctx);
             inner.stats.record_failure();
             continue;
         }
@@ -742,7 +845,14 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
             .and_then(|per_query| per_query.remove(&q.query_id))
             .unwrap_or_default();
         let outcome = finalize_query_result(inner, q, rows);
-        complete(inner, q.ticket, outcome);
+        inner.trace.push(TraceEvent::QueryRouted {
+            batch: batch.id.0,
+            statement: q.statement_index,
+            ticket: q.ticket.0,
+            rows: outcome.as_ref().map(|o| o.rows().len()).unwrap_or(0),
+            ok: outcome.is_ok(),
+        });
+        complete(inner, q.ticket, outcome, ctx);
     }
 }
 
@@ -818,14 +928,55 @@ fn finish_output_rows(query: &ActiveQuery, mut rows: Vec<Tuple>) -> Vec<Tuple> {
     rows
 }
 
-fn complete(inner: &Arc<EngineInner>, ticket: TicketId, outcome: Result<QueryOutcome>) {
+/// Phase context of a completion: everything needed to attribute the
+/// batch-wait and execute spans to the right statement type.
+struct PhaseCtx {
+    statement_index: usize,
+    enqueued: Instant,
+    batch_started: Instant,
+}
+
+fn complete(
+    inner: &Arc<EngineInner>,
+    ticket: TicketId,
+    outcome: Result<QueryOutcome>,
+    ctx: Option<PhaseCtx>,
+) {
     let pending = inner.pending.lock().remove(&ticket);
     if let Some(pending) = pending {
-        let latency = pending.submitted.elapsed();
+        // One completion timestamp for every span, so total >= execute and
+        // total >= batch_wait hold exactly (two elapsed() calls would let
+        // the later-measured span overshoot the earlier one).
+        let now = Instant::now();
+        let latency = now.duration_since(pending.submitted);
         match &outcome {
             Ok(QueryOutcome::Rows(rs)) => inner.stats.record_query(rs.len(), latency),
             Ok(QueryOutcome::Updated { .. }) => inner.stats.record_update(latency),
             Err(_) => inner.stats.record_failure(),
+        }
+        if let Some(ctx) = ctx {
+            let batch_wait = ctx.batch_started.duration_since(ctx.enqueued);
+            let execute = now.duration_since(ctx.batch_started);
+            inner
+                .stats
+                .record_phase(ctx.statement_index, Phase::BatchWait, batch_wait);
+            inner
+                .stats
+                .record_phase(ctx.statement_index, Phase::Execute, execute);
+            inner
+                .stats
+                .record_phase(ctx.statement_index, Phase::Total, latency);
+            if let Some(threshold) = inner.config.slow_query_threshold {
+                if latency >= threshold {
+                    inner.stats.record_slow(SlowQueryRecord {
+                        statement: inner.registry.by_index(ctx.statement_index).name.clone(),
+                        total: latency,
+                        admission: ctx.enqueued.duration_since(pending.submitted),
+                        batch_wait,
+                        execute,
+                    });
+                }
+            }
         }
         let _ = pending.sender.send(outcome);
         if let Some(waker) = &pending.waker {

@@ -29,7 +29,8 @@
 //! * [`storage_ops`] — scan / index-probe operators backed by `shareddb-storage`.
 //! * [`batch`] — activations, active queries, batch assembly.
 //! * [`engine`] — the multi-threaded batching runtime and client sessions.
-//! * [`stats`] — per-operator and engine-level metrics.
+//! * [`stats`] — per-operator and engine-level metrics, phase histograms.
+//! * [`trace`] — the bounded batch-lifecycle trace journal.
 //! * [`budget`] — the core budget used to emulate "number of CPU cores".
 //! * [`config`] — engine configuration.
 
@@ -41,6 +42,7 @@ pub mod operators;
 pub mod plan;
 pub mod stats;
 pub mod storage_ops;
+pub mod trace;
 
 pub use batch::{Activation, ActiveQuery, QueryBatch};
 pub use config::EngineConfig;
@@ -49,4 +51,6 @@ pub use plan::{
     ActivationTemplate, ComputedColumn, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder,
     StatementKind, StatementRegistry, StatementSpec,
 };
+pub use stats::{Phase, SlowQueryRecord, StatementPhaseSnapshot, NUM_PHASES};
 pub use storage_ops::tuple_partition;
+pub use trace::{TraceEvent, TraceJournal, TraceRecord};

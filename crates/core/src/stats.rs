@@ -2,10 +2,16 @@
 //!
 //! SharedDB's value proposition is *predictability*: the engine therefore
 //! keeps cheap, always-on counters — per-operator cycle counts and busy time,
-//! and engine-level batch/query/latency counters — which the benchmark
-//! harnesses read to produce the paper's figures.
+//! engine-level batch/query/latency counters, and **phase-tagged latency
+//! histograms** that break a statement's life into admission → batch-wait →
+//! execute (→ scatter → merge at the cluster layer → flush at the network
+//! layer). All hot-path recording is lock-free
+//! ([`shareddb_common::metrics::Histogram`]); the benchmark harnesses and the
+//! server's metrics endpoint read the same counters.
 
 use parking_lot::Mutex;
+use shareddb_common::metrics::{Histogram, HistogramSnapshot};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -22,6 +28,31 @@ pub struct OperatorStatsSnapshot {
     pub tuples_out: u64,
     /// Total busy time across cycles.
     pub busy: Duration,
+}
+
+impl OperatorStatsSnapshot {
+    /// Fraction of `wall` this operator spent busy (0.0 when `wall` is zero).
+    ///
+    /// Computed against a caller-supplied wall-clock window (engine uptime,
+    /// or time since the last stats reset) so the number stays meaningful
+    /// after [`EngineStats::reset`] — snapshots taken against a stale wall
+    /// clock were how replica imbalance used to hide.
+    pub fn busy_fraction(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / wall.as_secs_f64()
+        }
+    }
+
+    /// Mean tuples emitted per cycle that actually had active queries.
+    pub fn tuples_per_active_cycle(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.tuples_out as f64 / self.active_cycles as f64
+        }
+    }
 }
 
 /// Mutable per-operator counters (owned by the engine, updated by operator
@@ -57,7 +88,206 @@ impl OperatorStats {
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
         }
     }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.cycles.store(0, Ordering::Relaxed);
+        self.active_cycles.store(0, Ordering::Relaxed);
+        self.tuples_out.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Phase-tagged latency histograms
+// ---------------------------------------------------------------------------
+
+/// The phases of a statement's life, in order. The engine records the first
+/// three plus `Total`; the cluster layer records `Scatter` and `Merge` for
+/// fanned-out statements; the network reactor records `Flush`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Submit call → enqueued on the admission queue (binding + lock wait).
+    Admission = 0,
+    /// Admission queue → drained into a batch at a heartbeat.
+    BatchWait = 1,
+    /// Batch formation → this statement's result routed (shared-cycle time).
+    Execute = 2,
+    /// Cluster fanout: scatter of all partitions to their replicas.
+    Scatter = 3,
+    /// Cluster fanout: last partition completed → merged result posted.
+    Merge = 4,
+    /// Outcome ready at the reactor → reply bytes flushed to the socket.
+    Flush = 5,
+    /// Submission → outcome delivered (end-to-end, per statement type).
+    Total = 6,
+}
+
+/// Number of phases (length of [`Phase::ALL`]).
+pub const NUM_PHASES: usize = 7;
+
+impl Phase {
+    /// Every phase, in lifecycle order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::Admission,
+        Phase::BatchWait,
+        Phase::Execute,
+        Phase::Scatter,
+        Phase::Merge,
+        Phase::Flush,
+        Phase::Total,
+    ];
+
+    /// Stable lower-case name (used as the `phase` metric label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admission => "admission",
+            Phase::BatchWait => "batch_wait",
+            Phase::Execute => "execute",
+            Phase::Scatter => "scatter",
+            Phase::Merge => "merge",
+            Phase::Flush => "flush",
+            Phase::Total => "total",
+        }
+    }
+
+    /// Inverse of `self as u8` (wire decoding); `None` for unknown values.
+    pub fn from_u8(v: u8) -> Option<Phase> {
+        Phase::ALL.get(v as usize).copied()
+    }
+}
+
+/// One histogram per phase.
+#[derive(Debug, Default)]
+pub struct PhaseHistograms {
+    per_phase: [Histogram; NUM_PHASES],
+}
+
+impl PhaseHistograms {
+    /// Records one observation for `phase`.
+    pub fn record(&self, phase: Phase, d: Duration) {
+        self.per_phase[phase as usize].record(d);
+    }
+
+    /// Snapshots every phase histogram.
+    pub fn snapshot(&self) -> [HistogramSnapshot; NUM_PHASES] {
+        std::array::from_fn(|i| self.per_phase[i].snapshot())
+    }
+
+    /// True when no phase recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.per_phase.iter().all(|h| h.count() == 0)
+    }
+
+    fn reset(&self) {
+        for h in &self.per_phase {
+            h.reset();
+        }
+    }
+}
+
+/// Per-phase histograms of one statement type (plain-data snapshot).
+#[derive(Debug, Clone)]
+pub struct StatementPhaseSnapshot {
+    /// Statement name (registry name, or `_other` for untracked statements).
+    pub statement: String,
+    /// One histogram snapshot per [`Phase`], indexed by `Phase as usize`.
+    pub phases: [HistogramSnapshot; NUM_PHASES],
+}
+
+impl StatementPhaseSnapshot {
+    /// The snapshot of one phase.
+    pub fn phase(&self, phase: Phase) -> &HistogramSnapshot {
+        &self.phases[phase as usize]
+    }
+}
+
+/// Per-statement-type phase histograms, keyed by registry index.
+///
+/// Slots are allocated once at engine start from the statement registry, so
+/// the hot path is a bounds-checked index — no lock, no hashing. Statements
+/// outside the registry range (none today) fall into a shared `_other` slot.
+#[derive(Debug, Default)]
+pub struct PhaseTable {
+    slots: Vec<(String, PhaseHistograms)>,
+    other: PhaseHistograms,
+}
+
+impl PhaseTable {
+    /// A table with one slot per statement name, in registry order.
+    pub fn new(statement_names: Vec<String>) -> PhaseTable {
+        PhaseTable {
+            slots: statement_names
+                .into_iter()
+                .map(|n| (n, PhaseHistograms::default()))
+                .collect(),
+            other: PhaseHistograms::default(),
+        }
+    }
+
+    /// Records one phase observation for the statement at `index`.
+    pub fn record(&self, index: usize, phase: Phase, d: Duration) {
+        match self.slots.get(index) {
+            Some((_, h)) => h.record(phase, d),
+            None => self.other.record(phase, d),
+        }
+    }
+
+    /// Snapshots every statement that has recorded at least one observation.
+    pub fn snapshot(&self) -> Vec<StatementPhaseSnapshot> {
+        let mut out = Vec::new();
+        for (name, hist) in &self.slots {
+            if !hist.is_empty() {
+                out.push(StatementPhaseSnapshot {
+                    statement: name.clone(),
+                    phases: hist.snapshot(),
+                });
+            }
+        }
+        if !self.other.is_empty() {
+            out.push(StatementPhaseSnapshot {
+                statement: "_other".to_string(),
+                phases: self.other.snapshot(),
+            });
+        }
+        out
+    }
+
+    /// Zeroes every histogram.
+    pub fn reset(&self) {
+        for (_, h) in &self.slots {
+            h.reset();
+        }
+        self.other.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+// ---------------------------------------------------------------------------
+
+/// One offender in the slow-query log: the full phase breakdown of a
+/// statement whose end-to-end latency crossed the configured threshold.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Statement name.
+    pub statement: String,
+    /// End-to-end latency (submission → completion).
+    pub total: Duration,
+    /// Time spent binding + enqueueing.
+    pub admission: Duration,
+    /// Time spent waiting on the admission queue for a heartbeat.
+    pub batch_wait: Duration,
+    /// Time spent in the shared execution cycle.
+    pub execute: Duration,
+}
+
+const SLOW_LOG_CAPACITY: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Engine-level statistics
+// ---------------------------------------------------------------------------
 
 /// Engine-level statistics.
 #[derive(Debug, Default)]
@@ -71,83 +301,14 @@ pub struct EngineStats {
     latency_nanos: AtomicU64,
     /// Maximum observed latency in nanoseconds.
     max_latency_nanos: AtomicU64,
-    /// Latency histogram with fixed bucket boundaries (µs).
-    histogram: Mutex<LatencyHistogram>,
-}
-
-/// A simple fixed-bucket latency histogram (microsecond resolution).
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    /// Upper bounds of the buckets, in microseconds.
-    pub bounds_us: Vec<u64>,
-    /// Observation counts per bucket (last bucket is the overflow bucket).
-    pub counts: Vec<u64>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        // 10µs .. ~100s in roughly geometric steps.
-        let bounds_us = vec![
-            10,
-            25,
-            50,
-            100,
-            250,
-            500,
-            1_000,
-            2_500,
-            5_000,
-            10_000,
-            25_000,
-            50_000,
-            100_000,
-            250_000,
-            500_000,
-            1_000_000,
-            2_500_000,
-            5_000_000,
-            10_000_000,
-            100_000_000,
-        ];
-        let counts = vec![0; bounds_us.len() + 1];
-        LatencyHistogram { bounds_us, counts }
-    }
-}
-
-impl LatencyHistogram {
-    fn observe(&mut self, latency: Duration) {
-        let us = latency.as_micros() as u64;
-        let idx = self
-            .bounds_us
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(self.bounds_us.len());
-        self.counts[idx] += 1;
-    }
-
-    /// Total number of observations.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Returns the upper bound (µs) of the bucket containing the requested
-    /// percentile (0.0 ..= 1.0), or `None` when empty. This is the statistic
-    /// used for "99% of queries answered within X" SLA checks.
-    pub fn percentile_us(&self, p: f64) -> Option<u64> {
-        let total = self.total();
-        if total == 0 {
-            return None;
-        }
-        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= target.max(1) {
-                return Some(self.bounds_us.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
-    }
+    /// End-to-end latency histogram over all statement types.
+    histogram: Histogram,
+    /// Per-statement-type, per-phase latency histograms.
+    phases: PhaseTable,
+    /// Total statements that crossed the slow-query threshold.
+    slow_total: AtomicU64,
+    /// The most recent offenders (bounded ring).
+    slow: Mutex<VecDeque<SlowQueryRecord>>,
 }
 
 /// Point-in-time snapshot of the engine counters.
@@ -167,11 +328,27 @@ pub struct EngineStatsSnapshot {
     pub mean_latency: Duration,
     /// Maximum query latency.
     pub max_latency: Duration,
+    /// Median latency upper bound.
+    pub p50_latency: Duration,
+    /// 95th-percentile latency upper bound.
+    pub p95_latency: Duration,
     /// 99th-percentile latency upper bound.
     pub p99_latency: Duration,
+    /// The full end-to-end latency histogram the percentiles were read from;
+    /// merging these across replicas reproduces the cluster-wide percentiles
+    /// exactly instead of approximating them from per-replica numbers.
+    pub histogram: HistogramSnapshot,
 }
 
 impl EngineStats {
+    /// Statistics with one phase-table slot per registered statement.
+    pub fn with_statements(statement_names: Vec<String>) -> EngineStats {
+        EngineStats {
+            phases: PhaseTable::new(statement_names),
+            ..EngineStats::default()
+        }
+    }
+
     /// Records a completed batch.
     pub fn record_batch(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -195,11 +372,56 @@ impl EngineStats {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one phase observation for the statement at `statement_index`.
+    pub fn record_phase(&self, statement_index: usize, phase: Phase, d: Duration) {
+        self.phases.record(statement_index, phase, d);
+    }
+
+    /// Appends one offender to the slow-query log (bounded; the oldest entry
+    /// is dropped at capacity) and bumps the total-offenders counter.
+    pub fn record_slow(&self, record: SlowQueryRecord) {
+        self.slow_total.fetch_add(1, Ordering::Relaxed);
+        let mut slow = self.slow.lock();
+        if slow.len() >= SLOW_LOG_CAPACITY {
+            slow.pop_front();
+        }
+        slow.push_back(record);
+    }
+
+    /// Total offenders plus the retained tail of the slow-query log.
+    pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
+        (
+            self.slow_total.load(Ordering::Relaxed),
+            self.slow.lock().iter().cloned().collect(),
+        )
+    }
+
+    /// Per-statement per-phase histograms (statements with observations only).
+    pub fn phase_snapshot(&self) -> Vec<StatementPhaseSnapshot> {
+        self.phases.snapshot()
+    }
+
     fn record_latency(&self, latency: Duration) {
         let nanos = latency.as_nanos() as u64;
         self.latency_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
-        self.histogram.lock().observe(latency);
+        self.histogram.record(latency);
+    }
+
+    /// Zeroes every counter, histogram and the slow-query log, so multi-phase
+    /// bench harnesses can measure without warm-up contamination.
+    pub fn reset(&self) {
+        self.batches.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.updates.store(0, Ordering::Relaxed);
+        self.failed.store(0, Ordering::Relaxed);
+        self.result_rows.store(0, Ordering::Relaxed);
+        self.latency_nanos.store(0, Ordering::Relaxed);
+        self.max_latency_nanos.store(0, Ordering::Relaxed);
+        self.histogram.reset();
+        self.phases.reset();
+        self.slow_total.store(0, Ordering::Relaxed);
+        self.slow.lock().clear();
     }
 
     /// Takes a snapshot.
@@ -208,7 +430,7 @@ impl EngineStats {
         let updates = self.updates.load(Ordering::Relaxed);
         let completed = queries + updates;
         let total_latency = self.latency_nanos.load(Ordering::Relaxed);
-        let histogram = self.histogram.lock();
+        let histogram = self.histogram.snapshot();
         EngineStatsSnapshot {
             batches: self.batches.load(Ordering::Relaxed),
             queries,
@@ -217,7 +439,10 @@ impl EngineStats {
             result_rows: self.result_rows.load(Ordering::Relaxed),
             mean_latency: Duration::from_nanos(total_latency.checked_div(completed).unwrap_or(0)),
             max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
-            p99_latency: Duration::from_micros(histogram.percentile_us(0.99).unwrap_or(0)),
+            p50_latency: Duration::from_micros(histogram.percentile_us(0.50)),
+            p95_latency: Duration::from_micros(histogram.percentile_us(0.95)),
+            p99_latency: Duration::from_micros(histogram.percentile_us(0.99)),
+            histogram,
         }
     }
 }
@@ -237,6 +462,11 @@ mod tests {
         assert_eq!(snap.tuples_out, 10);
         assert_eq!(snap.busy, Duration::from_millis(3));
         assert_eq!(snap.name, "HashJoin#3");
+        assert_eq!(snap.tuples_per_active_cycle(), 10.0);
+        let frac = snap.busy_fraction(Duration::from_millis(6));
+        assert!((frac - 0.5).abs() < 1e-9);
+        stats.reset();
+        assert_eq!(stats.snapshot("HashJoin#3").cycles, 0);
     }
 
     #[test]
@@ -256,22 +486,61 @@ mod tests {
         assert_eq!(snap.mean_latency, Duration::from_millis(2));
         assert_eq!(snap.max_latency, Duration::from_millis(3));
         assert!(snap.p99_latency >= Duration::from_millis(3));
+        assert!(snap.p50_latency <= snap.p95_latency);
+        assert!(snap.p95_latency <= snap.p99_latency);
+        assert_eq!(snap.histogram.count, 3);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.histogram.count, 0);
+        assert_eq!(snap.p99_latency, Duration::ZERO);
     }
 
     #[test]
-    fn histogram_percentiles() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.percentile_us(0.99), None);
-        for _ in 0..99 {
-            h.observe(Duration::from_micros(40));
+    fn phase_table_records_per_statement_and_phase() {
+        let table = PhaseTable::new(vec!["light".into(), "heavy".into()]);
+        table.record(0, Phase::Execute, Duration::from_micros(100));
+        table.record(0, Phase::Execute, Duration::from_micros(200));
+        table.record(1, Phase::BatchWait, Duration::from_millis(5));
+        // Out-of-range indexes land in the `_other` slot.
+        table.record(99, Phase::Total, Duration::from_micros(1));
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 3);
+        let light = snap.iter().find(|s| s.statement == "light").unwrap();
+        assert_eq!(light.phase(Phase::Execute).count, 2);
+        assert_eq!(light.phase(Phase::BatchWait).count, 0);
+        let heavy = snap.iter().find(|s| s.statement == "heavy").unwrap();
+        assert_eq!(heavy.phase(Phase::BatchWait).count, 1);
+        assert!(snap.iter().any(|s| s.statement == "_other"));
+        table.reset();
+        assert!(table.snapshot().is_empty());
+    }
+
+    #[test]
+    fn slow_query_log_is_bounded() {
+        let stats = EngineStats::default();
+        for i in 0..(SLOW_LOG_CAPACITY + 10) {
+            stats.record_slow(SlowQueryRecord {
+                statement: format!("q{i}"),
+                total: Duration::from_millis(i as u64),
+                admission: Duration::ZERO,
+                batch_wait: Duration::ZERO,
+                execute: Duration::ZERO,
+            });
         }
-        h.observe(Duration::from_millis(40));
-        assert_eq!(h.total(), 100);
-        // p50 falls in the <=50µs bucket, p100 in the <=50ms bucket.
-        assert_eq!(h.percentile_us(0.5), Some(50));
-        assert_eq!(h.percentile_us(1.0), Some(50_000));
-        // Overflow bucket.
-        h.observe(Duration::from_secs(1000));
-        assert_eq!(h.percentile_us(1.0), Some(u64::MAX));
+        let (total, tail) = stats.slow_queries();
+        assert_eq!(total, (SLOW_LOG_CAPACITY + 10) as u64);
+        assert_eq!(tail.len(), SLOW_LOG_CAPACITY);
+        // The oldest entries were dropped.
+        assert_eq!(tail[0].statement, "q10");
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_u8(phase as u8), Some(phase));
+            assert!(!phase.name().is_empty());
+        }
+        assert_eq!(Phase::from_u8(200), None);
     }
 }

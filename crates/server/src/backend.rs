@@ -21,10 +21,12 @@
 
 use shareddb_cluster::{ClusterConfig, ClusterEngine, ClusterHandle};
 use shareddb_common::{Result, Value};
-use shareddb_core::stats::EngineStatsSnapshot;
-use shareddb_core::{EngineConfig, GlobalPlan, StatementRegistry, SubmitOptions};
+use shareddb_core::stats::{EngineStatsSnapshot, OperatorStatsSnapshot, StatementPhaseSnapshot};
+use shareddb_core::trace::TraceRecord;
+use shareddb_core::{EngineConfig, GlobalPlan, SlowQueryRecord, StatementRegistry, SubmitOptions};
 use shareddb_storage::Catalog;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The server's engine backend: a cluster of engine replicas.
 pub struct ClusterBackend {
@@ -78,6 +80,37 @@ impl ClusterBackend {
     /// Per-replica admission-queue depths.
     pub fn queued_per_replica(&self) -> Vec<usize> {
         self.cluster.queued_per_replica()
+    }
+
+    /// Per-replica, per-statement phase histograms.
+    pub fn replica_phase_stats(&self) -> Vec<Vec<StatementPhaseSnapshot>> {
+        self.cluster.replica_phase_stats()
+    }
+
+    /// Cluster-level scatter/merge phase histograms.
+    pub fn cluster_phase_stats(&self) -> Vec<StatementPhaseSnapshot> {
+        self.cluster.cluster_phase_stats()
+    }
+
+    /// Per-replica operator statistics with each replica's stats-window wall
+    /// clock.
+    pub fn replica_operator_stats(&self) -> Vec<(Duration, Vec<OperatorStatsSnapshot>)> {
+        self.cluster.replica_operator_stats()
+    }
+
+    /// Slow-query count and retained offender records, summed over replicas.
+    pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
+        self.cluster.slow_queries()
+    }
+
+    /// One replica's batch-lifecycle trace journal.
+    pub fn replica_trace(&self, replica: usize) -> Vec<TraceRecord> {
+        self.cluster.replica_trace(replica)
+    }
+
+    /// Zeroes all statistics across replicas and the cluster phase table.
+    pub fn reset_stats(&self) {
+        self.cluster.reset_stats();
     }
 
     /// Current route of every statement type.

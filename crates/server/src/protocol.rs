@@ -40,8 +40,10 @@ use shareddb_common::{DataType, Error, Result, Value};
 use std::io::{Read, Write};
 
 /// Protocol version spoken by this build. v2 added the per-replica section
-/// of [`Frame::StatsReply`] (the engine-cluster frontend).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// of [`Frame::StatsReply`] (the engine-cluster frontend); v3 extended it
+/// with per-replica operator utilisation and per-statement phase-tagged
+/// latency summaries (the observability PR).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frames larger than this are rejected (malformed or hostile peer).
 pub const MAX_FRAME_LEN: usize = 64 << 20;
@@ -89,6 +91,56 @@ pub mod error_codes {
     pub const OVERLOADED: u8 = 14;
 }
 
+/// Utilisation of one shared operator of a replica's global plan (v3).
+///
+/// Fractions travel as fixed-point integers so the frame stays `Eq` and
+/// float-free: `busy_ppm` is the busy fraction of the statistics window in
+/// parts-per-million, `tuples_per_cycle_milli` is tuples emitted per *active*
+/// cycle times 1000.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireOperatorStats {
+    /// Operator id (index into the global plan).
+    pub operator: u32,
+    /// Busy time / statistics-window wall time, in parts-per-million.
+    pub busy_ppm: u32,
+    /// Tuples emitted per cycle that had active queries, ×1000.
+    pub tuples_per_cycle_milli: u64,
+    /// Cycles this operator ran.
+    pub cycles: u64,
+    /// Tuples this operator emitted.
+    pub tuples: u64,
+}
+
+/// Latency summary of one execution phase (v3): the histogram's counters
+/// plus its extracted percentiles, all in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WirePhaseSummary {
+    /// Phase tag (decode with `shareddb_core::Phase::from_u8`).
+    pub phase: u8,
+    /// Durations recorded.
+    pub count: u64,
+    /// Sum of recorded durations, µs.
+    pub sum_us: u64,
+    /// Exact maximum, µs.
+    pub max_us: u64,
+    /// 50th percentile (histogram-bucket resolution), µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+/// Phase-tagged latency summaries of one statement type (v3). Only phases
+/// that recorded at least one duration are present.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireStatementPhases {
+    /// Statement name.
+    pub statement: String,
+    /// Non-empty phase summaries, in phase order.
+    pub phases: Vec<WirePhaseSummary>,
+}
+
 /// Per-replica engine counters reported by [`Frame::StatsReply`] when the
 /// server runs an engine cluster (one entry per replica, in replica order;
 /// a single-engine server reports one entry).
@@ -104,6 +156,10 @@ pub struct WireReplicaStats {
     pub failed: u64,
     /// Statements in this replica's admission queue.
     pub queued: u64,
+    /// Per-operator utilisation (v3).
+    pub operators: Vec<WireOperatorStats>,
+    /// Per-statement phase-tagged latency summaries (v3).
+    pub statements: Vec<WireStatementPhases>,
 }
 
 /// Engine and server counters reported by [`Frame::StatsReply`].
@@ -125,6 +181,9 @@ pub struct WireStats {
     pub rejected: u64,
     /// Per-replica breakdown (replica order); one entry per engine replica.
     pub replicas: Vec<WireReplicaStats>,
+    /// Cluster-level phase summaries — scatter and merge of fanned-out
+    /// statements, which happen outside any single replica (v3).
+    pub cluster: Vec<WireStatementPhases>,
 }
 
 /// One column of a result schema on the wire.
@@ -387,6 +446,46 @@ fn put_values(buf: &mut Vec<u8>, values: &[Value]) {
     }
 }
 
+fn put_statement_phases(buf: &mut Vec<u8>, statements: &[WireStatementPhases]) {
+    put_u32(buf, statements.len() as u32);
+    for stmt in statements {
+        put_string(buf, &stmt.statement);
+        put_u32(buf, stmt.phases.len() as u32);
+        for p in &stmt.phases {
+            put_u8(buf, p.phase);
+            put_u64(buf, p.count);
+            put_u64(buf, p.sum_us);
+            put_u64(buf, p.max_us);
+            put_u64(buf, p.p50_us);
+            put_u64(buf, p.p95_us);
+            put_u64(buf, p.p99_us);
+        }
+    }
+}
+
+fn read_statement_phases(c: &mut Cursor<'_>) -> Result<Vec<WireStatementPhases>> {
+    let n = c.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let statement = c.string()?;
+        let n_phases = c.u32()? as usize;
+        let mut phases = Vec::with_capacity(n_phases.min(16));
+        for _ in 0..n_phases {
+            phases.push(WirePhaseSummary {
+                phase: c.u8()?,
+                count: c.u64()?,
+                sum_us: c.u64()?,
+                max_us: c.u64()?,
+                p50_us: c.u64()?,
+                p95_us: c.u64()?,
+                p99_us: c.u64()?,
+            });
+        }
+        out.push(WireStatementPhases { statement, phases });
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Frame encoding
 // ---------------------------------------------------------------------------
@@ -513,7 +612,17 @@ impl Frame {
                     put_u64(&mut body, replica.updates);
                     put_u64(&mut body, replica.failed);
                     put_u64(&mut body, replica.queued);
+                    put_u32(&mut body, replica.operators.len() as u32);
+                    for op in &replica.operators {
+                        put_u32(&mut body, op.operator);
+                        put_u32(&mut body, op.busy_ppm);
+                        put_u64(&mut body, op.tuples_per_cycle_milli);
+                        put_u64(&mut body, op.cycles);
+                        put_u64(&mut body, op.tuples);
+                    }
+                    put_statement_phases(&mut body, &replica.statements);
                 }
+                put_statement_phases(&mut body, &stats.cluster);
             }
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -603,17 +712,32 @@ impl Frame {
                     sessions: c.u64()?,
                     rejected: c.u64()?,
                     replicas: Vec::new(),
+                    cluster: Vec::new(),
                 };
                 let n_replicas = c.u32()? as usize;
                 for _ in 0..n_replicas.min(4096) {
-                    stats.replicas.push(WireReplicaStats {
+                    let mut replica = WireReplicaStats {
                         batches: c.u64()?,
                         queries: c.u64()?,
                         updates: c.u64()?,
                         failed: c.u64()?,
                         queued: c.u64()?,
-                    });
+                        ..WireReplicaStats::default()
+                    };
+                    let n_ops = c.u32()? as usize;
+                    for _ in 0..n_ops.min(4096) {
+                        replica.operators.push(WireOperatorStats {
+                            operator: c.u32()?,
+                            busy_ppm: c.u32()?,
+                            tuples_per_cycle_milli: c.u64()?,
+                            cycles: c.u64()?,
+                            tuples: c.u64()?,
+                        });
+                    }
+                    replica.statements = read_statement_phases(&mut c)?;
+                    stats.replicas.push(replica);
                 }
+                stats.cluster = read_statement_phases(&mut c)?;
                 Frame::StatsReply { request_id, stats }
             }
             0x86 => Frame::GoodbyeOk,
@@ -703,6 +827,13 @@ impl FrameDecoder {
     /// Bytes currently buffered (complete + partial).
     pub fn buffered(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// The undecoded bytes, without consuming them. The reactor sniffs these
+    /// on a fresh connection to tell an HTTP metrics scrape (ASCII method
+    /// prefix) from a binary frame stream (LE length prefix).
+    pub fn peek(&self) -> &[u8] {
+        &self.buf[self.pos..]
     }
 
     /// Discards any partially received frame (used when a draining server
@@ -898,9 +1029,51 @@ mod tests {
                         updates: 0,
                         failed: 0,
                         queued: 3,
+                        operators: vec![WireOperatorStats {
+                            operator: 4,
+                            busy_ppm: 125_000,
+                            tuples_per_cycle_milli: 1_500,
+                            cycles: 10,
+                            tuples: 15,
+                        }],
+                        statements: vec![WireStatementPhases {
+                            statement: "getItem".into(),
+                            phases: vec![WirePhaseSummary {
+                                phase: 2,
+                                count: 100,
+                                sum_us: 5_000,
+                                max_us: 90,
+                                p50_us: 31,
+                                p95_us: 63,
+                                p99_us: 90,
+                            }],
+                        }],
                     },
                     WireReplicaStats::default(),
                 ],
+                cluster: vec![WireStatementPhases {
+                    statement: "getBestSellers".into(),
+                    phases: vec![
+                        WirePhaseSummary {
+                            phase: 3,
+                            count: 8,
+                            sum_us: 400,
+                            max_us: 70,
+                            p50_us: 31,
+                            p95_us: 63,
+                            p99_us: 70,
+                        },
+                        WirePhaseSummary {
+                            phase: 4,
+                            count: 8,
+                            sum_us: 800,
+                            max_us: 130,
+                            p50_us: 127,
+                            p95_us: 127,
+                            p99_us: 130,
+                        },
+                    ],
+                }],
             },
         });
         round_trip(Frame::GoodbyeOk);

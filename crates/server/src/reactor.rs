@@ -38,13 +38,14 @@
 //! deadline is armed.
 
 use crate::protocol::{
-    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireReplicaStats, WireStats,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireOperatorStats, WirePhaseSummary,
+    WireReplicaStats, WireStatementPhases, WireStats, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::server::Shared;
 use shareddb_cluster::ClusterHandle;
 use shareddb_common::Error;
-use shareddb_core::{QueryOutcome, SubmitOptions};
+use shareddb_core::stats::{OperatorStatsSnapshot, StatementPhaseSnapshot};
+use shareddb_core::{Phase, QueryOutcome, SubmitOptions};
 use shareddb_sql::compile::{bind_adhoc, canonicalize};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -67,6 +68,10 @@ const WRITE_HIGH_WATER: usize = 1 << 20;
 /// A client that started a frame but stalls for this long is dropped — it
 /// would otherwise pin its connection state (and delay shutdown) forever.
 pub(crate) const STALLED_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// HTTP requests (the `/metrics` scrape path) larger than this are rejected
+/// with `400 Bad Request` — scrape requests are a handful of header lines.
+const MAX_HTTP_REQUEST: usize = 8 * 1024;
 
 // ---------------------------------------------------------------------------
 // Poller abstraction
@@ -493,6 +498,8 @@ enum Reply {
     Pending {
         request_id: u64,
         handle: ClusterHandle,
+        /// Statement registry index, for the Flush-phase histogram.
+        statement: usize,
     },
 }
 
@@ -508,6 +515,15 @@ struct Conn {
     out: Vec<u8>,
     out_pos: usize,
     greeted: bool,
+    /// The connection spoke HTTP instead of the binary protocol (a metrics
+    /// scrape): bytes are parsed as one HTTP request, answered, then closed.
+    http: bool,
+    /// Cumulative bytes flushed to the socket (Flush-phase bookkeeping).
+    flushed: u64,
+    /// Statement replies in the write queue, not yet fully flushed: the
+    /// cumulative-offset watermark at which each is on the wire, when its
+    /// outcome became ready, and its statement index.
+    pending_flush: VecDeque<(u64, Instant, usize)>,
     /// No more frames will be read (EOF, Goodbye, violation, or drain).
     read_closed: bool,
     /// When the first byte of a partial frame arrived (stall timeout).
@@ -807,6 +823,9 @@ impl Reactor {
                             out: Vec::new(),
                             out_pos: 0,
                             greeted: false,
+                            http: false,
+                            flushed: 0,
+                            pending_flush: VecDeque::new(),
                             read_closed: false,
                             frame_started: None,
                             interest,
@@ -849,7 +868,18 @@ impl Reactor {
                 Ok(n) => {
                     progressed = true;
                     conn.decoder.push(&self.scratch[..n]);
-                    if !self.process_frames(token) {
+                    // A fresh connection that opens with an ASCII HTTP method
+                    // is a metrics scrape, not a protocol peer: those bytes
+                    // would otherwise parse as an absurd LE length prefix.
+                    if !conn.greeted && !conn.http && looks_like_http(conn.decoder.peek()) {
+                        conn.http = true;
+                    }
+                    let keep_reading = if conn.http {
+                        self.process_http(token)
+                    } else {
+                        self.process_frames(token)
+                    };
+                    if !keep_reading {
                         break;
                     }
                     let conn = match self.conns.get_mut(&token) {
@@ -916,6 +946,67 @@ impl Reactor {
                 }
             }
         }
+    }
+
+    // -- HTTP metrics endpoint ---------------------------------------------
+
+    /// Handles a connection in HTTP mode: waits for one complete request
+    /// head, answers it, and closes. Returns false once the connection
+    /// stopped reading (response queued or fatal).
+    fn process_http(&mut self, token: u64) -> bool {
+        let conn = match self.conns.get_mut(&token) {
+            Some(c) if !c.read_closed && !c.dead => c,
+            _ => return false,
+        };
+        let head_len = match find_header_end(conn.decoder.peek()) {
+            Some(len) => len,
+            None => {
+                if conn.decoder.buffered() > MAX_HTTP_REQUEST {
+                    self.shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                    let response = http_response(400, "Bad Request", "request too large\n");
+                    return self.finish_http(token, response);
+                }
+                return true; // head still arriving
+            }
+        };
+        let head = conn.decoder.peek()[..head_len].to_vec();
+        let request_line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+        let response = match parse_request_line(request_line) {
+            Some((method, path)) if method == "GET" || method == "HEAD" => {
+                if path == "/metrics" {
+                    self.shared.scrapes.fetch_add(1, Ordering::Relaxed);
+                    let body = self.shared.metrics_text();
+                    let mut r = http_response(200, "OK", &body);
+                    if method == "HEAD" {
+                        r.truncate(r.len() - body.len());
+                    }
+                    r
+                } else {
+                    self.shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                    http_response(404, "Not Found", "only /metrics is served here\n")
+                }
+            }
+            Some(_) => {
+                self.shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                http_response(405, "Method Not Allowed", "use GET /metrics\n")
+            }
+            None => {
+                self.shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                http_response(400, "Bad Request", "malformed request line\n")
+            }
+        };
+        self.finish_http(token, response)
+    }
+
+    /// Queues the HTTP response and half-closes: the reply flushes through
+    /// the normal write path, then the connection is reaped.
+    fn finish_http(&mut self, token: u64, response: Vec<u8>) -> bool {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.decoder.clear();
+            conn.push_out(&response);
+            conn.read_closed = true;
+        }
+        false
     }
 
     // -- frame handling (the protocol state machine) -----------------------
@@ -1023,26 +1114,48 @@ impl Reactor {
             }
             Frame::Stats { request_id } => {
                 let engine = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
-                let (engine_stats, queued, replicas) = match engine.as_ref() {
+                let (engine_stats, queued, replicas, mut cluster) = match engine.as_ref() {
                     Some(e) => {
                         let per_replica = e.replica_stats();
                         let depths = e.queued_per_replica();
+                        let phase_stats = e.replica_phase_stats();
+                        let operator_stats = e.replica_operator_stats();
                         let replicas = per_replica
                             .iter()
                             .zip(depths)
-                            .map(|(stats, queued)| WireReplicaStats {
+                            .enumerate()
+                            .map(|(i, (stats, queued))| WireReplicaStats {
                                 batches: stats.batches,
                                 queries: stats.queries,
                                 updates: stats.updates,
                                 failed: stats.failed,
                                 queued: queued as u64,
+                                operators: operator_stats
+                                    .get(i)
+                                    .map(|(wall, ops)| wire_operators(*wall, ops))
+                                    .unwrap_or_default(),
+                                statements: phase_stats
+                                    .get(i)
+                                    .map(|s| wire_phases(s))
+                                    .unwrap_or_default(),
                             })
                             .collect();
-                        (e.stats(), e.queued(), replicas)
+                        (
+                            e.stats(),
+                            e.queued(),
+                            replicas,
+                            wire_phases(&e.cluster_phase_stats()),
+                        )
                     }
-                    None => (Default::default(), 0, Vec::new()),
+                    None => (Default::default(), 0, Vec::new(), Vec::new()),
                 };
                 drop(engine);
+                // The frontend's Flush phase joins the cluster section: like
+                // scatter and merge it happens outside any single replica.
+                merge_wire_phases(
+                    &mut cluster,
+                    wire_phases(&self.shared.flush_phases.snapshot()),
+                );
                 let reply = Frame::StatsReply {
                     request_id,
                     stats: WireStats {
@@ -1054,6 +1167,7 @@ impl Reactor {
                         sessions: self.shared.sessions_active.load(Ordering::Relaxed),
                         rejected: self.shared.rejected.load(Ordering::Relaxed),
                         replicas,
+                        cluster,
                     },
                 };
                 self.enqueue_reply(token, &reply);
@@ -1135,10 +1249,19 @@ impl Reactor {
         drop(guard);
         match outcome {
             Ok(handle) => {
+                let statement_index = self
+                    .shared
+                    .registry
+                    .get(statement)
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(usize::MAX);
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.inflight += 1;
-                    conn.replies
-                        .push_back(Reply::Pending { request_id, handle });
+                    conn.replies.push_back(Reply::Pending {
+                        request_id,
+                        handle,
+                        statement: statement_index,
+                    });
                 }
             }
             Err(e) => {
@@ -1193,14 +1316,20 @@ impl Reactor {
                         conn.replies.pop_front();
                         round = true;
                     }
-                    Some(Reply::Pending { request_id, handle }) => {
+                    Some(Reply::Pending {
+                        request_id,
+                        handle,
+                        statement,
+                    }) => {
                         let request_id = *request_id;
+                        let statement = *statement;
                         match handle.try_wait() {
                             None => break,
                             Some(outcome) => {
                                 conn.inflight -= 1;
                                 conn.replies.pop_front();
                                 round = true;
+                                let ready_at = Instant::now();
                                 let mut bytes = Vec::new();
                                 let ok = match outcome {
                                     Ok(outcome) => encode_outcome(
@@ -1219,6 +1348,11 @@ impl Reactor {
                                     break;
                                 }
                                 conn.push_out(&bytes);
+                                // Flush phase: outcome ready → last byte of
+                                // this reply accepted by the socket.
+                                let watermark = conn.flushed + conn.out_len() as u64;
+                                conn.pending_flush
+                                    .push_back((watermark, ready_at, statement));
                             }
                         }
                     }
@@ -1233,6 +1367,7 @@ impl Reactor {
                     }
                     Ok(n) => {
                         conn.out_pos += n;
+                        conn.flushed += n as u64;
                         round = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -1247,6 +1382,18 @@ impl Reactor {
             if !round || conn.dead {
                 break;
             }
+        }
+        // Every reply whose last byte the socket accepted has flushed:
+        // record its Flush-phase latency (outcome ready → on the wire).
+        while conn
+            .pending_flush
+            .front()
+            .is_some_and(|&(watermark, _, _)| watermark <= conn.flushed)
+        {
+            let (_, ready_at, statement) = conn.pending_flush.pop_front().unwrap();
+            self.shared
+                .flush_phases
+                .record(statement, Phase::Flush, ready_at.elapsed());
         }
         self.update_interest(token);
         progressed
@@ -1270,6 +1417,109 @@ impl Reactor {
 // ---------------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------------
+
+/// Converts per-operator counters to their fixed-point wire form.
+fn wire_operators(wall: Duration, ops: &[OperatorStatsSnapshot]) -> Vec<WireOperatorStats> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| WireOperatorStats {
+            operator: i as u32,
+            busy_ppm: (op.busy_fraction(wall) * 1_000_000.0).round() as u32,
+            tuples_per_cycle_milli: (op.tuples_per_active_cycle() * 1000.0).round() as u64,
+            cycles: op.cycles,
+            tuples: op.tuples_out,
+        })
+        .collect()
+}
+
+/// Converts per-statement phase snapshots to their wire form, keeping only
+/// phases that recorded at least one duration.
+fn wire_phases(statements: &[StatementPhaseSnapshot]) -> Vec<WireStatementPhases> {
+    statements
+        .iter()
+        .map(|snap| WireStatementPhases {
+            statement: snap.statement.clone(),
+            phases: Phase::ALL
+                .iter()
+                .filter_map(|&phase| {
+                    let h = snap.phase(phase);
+                    if h.is_empty() {
+                        return None;
+                    }
+                    Some(WirePhaseSummary {
+                        phase: phase as u8,
+                        count: h.count,
+                        sum_us: h.sum_us,
+                        max_us: h.max_us,
+                        p50_us: h.percentile_us(0.50),
+                        p95_us: h.percentile_us(0.95),
+                        p99_us: h.percentile_us(0.99),
+                    })
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Folds `extra` into `into` by statement name (phases concatenate — the
+/// sources record disjoint phase sets).
+fn merge_wire_phases(into: &mut Vec<WireStatementPhases>, extra: Vec<WireStatementPhases>) {
+    for stmt in extra {
+        match into.iter_mut().find(|s| s.statement == stmt.statement) {
+            Some(existing) => existing.phases.extend(stmt.phases),
+            None => into.push(stmt),
+        }
+    }
+}
+
+/// True when a fresh connection's first bytes spell an HTTP method — the
+/// binary protocol's first frame is a length-prefixed Hello, whose little-
+/// endian length prefix can never be printable ASCII of this shape.
+fn looks_like_http(bytes: &[u8]) -> bool {
+    const METHODS: [&[u8]; 7] = [
+        b"GET ", b"HEAD", b"POST", b"PUT ", b"DELE", b"OPTI", b"PATC",
+    ];
+    if bytes.len() < 4 {
+        return false;
+    }
+    METHODS.iter().any(|m| bytes.starts_with(m))
+}
+
+/// Offset just past the `\r\n\r\n` terminating the request head, if present.
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+/// Parses `METHOD /path HTTP/1.x` into (method, path). `None` is malformed.
+fn parse_request_line(line: &[u8]) -> Option<(String, String)> {
+    let line = std::str::from_utf8(line).ok()?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !path.starts_with('/') || !version.starts_with("HTTP/") {
+        return None;
+    }
+    Some((method.to_string(), path.to_string()))
+}
+
+/// Builds a minimal `Connection: close` HTTP/1.1 response.
+fn http_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    let content_type = if status == 200 {
+        "text/plain; version=0.0.4; charset=utf-8"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
 
 fn error_frame(request_id: u64, error: &Error) -> Frame {
     let (code, retryable) = error_to_wire(error);

@@ -50,11 +50,13 @@
 use crate::backend::ClusterBackend;
 use crate::reactor::{Poller, Reactor, ScanPoller};
 use shareddb_cluster::ClusterConfig;
+use shareddb_common::metrics::render_summary;
 use shareddb_common::{Error, Expr, Result};
 use shareddb_core::plan::{
     ActivationTemplate, GlobalPlan, ProbeTemplate, StatementKind, UpdateTemplate,
 };
-use shareddb_core::{EngineConfig, StatementRegistry};
+use shareddb_core::stats::{PhaseTable, StatementPhaseSnapshot};
+use shareddb_core::{EngineConfig, Phase, SlowQueryRecord, StatementRegistry};
 use shareddb_sql::compile::{canonicalize, SqlTemplate};
 use shareddb_sql::compile_workload;
 use shareddb_storage::Catalog;
@@ -134,6 +136,13 @@ pub(crate) struct Shared {
     pub(crate) sessions_active: AtomicU64,
     pub(crate) requests: AtomicU64,
     pub(crate) rejected: AtomicU64,
+    /// Per-statement Flush-phase histograms (reply ready → bytes handed to
+    /// the socket), recorded by the reactor's write path.
+    pub(crate) flush_phases: PhaseTable,
+    /// Plain-HTTP `/metrics` requests served by the reactor.
+    pub(crate) scrapes: AtomicU64,
+    /// Malformed or unroutable HTTP requests answered with 4xx.
+    pub(crate) http_errors: AtomicU64,
     /// Event-driven drain signal: the reactor flips the flag and notifies
     /// once every session has flushed and closed (no timed polling).
     drained: Mutex<bool>,
@@ -152,6 +161,118 @@ impl Shared {
         let _ = self
             .drained_cv
             .wait_timeout_while(drained, timeout, |d| !*d);
+    }
+
+    /// Renders the full Prometheus text exposition: server counters, engine
+    /// counters per replica, per-statement per-phase latency summaries,
+    /// operator utilisation, and the cluster-level scatter/merge phases.
+    pub(crate) fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let w = &mut out;
+        let _ = writeln!(w, "# TYPE shareddb_sessions_opened counter");
+        let _ = writeln!(
+            w,
+            "shareddb_sessions_opened {}",
+            self.sessions_opened.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(w, "# TYPE shareddb_sessions_active gauge");
+        let _ = writeln!(
+            w,
+            "shareddb_sessions_active {}",
+            self.sessions_active.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(w, "# TYPE shareddb_requests counter");
+        let _ = writeln!(
+            w,
+            "shareddb_requests {}",
+            self.requests.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(w, "# TYPE shareddb_rejected counter");
+        let _ = writeln!(
+            w,
+            "shareddb_rejected {}",
+            self.rejected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(w, "# TYPE shareddb_metrics_scrapes counter");
+        let _ = writeln!(
+            w,
+            "shareddb_metrics_scrapes {}",
+            self.scrapes.load(Ordering::Relaxed)
+        );
+
+        let engine = self.engine.read().unwrap_or_else(|e| e.into_inner());
+        let backend = match engine.as_ref() {
+            Some(b) => b,
+            None => return out,
+        };
+        // Engine counters, aggregated and per replica.
+        let total = backend.stats();
+        let _ = writeln!(w, "# TYPE shareddb_engine_batches counter");
+        let _ = writeln!(w, "shareddb_engine_batches {}", total.batches);
+        let _ = writeln!(w, "# TYPE shareddb_engine_queries counter");
+        let _ = writeln!(w, "shareddb_engine_queries {}", total.queries);
+        let _ = writeln!(w, "# TYPE shareddb_engine_updates counter");
+        let _ = writeln!(w, "shareddb_engine_updates {}", total.updates);
+        let _ = writeln!(w, "# TYPE shareddb_engine_failed counter");
+        let _ = writeln!(w, "shareddb_engine_failed {}", total.failed);
+        let _ = writeln!(w, "# TYPE shareddb_engine_queued gauge");
+        let _ = writeln!(w, "shareddb_engine_queued {}", backend.queued());
+        let (slow_total, _) = backend.slow_queries();
+        let _ = writeln!(w, "# TYPE shareddb_slow_queries counter");
+        let _ = writeln!(w, "shareddb_slow_queries {slow_total}");
+
+        let _ = writeln!(w, "# TYPE shareddb_replica_queries counter");
+        for (i, stats) in backend.replica_stats().iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "shareddb_replica_queries{{replica=\"{i}\"}} {}",
+                stats.queries
+            );
+        }
+
+        // Phase-tagged latency summaries: per replica, then the cluster-level
+        // scatter/merge phases and the reactor's flush phase.
+        let _ = writeln!(w, "# TYPE shareddb_phase_latency_us summary");
+        for (i, statements) in backend.replica_phase_stats().iter().enumerate() {
+            render_phase_block(w, statements, &format!("replica=\"{i}\""));
+        }
+        render_phase_block(w, &backend.cluster_phase_stats(), "replica=\"cluster\"");
+        render_phase_block(w, &self.flush_phases.snapshot(), "replica=\"frontend\"");
+
+        // Operator utilisation (busy fraction of the stats window).
+        let _ = writeln!(w, "# TYPE shareddb_operator_busy_fraction gauge");
+        for (i, (wall, ops)) in backend.replica_operator_stats().iter().enumerate() {
+            for op in ops {
+                let _ = writeln!(
+                    w,
+                    "shareddb_operator_busy_fraction{{replica=\"{i}\",operator=\"{}\"}} {:.6}",
+                    op.name,
+                    op.busy_fraction(*wall)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders one set of per-statement phase snapshots under
+/// `shareddb_phase_latency_us` with `statement`/`phase` labels plus the
+/// caller's extra label (replica id, `cluster`, or `frontend`).
+fn render_phase_block(out: &mut String, statements: &[StatementPhaseSnapshot], extra: &str) {
+    for snap in statements {
+        for phase in Phase::ALL {
+            let histogram = snap.phase(phase);
+            if histogram.is_empty() {
+                continue;
+            }
+            let name = format!(
+                "shareddb_phase_latency_us{{{extra},statement=\"{}\",phase=\"{}\"}}",
+                snap.statement,
+                phase.name()
+            );
+            render_summary(out, &name, histogram);
+        }
     }
 }
 
@@ -219,6 +340,7 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Server> {
         let param_counts = registry.iter().map(spec_param_count).collect();
+        let statement_names: Vec<String> = registry.iter().map(|s| s.name.clone()).collect();
         let engine = ClusterBackend::start(
             catalog,
             plan,
@@ -242,6 +364,9 @@ impl Server {
             sessions_active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            flush_phases: PhaseTable::new(statement_names),
+            scrapes: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
             drained: Mutex::new(false),
             drained_cv: Condvar::new(),
         });
@@ -307,6 +432,72 @@ impl Server {
             .as_ref()
             .map(|e| e.queued())
             .unwrap_or(0)
+    }
+
+    /// Per-replica, per-statement phase-tagged latency histograms.
+    pub fn replica_phase_stats(&self) -> Option<Vec<Vec<StatementPhaseSnapshot>>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.replica_phase_stats())
+    }
+
+    /// Cluster-level scatter/merge phase histograms.
+    pub fn cluster_phase_stats(&self) -> Option<Vec<StatementPhaseSnapshot>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.cluster_phase_stats())
+    }
+
+    /// Per-statement Flush-phase histograms recorded by the reactor's write
+    /// path (reply ready → bytes handed to the socket).
+    pub fn flush_phase_stats(&self) -> Vec<StatementPhaseSnapshot> {
+        self.shared.flush_phases.snapshot()
+    }
+
+    /// Slow-query count and retained offender records, summed over replicas.
+    pub fn slow_queries(&self) -> Option<(u64, Vec<SlowQueryRecord>)> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.slow_queries())
+    }
+
+    /// One replica's batch-lifecycle trace journal, oldest first.
+    pub fn replica_trace(&self, replica: usize) -> Option<Vec<shareddb_core::TraceRecord>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.replica_trace(replica))
+    }
+
+    /// The Prometheus text exposition also served over HTTP at `/metrics`.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Zeroes engine, cluster and frontend-flush statistics. Bench harnesses
+    /// call this after warm-up so sweep points measure only their own window.
+    pub fn reset_stats(&self) {
+        if let Some(backend) = self
+            .shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            backend.reset_stats();
+        }
+        self.shared.flush_phases.reset();
     }
 
     /// Server-level statistics.

@@ -1,0 +1,266 @@
+//! End-to-end observability tests: the `/metrics` Prometheus endpoint served
+//! on the binary-protocol port, typed phase-percentile accessors over the
+//! wire stats reply, the slow-query log, and stats reset.
+
+use shareddb::client::{Connection, Phase, StatsPhases};
+use shareddb::common::{tuple, DataType, Value};
+use shareddb::core::EngineConfig;
+use shareddb::server::{Server, ServerConfig};
+use shareddb::storage::{Catalog, TableDef};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn catalog() -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    catalog
+        .create_table(
+            TableDef::new("ITEM")
+                .column("I_ID", DataType::Int)
+                .column("I_TITLE", DataType::Text)
+                .column("I_COST", DataType::Float)
+                .primary_key(&["I_ID"]),
+        )
+        .unwrap();
+    catalog
+        .bulk_load(
+            "ITEM",
+            (0..200i64)
+                .map(|i| tuple![i, format!("title{i}"), (i % 50) as f64])
+                .collect(),
+        )
+        .unwrap();
+    Arc::new(catalog)
+}
+
+const WORKLOAD: &[(&str, &str)] = &[
+    ("getItem", "SELECT * FROM ITEM WHERE I_ID = ?"),
+    ("addItem", "INSERT INTO ITEM VALUES (?, ?, ?)"),
+];
+
+fn start_server(engine_config: EngineConfig) -> Server {
+    Server::start_sql(catalog(), WORKLOAD, engine_config, ServerConfig::default()).unwrap()
+}
+
+/// One raw HTTP exchange against the server's wire port; returns the full
+/// response (status line, headers, body).
+fn http_exchange(addr: std::net::SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+/// The wire port answers plain HTTP GETs with a well-formed Prometheus text
+/// exposition carrying nonzero phase histograms, while binary-protocol
+/// sessions stay connected; the typed client accessors see the same phases.
+#[test]
+fn metrics_endpoint_serves_phase_histograms() {
+    const QUERIES: usize = 32;
+    let mut server = start_server(EngineConfig::default());
+    let addr = server.local_addr();
+
+    let mut conn = Connection::connect(addr).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+    for i in 0..QUERIES {
+        let outcome = conn
+            .execute(&prepared, &[Value::Int(i as i64 % 200)])
+            .unwrap();
+        assert_eq!(outcome.rows().len(), 1);
+    }
+
+    let response = http_exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "unexpected status: {}",
+        response.lines().next().unwrap_or("")
+    );
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+
+    // Well-formed exposition: every line is a comment or `name[{labels}] value`
+    // with a parseable numeric value.
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("malformed exposition line: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample in line: {line:?}"
+        );
+        assert!(
+            series.chars().next().unwrap().is_ascii_alphabetic(),
+            "bad series name in line: {line:?}"
+        );
+    }
+    // The phase histograms for the exercised statement are present and
+    // nonzero, on the replica, and the frontend flush phase exists.
+    let count_of = |needle: &str| -> u64 {
+        body.lines()
+            .find(|l| l.contains(needle) && l.contains("_count"))
+            .and_then(|l| l.rsplit_once(' '))
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("missing series {needle}"))
+    };
+    for phase in ["admission", "batch_wait", "execute", "total"] {
+        let series = format!("replica=\"0\",statement=\"getItem\",phase=\"{phase}\"");
+        assert_eq!(count_of(&series), QUERIES as u64, "phase {phase}");
+    }
+    assert_eq!(
+        count_of("replica=\"frontend\",statement=\"getItem\",phase=\"flush\""),
+        QUERIES as u64
+    );
+    assert!(body.contains("shareddb_metrics_scrapes 1"));
+
+    // The still-open binary session keeps working after the scrape, and its
+    // typed stats accessors agree with the exposition.
+    let outcome = conn.execute(&prepared, &[Value::Int(7)]).unwrap();
+    assert_eq!(outcome.rows().len(), 1);
+    let stats = conn.stats().unwrap();
+    let execute = stats
+        .replica_phase(0, "getItem", Phase::Execute)
+        .expect("execute phase");
+    assert_eq!(execute.count, QUERIES as u64 + 1);
+    assert!(execute.p50 <= execute.p95);
+    assert!(execute.p95 <= execute.p99);
+    assert!(execute.p99 <= execute.max);
+    assert!(execute.mean <= execute.max);
+    let flush = stats
+        .cluster_phase("getItem", Phase::Flush)
+        .expect("flush phase");
+    assert!(flush.count >= QUERIES as u64);
+    assert!(stats.replica_phase(0, "getItem", Phase::Scatter).is_none());
+
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// Malformed HTTP on the shared port gets clean error responses without
+/// disturbing binary sessions: 404 unknown path, 405 non-GET, 400 garbled
+/// request line, 400 oversized header block.
+#[test]
+fn metrics_endpoint_rejects_malformed_http() {
+    let mut server = start_server(EngineConfig::default());
+    let addr = server.local_addr();
+
+    // A live binary session that must survive all the HTTP noise below.
+    let mut conn = Connection::connect(addr).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+
+    let not_found = http_exchange(addr, b"GET /other HTTP/1.1\r\n\r\n");
+    assert!(not_found.starts_with("HTTP/1.1 404"), "{not_found}");
+
+    let bad_method = http_exchange(addr, b"POST /metrics HTTP/1.1\r\n\r\n");
+    assert!(bad_method.starts_with("HTTP/1.1 405"), "{bad_method}");
+
+    let garbled = http_exchange(addr, b"GET /metrics BADPROTO\r\n\r\n");
+    assert!(garbled.starts_with("HTTP/1.1 400"), "{garbled}");
+
+    let no_slash = http_exchange(addr, b"GET metrics HTTP/1.1\r\n\r\n");
+    assert!(no_slash.starts_with("HTTP/1.1 400"), "{no_slash}");
+
+    // Header block larger than the 8 KiB cap, never terminated: the server
+    // answers 400 instead of buffering forever.
+    let mut oversized = b"GET /metrics HTTP/1.1\r\n".to_vec();
+    while oversized.len() <= 9 * 1024 {
+        oversized.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    let too_large = http_exchange(addr, &oversized);
+    assert!(too_large.starts_with("HTTP/1.1 400"), "{too_large}");
+
+    // HEAD is allowed and returns headers only.
+    let head = http_exchange(addr, b"HEAD /metrics HTTP/1.1\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(head.split_once("\r\n\r\n").unwrap().1, "");
+
+    let outcome = conn.execute(&prepared, &[Value::Int(3)]).unwrap();
+    assert_eq!(outcome.rows().len(), 1);
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// The slow-query log fires exactly once per offending statement — every
+/// execution with a sub-microsecond threshold, none with a huge one — and
+/// each record carries the full phase breakdown.
+#[test]
+fn slow_query_log_fires_exactly_for_offenders() {
+    const QUERIES: usize = 12;
+
+    // Threshold below any possible latency: every statement is an offender.
+    let mut server =
+        start_server(EngineConfig::default().slow_query(Some(Duration::from_nanos(1))));
+    let addr = server.local_addr();
+    let mut conn = Connection::connect(addr).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+    for i in 0..QUERIES {
+        conn.execute(&prepared, &[Value::Int(i as i64)]).unwrap();
+    }
+    let (count, records) = server.slow_queries().unwrap();
+    assert_eq!(count, QUERIES as u64);
+    assert_eq!(records.len(), QUERIES);
+    for record in &records {
+        assert_eq!(record.statement, "getItem");
+        assert!(record.total >= record.batch_wait);
+        assert!(record.total >= record.execute);
+        assert!(record.total >= Duration::from_nanos(1));
+    }
+    // The exposition carries the counter.
+    let response = http_exchange(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+    assert!(response.contains(&format!("shareddb_slow_queries {QUERIES}")));
+    let _ = conn.close();
+    server.shutdown();
+
+    // Threshold far above anything this test can produce: log stays empty.
+    let mut server =
+        start_server(EngineConfig::default().slow_query(Some(Duration::from_secs(3600))));
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+    for i in 0..QUERIES {
+        conn.execute(&prepared, &[Value::Int(i as i64)]).unwrap();
+    }
+    let (count, records) = server.slow_queries().unwrap();
+    assert_eq!(count, 0);
+    assert!(records.is_empty());
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// `reset_stats` zeroes engine counters, phase histograms and the frontend
+/// flush table, so bench sweep points measure only their own window.
+#[test]
+fn reset_stats_clears_every_surface() {
+    let mut server =
+        start_server(EngineConfig::default().slow_query(Some(Duration::from_nanos(1))));
+    let addr = server.local_addr();
+    let mut conn = Connection::connect(addr).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+    for i in 0..8 {
+        conn.execute(&prepared, &[Value::Int(i)]).unwrap();
+    }
+    assert!(server.engine_stats().unwrap().queries >= 8);
+    assert!(!server.flush_phase_stats().is_empty());
+
+    server.reset_stats();
+
+    let stats = server.engine_stats().unwrap();
+    assert_eq!(stats.queries, 0);
+    assert_eq!(stats.batches, 0);
+    assert!(stats.histogram.is_empty());
+    assert!(server.flush_phase_stats().is_empty());
+    assert_eq!(server.slow_queries().unwrap().0, 0);
+    let phases = server.replica_phase_stats().unwrap();
+    assert!(phases.iter().all(|statements| statements.is_empty()));
+
+    // The engine keeps serving after a reset, and new work is counted fresh.
+    conn.execute(&prepared, &[Value::Int(1)]).unwrap();
+    assert_eq!(server.engine_stats().unwrap().queries, 1);
+    let _ = conn.close();
+    server.shutdown();
+}
