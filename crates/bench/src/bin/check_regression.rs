@@ -281,11 +281,19 @@ fn main() {
     for floor in floors {
         let replicas = floor.num("replicas").unwrap_or(-1.0);
         let clients = floor.num("clients").unwrap_or(-1.0);
-        let label = format!("replicas={replicas} clients={clients}");
-        let Some(point) = points
-            .iter()
-            .find(|p| p.num("replicas") == Some(replicas) && p.num("clients") == Some(clients))
-        else {
+        // Optional: a floor may pin a scan-segment sweep point; absent, the
+        // first matching (replicas, clients) point is checked regardless of
+        // its segment count (old baselines keep working against new output).
+        let scan_segments = floor.num("scan_segments");
+        let label = match scan_segments {
+            Some(s) => format!("replicas={replicas} segments={s} clients={clients}"),
+            None => format!("replicas={replicas} clients={clients}"),
+        };
+        let Some(point) = points.iter().find(|p| {
+            p.num("replicas") == Some(replicas)
+                && p.num("clients") == Some(clients)
+                && scan_segments.is_none_or(|s| p.num("scan_segments").unwrap_or(1.0) == s)
+        }) else {
             println!("FAIL [{label}] point missing from {bench_path}");
             checks.push(Check {
                 label: label.clone(),

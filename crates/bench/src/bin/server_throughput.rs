@@ -15,6 +15,9 @@
 //! the paper's §4.5 replication argument prescribes.
 //!
 //! Arguments: `--replicas N[,M,...]` (replica counts to sweep, default `1`),
+//! `--scan-segments N[,M,...]` (intra-engine scan-segment counts to sweep,
+//! default `1` — env fallback `BENCH_SCAN_SEGMENTS`; each replica splits its
+//! shared scans into N hash segments executed on the engine's worker pool),
 //! `--json PATH` (machine-readable results, default
 //! `BENCH_server_throughput.json`).
 //!
@@ -55,6 +58,7 @@ use std::time::Instant;
 
 struct PointResult {
     replicas: usize,
+    scan_segments: usize,
     clients: usize,
     heavy: usize,
     update_clients: usize,
@@ -77,6 +81,16 @@ struct ReplicaPoint {
     updates: u64,
     failed: u64,
     phases: Vec<PhaseRow>,
+    segments: Vec<SegmentRow>,
+}
+
+/// One scan segment's window statistics flattened for the JSON report.
+struct SegmentRow {
+    segment: usize,
+    batches: u64,
+    rows: u64,
+    execute_p50_us: u64,
+    execute_p99_us: u64,
 }
 
 /// One statement × phase latency summary flattened for the JSON report.
@@ -111,7 +125,7 @@ fn phase_rows(statements: &[StatementPhaseSnapshot]) -> Vec<PhaseRow> {
 }
 
 fn main() {
-    let (replica_counts, json_path) = parse_args();
+    let (replica_counts, segment_counts, json_path) = parse_args();
     let scale = bench_scale();
     let duration = bench_duration();
     let max_clients = env_usize("SERVER_MAX_CLIENTS", 1024);
@@ -129,6 +143,7 @@ fn main() {
 
     print_header(&[
         "replicas",
+        "segments",
         "clients",
         "heavy",
         "upd_clients",
@@ -143,35 +158,39 @@ fn main() {
     ]);
 
     let mut points: Vec<PointResult> = Vec::new();
-    for &replicas in &replica_counts {
-        let mut clients = min_clients.max(1);
-        while clients <= max_clients {
-            let point = run_point(
-                replicas,
-                clients,
-                update_clients,
-                &replicate,
-                items,
-                duration,
-                &scale,
-            );
-            println!(
-                "{},{},{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
-                point.replicas,
-                point.clients,
-                point.heavy,
-                point.update_clients,
-                point.ok,
-                point.updates_ok,
-                point.errors,
-                point.throughput_per_s,
-                point.light_p50_us,
-                point.light_p99_us,
-                point.mean_latency_us,
-                point.batches_per_s,
-            );
-            points.push(point);
-            clients *= 2;
+    for &scan_segments in &segment_counts {
+        for &replicas in &replica_counts {
+            let mut clients = min_clients.max(1);
+            while clients <= max_clients {
+                let point = run_point(
+                    replicas,
+                    scan_segments,
+                    clients,
+                    update_clients,
+                    &replicate,
+                    items,
+                    duration,
+                    &scale,
+                );
+                println!(
+                    "{},{},{},{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
+                    point.replicas,
+                    point.scan_segments,
+                    point.clients,
+                    point.heavy,
+                    point.update_clients,
+                    point.ok,
+                    point.updates_ok,
+                    point.errors,
+                    point.throughput_per_s,
+                    point.light_p50_us,
+                    point.light_p99_us,
+                    point.mean_latency_us,
+                    point.batches_per_s,
+                );
+                points.push(point);
+                clients *= 2;
+            }
         }
     }
 
@@ -185,6 +204,7 @@ fn main() {
 #[allow(clippy::too_many_arguments)]
 fn run_point(
     replicas: usize,
+    scan_segments: usize,
     clients: usize,
     update_clients: usize,
     replicate: &[String],
@@ -198,7 +218,7 @@ fn run_point(
         catalog,
         plan,
         registry,
-        EngineConfig::default(),
+        EngineConfig::default().scan_segments(scan_segments),
         ServerConfig {
             max_inflight_per_session: 16,
             cluster: ClusterConfig {
@@ -374,6 +394,7 @@ fn run_point(
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let batches = server.engine_stats().map(|s| s.batches).unwrap_or(0);
     let replica_phases = server.replica_phase_stats().unwrap_or_default();
+    let replica_segments = server.replica_segment_stats().unwrap_or_default();
     let per_replica: Vec<ReplicaPoint> = server
         .replica_stats()
         .unwrap_or_default()
@@ -387,6 +408,20 @@ fn run_point(
             phases: replica_phases
                 .get(i)
                 .map(|p| phase_rows(p))
+                .unwrap_or_default(),
+            segments: replica_segments
+                .get(i)
+                .map(|(_, segs)| {
+                    segs.iter()
+                        .map(|seg| SegmentRow {
+                            segment: seg.segment,
+                            batches: seg.batches,
+                            rows: seg.rows,
+                            execute_p50_us: seg.execute.percentile_us(0.50),
+                            execute_p99_us: seg.execute.percentile_us(0.99),
+                        })
+                        .collect()
+                })
                 .unwrap_or_default(),
         })
         .collect();
@@ -434,6 +469,7 @@ fn run_point(
     };
     let point = PointResult {
         replicas,
+        scan_segments,
         clients,
         heavy,
         update_clients,
@@ -469,8 +505,22 @@ fn scrape_metrics(addr: std::net::SocketAddr) -> Option<String> {
     head.starts_with("HTTP/1.1 200").then(|| body.to_string())
 }
 
-fn parse_args() -> (Vec<usize>, String) {
+fn parse_args() -> (Vec<usize>, Vec<usize>, String) {
+    let parse_counts = |list: &str, what: &str| -> Vec<usize> {
+        list.split(',')
+            .map(|n| {
+                n.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage(&format!("bad {what} value")))
+                    .max(1)
+            })
+            .collect()
+    };
     let mut replicas = vec![1usize];
+    // The CLI flag wins over the env fallback (CI lanes set the env).
+    let mut scan_segments = std::env::var("BENCH_SCAN_SEGMENTS")
+        .map(|v| parse_counts(&v, "BENCH_SCAN_SEGMENTS"))
+        .unwrap_or_else(|_| vec![1usize]);
     let mut json_path =
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_server_throughput.json".to_string());
     let mut args = std::env::args().skip(1);
@@ -478,15 +528,13 @@ fn parse_args() -> (Vec<usize>, String) {
         match arg.as_str() {
             "--replicas" => {
                 let list = args.next().unwrap_or_else(|| usage("--replicas needs N"));
-                replicas = list
-                    .split(',')
-                    .map(|n| {
-                        n.trim()
-                            .parse::<usize>()
-                            .unwrap_or_else(|_| usage("bad --replicas value"))
-                            .max(1)
-                    })
-                    .collect();
+                replicas = parse_counts(&list, "--replicas");
+            }
+            "--scan-segments" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scan-segments needs N"));
+                scan_segments = parse_counts(&list, "--scan-segments");
             }
             "--json" => {
                 json_path = args.next().unwrap_or_else(|| usage("--json needs PATH"));
@@ -494,12 +542,14 @@ fn parse_args() -> (Vec<usize>, String) {
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    (replicas, json_path)
+    (replicas, scan_segments, json_path)
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: server_throughput [--replicas N[,M,...]] [--json PATH]");
+    eprintln!(
+        "usage: server_throughput [--replicas N[,M,...]] [--scan-segments N[,M,...]] [--json PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -517,13 +567,15 @@ fn write_json(
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"replicas\": {}, \"clients\": {}, \"heavy_clients\": {}, \
+            "    {{\"replicas\": {}, \"scan_segments\": {}, \"clients\": {}, \
+             \"heavy_clients\": {}, \
              \"update_clients\": {}, \"ok\": {}, \"updates_ok\": {}, \
              \"errors\": {}, \"throughput_per_s\": {:.1}, \"light_p50_us\": {}, \
              \"light_p99_us\": {}, \"server_light_p99_us\": {}, \
              \"mean_latency_us\": {:.1}, \"batches_per_s\": {:.1}, \
              \"per_replica\": [",
             p.replicas,
+            p.scan_segments,
             p.clients,
             p.heavy,
             p.update_clients,
@@ -544,6 +596,18 @@ fn write_json(
                 r.batches, r.queries, r.updates, r.failed
             ));
             write_phase_rows(&mut out, &r.phases);
+            out.push_str(", \"segments\": [");
+            for (k, seg) in r.segments.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"segment\": {}, \"batches\": {}, \"rows\": {}, \
+                     \"execute_p50_us\": {}, \"execute_p99_us\": {}}}",
+                    seg.segment, seg.batches, seg.rows, seg.execute_p50_us, seg.execute_p99_us
+                ));
+                if k + 1 < r.segments.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push(']');
             out.push('}');
             if j + 1 < p.per_replica.len() {
                 out.push_str(", ");

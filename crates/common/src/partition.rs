@@ -1,0 +1,35 @@
+//! Stable horizontal partitioning of rows.
+
+use crate::tuple::Tuple;
+use crate::value::{hash_values, Value};
+
+/// Deterministic horizontal partition of a row: a stable FNV-1a hash
+/// ([`hash_values`]) of the row's key values (`key_columns`; the whole tuple
+/// when empty) modulo `of`. Every consumer computes the same partition for
+/// the same row, which is what lets one execution be split over disjoint
+/// row partitions and recombined — at cluster level (engine replicas each
+/// scanning one `(index, of)` slice, paper §4.5) and inside one engine
+/// (`scan_segments` row segments of one shared scan).
+///
+/// Hashing the *key* (not the full tuple) keeps a row's partition stable
+/// under updates to non-key columns even without a pinned snapshot. Both
+/// partitioning levels additionally pin every partition of one execution to
+/// a single MVCC snapshot, which makes partitioning by *any* column set
+/// exactly-once — this is what lets co-partitioned join fanout hash a
+/// non-key join column.
+pub fn tuple_partition(tuple: &Tuple, key_columns: &[usize], of: u32) -> u32 {
+    if of <= 1 {
+        return 0;
+    }
+    let values = tuple.values();
+    let hash = if key_columns.is_empty() {
+        hash_values(0, values)
+    } else {
+        let key: Vec<Value> = key_columns
+            .iter()
+            .filter_map(|&c| values.get(c).cloned())
+            .collect();
+        hash_values(0, &key)
+    };
+    (hash % of as u64) as u32
+}

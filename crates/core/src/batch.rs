@@ -31,8 +31,17 @@ pub enum Activation {
         /// Columns hashed by the partition function for this scan (indices
         /// into the table schema); `None` hashes the table's primary key.
         /// Set per operator from [`SubmitOptions::partition_columns`] to
-        /// co-partition join inputs by the join key.
+        /// co-partition join inputs by the join key. The same column set
+        /// feeds the intra-engine `segment` hash, so fanout partition
+        /// columns take precedence over the default pk segmenting.
         partition_columns: Option<Vec<usize>>,
+        /// Intra-engine row segment `(index, of)`: set by the engine when it
+        /// rewrites an eligible query's activations per scan segment
+        /// (`EngineConfig::scan_segments > 1`). Applied *in addition to* the
+        /// cluster `partition` — a fanned-out partition may itself run
+        /// segmented. `None` (the default; [`crate::engine::bind_query`]
+        /// never sets it) scans the whole table (or cluster partition).
+        segment: Option<(u32, u32)>,
         /// Pinned MVCC read snapshot ([`SubmitOptions::pinned_snapshot`]);
         /// `None` reads the executing batch's own snapshot.
         snapshot: Option<Snapshot>,
@@ -95,6 +104,12 @@ pub struct ActiveQuery {
     pub distinct: bool,
     /// Bound activations per operator.
     pub activations: Vec<(OperatorId, Activation)>,
+    /// The query may run segment-parallel inside the engine
+    /// (`EngineConfig::scan_segments > 1`): its statement has a
+    /// [`crate::scatter::ScatterSpec`] and this execution qualifies
+    /// (parameterless, or a shape that scatters with parameters). Set by
+    /// [`crate::Engine::submit`] after binding; defaults to `false`.
+    pub segment_ok: bool,
     /// When the query was bound and enqueued (start of the batch-wait phase).
     pub enqueued: Instant,
 }
@@ -188,6 +203,7 @@ pub fn bind_query(
                     .partition_columns
                     .as_ref()
                     .and_then(|m| m.get(op).cloned()),
+                segment: None,
                 snapshot: opts.pinned_snapshot,
             },
             ActivationTemplate::Probe {
@@ -243,6 +259,7 @@ pub fn bind_query(
         limit: *limit,
         distinct: *distinct,
         activations,
+        segment_ok: false,
         enqueued: Instant::now(),
     })
 }

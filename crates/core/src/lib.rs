@@ -29,6 +29,9 @@
 //! * [`storage_ops`] — scan / index-probe operators backed by `shareddb-storage`.
 //! * [`batch`] — activations, active queries, batch assembly.
 //! * [`engine`] — the multi-threaded batching runtime and client sessions.
+//! * [`scatter`] — the partitionability walker: which statement shapes can run
+//!   over disjoint row partitions (cluster fanout and intra-engine segments).
+//! * [`merge`] — recombination of partitioned partial results (`MergeSpec`).
 //! * [`stats`] — per-operator and engine-level metrics, phase histograms.
 //! * [`trace`] — the bounded batch-lifecycle trace journal.
 //! * [`budget`] — the core budget used to emulate "number of CPU cores".
@@ -38,8 +41,10 @@ pub mod batch;
 pub mod budget;
 pub mod config;
 pub mod engine;
+pub mod merge;
 pub mod operators;
 pub mod plan;
+pub mod scatter;
 pub mod stats;
 pub mod storage_ops;
 pub mod trace;
@@ -47,10 +52,12 @@ pub mod trace;
 pub use batch::{Activation, ActiveQuery, QueryBatch};
 pub use config::EngineConfig;
 pub use engine::{Engine, QueryOutcome, ResultSet, SubmitOptions};
+pub use merge::{merge_results, MergeSpec};
 pub use plan::{
     ActivationTemplate, ComputedColumn, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder,
     StatementKind, StatementRegistry, StatementSpec,
 };
-pub use stats::{Phase, SlowQueryRecord, StatementPhaseSnapshot, NUM_PHASES};
+pub use scatter::{scatter_spec, ScatterSpec};
+pub use stats::{Phase, SegmentStatsSnapshot, SlowQueryRecord, StatementPhaseSnapshot, NUM_PHASES};
 pub use storage_ops::tuple_partition;
 pub use trace::{TraceEvent, TraceJournal, TraceRecord};

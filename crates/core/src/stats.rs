@@ -99,6 +99,80 @@ impl OperatorStats {
 }
 
 // ---------------------------------------------------------------------------
+// Per-segment statistics (intra-engine segment parallelism)
+// ---------------------------------------------------------------------------
+
+/// Point-in-time snapshot of one segment lane's counters
+/// (`EngineConfig::scan_segments > 1`; empty when segmenting is off).
+#[derive(Debug, Clone)]
+pub struct SegmentStatsSnapshot {
+    /// Segment index (0-based, `< scan_segments`).
+    pub segment: usize,
+    /// Batches in which this segment lane executed at least one query.
+    pub batches: u64,
+    /// Result rows this segment contributed (pre-merge partial rows).
+    pub rows: u64,
+    /// Total busy time of this segment's pool jobs.
+    pub busy: Duration,
+    /// Per-batch execute-time histogram of this segment's pool jobs; the
+    /// spread across segments is the skew the merge barrier waits on.
+    pub execute: HistogramSnapshot,
+}
+
+impl SegmentStatsSnapshot {
+    /// Fraction of `wall` this segment lane spent busy (0.0 when `wall` is
+    /// zero). Same wall-clock convention as
+    /// [`OperatorStatsSnapshot::busy_fraction`].
+    pub fn busy_fraction(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / wall.as_secs_f64()
+        }
+    }
+}
+
+/// Mutable counters of one segment lane (owned by the engine, updated by the
+/// coordinator as segment jobs complete).
+#[derive(Debug, Default)]
+pub struct SegmentStats {
+    batches: AtomicU64,
+    rows: AtomicU64,
+    busy_nanos: AtomicU64,
+    execute: Histogram,
+}
+
+impl SegmentStats {
+    /// Records one completed segment job.
+    pub fn record(&self, rows: usize, busy: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        self.execute.record(busy);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self, segment: usize) -> SegmentStatsSnapshot {
+        SegmentStatsSnapshot {
+            segment,
+            batches: self.batches.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            execute: self.execute.snapshot(),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.batches.store(0, Ordering::Relaxed);
+        self.rows.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+        self.execute.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Phase-tagged latency histograms
 // ---------------------------------------------------------------------------
 

@@ -10,40 +10,15 @@
 //! same ordering ClockScan implements internally.
 
 use crate::batch::Activation;
-use shareddb_common::{hash_values, Error, QTuple, QueryId, Result, Tuple};
-use shareddb_storage::{Catalog, ClockScan, IndexProbe, ProbeQuery, ScanQuery};
+use shareddb_common::{Error, QTuple, QueryId, Result};
+use shareddb_storage::{Catalog, ClockScan, IndexProbe, ProbeQuery, ScanQuery, SegmentView};
 use std::sync::Arc;
 
-/// Deterministic horizontal partition of a row: a stable FNV-1a hash
-/// ([`shareddb_common::hash_values`]) of the row's primary-key values
-/// (`key_columns`; the whole tuple when the table has no primary key) modulo
-/// `of`. Every engine replica computes the same partition for the same row,
-/// which is what lets the cluster layer fan a query out with `(index, of)`
-/// scan partitions and merge the disjoint partial results (paper §4.5).
-///
-/// Hashing the *key* (not the full tuple) keeps a row's partition stable
-/// under updates to non-key columns even without a pinned snapshot. The
-/// cluster additionally pins every partition of one fanned-out execution to
-/// a single MVCC snapshot ([`crate::SubmitOptions::pinned_snapshot`]), which
-/// makes partitioning by *any* column set exactly-once — this is what lets
-/// co-partitioned join fanout hash a non-key join column
-/// ([`crate::SubmitOptions::partition_columns`]).
-pub fn tuple_partition(tuple: &Tuple, key_columns: &[usize], of: u32) -> u32 {
-    if of <= 1 {
-        return 0;
-    }
-    let values = tuple.values();
-    let hash = if key_columns.is_empty() {
-        hash_values(0, values)
-    } else {
-        let key: Vec<shareddb_common::Value> = key_columns
-            .iter()
-            .filter_map(|&c| values.get(c).cloned())
-            .collect();
-        hash_values(0, &key)
-    };
-    (hash % of as u64) as u32
-}
+// The stable pk-hash partition function lives in `shareddb-common` so the
+// storage layer's segment-view cursor can apply the same hash below the
+// predicate index; re-exported here because the cluster layer historically
+// imports it from this module.
+pub use shareddb_common::partition::tuple_partition;
 
 /// A storage operator instance owned by one plan node.
 pub enum StorageOperator {
@@ -80,12 +55,10 @@ impl StorageOperator {
 
     /// Executes the storage operator for one batch of activations.
     pub fn execute(&self, activations: &[(QueryId, Activation)]) -> Result<Vec<QTuple>> {
-        // A query's partition restriction: `(query, (index, of), hash-column
-        // override)`.
-        type PartitionedQuery<'a> = (QueryId, (u32, u32), Option<&'a Vec<usize>>);
         match self {
             StorageOperator::Scan { scan, key_columns } => {
                 let mut partitioned: Vec<PartitionedQuery<'_>> = Vec::new();
+                let mut segmented: Vec<PartitionedQuery<'_>> = Vec::new();
                 let queries: Vec<ScanQuery> = activations
                     .iter()
                     .map(|(q, a)| match a {
@@ -93,10 +66,14 @@ impl StorageOperator {
                             predicate,
                             partition,
                             partition_columns,
+                            segment,
                             snapshot,
                         } => {
                             if let Some(partition) = partition {
                                 partitioned.push((*q, *partition, partition_columns.as_ref()));
+                            }
+                            if let Some(segment) = segment {
+                                segmented.push((*q, *segment, partition_columns.as_ref()));
                             }
                             Ok(ScanQuery::new(*q, predicate.clone()).at_snapshot(*snapshot))
                         }
@@ -105,16 +82,33 @@ impl StorageOperator {
                         ))),
                     })
                     .collect::<Result<_>>()?;
-                let mut tuples = scan.execute_batch(&queries, &[])?.tuples;
-                // Partitioned activations only subscribe to their slice of the
-                // table: unsubscribe them from out-of-partition rows and drop
-                // tuples no query is interested in any more. Each activation
-                // hashes either the table's primary key (stable row identity)
-                // or its per-operator column override (e.g. the join key of a
-                // co-partitioned fanout).
-                if !partitioned.is_empty() {
+                // Fast path: when every activation of the call reads the same
+                // segment with the same hash columns (the per-segment jobs of
+                // the engine's segment pool always do), the restriction
+                // becomes a segment-view cursor — rows outside the segment
+                // are skipped before the predicate index evaluates them.
+                let view = uniform_view(&segmented, activations.len(), key_columns);
+                let mut tuples = scan
+                    .execute_batch_segmented(&queries, &[], view.as_ref())?
+                    .tuples;
+                // Partitioned (and mixed-segment) activations only subscribe
+                // to their slice of the table: unsubscribe them from
+                // out-of-slice rows and drop tuples no query is interested in
+                // any more. Each activation hashes either the table's primary
+                // key (stable row identity) or its per-operator column
+                // override (e.g. the join key of a co-partitioned fanout —
+                // which also takes precedence over pk segmenting).
+                let residual: Vec<&PartitionedQuery<'_>> = partitioned
+                    .iter()
+                    .chain(if view.is_some() {
+                        [].iter()
+                    } else {
+                        segmented.iter()
+                    })
+                    .collect();
+                if !residual.is_empty() {
                     tuples.retain_mut(|t| {
-                        for (q, (index, of), columns) in &partitioned {
+                        for (q, (index, of), columns) in &residual {
                             let hash_columns = columns.map(|c| c.as_slice()).unwrap_or(key_columns);
                             if t.queries.contains(*q)
                                 && tuple_partition(&t.tuple, hash_columns, *of) != *index
@@ -153,6 +147,33 @@ impl StorageOperator {
             }
         }
     }
+}
+
+/// A query's partition restriction: `(query, (index, of), hash-column
+/// override)`.
+type PartitionedQuery<'a> = (QueryId, (u32, u32), Option<&'a Vec<usize>>);
+
+/// The shared [`SegmentView`] when *all* activations of a scan call restrict
+/// to one identical segment with identical hash columns, `None` otherwise
+/// (then the per-query retain pass applies the segment restrictions).
+fn uniform_view(
+    segmented: &[PartitionedQuery<'_>],
+    total_activations: usize,
+    key_columns: &[usize],
+) -> Option<SegmentView> {
+    if segmented.is_empty() || segmented.len() != total_activations {
+        return None;
+    }
+    let (_, (index, of), first_cols) = &segmented[0];
+    let cols = first_cols.map(|c| c.as_slice()).unwrap_or(key_columns);
+    let uniform = segmented.iter().all(|(_, seg, c)| {
+        *seg == (*index, *of) && c.map(|c| c.as_slice()).unwrap_or(key_columns) == cols
+    });
+    uniform.then(|| SegmentView {
+        index: *index,
+        of: *of,
+        key_columns: cols.to_vec(),
+    })
 }
 
 /// Builds the storage operator instances for every storage node of a plan.
@@ -206,6 +227,7 @@ mod tests {
             predicate,
             partition,
             partition_columns: None,
+            segment: None,
             snapshot: None,
         }
     }
@@ -321,6 +343,7 @@ mod tests {
                         predicate: Expr::lit(true),
                         partition: Some((index, OF)),
                         partition_columns: Some(override_cols.clone()),
+                        segment: None,
                         snapshot: None,
                     },
                 )])
@@ -340,6 +363,7 @@ mod tests {
                     predicate: Expr::lit(true),
                     partition: Some((history_partition, OF)),
                     partition_columns: Some(override_cols.clone()),
+                    segment: None,
                     snapshot: None,
                 },
             )])
@@ -376,6 +400,7 @@ mod tests {
                         predicate: Expr::lit(true),
                         partition: None,
                         partition_columns: None,
+                        segment: None,
                         snapshot: Some(pinned),
                     },
                 ),

@@ -21,7 +21,9 @@
 
 use shareddb_cluster::{ClusterConfig, ClusterEngine, ClusterHandle};
 use shareddb_common::{Result, Value};
-use shareddb_core::stats::{EngineStatsSnapshot, OperatorStatsSnapshot, StatementPhaseSnapshot};
+use shareddb_core::stats::{
+    EngineStatsSnapshot, OperatorStatsSnapshot, SegmentStatsSnapshot, StatementPhaseSnapshot,
+};
 use shareddb_core::trace::TraceRecord;
 use shareddb_core::{EngineConfig, GlobalPlan, SlowQueryRecord, StatementRegistry, SubmitOptions};
 use shareddb_storage::Catalog;
@@ -96,6 +98,12 @@ impl ClusterBackend {
     /// clock.
     pub fn replica_operator_stats(&self) -> Vec<(Duration, Vec<OperatorStatsSnapshot>)> {
         self.cluster.replica_operator_stats()
+    }
+
+    /// Per-replica scan-segment statistics with each replica's stats-window
+    /// wall clock (empty inner vectors when `scan_segments == 1`).
+    pub fn replica_segment_stats(&self) -> Vec<(Duration, Vec<SegmentStatsSnapshot>)> {
+        self.cluster.replica_segment_stats()
     }
 
     /// Slow-query count and retained offender records, summed over replicas.

@@ -252,6 +252,38 @@ impl Shared {
                 );
             }
         }
+
+        // Intra-engine segment parallelism: per-segment utilisation, batch
+        // and row counters, and per-batch execute latency. Absent entirely
+        // when replicas run with `scan_segments == 1`.
+        let segment_stats = backend.replica_segment_stats();
+        if segment_stats.iter().any(|(_, segs)| !segs.is_empty()) {
+            let _ = writeln!(w, "# TYPE shareddb_segment_busy_fraction gauge");
+            let _ = writeln!(w, "# TYPE shareddb_segment_batches counter");
+            let _ = writeln!(w, "# TYPE shareddb_segment_rows counter");
+            for (i, (wall, segs)) in segment_stats.iter().enumerate() {
+                for seg in segs {
+                    let labels = format!("replica=\"{i}\",segment=\"{}\"", seg.segment);
+                    let _ = writeln!(
+                        w,
+                        "shareddb_segment_busy_fraction{{{labels}}} {:.6}",
+                        seg.busy_fraction(*wall)
+                    );
+                    let _ = writeln!(w, "shareddb_segment_batches{{{labels}}} {}", seg.batches);
+                    let _ = writeln!(w, "shareddb_segment_rows{{{labels}}} {}", seg.rows);
+                }
+            }
+            let _ = writeln!(w, "# TYPE shareddb_segment_execute_us summary");
+            for (i, (_, segs)) in segment_stats.iter().enumerate() {
+                for seg in segs {
+                    let name = format!(
+                        "shareddb_segment_execute_us{{replica=\"{i}\",segment=\"{}\"}}",
+                        seg.segment
+                    );
+                    render_summary(w, &name, &seg.execute);
+                }
+            }
+        }
         out
     }
 }
@@ -442,6 +474,24 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner())
             .as_ref()
             .map(|e| e.replica_phase_stats())
+    }
+
+    /// Per-replica scan-segment statistics with each replica's stats-window
+    /// wall clock (inner vectors empty when `scan_segments == 1`).
+    pub fn replica_segment_stats(
+        &self,
+    ) -> Option<
+        Vec<(
+            std::time::Duration,
+            Vec<shareddb_core::SegmentStatsSnapshot>,
+        )>,
+    > {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.replica_segment_stats())
     }
 
     /// Cluster-level scatter/merge phase histograms.

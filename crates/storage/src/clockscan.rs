@@ -20,9 +20,34 @@ use crate::predicate_index::{IndexedQuery, PredicateIndex};
 use crate::table::Table;
 use crate::update::{UpdateOp, UpdateResult};
 use parking_lot::{Mutex, RwLock};
-use shareddb_common::{Expr, QTuple, QueryId, Result, Schema, Tuple};
+use shareddb_common::{tuple_partition, Expr, QTuple, QueryId, Result, Schema, Tuple};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// A segment-view cursor over the table: restricts one scan pass to the rows
+/// of one stable hash segment (`tuple_partition(row, key_columns, of) ==
+/// index`). The engine's intra-engine segment parallelism runs one pass per
+/// segment concurrently; filtering here — *before* the predicate index
+/// evaluates a row against the whole query batch — means each segment pass
+/// pays the query-data join only for its own slice of the table, which is
+/// what makes N segment passes over 1/N of the rows each add up to roughly
+/// one unsegmented pass of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentView {
+    /// Segment index in `0..of`.
+    pub index: u32,
+    /// Total number of segments.
+    pub of: u32,
+    /// Columns hashed to place a row (empty = whole tuple).
+    pub key_columns: Vec<usize>,
+}
+
+impl SegmentView {
+    /// True when `row` belongs to this segment.
+    pub fn contains(&self, row: &Tuple) -> bool {
+        tuple_partition(row, &self.key_columns, self.of) == self.index
+    }
+}
 
 /// A query registered with a ClockScan operator for one cycle.
 #[derive(Debug, Clone)]
@@ -139,6 +164,20 @@ impl ClockScan {
         queries: &[ScanQuery],
         updates: &[UpdateOp],
     ) -> Result<ScanCycleResult> {
+        self.execute_batch_segmented(queries, updates, None)
+    }
+
+    /// Executes an explicit batch over one segment view of the table (`None`
+    /// scans every row — identical to [`ClockScan::execute_batch`]). Updates
+    /// are **never** segmented: they apply to the whole table exactly as in
+    /// the unsegmented path, preserving the single-writer group-commit
+    /// ordering; only the read pass is restricted to the view.
+    pub fn execute_batch_segmented(
+        &self,
+        queries: &[ScanQuery],
+        updates: &[UpdateOp],
+        view: Option<&SegmentView>,
+    ) -> Result<ScanCycleResult> {
         let mut result = ScanCycleResult::default();
 
         // Phase 1: apply updates in arrival order under a write lock.
@@ -176,6 +215,13 @@ impl ClockScan {
                         .collect(),
                 );
                 for (_, row) in table.scan(snapshot) {
+                    // The segment-view cursor: rows outside the view are
+                    // skipped before the query-data join even looks at them.
+                    if let Some(view) = view {
+                        if !view.contains(row) {
+                            continue;
+                        }
+                    }
                     let matches = index.matching_queries(row)?;
                     if !matches.is_empty() {
                         result.tuples.push(QTuple::new(row.clone(), matches));
@@ -397,6 +443,48 @@ mod tests {
         };
         assert_eq!(count(1), 100, "pinned query lost the old version set");
         assert_eq!(count(2), 0, "unpinned query saw resurrected rows");
+    }
+
+    /// Segment views split one scan pass into disjoint, complete slices of
+    /// the table, and updates of a segmented batch still apply to the whole
+    /// table (they are never segmented).
+    #[test]
+    fn segment_views_are_disjoint_and_complete() {
+        let (_, _, scan) = setup();
+        const OF: u32 = 4;
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..OF {
+            let view = SegmentView {
+                index,
+                of: OF,
+                key_columns: vec![0],
+            };
+            let res = scan
+                .execute_batch_segmented(&[ScanQuery::full_scan(QueryId(1))], &[], Some(&view))
+                .unwrap();
+            for t in &res.tuples {
+                assert!(view.contains(&t.tuple));
+                assert!(seen.insert(t.tuple[0].clone()), "row in two segments");
+            }
+        }
+        assert_eq!(seen.len(), 100, "segments did not cover the table");
+        // An update in a segmented batch is whole-table: deleting through a
+        // one-segment view still removes every row.
+        let res = scan
+            .execute_batch_segmented(
+                &[ScanQuery::full_scan(QueryId(2))],
+                &[UpdateOp::Delete {
+                    predicate: Expr::lit(true),
+                }],
+                Some(&SegmentView {
+                    index: 0,
+                    of: OF,
+                    key_columns: vec![0],
+                }),
+            )
+            .unwrap();
+        assert_eq!(res.update_results[0].rows_affected, 100);
+        assert!(res.tuples.is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod wal;
 
 pub use btree::BTreeIndex;
 pub use catalog::{Catalog, IndexDef, TableDef};
-pub use clockscan::{ClockScan, ScanQuery};
+pub use clockscan::{ClockScan, ScanQuery, SegmentView};
 pub use index_probe::{IndexProbe, ProbeQuery, ProbeRange};
 pub use mvcc::{Snapshot, TimestampOracle};
 pub use table::{RowId, StoredRow, Table};

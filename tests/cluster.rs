@@ -337,3 +337,69 @@ fn single_replica_default_is_unchanged() {
     conn.close().unwrap();
     server.shutdown();
 }
+
+/// Two-level composition: cluster fanout over replicas whose engines each
+/// split their shared scans into segments. A fanned-out AVG group-by is
+/// partially aggregated per replica AND segment-parallel inside each — the
+/// replica's per-batch segment merge must preserve sum/count partials (not
+/// finalize them) so the cluster merge still recombines exactly.
+#[test]
+fn fanout_composes_with_segmented_replicas() {
+    let catalog = Catalog::new();
+    catalog
+        .create_table(
+            TableDef::new("SEG")
+                .column("S_ID", DataType::Int)
+                .column("S_GRP", DataType::Text)
+                .column("S_VAL", DataType::Float)
+                .primary_key(&["S_ID"]),
+        )
+        .unwrap();
+    catalog
+        .bulk_load(
+            "SEG",
+            (0..240i64)
+                .map(|i| tuple![i, format!("g{}", i % 3), i as f64])
+                .collect(),
+        )
+        .unwrap();
+    let mut server = Server::start_sql(
+        Arc::new(catalog),
+        &[(
+            "avgByGrp",
+            "SELECT S_GRP, AVG(S_VAL) FROM SEG GROUP BY S_GRP",
+        )],
+        EngineConfig::default().scan_segments(2),
+        ServerConfig {
+            cluster: ClusterConfig {
+                replicas: 3,
+                replicate_statements: vec!["avgByGrp".into()],
+                ..ClusterConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let avg = conn.prepare("avgByGrp").unwrap();
+    let outcome = conn.execute(&avg, &[]).unwrap();
+    let mut rows = outcome.rows().to_vec();
+    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+    assert_eq!(rows.len(), 3, "rows: {rows:?}");
+    // Group g{k} holds values k, k+3, ..., 237+k — exactly 80 of them, so
+    // AVG(g{k}) = k + 3 * 79 / 2. Exact equality: sum/count partials must
+    // survive both merge levels (6 partial fragments per group).
+    for (k, row) in rows.iter().enumerate() {
+        assert_eq!(row[0], Value::text(format!("g{k}")));
+        assert_eq!(row[1], Value::Float(k as f64 + 118.5), "group g{k}");
+    }
+    // The scatter really spanned every (segmented) replica.
+    let stats = conn.stats().unwrap();
+    assert_eq!(stats.replicas.len(), 3);
+    assert!(
+        stats.replicas.iter().all(|r| r.queries == 1),
+        "stats: {stats:?}"
+    );
+    conn.close().unwrap();
+    server.shutdown();
+}
