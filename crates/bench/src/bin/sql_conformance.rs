@@ -1,16 +1,19 @@
 //! CI SQL-conformance gate: compiles and executes the checked-in corpus
 //! (`tests/sql_corpus/`) against its expected results and exits 1 on any
-//! drift. See `shareddb_bench::conformance` for the file format and the
-//! fixed dataset.
+//! drift. With `--explain` it instead checks the EXPLAIN golden set: every
+//! positive case's rendered plan text (operator subtree + sharing sets)
+//! against `explain.golden` in the corpus directory. See
+//! `shareddb_bench::conformance` for the file format and the fixed dataset.
 //!
 //! ```text
-//! sql_conformance [--corpus tests/sql_corpus]
+//! sql_conformance [--corpus tests/sql_corpus] [--explain]
 //! ```
 
 use std::path::PathBuf;
 
 fn main() {
     let mut corpus = PathBuf::from("tests/sql_corpus");
+    let mut explain = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,14 +23,20 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--explain" => explain = true,
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: sql_conformance [--corpus PATH]");
+                eprintln!("usage: sql_conformance [--corpus PATH] [--explain]");
                 std::process::exit(2);
             }
         }
     }
-    match shareddb_bench::conformance::run_corpus(&corpus) {
+    let outcome = if explain {
+        shareddb_bench::conformance::run_explain_golden(&corpus)
+    } else {
+        shareddb_bench::conformance::run_corpus(&corpus)
+    };
+    match outcome {
         Err(message) => {
             eprintln!("corpus run failed: {message}");
             std::process::exit(2);

@@ -91,6 +91,31 @@ fn main() {
                         .unwrap_or("?");
                     println!("{} ({name})", record.event);
                 }
+                TraceEvent::BatchFormed {
+                    batch,
+                    queries,
+                    updates,
+                    mix,
+                } => {
+                    // The mix is what operator busy time gets attributed by,
+                    // so print it with statement names resolved.
+                    print!("batch {batch} formed: {queries} queries, {updates} updates");
+                    if mix.is_empty() {
+                        println!();
+                    } else {
+                        let named: Vec<String> = mix
+                            .iter()
+                            .map(|(statement, count)| {
+                                let name = statement_names
+                                    .get(*statement)
+                                    .map(String::as_str)
+                                    .unwrap_or("?");
+                                format!("{name}\u{00d7}{count}")
+                            })
+                            .collect();
+                        println!(", mix [{}]", named.join(", "));
+                    }
+                }
                 event => println!("{event}"),
             }
         }

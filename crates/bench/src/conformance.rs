@@ -43,7 +43,7 @@
 //!   4`, `T` maps `b → b + 2 mod 4`.
 
 use shareddb_common::{DataType, Value};
-use shareddb_core::{Engine, EngineConfig};
+use shareddb_core::{render_explain_text, Engine, EngineConfig};
 use shareddb_sql::SqlCompiler;
 use shareddb_storage::{Catalog, TableDef};
 use std::path::Path;
@@ -426,6 +426,76 @@ pub fn run_corpus(dir: &Path) -> Result<Report, String> {
                 }
             }
         }
+    }
+    Ok(report)
+}
+
+/// Runs the EXPLAIN golden set: compiles every positive case into the one
+/// shared corpus plan, renders each statement's static `EXPLAIN` text (the
+/// operator subtree with sharing-set annotations), and compares the
+/// concatenation against the checked-in `explain.golden` file in the corpus
+/// directory. Any drift in plan merging or sharing-set computation fails the
+/// run with the first differing line. Set `UPDATE_EXPLAIN_GOLDEN=1` to
+/// regenerate the golden file after an intentional planner change.
+pub fn run_explain_golden(dir: &Path) -> Result<Report, String> {
+    let cases = load_corpus(dir)?;
+    let catalog = corpus_catalog();
+    let mut compiler = SqlCompiler::new(&catalog);
+    let mut names = Vec::new();
+    for case in &cases {
+        if matches!(case.expect, Expectation::Rows { .. }) {
+            compiler
+                .add_statement(&case.name, &case.sql)
+                .map_err(|e| format!("{}: failed to compile: {e}", case.name))?;
+            names.push(case.name.clone());
+        }
+    }
+    let (plan, registry) = compiler.finish();
+    let mut rendered = String::new();
+    for name in &names {
+        let (index, _) = registry.get(name).map_err(|e| e.to_string())?;
+        rendered.push_str(&render_explain_text(&plan, &registry, index, None));
+        rendered.push('\n');
+    }
+
+    let golden_path = dir.join("explain.golden");
+    let mut report = Report::default();
+    if std::env::var("UPDATE_EXPLAIN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&golden_path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", golden_path.display()))?;
+        report.passed.push(format!(
+            "regenerated {} ({} statements)",
+            golden_path.display(),
+            names.len()
+        ));
+        return Ok(report);
+    }
+    let want = std::fs::read_to_string(&golden_path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run with UPDATE_EXPLAIN_GOLDEN=1 to generate it)",
+            golden_path.display()
+        )
+    })?;
+    if want == rendered {
+        report.passed.extend(names);
+    } else {
+        let mismatch = want
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (w, g))| w != g)
+            .map(|(i, (w, g))| format!("line {}:\n  golden:   {w}\n  rendered: {g}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "length drift: golden {} lines, rendered {} lines",
+                    want.lines().count(),
+                    rendered.lines().count()
+                )
+            });
+        report.failures.push(format!(
+            "EXPLAIN text drifted from {} at {mismatch}\n(set UPDATE_EXPLAIN_GOLDEN=1 to accept)",
+            golden_path.display()
+        ));
     }
     Ok(report)
 }

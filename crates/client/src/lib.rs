@@ -32,6 +32,7 @@ use shareddb_server::protocol::{
     chunk_flags, read_frame, wire_to_error, write_frame, Frame, WirePhaseSummary,
     WireStatementPhases, WireStats, PROTOCOL_VERSION,
 };
+pub use shareddb_server::protocol::{WireAttributedCost, WireExplain, WireExplainNode};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -479,6 +480,33 @@ impl Connection {
         self.send(&Frame::Stats { request_id })?;
         match self.read()? {
             Frame::StatsReply { stats, .. } => Ok(stats),
+            Frame::Error {
+                code,
+                retryable,
+                message,
+                ..
+            } => Err(wire_to_error(code, retryable, &message)),
+            other => Err(Error::Io(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// EXPLAIN the statement's view of the shared global plan. `text` is a
+    /// registered statement name or ad-hoc SQL, with or without a leading
+    /// `EXPLAIN [ANALYZE]` prefix; `analyze` additionally requests live
+    /// per-operator runtime counters and per-statement-type cost
+    /// attribution. Returns the typed [`WireExplain`] payload (the rendered
+    /// text plan is in [`WireExplain::text`]).
+    pub fn explain(&mut self, text: &str, analyze: bool) -> Result<WireExplain> {
+        self.check_poisoned()?;
+        self.check_pipeline_empty("requesting explain")?;
+        let request_id = self.fresh_request_id();
+        self.send(&Frame::Explain {
+            request_id,
+            analyze,
+            sql: text.into(),
+        })?;
+        match self.read()? {
+            Frame::ExplainReply { explain, .. } => Ok(explain),
             Frame::Error {
                 code,
                 retryable,

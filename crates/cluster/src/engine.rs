@@ -8,8 +8,8 @@ use shareddb_common::{Result, Value};
 use shareddb_core::engine::{QueryHandle, QueryOutcome};
 use shareddb_core::scatter::{scatter_spec, ScatterSpec};
 use shareddb_core::stats::{
-    EngineStatsSnapshot, OperatorStatsSnapshot, Phase, PhaseTable, SegmentStatsSnapshot,
-    SlowQueryRecord, StatementPhaseSnapshot,
+    merge_attribution, AttributionEntry, EngineStatsSnapshot, OperatorStatsSnapshot, Phase,
+    PhaseTable, SegmentStatsSnapshot, SlowQueryRecord, StatementPhaseSnapshot,
 };
 use shareddb_core::trace::TraceRecord;
 use shareddb_core::{Engine, EngineConfig, GlobalPlan, StatementRegistry, SubmitOptions};
@@ -24,6 +24,7 @@ pub struct ClusterEngine {
     engines: Vec<Engine>,
     router: Router,
     registry: StatementRegistry,
+    plan: GlobalPlan,
     fanout: Vec<Option<ScatterSpec>>,
     catalog: Arc<Catalog>,
     merge_pool: MergePool,
@@ -67,6 +68,7 @@ impl ClusterEngine {
             engines,
             router,
             registry,
+            plan,
             fanout,
             catalog,
             merge_pool,
@@ -78,6 +80,16 @@ impl ClusterEngine {
     /// The shared catalog.
     pub fn catalog(&self) -> Arc<Catalog> {
         Arc::clone(&self.catalog)
+    }
+
+    /// The global plan every replica deploys (replicas share one shape).
+    pub fn plan(&self) -> &GlobalPlan {
+        &self.plan
+    }
+
+    /// The statement registry the cluster routes by.
+    pub fn registry(&self) -> &StatementRegistry {
+        &self.registry
     }
 
     /// Number of engine replicas.
@@ -195,6 +207,7 @@ impl ClusterEngine {
             total.result_rows += stats.result_rows;
             total.max_latency = total.max_latency.max(stats.max_latency);
             total.histogram.merge_from(&stats.histogram);
+            total.occupancy.merge_from(&stats.occupancy);
         }
         let completed = (total.queries + total.updates) as u128;
         if let Some(mean) = weighted_latency_nanos.checked_div(completed) {
@@ -244,16 +257,34 @@ impl ClusterEngine {
     }
 
     /// Slow-query offenders summed over replicas: total count plus the
-    /// retained records (replica order preserved within the concatenation).
+    /// retained records, each stamped with the replica that executed it
+    /// (replica order preserved within the concatenation).
     pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
         let mut total = 0;
         let mut records = Vec::new();
-        for engine in &self.engines {
+        for (replica, engine) in self.engines.iter().enumerate() {
             let (count, tail) = engine.slow_queries();
             total += count;
-            records.extend(tail);
+            records.extend(tail.into_iter().map(|mut record| {
+                record.replica = replica;
+                record
+            }));
         }
         (total, records)
+    }
+
+    /// Per-replica per-operator × per-statement-type cost attribution
+    /// snapshots, in replica order.
+    pub fn replica_attribution_stats(&self) -> Vec<Vec<AttributionEntry>> {
+        self.engines.iter().map(|e| e.attribution_stats()).collect()
+    }
+
+    /// Cluster-wide cost attribution: per-replica tables summed by
+    /// `(operator, statement)` key. Because every replica deploys the same
+    /// plan, the merged table reads exactly like a single engine that saw
+    /// all the traffic.
+    pub fn attribution_stats(&self) -> Vec<AttributionEntry> {
+        merge_attribution(&self.replica_attribution_stats())
     }
 
     /// The batch-lifecycle trace journal of one replica, oldest first.

@@ -371,6 +371,27 @@ impl MetricsRegistry {
     }
 }
 
+/// Escapes a string for use inside a Prometheus label value (the text
+/// exposition format requires `\`, `"` and newline escaped as `\\`, `\"` and
+/// `\n`). Auto-parameterised ad-hoc statement names can carry arbitrary SQL
+/// fragments, so every statement/operator label must pass through here.
+/// Borrows when no escaping is needed (the overwhelmingly common case).
+pub fn escape_label_value(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 /// Renders one histogram snapshot as a Prometheus summary series
 /// (`quantile` labels plus `_sum`, `_count` and a `_max` gauge companion).
 /// `name` may already carry labels; quantile labels are merged in.
@@ -489,6 +510,21 @@ mod tests {
         assert_eq!(h.sum_us(), 0);
         assert_eq!(h.max_us(), 0);
         assert_eq!(h.percentile_us(0.99), 0);
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        use std::borrow::Cow;
+        // The common case borrows (no allocation on the scrape path).
+        assert!(matches!(
+            escape_label_value("getItemById"),
+            Cow::Borrowed("getItemById")
+        ));
+        assert_eq!(
+            escape_label_value(r#"q_select_"I_TITLE"_from\items"#),
+            r#"q_select_\"I_TITLE\"_from\\items"#
+        );
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
     }
 
     #[test]

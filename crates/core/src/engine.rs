@@ -31,8 +31,9 @@ use crate::operators::{execute_operator, ExecContext};
 use crate::plan::{GlobalPlan, OperatorId, StatementRegistry};
 use crate::scatter::{scatter_spec, ScatterSpec};
 use crate::stats::{
-    EngineStats, EngineStatsSnapshot, OperatorStats, OperatorStatsSnapshot, Phase, SegmentStats,
-    SegmentStatsSnapshot, SlowQueryRecord, StatementPhaseSnapshot,
+    AttributionEntry, AttributionTable, EngineStats, EngineStatsSnapshot, OperatorStats,
+    OperatorStatsSnapshot, Phase, SegmentStats, SegmentStatsSnapshot, SlowQueryRecord,
+    StatementPhaseSnapshot,
 };
 use crate::storage_ops::{build_storage_operators, StorageOperator};
 use crate::trace::{TraceEvent, TraceJournal, TraceRecord};
@@ -285,6 +286,10 @@ struct EngineInner {
     /// [`Engine::reset_stats`]); the wall clock for busy-fraction numbers.
     stats_epoch: Mutex<Instant>,
     operator_stats: Vec<OperatorStats>,
+    /// Per-operator × per-statement-type cost attribution, recorded alongside
+    /// `operator_stats` from the same folded per-batch numbers (so attributed
+    /// busy times sum exactly to the per-operator busy counters).
+    attribution: AttributionTable,
     operator_senders: Vec<Sender<OperatorMessage>>,
     trace: TraceJournal,
     /// Per-statement partitionability analysis, precomputed at start; `None`
@@ -388,9 +393,13 @@ impl Engine {
             query_ids: QueryIdGenerator::new(),
             tickets: TicketGenerator::new(),
             shutdown: AtomicBool::new(false),
-            stats: EngineStats::with_statements(statement_names),
+            stats: EngineStats::with_statements(statement_names.clone()),
             stats_epoch: Mutex::new(Instant::now()),
             operator_stats: (0..plan.len()).map(|_| OperatorStats::default()).collect(),
+            attribution: AttributionTable::new(
+                plan.nodes().iter().map(|n| n.name.clone()).collect(),
+                statement_names,
+            ),
             operator_senders,
             trace,
             scatter_specs,
@@ -525,6 +534,15 @@ impl Engine {
             .collect()
     }
 
+    /// Per-operator × per-statement-type cost attribution: for every
+    /// operator, who (which statement type) the busy time and output rows
+    /// were spent on, split by each batch's activation mix. The entries for
+    /// one operator — including the `_idle` residual — sum exactly to that
+    /// operator's totals in [`Engine::operator_stats`].
+    pub fn attribution_stats(&self) -> Vec<AttributionEntry> {
+        self.inner.attribution.snapshot()
+    }
+
     /// Per-segment-lane statistics (empty when `scan_segments <= 1`): busy
     /// time, contributed rows and the per-batch execute-time histogram of
     /// each segment of the intra-engine parallel scan path.
@@ -568,6 +586,7 @@ impl Engine {
         for op in &self.inner.operator_stats {
             op.reset();
         }
+        self.inner.attribution.reset();
         for seg in &self.inner.segment_stats {
             seg.reset();
         }
@@ -875,7 +894,9 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
             }
         }
         process_batch(&inner, &batch);
-        inner.stats.record_batch();
+        inner
+            .stats
+            .record_batch(batch.queries.len() + batch.updates.len());
     }
 
     // Fail everything still pending.
@@ -893,10 +914,27 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
 
 fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
     let batch_started = Instant::now();
+    // The statement-type mix (computed only when tracing is on — it
+    // allocates) is what the attribution table splits operator busy time by.
+    let mix = if inner.trace.capacity() > 0 {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for q in &batch.queries {
+            *counts.entry(q.statement_index).or_default() += 1;
+        }
+        for u in &batch.updates {
+            *counts.entry(u.statement_index).or_default() += 1;
+        }
+        let mut mix: Vec<(usize, usize)> = counts.into_iter().collect();
+        mix.sort_unstable();
+        mix
+    } else {
+        Vec::new()
+    };
     inner.trace.push(TraceEvent::BatchFormed {
         batch: batch.id.0,
         queries: batch.queries.len(),
         updates: batch.updates.len(),
+        mix,
     });
 
     // Phase 1: apply the batch's updates in arrival order (one commit
@@ -920,6 +958,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                             statement_index: update.statement_index,
                             enqueued: update.enqueued,
                             batch_started,
+                            segments: 1,
                         }),
                     );
                 }
@@ -934,6 +973,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                             statement_index: update.statement_index,
                             enqueued: update.enqueued,
                             batch_started,
+                            segments: 1,
                         }),
                     );
                 }
@@ -1151,6 +1191,27 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
             op_busy[node.id],
         );
     }
+    // Attribution: split every operator's folded cycle across the batch's
+    // activation mix. Counting from the pre-rewrite activations covers both
+    // lanes uniformly (a segmented query still has exactly one activation
+    // per operator per execution), and feeding the same folded `op_busy` /
+    // `op_tuples` that record_cycle just consumed is what makes the
+    // attributed sums match the per-operator totals exactly.
+    let n_stmts = inner.attribution.statement_count();
+    let mut act_counts: Vec<u64> = vec![0; plan.len() * n_stmts];
+    for q in &batch.queries {
+        for (op, _) in &q.activations {
+            act_counts[*op * n_stmts + q.statement_index] += 1;
+        }
+    }
+    for node in plan.nodes() {
+        inner.attribution.record_cycle(
+            node.id,
+            &act_counts[node.id * n_stmts..(node.id + 1) * n_stmts],
+            op_tuples[node.id] as u64,
+            op_busy[node.id],
+        );
+    }
     inner.trace.push(TraceEvent::OperatorsFired {
         batch: batch.id.0,
         fired: plan.len(),
@@ -1207,12 +1268,13 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
         }
     }
     for q in &batch.queries {
+        let segmented = segments > 1 && q.segment_ok;
         let ctx = Some(PhaseCtx {
             statement_index: q.statement_index,
             enqueued: q.enqueued,
             batch_started,
+            segments: if segmented { segments } else { 1 },
         });
-        let segmented = segments > 1 && q.segment_ok;
         let lane_error = if segmented { &seg_error } else { &batch_error };
         if let Some(error) = lane_error {
             inner.trace.push(TraceEvent::QueryRouted {
@@ -1413,6 +1475,8 @@ struct PhaseCtx {
     statement_index: usize,
     enqueued: Instant,
     batch_started: Instant,
+    /// Segment lanes the statement executed on (1 = whole lane).
+    segments: u32,
 }
 
 fn complete(
@@ -1449,6 +1513,10 @@ fn complete(
                 if latency >= threshold {
                     inner.stats.record_slow(SlowQueryRecord {
                         statement: inner.registry.by_index(ctx.statement_index).name.clone(),
+                        // The engine does not know its replica id; the
+                        // cluster layer stamps it when concatenating logs.
+                        replica: 0,
+                        segments: ctx.segments,
                         total: latency,
                         admission: ctx.enqueued.duration_since(pending.submitted),
                         batch_wait,
@@ -1688,6 +1756,61 @@ mod tests {
         let outcome = engine.execute_sync("userById", &[Value::Int(33)]).unwrap();
         assert_eq!(outcome.rows().len(), 1);
         assert_eq!(outcome.rows()[0][1], Value::text("user33"));
+    }
+
+    #[test]
+    fn attribution_sums_to_operator_busy_exactly() {
+        let engine = build_engine(EngineConfig::default().heartbeat(Duration::from_millis(5)));
+        // A mixed workload: three query types sharing the USERS/ORDERS scans.
+        let mut handles = Vec::new();
+        for i in 0..20i64 {
+            handles.push(engine.execute("usersByCountry", &[]).unwrap());
+            handles.push(
+                engine
+                    .execute("ordersOfUser", &[Value::text(format!("user{i}"))])
+                    .unwrap(),
+            );
+            handles.push(engine.execute("topOrders", &[Value::Float(0.0)]).unwrap());
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let operators = engine.operator_stats();
+        let attribution = engine.attribution_stats();
+        // The invariant the whole attribution design hangs on: per operator,
+        // the attributed busy times and rows — including the `_idle`
+        // residual — sum EXACTLY to the operator's own counters.
+        for op in &operators {
+            let busy: Duration = attribution
+                .iter()
+                .filter(|e| e.operator == op.name)
+                .map(|e| e.busy)
+                .sum();
+            assert_eq!(busy, op.busy, "busy mismatch for operator {}", op.name);
+            let rows: u64 = attribution
+                .iter()
+                .filter(|e| e.operator == op.name)
+                .map(|e| e.rows)
+                .sum();
+            assert_eq!(rows, op.tuples_out, "row mismatch for operator {}", op.name);
+        }
+        // The USERS scan is genuinely shared: at least two statement types
+        // recorded activations on it.
+        let users_scan = operators
+            .iter()
+            .find(|o| o.name.starts_with("Scan(USERS)"))
+            .unwrap();
+        let sharers: Vec<&str> = attribution
+            .iter()
+            .filter(|e| e.operator == users_scan.name && e.activations > 0)
+            .map(|e| e.statement.as_str())
+            .collect();
+        assert!(
+            sharers.len() >= 2,
+            "expected a shared scan, got {sharers:?}"
+        );
+        engine.reset_stats();
+        assert!(engine.attribution_stats().is_empty());
     }
 
     #[test]

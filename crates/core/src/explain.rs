@@ -1,0 +1,407 @@
+//! EXPLAIN / EXPLAIN ANALYZE over the live global plan.
+//!
+//! SharedDB never compiles a per-query plan, so a classical EXPLAIN ("the
+//! plan this query will get") does not exist. What *does* exist — and what
+//! this module renders — is the statement type's view of the always-on
+//! [`GlobalPlan`]: the operator subtree under the statement's root, each node
+//! annotated with its **sharing set** (which other registered statement types
+//! run through the same operator). `EXPLAIN ANALYZE` additionally folds in
+//! live runtime stats: per-node cycle/row/busy counters and the
+//! per-statement-type cost attribution of
+//! [`crate::stats::AttributionTable`], which is the only way to see who pays
+//! for a shared cycle.
+//!
+//! Everything here is a pure function over plan + registry (+ optional
+//! snapshots), so the server, the `plan_dump` bin and the golden-output
+//! conformance tests all render through one code path.
+
+use crate::plan::{GlobalPlan, OperatorId, StatementKind, StatementRegistry};
+use crate::stats::{AttributionEntry, OperatorStatsSnapshot};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One operator of an [`ExplainTree`], annotated with its sharing set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainNode {
+    /// Operator id in the global plan.
+    pub id: OperatorId,
+    /// Operator name (e.g. `Scan(ITEM)#0`).
+    pub name: String,
+    /// Ids of the input operators.
+    pub inputs: Vec<OperatorId>,
+    /// Names of every statement type sharing this operator (reachability ∪
+    /// activations over the whole registry), in registry order. Always
+    /// includes the explained statement itself.
+    pub sharing: Vec<String>,
+    /// True when the explained statement has an activation template on this
+    /// operator (as opposed to merely consuming its output downstream).
+    pub activated: bool,
+}
+
+/// The annotated operator subtree of one statement type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainTree {
+    /// Statement name.
+    pub statement: String,
+    /// Root operator (the statement's result source); `None` for updates,
+    /// which bypass the operator plan entirely.
+    pub root: Option<OperatorId>,
+    /// The subtree nodes in ascending id order (empty for updates).
+    pub nodes: Vec<ExplainNode>,
+}
+
+impl ExplainTree {
+    /// The node for operator `id`, if it is part of this statement's subtree.
+    pub fn node(&self, id: OperatorId) -> Option<&ExplainNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Nodes shared with at least one *other* statement type.
+    pub fn shared_nodes(&self) -> Vec<&ExplainNode> {
+        self.nodes.iter().filter(|n| n.sharing.len() > 1).collect()
+    }
+}
+
+/// Live runtime stats folded into `EXPLAIN ANALYZE` output: per-operator
+/// counters (indexed by operator id, full plan order), the attribution
+/// snapshot, and the wall-clock window the counters cover.
+#[derive(Debug, Clone)]
+pub struct AnalyzeData {
+    /// Per-operator counters in plan order.
+    pub operators: Vec<OperatorStatsSnapshot>,
+    /// Nonzero attribution cells (operator × statement type).
+    pub attribution: Vec<AttributionEntry>,
+    /// Wall-clock window the counters were accumulated over.
+    pub wall: Duration,
+}
+
+/// The per-operator sharing sets of the whole plan: for each operator, the
+/// ascending registry indices of every statement type whose subtree or
+/// activation list touches it. An operator's **sharing factor** is the length
+/// of its set — the quantity SharedDB exists to maximise.
+pub fn sharing_sets(plan: &GlobalPlan, registry: &StatementRegistry) -> Vec<Vec<usize>> {
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); plan.len()];
+    for (idx, spec) in registry.iter().enumerate() {
+        let mut touched = vec![false; plan.len()];
+        if let Some(root) = spec.root() {
+            mark_subtree(plan, root, &mut touched);
+        }
+        for (op, _) in &spec.activations {
+            touched[*op] = true;
+        }
+        for (op, hit) in touched.iter().enumerate() {
+            if *hit {
+                sets[op].push(idx);
+            }
+        }
+    }
+    sets
+}
+
+fn mark_subtree(plan: &GlobalPlan, root: OperatorId, touched: &mut [bool]) {
+    if touched[root] {
+        return;
+    }
+    touched[root] = true;
+    for &input in &plan.node(root).inputs {
+        mark_subtree(plan, input, touched);
+    }
+}
+
+/// Builds the annotated subtree for the statement at `index`.
+pub fn explain_statement(
+    plan: &GlobalPlan,
+    registry: &StatementRegistry,
+    index: usize,
+) -> ExplainTree {
+    let spec = registry.by_index(index);
+    let root = spec.root();
+    let mut nodes = Vec::new();
+    if let Some(root) = root {
+        let sets = sharing_sets(plan, registry);
+        let mut touched = vec![false; plan.len()];
+        mark_subtree(plan, root, &mut touched);
+        for (op, _) in &spec.activations {
+            touched[*op] = true;
+        }
+        for node in plan.nodes() {
+            if !touched[node.id] {
+                continue;
+            }
+            nodes.push(ExplainNode {
+                id: node.id,
+                name: node.name.clone(),
+                inputs: node.inputs.clone(),
+                sharing: sets[node.id]
+                    .iter()
+                    .map(|&s| registry.by_index(s).name.clone())
+                    .collect(),
+                activated: spec.activations.iter().any(|(o, _)| *o == node.id),
+            });
+        }
+    }
+    ExplainTree {
+        statement: spec.name.clone(),
+        root,
+        nodes,
+    }
+}
+
+/// Renders the statement's annotated subtree as indented text — the body of
+/// an `EXPLAIN [ANALYZE]` reply. Deterministic for a fixed plan + registry
+/// (golden-tested over the SQL conformance corpus); `analyze` appends live
+/// counters and the per-statement attributed costs under each node.
+pub fn render_explain_text(
+    plan: &GlobalPlan,
+    registry: &StatementRegistry,
+    index: usize,
+    analyze: Option<&AnalyzeData>,
+) -> String {
+    let tree = explain_statement(plan, registry, index);
+    let spec = registry.by_index(index);
+    let mut out = String::new();
+    match (&spec.kind, tree.root) {
+        (StatementKind::Update { table, .. }, _) => {
+            let _ = writeln!(
+                out,
+                "statement {}: update on table {table} (no shared operators; applied \
+                 by the storage owner of {table})",
+                tree.statement
+            );
+        }
+        (_, Some(root)) => {
+            let _ = writeln!(out, "statement {}: query", tree.statement);
+            render_node_text(&tree, root, 1, analyze, &mut out);
+        }
+        (_, None) => {
+            let _ = writeln!(out, "statement {}: query (no root)", tree.statement);
+        }
+    }
+    out
+}
+
+fn render_node_text(
+    tree: &ExplainTree,
+    id: OperatorId,
+    depth: usize,
+    analyze: Option<&AnalyzeData>,
+    out: &mut String,
+) {
+    let Some(node) = tree.node(id) else { return };
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}{} [shared by {}: {}]",
+        node.name,
+        node.sharing.len(),
+        node.sharing.join(", ")
+    );
+    if node.activated {
+        out.push_str(" (activated)");
+    }
+    out.push('\n');
+    if let Some(data) = analyze {
+        if let Some(op) = data.operators.get(id) {
+            let _ = writeln!(
+                out,
+                "{indent}  · cycles={} active={} rows={} busy={}us",
+                op.cycles,
+                op.active_cycles,
+                op.tuples_out,
+                op.busy.as_micros()
+            );
+        }
+        for entry in data.attribution.iter().filter(|e| {
+            e.operator == node.name && (e.activations > 0 || e.rows > 0 || !e.busy.is_zero())
+        }) {
+            let _ = writeln!(
+                out,
+                "{indent}  · attributed {}: activations={} rows={} busy={}us",
+                entry.statement,
+                entry.activations,
+                entry.rows,
+                entry.busy.as_micros()
+            );
+        }
+    }
+    for &input in &node.inputs {
+        render_node_text(tree, input, depth + 1, analyze, out);
+    }
+}
+
+/// Renders the whole plan as a Graphviz digraph, with the subtree of the
+/// statement at `index` (when given) filled and every node labelled with its
+/// sharing factor. Edges point data-flow-wise, input → consumer.
+pub fn render_dot(
+    plan: &GlobalPlan,
+    registry: &StatementRegistry,
+    highlight: Option<usize>,
+) -> String {
+    let sets = sharing_sets(plan, registry);
+    let mut touched = vec![false; plan.len()];
+    if let Some(index) = highlight {
+        let spec = registry.by_index(index);
+        if let Some(root) = spec.root() {
+            mark_subtree(plan, root, &mut touched);
+        }
+        for (op, _) in &spec.activations {
+            touched[*op] = true;
+        }
+    }
+    let mut out = String::from("digraph global_plan {\n  rankdir=BT;\n  node [shape=box];\n");
+    for node in plan.nodes() {
+        let style = if touched[node.id] {
+            ", style=filled, fillcolor=lightgoldenrod"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  op{} [label=\"{}\\nshared by {}\"{style}];",
+            node.id,
+            node.name.replace('"', "\\\""),
+            sets[node.id].len()
+        );
+    }
+    for node in plan.nodes() {
+        for &input in &node.inputs {
+            let _ = writeln!(out, "  op{input} -> op{};", node.id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ActivationTemplate, PlanBuilder, StatementSpec, UpdateTemplate};
+    use shareddb_common::{DataType, Expr, SortKey};
+    use shareddb_storage::{Catalog, TableDef};
+
+    fn fixture() -> (GlobalPlan, StatementRegistry) {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new("T")
+                    .column("ID", DataType::Int)
+                    .column("V", DataType::Int)
+                    .primary_key(&["ID"]),
+            )
+            .unwrap();
+        let mut builder = PlanBuilder::new(&catalog);
+        let scan = builder.table_scan("T").unwrap();
+        let sort = builder.sort(scan, vec![SortKey::asc(0)]).unwrap();
+        let plan = builder.build();
+        let mut registry = StatementRegistry::new();
+        registry
+            .register(StatementSpec::query("pointT", scan).activate(
+                scan,
+                ActivationTemplate::Scan {
+                    predicate: Expr::col(0).eq(Expr::param(0)),
+                },
+            ))
+            .unwrap();
+        registry
+            .register(
+                StatementSpec::query("allT", sort)
+                    .activate(
+                        scan,
+                        ActivationTemplate::Scan {
+                            predicate: Expr::lit(true),
+                        },
+                    )
+                    .activate(sort, ActivationTemplate::Participate),
+            )
+            .unwrap();
+        registry
+            .register(StatementSpec::update(
+                "addT",
+                "T",
+                UpdateTemplate::Insert {
+                    values: vec![Expr::lit(0i64), Expr::lit(0i64)],
+                },
+            ))
+            .unwrap();
+        registry.validate(&plan).unwrap();
+        (plan, registry)
+    }
+
+    #[test]
+    fn sharing_sets_cover_subtrees_and_activations() {
+        let (plan, registry) = fixture();
+        let sets = sharing_sets(&plan, &registry);
+        // The scan is shared by both queries; the sort only by allT; the
+        // update statement shares nothing.
+        assert_eq!(sets[0], vec![0, 1]);
+        assert_eq!(sets[1], vec![1]);
+    }
+
+    #[test]
+    fn explain_tree_annotates_sharing_and_activation() {
+        let (plan, registry) = fixture();
+        let tree = explain_statement(&plan, &registry, 1);
+        assert_eq!(tree.statement, "allT");
+        assert_eq!(tree.nodes.len(), 2);
+        let scan = tree.node(0).unwrap();
+        assert_eq!(scan.sharing, vec!["pointT".to_string(), "allT".to_string()]);
+        assert!(scan.activated);
+        let sort = tree.node(1).unwrap();
+        assert_eq!(sort.sharing, vec!["allT".to_string()]);
+        assert!(sort.activated);
+        assert_eq!(tree.shared_nodes().len(), 1);
+        // From pointT's side the sort is invisible (not in its subtree).
+        let point = explain_statement(&plan, &registry, 0);
+        assert_eq!(point.nodes.len(), 1);
+        assert!(point.node(1).is_none());
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_and_marks_updates() {
+        let (plan, registry) = fixture();
+        let text = render_explain_text(&plan, &registry, 1, None);
+        assert!(text.starts_with("statement allT: query\n"));
+        assert!(text.contains("[shared by 2: pointT, allT]"));
+        assert_eq!(text, render_explain_text(&plan, &registry, 1, None));
+        let update = render_explain_text(&plan, &registry, 2, None);
+        assert!(update.contains("update on table T"));
+        let dot = render_dot(&plan, &registry, Some(1));
+        assert!(dot.starts_with("digraph global_plan {"));
+        assert!(dot.contains("op0 -> op1;"));
+        assert!(dot.contains("fillcolor=lightgoldenrod"));
+    }
+
+    #[test]
+    fn analyze_appends_runtime_and_attribution() {
+        let (plan, registry) = fixture();
+        let data = AnalyzeData {
+            operators: vec![
+                OperatorStatsSnapshot {
+                    name: plan.node(0).name.clone(),
+                    cycles: 4,
+                    active_cycles: 3,
+                    tuples_out: 12,
+                    busy: Duration::from_micros(90),
+                },
+                OperatorStatsSnapshot {
+                    name: plan.node(1).name.clone(),
+                    cycles: 4,
+                    active_cycles: 1,
+                    tuples_out: 12,
+                    busy: Duration::from_micros(30),
+                },
+            ],
+            attribution: vec![AttributionEntry {
+                operator: plan.node(0).name.clone(),
+                statement: "pointT".into(),
+                activations: 3,
+                rows: 9,
+                busy: Duration::from_micros(60),
+            }],
+            wall: Duration::from_secs(1),
+        };
+        let text = render_explain_text(&plan, &registry, 0, Some(&data));
+        assert!(text.contains("cycles=4 active=3 rows=12 busy=90us"));
+        assert!(text.contains("attributed pointT: activations=3 rows=9 busy=60us"));
+    }
+}

@@ -32,7 +32,10 @@
 //! * [`scatter`] — the partitionability walker: which statement shapes can run
 //!   over disjoint row partitions (cluster fanout and intra-engine segments).
 //! * [`merge`] — recombination of partitioned partial results (`MergeSpec`).
-//! * [`stats`] — per-operator and engine-level metrics, phase histograms.
+//! * [`explain`] — EXPLAIN/EXPLAIN ANALYZE: annotated statement subtrees,
+//!   sharing sets, text + DOT rendering.
+//! * [`stats`] — per-operator and engine-level metrics, phase histograms,
+//!   per-statement-type cost attribution.
 //! * [`trace`] — the bounded batch-lifecycle trace journal.
 //! * [`budget`] — the core budget used to emulate "number of CPU cores".
 //! * [`config`] — engine configuration.
@@ -41,6 +44,7 @@ pub mod batch;
 pub mod budget;
 pub mod config;
 pub mod engine;
+pub mod explain;
 pub mod merge;
 pub mod operators;
 pub mod plan;
@@ -52,12 +56,19 @@ pub mod trace;
 pub use batch::{Activation, ActiveQuery, QueryBatch};
 pub use config::EngineConfig;
 pub use engine::{Engine, QueryOutcome, ResultSet, SubmitOptions};
+pub use explain::{
+    explain_statement, render_dot, render_explain_text, sharing_sets, AnalyzeData, ExplainNode,
+    ExplainTree,
+};
 pub use merge::{merge_results, MergeSpec};
 pub use plan::{
     ActivationTemplate, ComputedColumn, GlobalPlan, OperatorId, OperatorSpec, PlanBuilder,
     StatementKind, StatementRegistry, StatementSpec,
 };
 pub use scatter::{scatter_spec, ScatterSpec};
-pub use stats::{Phase, SegmentStatsSnapshot, SlowQueryRecord, StatementPhaseSnapshot, NUM_PHASES};
+pub use stats::{
+    merge_attribution, AttributionEntry, Phase, SegmentStatsSnapshot, SlowQueryRecord,
+    StatementPhaseSnapshot, IDLE_STATEMENT, NUM_PHASES,
+};
 pub use storage_ops::tuple_partition;
 pub use trace::{TraceEvent, TraceJournal, TraceRecord};

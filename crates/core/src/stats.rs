@@ -173,6 +173,201 @@ impl SegmentStats {
 }
 
 // ---------------------------------------------------------------------------
+// Per-operator × per-statement-type cost attribution
+// ---------------------------------------------------------------------------
+
+/// The reserved attribution column for operator cycles in which no registered
+/// statement type had an activation (e.g. a shared scan revolving for a batch
+/// whose queries all target other operators). Keeping this residual explicit
+/// is what makes the attribution *exact*: for every operator, the attributed
+/// busy times across all columns — including `_idle` — sum to the operator's
+/// total busy time in [`OperatorStats`].
+pub const IDLE_STATEMENT: &str = "_idle";
+
+/// One cell of the attribution matrix (lock-free, updated by the coordinator
+/// once per operator per batch).
+#[derive(Debug, Default)]
+struct AttributionCell {
+    activations: AtomicU64,
+    rows: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// One nonzero cell of the attribution matrix (plain-data snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributionEntry {
+    /// Operator name (`GlobalPlan` node name, e.g. `ClockScan#0`).
+    pub operator: String,
+    /// Statement type name, or [`IDLE_STATEMENT`] for the residual column.
+    pub statement: String,
+    /// Batches in which this statement type activated this operator, summed
+    /// over the statement's queries (two pipelined `getItem`s in one batch
+    /// count as two activations).
+    pub activations: u64,
+    /// Tuples of the operator's output attributed to this statement type.
+    pub rows: u64,
+    /// Operator busy time attributed to this statement type.
+    pub busy: Duration,
+}
+
+/// Per-operator × per-statement-type cost attribution.
+///
+/// SharedDB executes *one* shared cycle per operator per batch, so a plain
+/// per-operator counter cannot say **who** paid for a heavy cycle. This table
+/// splits each cycle's busy time and output rows across the batch's
+/// *activation mix*: if a `ClockScan` cycle served 3 `getItem` activations
+/// and 1 `allItems` activation, `getItem` is attributed 3/4 of the cycle's
+/// busy time and `allItems` 1/4. The split is proportional-by-activation
+/// (the engine has no per-activation timer inside a shared cycle — that is
+/// the whole point of sharing), with the integer-division remainder assigned
+/// to the last active statement so per-batch sums are exact, not rounded.
+///
+/// Storage is a flat `operators × (statements + 1)` matrix of atomics sized
+/// once at engine start — recording is alloc-free and lock-free, same
+/// discipline as [`shareddb_common::metrics::Histogram`]. The extra column is
+/// [`IDLE_STATEMENT`].
+#[derive(Debug, Default)]
+pub struct AttributionTable {
+    operators: Vec<String>,
+    statements: Vec<String>,
+    cells: Vec<AttributionCell>,
+}
+
+impl AttributionTable {
+    /// A matrix with one row per operator (plan order) and one column per
+    /// statement (registry order) plus the `_idle` residual column.
+    pub fn new(operators: Vec<String>, statements: Vec<String>) -> AttributionTable {
+        let cells = (0..operators.len() * (statements.len() + 1))
+            .map(|_| AttributionCell::default())
+            .collect();
+        AttributionTable {
+            operators,
+            statements,
+            cells,
+        }
+    }
+
+    /// Number of statement columns (excluding the `_idle` residual).
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Records one operator cycle: `counts[i]` activations of statement `i`
+    /// in this batch, and the cycle's total output tuples and busy time.
+    /// `counts.len()` must equal [`AttributionTable::statement_count`].
+    ///
+    /// Busy time and rows are split proportionally to the activation counts;
+    /// the division remainder goes to the last active statement, so the
+    /// row-sum invariant (`Σ attributed busy == operator busy`) holds
+    /// exactly. A cycle with no activations lands entirely in `_idle`.
+    pub fn record_cycle(&self, operator: usize, counts: &[u64], tuples: u64, busy: Duration) {
+        debug_assert_eq!(counts.len(), self.statements.len());
+        let cols = self.statements.len() + 1;
+        let base = operator * cols;
+        let total: u64 = counts.iter().sum();
+        let busy_nanos = busy.as_nanos() as u64;
+        if total == 0 {
+            let idle = &self.cells[base + self.statements.len()];
+            idle.rows.fetch_add(tuples, Ordering::Relaxed);
+            idle.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+            return;
+        }
+        let last = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("total > 0 implies a nonzero count");
+        let mut given_busy = 0u64;
+        let mut given_rows = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (share_busy, share_rows) = if i == last {
+                (busy_nanos - given_busy, tuples - given_rows)
+            } else {
+                let b = (busy_nanos as u128 * count as u128 / total as u128) as u64;
+                let r = (tuples as u128 * count as u128 / total as u128) as u64;
+                (b, r)
+            };
+            given_busy += share_busy;
+            given_rows += share_rows;
+            let cell = &self.cells[base + i];
+            cell.activations.fetch_add(count, Ordering::Relaxed);
+            cell.rows.fetch_add(share_rows, Ordering::Relaxed);
+            cell.busy_nanos.fetch_add(share_busy, Ordering::Relaxed);
+        }
+    }
+
+    /// Every nonzero cell, operator-major, statement columns in registry
+    /// order with `_idle` last.
+    pub fn snapshot(&self) -> Vec<AttributionEntry> {
+        let cols = self.statements.len() + 1;
+        let mut out = Vec::new();
+        for (op, operator) in self.operators.iter().enumerate() {
+            for col in 0..cols {
+                let cell = &self.cells[op * cols + col];
+                let activations = cell.activations.load(Ordering::Relaxed);
+                let rows = cell.rows.load(Ordering::Relaxed);
+                let busy_nanos = cell.busy_nanos.load(Ordering::Relaxed);
+                if activations == 0 && rows == 0 && busy_nanos == 0 {
+                    continue;
+                }
+                out.push(AttributionEntry {
+                    operator: operator.clone(),
+                    statement: self
+                        .statements
+                        .get(col)
+                        .cloned()
+                        .unwrap_or_else(|| IDLE_STATEMENT.to_string()),
+                    activations,
+                    rows,
+                    busy: Duration::from_nanos(busy_nanos),
+                });
+            }
+        }
+        out
+    }
+
+    /// Zeroes every cell.
+    pub fn reset(&self) {
+        for cell in &self.cells {
+            cell.activations.store(0, Ordering::Relaxed);
+            cell.rows.store(0, Ordering::Relaxed);
+            cell.busy_nanos.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Merges per-replica attribution snapshots by `(operator, statement)` key,
+/// summing counters. Order is first-seen, which for replicas of one shared
+/// plan (identical operator/statement universes) reproduces the single-
+/// replica order — cell-exact, the same property the phase histograms get
+/// from bucket-wise merging.
+pub fn merge_attribution(per_replica: &[Vec<AttributionEntry>]) -> Vec<AttributionEntry> {
+    let mut index: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    let mut out: Vec<AttributionEntry> = Vec::new();
+    for part in per_replica {
+        for entry in part {
+            let key = (entry.operator.clone(), entry.statement.clone());
+            match index.get(&key) {
+                Some(&slot) => {
+                    let merged = &mut out[slot];
+                    merged.activations += entry.activations;
+                    merged.rows += entry.rows;
+                    merged.busy += entry.busy;
+                }
+                None => {
+                    index.insert(key, out.len());
+                    out.push(entry.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Phase-tagged latency histograms
 // ---------------------------------------------------------------------------
 
@@ -347,6 +542,12 @@ impl PhaseTable {
 pub struct SlowQueryRecord {
     /// Statement name.
     pub statement: String,
+    /// Replica the statement was routed to (stamped by the cluster layer;
+    /// 0 inside a single engine). Without it a slow fanned-out query is
+    /// indistinguishable from a pinned one in the log.
+    pub replica: usize,
+    /// Segment lanes the statement executed on (1 = whole lane).
+    pub segments: u32,
     /// End-to-end latency (submission → completion).
     pub total: Duration,
     /// Time spent binding + enqueueing.
@@ -377,6 +578,11 @@ pub struct EngineStats {
     max_latency_nanos: AtomicU64,
     /// End-to-end latency histogram over all statement types.
     histogram: Histogram,
+    /// Batch-occupancy histogram: statements per processed batch. The shape
+    /// of this distribution *is* the sharing opportunity — a p50 of 1 means
+    /// the heartbeat mostly forms singleton batches and shared cycles are
+    /// wasted revolutions.
+    occupancy: Histogram,
     /// Per-statement-type, per-phase latency histograms.
     phases: PhaseTable,
     /// Total statements that crossed the slow-query threshold.
@@ -412,6 +618,10 @@ pub struct EngineStatsSnapshot {
     /// merging these across replicas reproduces the cluster-wide percentiles
     /// exactly instead of approximating them from per-replica numbers.
     pub histogram: HistogramSnapshot,
+    /// Statements-per-batch occupancy histogram (recorded in "microsecond"
+    /// units: one unit = one statement), merged bucket-wise across replicas
+    /// like the latency histograms.
+    pub occupancy: HistogramSnapshot,
 }
 
 impl EngineStats {
@@ -423,9 +633,11 @@ impl EngineStats {
         }
     }
 
-    /// Records a completed batch.
-    pub fn record_batch(&self) {
+    /// Records a completed batch and its occupancy (statements it carried).
+    pub fn record_batch(&self, statements: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.occupancy
+            .record(Duration::from_micros(statements as u64));
     }
 
     /// Records a completed query with its end-to-end latency.
@@ -493,6 +705,7 @@ impl EngineStats {
         self.latency_nanos.store(0, Ordering::Relaxed);
         self.max_latency_nanos.store(0, Ordering::Relaxed);
         self.histogram.reset();
+        self.occupancy.reset();
         self.phases.reset();
         self.slow_total.store(0, Ordering::Relaxed);
         self.slow.lock().clear();
@@ -517,6 +730,7 @@ impl EngineStats {
             p95_latency: Duration::from_micros(histogram.percentile_us(0.95)),
             p99_latency: Duration::from_micros(histogram.percentile_us(0.99)),
             histogram,
+            occupancy: self.occupancy.snapshot(),
         }
     }
 }
@@ -550,9 +764,10 @@ mod tests {
         stats.record_query(5, Duration::from_millis(3));
         stats.record_update(Duration::from_millis(2));
         stats.record_failure();
-        stats.record_batch();
+        stats.record_batch(3);
         let snap = stats.snapshot();
         assert_eq!(snap.batches, 1);
+        assert_eq!(snap.occupancy.count, 1);
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.updates, 1);
         assert_eq!(snap.failed, 1);
@@ -596,6 +811,8 @@ mod tests {
         for i in 0..(SLOW_LOG_CAPACITY + 10) {
             stats.record_slow(SlowQueryRecord {
                 statement: format!("q{i}"),
+                replica: 0,
+                segments: 1,
                 total: Duration::from_millis(i as u64),
                 admission: Duration::ZERO,
                 batch_wait: Duration::ZERO,
@@ -607,6 +824,63 @@ mod tests {
         assert_eq!(tail.len(), SLOW_LOG_CAPACITY);
         // The oldest entries were dropped.
         assert_eq!(tail[0].statement, "q10");
+    }
+
+    #[test]
+    fn attribution_splits_are_exact() {
+        let table = AttributionTable::new(
+            vec!["Scan#0".into(), "Join#1".into()],
+            vec!["light".into(), "heavy".into()],
+        );
+        // A batch where Scan#0 serves 3 light + 1 heavy activations; the
+        // 1000ns cycle does not divide evenly (750 / 250 does, so use 999).
+        table.record_cycle(0, &[3, 1], 10, Duration::from_nanos(999));
+        // A cycle with no activations lands in _idle.
+        table.record_cycle(1, &[0, 0], 2, Duration::from_nanos(77));
+        let snap = table.snapshot();
+        let cell = |op: &str, stmt: &str| {
+            snap.iter()
+                .find(|e| e.operator == op && e.statement == stmt)
+                .unwrap()
+                .clone()
+        };
+        let light = cell("Scan#0", "light");
+        let heavy = cell("Scan#0", "heavy");
+        assert_eq!(light.activations, 3);
+        assert_eq!(heavy.activations, 1);
+        // Proportional split with the remainder on the last active column:
+        // exact sum back to the cycle totals.
+        assert_eq!(
+            light.busy + heavy.busy,
+            Duration::from_nanos(999),
+            "attributed busy must sum exactly to the cycle's busy time"
+        );
+        assert_eq!(light.rows + heavy.rows, 10);
+        assert!(light.busy > heavy.busy);
+        let idle = cell("Join#1", IDLE_STATEMENT);
+        assert_eq!(idle.activations, 0);
+        assert_eq!(idle.rows, 2);
+        assert_eq!(idle.busy, Duration::from_nanos(77));
+        table.reset();
+        assert!(table.snapshot().is_empty());
+    }
+
+    #[test]
+    fn attribution_merge_sums_by_key() {
+        let make = |busy: u64| {
+            let t = AttributionTable::new(vec!["Scan#0".into()], vec!["light".into()]);
+            t.record_cycle(0, &[2], 5, Duration::from_nanos(busy));
+            t.snapshot()
+        };
+        let merged = merge_attribution(&[make(100), make(300)]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].operator, "Scan#0");
+        assert_eq!(merged[0].statement, "light");
+        assert_eq!(merged[0].activations, 4);
+        assert_eq!(merged[0].rows, 10);
+        assert_eq!(merged[0].busy, Duration::from_nanos(400));
+        // Merging one snapshot is the identity.
+        assert_eq!(merge_attribution(&[make(100)]), make(100));
     }
 
     #[test]

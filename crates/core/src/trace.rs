@@ -27,6 +27,11 @@ pub enum TraceEvent {
         queries: usize,
         /// Updates admitted into the batch.
         updates: usize,
+        /// Statement-type mix of the batch: `(statement registry index,
+        /// count)` over queries **and** updates, indexes ascending, zero
+        /// counts omitted. This is the activation mix operator busy time is
+        /// attributed by.
+        mix: Vec<(usize, usize)>,
     },
     /// All operators of one cycle completed (one event per batch).
     OperatorsFired {
@@ -143,10 +148,22 @@ impl std::fmt::Display for TraceEvent {
                 batch,
                 queries,
                 updates,
-            } => write!(
-                f,
-                "batch {batch} formed: {queries} queries, {updates} updates"
-            ),
+                mix,
+            } => {
+                write!(
+                    f,
+                    "batch {batch} formed: {queries} queries, {updates} updates"
+                )?;
+                if !mix.is_empty() {
+                    write!(f, ", mix [")?;
+                    for (i, (statement, count)) in mix.iter().enumerate() {
+                        let sep = if i == 0 { "" } else { ", " };
+                        write!(f, "{sep}#{statement}\u{00d7}{count}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
             TraceEvent::OperatorsFired {
                 batch,
                 fired,
@@ -191,6 +208,7 @@ mod tests {
                 batch: i,
                 queries: 1,
                 updates: 0,
+                mix: vec![(0, 1)],
             });
         }
         let records = journal.snapshot();
@@ -209,6 +227,7 @@ mod tests {
             batch: 1,
             queries: 0,
             updates: 0,
+            mix: Vec::new(),
         });
         assert!(journal.snapshot().is_empty());
         assert_eq!(journal.pushed(), 0);
@@ -226,5 +245,13 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains("batch 7"));
         assert!(s.contains("3 rows"));
+        let formed = TraceEvent::BatchFormed {
+            batch: 9,
+            queries: 6,
+            updates: 1,
+            mix: vec![(0, 4), (2, 3)],
+        };
+        let s = format!("{formed}");
+        assert!(s.contains("mix [#0\u{00d7}4, #2\u{00d7}3]"));
     }
 }

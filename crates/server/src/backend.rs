@@ -22,7 +22,8 @@
 use shareddb_cluster::{ClusterConfig, ClusterEngine, ClusterHandle};
 use shareddb_common::{Result, Value};
 use shareddb_core::stats::{
-    EngineStatsSnapshot, OperatorStatsSnapshot, SegmentStatsSnapshot, StatementPhaseSnapshot,
+    AttributionEntry, EngineStatsSnapshot, OperatorStatsSnapshot, SegmentStatsSnapshot,
+    StatementPhaseSnapshot,
 };
 use shareddb_core::trace::TraceRecord;
 use shareddb_core::{EngineConfig, GlobalPlan, SlowQueryRecord, StatementRegistry, SubmitOptions};
@@ -62,6 +63,16 @@ impl ClusterBackend {
     /// Number of engine replicas.
     pub fn replicas(&self) -> usize {
         self.cluster.replicas()
+    }
+
+    /// The global plan every replica deploys.
+    pub fn plan(&self) -> &GlobalPlan {
+        self.cluster.plan()
+    }
+
+    /// The statement registry the cluster routes by.
+    pub fn registry(&self) -> &StatementRegistry {
+        self.cluster.registry()
     }
 
     /// Aggregated engine statistics.
@@ -106,9 +117,20 @@ impl ClusterBackend {
         self.cluster.replica_segment_stats()
     }
 
-    /// Slow-query count and retained offender records, summed over replicas.
+    /// Slow-query count and retained offender records, summed over replicas
+    /// (each record stamped with its executing replica).
     pub fn slow_queries(&self) -> (u64, Vec<SlowQueryRecord>) {
         self.cluster.slow_queries()
+    }
+
+    /// Per-replica per-operator × per-statement-type cost attribution.
+    pub fn replica_attribution_stats(&self) -> Vec<Vec<AttributionEntry>> {
+        self.cluster.replica_attribution_stats()
+    }
+
+    /// Cluster-wide cost attribution, merged by `(operator, statement)` key.
+    pub fn attribution_stats(&self) -> Vec<AttributionEntry> {
+        self.cluster.attribution_stats()
     }
 
     /// One replica's batch-lifecycle trace journal.

@@ -38,15 +38,17 @@
 //! deadline is armed.
 
 use crate::protocol::{
-    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireOperatorStats, WirePhaseSummary,
-    WireReplicaStats, WireStatementPhases, WireStats, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, chunk_flags, error_to_wire, Frame, FrameDecoder, WireAttributedCost, WireExplain,
+    WireExplainNode, WireOperatorStats, WirePhaseSummary, WireReplicaStats, WireStatementPhases,
+    WireStats, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::server::Shared;
 use shareddb_cluster::ClusterHandle;
-use shareddb_common::Error;
+use shareddb_common::{DataType, Error, Value};
 use shareddb_core::stats::{OperatorStatsSnapshot, StatementPhaseSnapshot};
+use shareddb_core::{explain_statement, render_explain_text, AnalyzeData};
 use shareddb_core::{Phase, QueryOutcome, SubmitOptions};
-use shareddb_sql::compile::{bind_adhoc, canonicalize};
+use shareddb_sql::compile::{bind_adhoc, canonicalize, parse_explain};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -1093,6 +1095,32 @@ impl Reactor {
                 true
             }
             Frame::Query { request_id, sql } => {
+                // `EXPLAIN [ANALYZE] <stmt>` answers from the live global
+                // plan instead of executing: a one-column result set with
+                // one row per rendered plan line, so any client that can
+                // run ad-hoc SQL can introspect the shared plan.
+                if let Some((analyze, rest)) = parse_explain(&sql) {
+                    self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                    let reply = match self
+                        .resolve_explain_target(rest)
+                        .and_then(|index| self.build_explain(index, analyze))
+                    {
+                        Ok(explain) => Frame::ResultChunk {
+                            request_id,
+                            flags: chunk_flags::FIRST | chunk_flags::LAST,
+                            rows_affected: 0,
+                            schema: vec![("PLAN".into(), DataType::Text)],
+                            rows: explain
+                                .text
+                                .lines()
+                                .map(|line| vec![Value::text(line)])
+                                .collect(),
+                        },
+                        Err(e) => error_frame(request_id, &e),
+                    };
+                    self.enqueue_reply(token, &reply);
+                    return true;
+                }
                 let resolved = canonicalize(&sql).and_then(|adhoc_template| {
                     match self.shared.adhoc.get(&adhoc_template.canonical) {
                         Some((name, template)) => bind_adhoc(template, &adhoc_template)
@@ -1177,6 +1205,27 @@ impl Reactor {
                 self.enqueue_reply(token, &Frame::Pong { request_id });
                 true
             }
+            Frame::Explain {
+                request_id,
+                analyze,
+                sql,
+            } => {
+                // The text may carry its own EXPLAIN [ANALYZE] prefix; the
+                // frame flag and the textual ANALYZE OR together.
+                let (text_analyze, rest) = parse_explain(&sql).unwrap_or((false, sql.trim()));
+                let reply = match self
+                    .resolve_explain_target(rest)
+                    .and_then(|index| self.build_explain(index, analyze || text_analyze))
+                {
+                    Ok(explain) => Frame::ExplainReply {
+                        request_id,
+                        explain,
+                    },
+                    Err(e) => error_frame(request_id, &e),
+                };
+                self.enqueue_reply(token, &reply);
+                true
+            }
             Frame::Goodbye => {
                 self.enqueue_reply(token, &Frame::GoodbyeOk);
                 if let Some(conn) = self.conns.get_mut(&token) {
@@ -1192,13 +1241,123 @@ impl Reactor {
             | Frame::Error { .. }
             | Frame::StatsReply { .. }
             | Frame::GoodbyeOk
-            | Frame::Pong { .. } => {
+            | Frame::Pong { .. }
+            | Frame::ExplainReply { .. } => {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.dead = true;
                 }
                 false
             }
         }
+    }
+
+    /// Resolves EXPLAIN's target — a registered statement name, or ad-hoc
+    /// SQL matched by auto-parameterisation — to its registry index.
+    fn resolve_explain_target(&self, text: &str) -> Result<usize, Error> {
+        let text = text.trim().trim_end_matches(';').trim();
+        if text.is_empty() {
+            return Err(Error::Parse(
+                "EXPLAIN requires a statement name or SQL text".into(),
+            ));
+        }
+        let bare_name = text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if bare_name {
+            return self.shared.registry.get(text).map(|(index, _)| index);
+        }
+        let template = canonicalize(text)?;
+        match self.shared.adhoc.get(&template.canonical) {
+            Some((name, _)) => self.shared.registry.get(name).map(|(index, _)| index),
+            None => Err(Error::UnknownStatement(format!(
+                "no registered statement type matches: {}",
+                template.canonical
+            ))),
+        }
+    }
+
+    /// Builds the [`WireExplain`] payload for one statement type: the
+    /// annotated subtree, and — when `analyze` — per-operator counters
+    /// summed over replicas plus the cluster-merged cost attribution.
+    fn build_explain(&self, index: usize, analyze: bool) -> Result<WireExplain, Error> {
+        let engine = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
+        let backend = engine.as_ref().ok_or(Error::EngineShutdown)?;
+        let plan = backend.plan();
+        let registry = backend.registry();
+        let data = if analyze {
+            let mut wall = Duration::ZERO;
+            let mut operators: Vec<OperatorStatsSnapshot> = plan
+                .nodes()
+                .iter()
+                .map(|node| OperatorStatsSnapshot {
+                    name: node.name.clone(),
+                    ..OperatorStatsSnapshot::default()
+                })
+                .collect();
+            for (replica_wall, ops) in backend.replica_operator_stats() {
+                wall = wall.max(replica_wall);
+                for (total, snap) in operators.iter_mut().zip(ops) {
+                    total.cycles += snap.cycles;
+                    total.active_cycles += snap.active_cycles;
+                    total.tuples_out += snap.tuples_out;
+                    total.busy += snap.busy;
+                }
+            }
+            Some(AnalyzeData {
+                operators,
+                attribution: backend.attribution_stats(),
+                wall,
+            })
+        } else {
+            None
+        };
+        let tree = explain_statement(plan, registry, index);
+        let text = render_explain_text(plan, registry, index, data.as_ref());
+        let nodes = tree
+            .nodes
+            .iter()
+            .map(|node| {
+                let (cycles, tuples, busy_us, attributed) = match &data {
+                    Some(data) => {
+                        let op = &data.operators[node.id];
+                        let attributed = data
+                            .attribution
+                            .iter()
+                            .filter(|e| e.operator == node.name)
+                            .map(|e| WireAttributedCost {
+                                statement: e.statement.clone(),
+                                activations: e.activations,
+                                rows: e.rows,
+                                busy_us: e.busy.as_micros() as u64,
+                            })
+                            .collect();
+                        (
+                            op.cycles,
+                            op.tuples_out,
+                            op.busy.as_micros() as u64,
+                            attributed,
+                        )
+                    }
+                    None => (0, 0, 0, Vec::new()),
+                };
+                WireExplainNode {
+                    operator: node.id as u32,
+                    name: node.name.clone(),
+                    inputs: node.inputs.iter().map(|&i| i as u32).collect(),
+                    sharing: node.sharing.clone(),
+                    activated: node.activated,
+                    cycles,
+                    tuples,
+                    busy_us,
+                    attributed,
+                }
+            })
+            .collect();
+        Ok(WireExplain {
+            statement: tree.statement,
+            analyze,
+            root: tree.root.map(|r| r as u32).unwrap_or(u32::MAX),
+            nodes,
+            text,
+        })
     }
 
     /// Admission control + submission of one statement.

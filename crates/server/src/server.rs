@@ -50,7 +50,7 @@
 use crate::backend::ClusterBackend;
 use crate::reactor::{Poller, Reactor, ScanPoller};
 use shareddb_cluster::ClusterConfig;
-use shareddb_common::metrics::render_summary;
+use shareddb_common::metrics::{escape_label_value, render_summary};
 use shareddb_common::{Error, Expr, Result};
 use shareddb_core::plan::{
     ActivationTemplate, GlobalPlan, ProbeTemplate, StatementKind, UpdateTemplate,
@@ -222,13 +222,27 @@ impl Shared {
         let _ = writeln!(w, "# TYPE shareddb_slow_queries counter");
         let _ = writeln!(w, "shareddb_slow_queries {slow_total}");
 
+        let replica_stats = backend.replica_stats();
         let _ = writeln!(w, "# TYPE shareddb_replica_queries counter");
-        for (i, stats) in backend.replica_stats().iter().enumerate() {
+        for (i, stats) in replica_stats.iter().enumerate() {
             let _ = writeln!(
                 w,
                 "shareddb_replica_queries{{replica=\"{i}\"}} {}",
                 stats.queries
             );
+        }
+
+        // Batch occupancy: how many statements each heartbeat batch carried
+        // (the sharing opportunity the batcher actually realised).
+        let _ = writeln!(w, "# TYPE shareddb_batch_occupancy summary");
+        for (i, stats) in replica_stats.iter().enumerate() {
+            if !stats.occupancy.is_empty() {
+                render_summary(
+                    w,
+                    &format!("shareddb_batch_occupancy{{replica=\"{i}\"}}"),
+                    &stats.occupancy,
+                );
+            }
         }
 
         // Phase-tagged latency summaries: per replica, then the cluster-level
@@ -240,16 +254,66 @@ impl Shared {
         render_phase_block(w, &backend.cluster_phase_stats(), "replica=\"cluster\"");
         render_phase_block(w, &self.flush_phases.snapshot(), "replica=\"frontend\"");
 
-        // Operator utilisation (busy fraction of the stats window).
+        // Static sharing factor per operator: how many statement types'
+        // subtrees or activation lists touch it in the global plan.
+        let plan = backend.plan();
+        let sets = shareddb_core::sharing_sets(plan, backend.registry());
+        let _ = writeln!(w, "# TYPE shareddb_operator_sharing_factor gauge");
+        for node in plan.nodes() {
+            let _ = writeln!(
+                w,
+                "shareddb_operator_sharing_factor{{operator=\"{}\"}} {}",
+                escape_label_value(&node.name),
+                sets.get(node.id).map_or(0, Vec::len)
+            );
+        }
+
+        // Operator utilisation (busy fraction of the stats window) and total
+        // busy time — the latter is the attribution denominator: the
+        // attributed series below sums to it per operator, `_idle` included.
+        let operator_stats = backend.replica_operator_stats();
         let _ = writeln!(w, "# TYPE shareddb_operator_busy_fraction gauge");
-        for (i, (wall, ops)) in backend.replica_operator_stats().iter().enumerate() {
+        for (i, (wall, ops)) in operator_stats.iter().enumerate() {
             for op in ops {
                 let _ = writeln!(
                     w,
                     "shareddb_operator_busy_fraction{{replica=\"{i}\",operator=\"{}\"}} {:.6}",
-                    op.name,
+                    escape_label_value(&op.name),
                     op.busy_fraction(*wall)
                 );
+            }
+        }
+        let _ = writeln!(w, "# TYPE shareddb_operator_busy_us counter");
+        for (i, (_, ops)) in operator_stats.iter().enumerate() {
+            for op in ops {
+                let _ = writeln!(
+                    w,
+                    "shareddb_operator_busy_us{{replica=\"{i}\",operator=\"{}\"}} {}",
+                    escape_label_value(&op.name),
+                    op.busy.as_micros()
+                );
+            }
+        }
+
+        // Per-operator × per-statement-type cost attribution: each
+        // operator's busy time split by the activation mix of its batches
+        // (`stmt_type="_idle"` covers cycles with no activation of that
+        // operator).
+        let _ = writeln!(w, "# TYPE shareddb_attributed_busy_us counter");
+        let _ = writeln!(w, "# TYPE shareddb_attributed_rows counter");
+        for (i, entries) in backend.replica_attribution_stats().iter().enumerate() {
+            for entry in entries {
+                let labels = format!(
+                    "replica=\"{i}\",operator=\"{}\",stmt_type=\"{}\"",
+                    escape_label_value(&entry.operator),
+                    escape_label_value(&entry.statement)
+                );
+                let _ = writeln!(
+                    w,
+                    "shareddb_attributed_busy_us{{{labels}}} {}",
+                    entry.busy.as_micros()
+                );
+                let _ = writeln!(w, "shareddb_attributed_rows{{{labels}}} {}", entry.rows);
             }
         }
 
@@ -300,7 +364,7 @@ fn render_phase_block(out: &mut String, statements: &[StatementPhaseSnapshot], e
             }
             let name = format!(
                 "shareddb_phase_latency_us{{{extra},statement=\"{}\",phase=\"{}\"}}",
-                snap.statement,
+                escape_label_value(&snap.statement),
                 phase.name()
             );
             render_summary(out, &name, histogram);
@@ -518,6 +582,27 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner())
             .as_ref()
             .map(|e| e.slow_queries())
+    }
+
+    /// Cluster-wide per-operator × per-statement-type cost attribution,
+    /// merged over replicas by `(operator, statement)` key.
+    pub fn attribution_stats(&self) -> Option<Vec<shareddb_core::AttributionEntry>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.attribution_stats())
+    }
+
+    /// Per-replica cost-attribution snapshots, in replica order.
+    pub fn replica_attribution_stats(&self) -> Option<Vec<Vec<shareddb_core::AttributionEntry>>> {
+        self.shared
+            .engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|e| e.replica_attribution_stats())
     }
 
     /// One replica's batch-lifecycle trace journal, oldest first.

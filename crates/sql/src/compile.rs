@@ -725,6 +725,36 @@ pub fn compile_workload(
     Ok(compiler.finish())
 }
 
+/// Splits a leading `EXPLAIN [ANALYZE]` keyword prefix off a statement.
+///
+/// Returns `None` when `sql` does not start with `EXPLAIN`; otherwise
+/// `(analyze, rest)` where `rest` is the statement text with the prefix
+/// stripped. Matching is case-insensitive and word-bounded, so identifiers
+/// that merely *start* with the keyword (`EXPLAINER`) are left alone.
+/// SharedDB has no per-query planner, so the rest is resolved against the
+/// registered statement types like any other ad-hoc statement and the plan
+/// shown is that statement's view of the shared global plan.
+pub fn parse_explain(sql: &str) -> Option<(bool, &str)> {
+    fn strip_keyword<'a>(s: &'a str, keyword: &str) -> Option<&'a str> {
+        let trimmed = s.trim_start();
+        let head = trimmed.get(..keyword.len())?;
+        if !head.eq_ignore_ascii_case(keyword) {
+            return None;
+        }
+        let rest = &trimmed[keyword.len()..];
+        match rest.chars().next() {
+            None => Some(rest),
+            Some(c) if c.is_whitespace() => Some(rest),
+            Some(_) => None,
+        }
+    }
+    let rest = strip_keyword(sql, "EXPLAIN")?;
+    match strip_keyword(rest, "ANALYZE") {
+        Some(rest) => Some((true, rest.trim())),
+        None => Some((false, rest.trim())),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Token-level auto-parameterisation
 // ---------------------------------------------------------------------------
@@ -1440,6 +1470,27 @@ mod tests {
         assert_eq!(template.canonical, adhoc.canonical);
         let params = bind_adhoc(&template, &adhoc).unwrap();
         assert_eq!(params, vec![Value::text("bob")]);
+    }
+
+    #[test]
+    fn parse_explain_strips_the_keyword_prefix() {
+        assert_eq!(
+            parse_explain("EXPLAIN SELECT * FROM ITEM"),
+            Some((false, "SELECT * FROM ITEM"))
+        );
+        assert_eq!(
+            parse_explain("  explain analyze  select * from item where i_id = 1"),
+            Some((true, "select * from item where i_id = 1"))
+        );
+        // Word-bounded: identifiers starting with the keyword are untouched.
+        assert_eq!(parse_explain("EXPLAINER"), None);
+        assert_eq!(parse_explain("SELECT * FROM EXPLAIN_LOG"), None);
+        // ANALYZE must be its own word too.
+        assert_eq!(parse_explain("EXPLAIN ANALYZER"), Some((false, "ANALYZER")));
+        // A bare statement name works (resolved by the server).
+        assert_eq!(parse_explain("EXPLAIN getItem"), Some((false, "getItem")));
+        assert_eq!(parse_explain("EXPLAIN"), Some((false, "")));
+        assert_eq!(parse_explain("EXPLAIN ANALYZE"), Some((true, "")));
     }
 
     #[test]

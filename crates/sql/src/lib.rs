@@ -26,7 +26,8 @@ pub mod token;
 
 pub use ast::{SelectStatement, Statement};
 pub use compile::{
-    bind_adhoc, canonicalize, compile_workload, SqlCompiler, SqlTemplate, TemplateSlot,
+    bind_adhoc, canonicalize, compile_workload, parse_explain, SqlCompiler, SqlTemplate,
+    TemplateSlot,
 };
 pub use logical::{LogicalPlan, QueryPlanSummary};
 pub use merge::{GlobalPlanSketch, SharedJoinGroup};

@@ -243,6 +243,103 @@ fn fanout_under_concurrent_updates_is_single_snapshot_consistent() {
     );
 }
 
+/// Per-statement cost attribution must be invariant under replication: for
+/// point lookups hash-routed over 4 replicas, the cluster-merged
+/// (activations, rows) per (operator, statement) pair equals the 1-replica
+/// run exactly, and the merge itself is the element-wise sum of the
+/// per-replica snapshots. Point lookups only — fanned-out statements
+/// multiply activations by the replica count by design.
+#[test]
+fn attribution_merge_is_replica_count_invariant() {
+    use shareddb::core::AttributionEntry;
+    use std::collections::BTreeMap;
+
+    fn attributed_work(replicas: usize) -> (Vec<AttributionEntry>, Vec<Vec<AttributionEntry>>) {
+        let catalog = catalog();
+        let (plan, registry) = shareddb::sql::compile_workload(&catalog, WORKLOAD).unwrap();
+        let mut cluster = ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig::default(),
+            ClusterConfig {
+                replicas,
+                replicate_statements: vec!["getItem".into()],
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..64i64 {
+            let outcome = cluster
+                .execute_sync("getItem", &[Value::Int(i * 3 % 300)])
+                .unwrap();
+            assert_eq!(outcome.rows().len(), 1);
+        }
+        let merged = cluster.attribution_stats();
+        let per_replica = cluster.replica_attribution_stats();
+        cluster.shutdown();
+        (merged, per_replica)
+    }
+
+    // Busy time is wall clock and differs run to run; the work counters
+    // (activations, rows) are deterministic.
+    fn work_by_key(entries: &[AttributionEntry]) -> BTreeMap<(String, String), (u64, u64)> {
+        let mut map = BTreeMap::new();
+        for e in entries {
+            let slot = map
+                .entry((e.operator.clone(), e.statement.clone()))
+                .or_insert((0, 0));
+            slot.0 += e.activations;
+            slot.1 += e.rows;
+        }
+        map
+    }
+
+    let (merged_one, _) = attributed_work(1);
+    let (_, per_replica_four) = attributed_work(4);
+
+    // The merge is exactly the element-wise sum of the replica snapshots —
+    // merge the SAME snapshot the replicas reported (idle busy time keeps
+    // accruing between two live snapshot calls, so those can't be compared).
+    let merged_four = shareddb::core::merge_attribution(&per_replica_four);
+    let flattened: Vec<AttributionEntry> = per_replica_four.iter().flatten().cloned().collect();
+    assert_eq!(work_by_key(&merged_four), work_by_key(&flattened));
+    let merged_busy: u128 = merged_four.iter().map(|e| e.busy.as_nanos()).sum();
+    let replica_busy: u128 = flattened.iter().map(|e| e.busy.as_nanos()).sum();
+    assert_eq!(
+        merged_busy, replica_busy,
+        "merge changed attributed busy time"
+    );
+
+    // 4 replicas did the same attributed work as 1 (idle padding aside —
+    // every replica heartbeats, so idle cycles scale with the count).
+    let strip_idle = |map: BTreeMap<(String, String), (u64, u64)>| {
+        map.into_iter()
+            .filter(|((_, statement), _)| statement != shareddb::core::IDLE_STATEMENT)
+            .collect::<BTreeMap<_, _>>()
+    };
+    let one = strip_idle(work_by_key(&merged_one));
+    let four = strip_idle(work_by_key(&merged_four));
+    assert_eq!(one, four, "replication changed per-statement attribution");
+    let total_activations: u64 = one.values().map(|(a, _)| a).sum();
+    assert_eq!(
+        total_activations, 64,
+        "every lookup attributed exactly once"
+    );
+
+    // The routed lookups really spread — more than one replica shows
+    // getItem attribution.
+    let routed = per_replica_four
+        .iter()
+        .filter(|entries| {
+            entries
+                .iter()
+                .any(|e| e.statement == "getItem" && e.activations > 0)
+        })
+        .count();
+    assert!(routed > 1, "hash routing left attribution on one replica");
+}
+
 /// Off-reactor merge: a multi-megabyte fanned-out merged result must not
 /// stall an unrelated connection's ping. The merge runs on the cluster's
 /// worker pool; the reactor only ships the already-merged bytes.

@@ -232,6 +232,313 @@ fn slow_query_log_fires_exactly_for_offenders() {
     server.shutdown();
 }
 
+/// EXPLAIN / EXPLAIN ANALYZE over the wire: the dedicated frame returns the
+/// statement's slice of the live global plan with sharing sets, and ANALYZE
+/// folds in runtime counters plus per-statement-type cost attribution. The
+/// textual `EXPLAIN <stmt>` form through the ordinary query path returns the
+/// same rendering as a one-column result set.
+#[test]
+fn explain_analyze_shows_shared_scan_with_attributed_costs() {
+    const SHARED: &[(&str, &str)] = &[
+        ("getItem", "SELECT * FROM ITEM WHERE I_ID = ?"),
+        ("cheapItems", "SELECT * FROM ITEM WHERE I_COST < ?"),
+        ("titledItems", "SELECT * FROM ITEM WHERE I_TITLE = ?"),
+    ];
+    let mut server = Server::start_sql(
+        catalog(),
+        SHARED,
+        EngineConfig::default(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let cheap = conn.prepare("cheapItems").unwrap();
+    let titled = conn.prepare("titledItems").unwrap();
+    for i in 0..12i64 {
+        conn.execute(&cheap, &[Value::Float(5.0)]).unwrap();
+        conn.execute(&titled, &[Value::text(format!("title{i}"))])
+            .unwrap();
+    }
+
+    // Static EXPLAIN: plan shape + sharing sets, no runtime numbers needed.
+    let explain = conn.explain("cheapItems", false).unwrap();
+    assert_eq!(explain.statement, "cheapItems");
+    assert!(!explain.analyze);
+    assert!(!explain.nodes.is_empty());
+    assert_eq!(
+        explain.text.lines().next().unwrap_or(""),
+        "statement cheapItems: query"
+    );
+    // Both full-scan statement types share ITEM's scan operator.
+    let scan_op = explain
+        .shared_nodes()
+        .iter()
+        .find(|n| n.sharing.iter().any(|s| s == "titledItems"))
+        .map(|n| n.operator)
+        .unwrap_or_else(|| panic!("no operator shared with titledItems in {explain:?}"));
+    assert!(explain.sharing_factor(scan_op) >= 2);
+
+    // EXPLAIN ANALYZE: live counters and attribution on the same operator.
+    let explain = conn.explain("cheapItems", true).unwrap();
+    assert!(explain.analyze);
+    let scan = explain.node(scan_op).expect("same operator under analyze");
+    assert!(scan.cycles > 0, "no heartbeat cycles recorded: {scan:?}");
+    assert!(scan.tuples > 0, "shared scan produced no tuples: {scan:?}");
+    for statement in ["cheapItems", "titledItems"] {
+        let cost = scan
+            .attributed
+            .iter()
+            .find(|c| c.statement == statement)
+            .unwrap_or_else(|| panic!("no attribution for {statement} on {scan:?}"));
+        assert!(cost.activations >= 12, "{statement}: {cost:?}");
+        assert!(cost.rows > 0, "{statement}: {cost:?}");
+    }
+    // Attribution is a decomposition of the operator's busy time: the
+    // per-statement parts (plus idle) sum back to the total. The two
+    // snapshots are taken microseconds apart, so allow a small skew on top
+    // of per-entry truncation.
+    let attributed_total: u64 = scan.attributed.iter().map(|c| c.busy_us).sum();
+    let delta = attributed_total.abs_diff(scan.busy_us);
+    assert!(
+        delta <= 5_000,
+        "attributed busy {attributed_total}us drifted from operator busy {}us",
+        scan.busy_us
+    );
+    // The rendered text carries the attribution lines.
+    assert!(
+        explain.text.contains("attributed cheapItems:"),
+        "{}",
+        explain.text
+    );
+
+    // Textual EXPLAIN through the ordinary query path: one PLAN column, one
+    // row per rendered line, resolved by statement name...
+    let outcome = conn.query("EXPLAIN cheapItems").unwrap();
+    let lines: Vec<String> = outcome
+        .rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Text(t) => t.to_string(),
+            other => panic!("non-text PLAN cell {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        lines.first().map(String::as_str),
+        Some("statement cheapItems: query")
+    );
+    // ...or by ad-hoc SQL text canonicalised onto a known statement type.
+    conn.query("SELECT * FROM ITEM WHERE I_ID = 42").unwrap();
+    let outcome = conn
+        .query("EXPLAIN SELECT * FROM ITEM WHERE I_ID = 13")
+        .unwrap();
+    assert!(!outcome.rows().is_empty());
+    // Unknown text is a clean error, not a wedge.
+    assert!(conn.query("EXPLAIN doesNotExist").is_err());
+    let outcome = conn.query("SELECT * FROM ITEM WHERE I_ID = 7").unwrap();
+    assert_eq!(
+        outcome.rows().len(),
+        1,
+        "session broken after EXPLAIN error"
+    );
+
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// Statement names carrying quotes and backslashes must be escaped in every
+/// label of the exposition — a raw `"` inside a label value breaks the whole
+/// scrape for the collector.
+#[test]
+fn metrics_escape_labels_with_quotes_and_backslashes() {
+    const NAME: &str = "weird\"stmt\\name";
+    let mut server = Server::start_sql(
+        catalog(),
+        &[(NAME, "SELECT * FROM ITEM WHERE I_ID = ?")],
+        EngineConfig::default(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut conn = Connection::connect(addr).unwrap();
+    let prepared = conn.prepare(NAME).unwrap();
+    for i in 0..4 {
+        conn.execute(&prepared, &[Value::Int(i)]).unwrap();
+    }
+    let response = http_exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    let escaped = "statement=\"weird\\\"stmt\\\\name\"";
+    assert!(
+        body.contains(escaped),
+        "escaped statement label missing from exposition"
+    );
+    assert!(
+        !body.contains(NAME),
+        "raw unescaped statement name leaked into the exposition"
+    );
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// Slow-query records carry the routed replica and the segment-lane count:
+/// on a 3-replica cluster with a sub-microsecond threshold, the offenders
+/// land on more than one replica and every record reports its lanes.
+#[test]
+fn slow_query_records_carry_replica_and_segments() {
+    use shareddb::cluster::ClusterConfig;
+    let mut server = Server::start_sql(
+        catalog(),
+        WORKLOAD,
+        EngineConfig::default().slow_query(Some(Duration::from_nanos(1))),
+        ServerConfig {
+            cluster: ClusterConfig {
+                replicas: 3,
+                replicate_statements: vec!["getItem".into()],
+                ..ClusterConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let prepared = conn.prepare("getItem").unwrap();
+    for i in 0..48 {
+        conn.execute(&prepared, &[Value::Int(i)]).unwrap();
+    }
+    let (count, records) = server.slow_queries().unwrap();
+    assert_eq!(count, 48);
+    let mut replicas_seen = std::collections::HashSet::new();
+    for record in &records {
+        assert!(record.replica < 3, "replica out of range: {record:?}");
+        assert!(record.segments >= 1, "no segment count: {record:?}");
+        replicas_seen.insert(record.replica);
+    }
+    assert!(
+        replicas_seen.len() > 1,
+        "hash routing left every slow record on one replica: {replicas_seen:?}"
+    );
+    let _ = conn.close();
+    server.shutdown();
+}
+
+/// The PR's acceptance shape on `/metrics`: with two statement types sharing
+/// one scan, the exposition carries the sharing factor, a per-type attributed
+/// busy series for both types on that operator, and the attributed parts sum
+/// back to `shareddb_operator_busy_us` within snapshot skew; the batch
+/// occupancy summary is present and counted.
+#[test]
+fn attributed_busy_sums_to_operator_busy_in_metrics() {
+    const SHARED: &[(&str, &str)] = &[
+        ("cheapItems", "SELECT * FROM ITEM WHERE I_COST < ?"),
+        ("titledItems", "SELECT * FROM ITEM WHERE I_TITLE = ?"),
+    ];
+    let mut server = Server::start_sql(
+        catalog(),
+        SHARED,
+        EngineConfig::default(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut conn = Connection::connect(addr).unwrap();
+    let cheap = conn.prepare("cheapItems").unwrap();
+    let titled = conn.prepare("titledItems").unwrap();
+    for i in 0..24i64 {
+        conn.execute(&cheap, &[Value::Float(10.0)]).unwrap();
+        conn.execute(&titled, &[Value::text(format!("title{i}"))])
+            .unwrap();
+    }
+
+    let response = http_exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+
+    // Pull a label value out of a series line (no escaping in this fixture).
+    fn label<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(&format!("{key}=\""))? + key.len() + 2;
+        let end = start + line[start..].find('"')?;
+        Some(&line[start..end])
+    }
+    fn value(line: &str) -> u64 {
+        line.rsplit_once(' ')
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad sample line {line:?}"))
+    }
+
+    use std::collections::HashMap;
+    let mut busy: HashMap<String, u64> = HashMap::new();
+    let mut attributed: HashMap<String, u64> = HashMap::new();
+    let mut types_on: HashMap<String, Vec<String>> = HashMap::new();
+    let mut sharing: HashMap<String, u64> = HashMap::new();
+    for line in body.lines() {
+        if line.starts_with("shareddb_operator_busy_us{") {
+            *busy
+                .entry(label(line, "operator").unwrap().into())
+                .or_default() += value(line);
+        } else if line.starts_with("shareddb_attributed_busy_us{") {
+            let op: String = label(line, "operator").unwrap().into();
+            *attributed.entry(op.clone()).or_default() += value(line);
+            types_on
+                .entry(op)
+                .or_default()
+                .push(label(line, "stmt_type").unwrap().into());
+        } else if line.starts_with("shareddb_operator_sharing_factor{") {
+            sharing.insert(label(line, "operator").unwrap().into(), value(line));
+        }
+    }
+
+    // At least one operator is shared by both statement types with nonzero
+    // per-type attributed busy time — the scan they both activate.
+    let shared_scan = types_on
+        .iter()
+        .find(|(_, types)| {
+            types.contains(&"cheapItems".to_string()) && types.contains(&"titledItems".to_string())
+        })
+        .map(|(op, _)| op.clone())
+        .unwrap_or_else(|| panic!("no operator attributed to both types: {types_on:?}"));
+    assert!(
+        sharing.get(&shared_scan).copied().unwrap_or(0) >= 2,
+        "sharing factor missing for {shared_scan}: {sharing:?}"
+    );
+    for line in body.lines() {
+        if line.starts_with("shareddb_attributed_busy_us{")
+            && label(line, "operator") == Some(&shared_scan)
+            && label(line, "stmt_type") != Some("_idle")
+        {
+            assert!(value(line) > 0, "zero attributed busy: {line}");
+        }
+    }
+
+    // Decomposition: per operator, attributed parts sum back to the
+    // operator's busy counter (truncation + the µs-scale gap between the
+    // two snapshots inside one scrape).
+    assert!(!attributed.is_empty());
+    for (op, total) in &attributed {
+        let operator_busy = *busy
+            .get(op)
+            .unwrap_or_else(|| panic!("attributed {op} has no busy series"));
+        assert!(
+            total.abs_diff(operator_busy) <= 5_000,
+            "{op}: attributed {total}us vs operator busy {operator_busy}us"
+        );
+    }
+
+    // Batch occupancy summary: present, counted, and a plausible mean.
+    let occupancy_count = body
+        .lines()
+        .find(|l| l.starts_with("shareddb_batch_occupancy_count{replica=\"0\"}"))
+        .map(value)
+        .expect("batch occupancy count missing");
+    assert!(occupancy_count > 0);
+    let occupancy_sum = body
+        .lines()
+        .find(|l| l.starts_with("shareddb_batch_occupancy_sum{replica=\"0\"}"))
+        .map(value)
+        .expect("batch occupancy sum missing");
+    assert!(occupancy_sum >= 48, "48 statements ran: {occupancy_sum}");
+
+    let _ = conn.close();
+    server.shutdown();
+}
+
 /// `reset_stats` zeroes engine counters, phase histograms and the frontend
 /// flush table, so bench sweep points measure only their own window.
 #[test]

@@ -22,3 +22,18 @@ fn sql_corpus_conforms() {
         report.passed.len()
     );
 }
+
+/// The EXPLAIN golden set: every positive case's rendered plan text (operator
+/// subtree + sharing sets against the one shared corpus plan) must match the
+/// checked-in `tests/sql_corpus/explain.golden`. Regenerate with
+/// `UPDATE_EXPLAIN_GOLDEN=1` after an intentional planner change.
+#[test]
+fn sql_corpus_explain_matches_golden() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/sql_corpus");
+    let report = shareddb_bench::conformance::run_explain_golden(&dir).expect("golden run");
+    assert!(
+        report.ok(),
+        "EXPLAIN golden drift:\n{}",
+        report.failures.join("\n")
+    );
+}
