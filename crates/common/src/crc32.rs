@@ -1,0 +1,119 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, polynomial `0xEDB88320` reflected).
+//!
+//! The write-ahead log and checkpoint files frame every record with a CRC so
+//! that recovery can distinguish a torn tail write from valid data. The
+//! implementation is the classic byte-at-a-time table lookup — no crates.io
+//! dependency, deterministic across platforms, and fast enough that the WAL
+//! stays fsync-bound rather than checksum-bound.
+//!
+//! The variant here is the one used by zip/gzip/Ethernet: reflected input and
+//! output, initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`. The check
+//! value of the ASCII bytes `"123456789"` is `0xCBF4_3926`.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// A streaming CRC-32 state: feed byte slices with [`Crc32::update`], read
+/// the digest with [`Crc32::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything fed so far (does not consume the state; more
+    /// bytes may still be folded in afterwards).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for this CRC variant.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"shareddb write-ahead log frame payload";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -14,9 +14,11 @@
 //! * [`sort`] — sort specifications and comparators.
 //! * [`ids`] — strongly-typed identifiers (queries, tables, clients, ...).
 //! * [`metrics`] — lock-free histograms, counters, gauges and registries.
+//! * [`crc32`] — hand-rolled CRC-32 for the WAL / checkpoint on-disk framing.
 //! * [`error`] — the common error type.
 
 pub mod agg;
+pub mod crc32;
 pub mod error;
 pub mod expr;
 pub mod ids;
@@ -29,6 +31,7 @@ pub mod sort;
 pub mod tuple;
 pub mod value;
 
+pub use crc32::{crc32, Crc32};
 pub use error::{Error, Result};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use ids::{ClientId, ColumnId, QueryId, StatementId, TableId, TicketId};

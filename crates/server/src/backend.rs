@@ -65,6 +65,11 @@ impl ClusterBackend {
         self.cluster.replicas()
     }
 
+    /// The catalog all replicas share (and with it the WAL and oracle).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.cluster.catalog()
+    }
+
     /// The global plan every replica deploys.
     pub fn plan(&self) -> &GlobalPlan {
         self.cluster.plan()

@@ -59,7 +59,7 @@ use shareddb_core::stats::{PhaseTable, StatementPhaseSnapshot};
 use shareddb_core::{EngineConfig, Phase, SlowQueryRecord, StatementRegistry};
 use shareddb_sql::compile::{canonicalize, SqlTemplate};
 use shareddb_sql::compile_workload;
-use shareddb_storage::Catalog;
+use shareddb_storage::{Catalog, RecoveryReport, SyncPolicy};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -92,6 +92,18 @@ pub struct ServerConfig {
     /// one wire endpoint (1 = the classic single-engine frontend). See
     /// [`shareddb_cluster::ClusterConfig`] for the hot-type thresholds.
     pub cluster: ClusterConfig,
+    /// Durability directory. `Some(dir)` makes the server crash-consistent:
+    /// on startup it recovers the catalog from `dir` (checkpoint + committed
+    /// WAL tail, truncating any torn record), compacts the log while still
+    /// quiescent — which also captures bulk-loaded seed data the WAL never
+    /// saw — and then appends every committed batch to `dir/wal.log`.
+    /// `None` (the default) keeps the engine fully in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// When to fsync the WAL (only meaningful with `data_dir`). See
+    /// [`shareddb_storage::SyncPolicy`]: `Always` makes every acked update
+    /// survive `kill -9` *and* power loss; `EveryBatch` (default) survives
+    /// process crashes; `Interval` bounds power-loss exposure by time.
+    pub wal_sync: SyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +117,8 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             force_portable_poller: false,
             cluster: ClusterConfig::default(),
+            data_dir: None,
+            wal_sync: SyncPolicy::EveryBatch,
         }
     }
 }
@@ -143,6 +157,8 @@ pub(crate) struct Shared {
     pub(crate) scrapes: AtomicU64,
     /// Malformed or unroutable HTTP requests answered with 4xx.
     pub(crate) http_errors: AtomicU64,
+    /// What startup recovery replayed (`None` when running in-memory).
+    pub(crate) recovery: Option<RecoveryReport>,
     /// Event-driven drain signal: the reactor flips the flag and notifies
     /// once every session has flushed and closed (no timed polling).
     drained: Mutex<bool>,
@@ -221,6 +237,47 @@ impl Shared {
         let (slow_total, _) = backend.slow_queries();
         let _ = writeln!(w, "# TYPE shareddb_slow_queries counter");
         let _ = writeln!(w, "shareddb_slow_queries {slow_total}");
+
+        // Write-ahead-log durability series: how many bytes and group
+        // commits the log absorbed, how often and how slowly it fsynced,
+        // and the commit-batch size distribution.
+        let wal = backend.catalog().wal().stats_snapshot();
+        let _ = writeln!(w, "# TYPE shareddb_wal_appended_bytes counter");
+        let _ = writeln!(w, "shareddb_wal_appended_bytes {}", wal.appended_bytes);
+        let _ = writeln!(w, "# TYPE shareddb_wal_batches counter");
+        let _ = writeln!(w, "shareddb_wal_batches {}", wal.batches);
+        let _ = writeln!(w, "# TYPE shareddb_wal_syncs counter");
+        let _ = writeln!(w, "shareddb_wal_syncs {}", wal.syncs);
+        let _ = writeln!(w, "# TYPE shareddb_wal_last_lsn gauge");
+        let _ = writeln!(w, "shareddb_wal_last_lsn {}", wal.last_lsn);
+        if !wal.fsync_us.is_empty() {
+            let _ = writeln!(w, "# TYPE shareddb_wal_fsync_us summary");
+            render_summary(w, "shareddb_wal_fsync_us", &wal.fsync_us);
+        }
+        if !wal.group_commit_size.is_empty() {
+            let _ = writeln!(w, "# TYPE shareddb_wal_group_commit_size summary");
+            render_summary(w, "shareddb_wal_group_commit_size", &wal.group_commit_size);
+        }
+        if let Some(recovery) = &self.recovery {
+            let _ = writeln!(w, "# TYPE shareddb_recovery_checkpoint_rows gauge");
+            let _ = writeln!(
+                w,
+                "shareddb_recovery_checkpoint_rows {}",
+                recovery.checkpoint_rows
+            );
+            let _ = writeln!(w, "# TYPE shareddb_recovery_replayed_batches gauge");
+            let _ = writeln!(
+                w,
+                "shareddb_recovery_replayed_batches {}",
+                recovery.replayed_batches
+            );
+            let _ = writeln!(w, "# TYPE shareddb_recovery_torn_tail gauge");
+            let _ = writeln!(
+                w,
+                "shareddb_recovery_torn_tail {}",
+                u8::from(recovery.torn_tail.is_some())
+            );
+        }
 
         let replica_stats = backend.replica_stats();
         let _ = writeln!(w, "# TYPE shareddb_replica_queries counter");
@@ -437,6 +494,19 @@ impl Server {
     ) -> Result<Server> {
         let param_counts = registry.iter().map(spec_param_count).collect();
         let statement_names: Vec<String> = registry.iter().map(|s| s.name.clone()).collect();
+        // Durable mode: recover disk state and attach the WAL while still
+        // quiescent (no engine heartbeats yet), then compact so the next
+        // recovery starts from a checkpoint covering everything live now —
+        // including bulk-loaded seed rows, which the WAL never records.
+        let recovery = match &config.data_dir {
+            Some(dir) => {
+                catalog.wal().set_sync_policy(config.wal_sync);
+                let report = catalog.recover(dir)?;
+                catalog.compact(dir)?;
+                Some(report)
+            }
+            None => None,
+        };
         let engine = ClusterBackend::start(
             catalog,
             plan,
@@ -463,6 +533,7 @@ impl Server {
             flush_phases: PhaseTable::new(statement_names),
             scrapes: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            recovery,
             drained: Mutex::new(false),
             drained_cv: Condvar::new(),
         });
@@ -613,6 +684,12 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner())
             .as_ref()
             .map(|e| e.replica_trace(replica))
+    }
+
+    /// What startup recovery restored and replayed, when the server runs
+    /// with [`ServerConfig::data_dir`]; `None` in-memory.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.shared.recovery.as_ref()
     }
 
     /// The Prometheus text exposition also served over HTTP at `/metrics`.

@@ -9,13 +9,22 @@ use crate::clockscan::apply_update;
 use crate::mvcc::TimestampOracle;
 use crate::table::Table;
 use crate::update::UpdateOp;
-use crate::wal::{committed_ops, FileSink, LogRecord, Wal};
+use crate::wal::{
+    committed_ops, encode_frame, scan_frames, FileSink, LogRecord, TornTail, Wal, WalSink as _,
+};
 use parking_lot::RwLock;
 use shareddb_common::ids::Timestamp;
 use shareddb_common::{Column, DataType, Error, Result, Schema, Tuple};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// File name of the write-ahead log inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the current checkpoint inside a data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.sdb";
+/// Scratch name a checkpoint is written under before the atomic rename.
+pub const CHECKPOINT_TMP_FILE: &str = "checkpoint.tmp";
 
 /// Definition of a table to create.
 #[derive(Debug, Clone)]
@@ -200,55 +209,245 @@ impl Catalog {
         Ok(results)
     }
 
-    /// Writes a checkpoint of all live rows to a file: one INSERT record per
-    /// row, bracketed by a begin/commit pair carrying the checkpoint
-    /// timestamp. A checkpoint plus the WAL tail suffices to recover.
-    pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<usize> {
+    /// Writes a checkpoint of all live rows into `dir`: a CRC-framed snapshot
+    /// file opening with a [`LogRecord::CheckpointMeta`] (the pinned MVCC
+    /// snapshot timestamp and the WAL LSN current at checkpoint start),
+    /// followed by one `INSERT` record per live row, bracketed by a
+    /// begin/commit pair. The file is written to `checkpoint.tmp`, fsync'd,
+    /// and atomically renamed to `checkpoint.sdb` — a crash mid-checkpoint
+    /// leaves the previous checkpoint intact. A checkpoint plus the WAL tail
+    /// (committed batches with `ts > checkpoint.ts`) suffices to recover.
+    ///
+    /// Safe under concurrent writers: rows are read at one pinned snapshot
+    /// and the WAL is left untouched.
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<CheckpointInfo> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
         let snapshot = self.oracle.read_ts();
-        let mut sink = FileSink::create(path)?;
-        use crate::wal::WalSink as _;
-        sink.append(&LogRecord::BeginBatch(snapshot.ts))?;
+        let wal_lsn = self.wal.next_lsn().saturating_sub(1);
+        let tmp = dir.join(CHECKPOINT_TMP_FILE);
+        let _ = std::fs::remove_file(&tmp); // FileSink appends; start clean
         let mut rows = 0usize;
-        for name in self.table_names() {
-            let handle = self.table(&name)?;
-            let table = handle.read();
-            for (_, row) in table.scan(snapshot) {
-                sink.append(&LogRecord::Apply {
-                    table: name.clone(),
-                    op: UpdateOp::Insert {
-                        values: row.clone(),
-                    },
-                })?;
-                rows += 1;
+        {
+            let mut sink = FileSink::create(&tmp)?;
+            let mut lsn = 0u64;
+            let mut append = |sink: &mut FileSink, record: &LogRecord| -> Result<()> {
+                lsn += 1;
+                sink.append(&encode_frame(lsn, record))
+            };
+            append(
+                &mut sink,
+                &LogRecord::CheckpointMeta {
+                    ts: snapshot.ts,
+                    wal_lsn,
+                },
+            )?;
+            append(&mut sink, &LogRecord::BeginBatch(snapshot.ts))?;
+            for name in self.table_names() {
+                let handle = self.table(&name)?;
+                let table = handle.read();
+                for (_, row) in table.scan(snapshot) {
+                    append(
+                        &mut sink,
+                        &LogRecord::Apply {
+                            table: name.clone(),
+                            op: UpdateOp::Insert {
+                                values: row.clone(),
+                            },
+                        },
+                    )?;
+                    rows += 1;
+                }
             }
+            append(&mut sink, &LogRecord::CommitBatch(snapshot.ts))?;
+            sink.sync()?;
         }
-        sink.append(&LogRecord::CommitBatch(snapshot.ts))?;
-        sink.flush()?;
-        Ok(rows)
+        let path = dir.join(CHECKPOINT_FILE);
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(dir);
+        Ok(CheckpointInfo {
+            rows,
+            ts: snapshot.ts,
+            wal_lsn,
+            path,
+        })
     }
 
-    /// Rebuilds table contents from a checkpoint file. Tables and indexes must
-    /// already be (re-)created with the same definitions. Returns the number
-    /// of restored rows.
-    pub fn restore_checkpoint(&self, path: impl AsRef<Path>) -> Result<usize> {
-        let records = FileSink::read_all(path)?;
-        let batches = committed_ops(&records);
+    /// Rebuilds table contents from a checkpoint file. Tables and indexes
+    /// must already be (re-)created with the same definitions. Unlike the
+    /// WAL, a checkpoint is written atomically, so corruption here is an
+    /// error, never silently truncated. Rows restore at timestamp 0 (visible
+    /// to every snapshot); the returned info carries the checkpoint's
+    /// snapshot timestamp for WAL-tail filtering.
+    pub fn restore_checkpoint(&self, path: impl AsRef<Path>) -> Result<CheckpointInfo> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let scan = scan_frames(&bytes);
+        if let Some(torn) = scan.torn {
+            return Err(Error::Recovery(format!(
+                "corrupt checkpoint {} at byte {}: {}",
+                path.display(),
+                torn.offset,
+                torn.reason
+            )));
+        }
+        let records = scan.into_records();
+        let (ts, wal_lsn) = match records.first() {
+            Some(LogRecord::CheckpointMeta { ts, wal_lsn }) => (*ts, *wal_lsn),
+            _ => {
+                return Err(Error::Recovery(format!(
+                    "checkpoint {} does not start with checkpoint metadata",
+                    path.display()
+                )))
+            }
+        };
+        match records.last() {
+            Some(LogRecord::CommitBatch(commit_ts)) if *commit_ts == ts => {}
+            _ => {
+                return Err(Error::Recovery(format!(
+                    "checkpoint {} is missing its commit marker",
+                    path.display()
+                )))
+            }
+        }
         let mut restored = 0usize;
-        for (_, ops) in batches {
-            for (table_name, op) in ops {
-                if let UpdateOp::Insert { values } = op {
-                    let handle = self.table(&table_name)?;
+        for record in &records[1..] {
+            match record {
+                LogRecord::Apply {
+                    table: table_name,
+                    op: UpdateOp::Insert { values },
+                } => {
+                    let handle = self.table(table_name)?;
                     let mut table = handle.write();
-                    table.insert(values, Timestamp(0))?;
+                    table.insert(values.clone(), Timestamp(0))?;
                     restored += 1;
-                } else {
+                }
+                LogRecord::BeginBatch(_) | LogRecord::CommitBatch(_) => {}
+                _ => {
                     return Err(Error::Recovery(
                         "checkpoint contains non-insert records".into(),
                     ));
                 }
             }
         }
-        Ok(restored)
+        Ok(CheckpointInfo {
+            rows: restored,
+            ts,
+            wal_lsn,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Recovers this catalog from a data directory and attaches durable
+    /// logging to it: loads `checkpoint.sdb` (if present), replays the
+    /// committed WAL tail (`wal.log`) — truncating the log at the first torn
+    /// or corrupt record — restores the timestamp oracle, and installs a
+    /// file sink so subsequent [`Catalog::apply_batch`] commits append to
+    /// the recovered log. Tables and indexes must already be created with
+    /// the same definitions (the schema is code, the data is disk).
+    ///
+    /// An empty or missing directory recovers to an empty state, so this is
+    /// also how a fresh durable catalog is opened. Note that
+    /// [`Catalog::bulk_load`] is *not* logged: seed data loaded after the
+    /// last checkpoint is covered only once the next checkpoint runs (see
+    /// [`Catalog::compact`]).
+    pub fn recover(&self, dir: impl AsRef<Path>) -> Result<RecoveryReport> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let (checkpoint_rows, checkpoint_ts) = if ckpt_path.exists() {
+            let info = self.restore_checkpoint(&ckpt_path)?;
+            (info.rows, info.ts)
+        } else {
+            (0, Timestamp(0))
+        };
+        let wal_path = dir.join(WAL_FILE);
+        let (records, next_lsn, torn_tail) = FileSink::recover(&wal_path)?;
+        let records: Vec<LogRecord> = records.into_iter().map(|(_, r)| r).collect();
+        let mut replayed_batches = 0usize;
+        let mut replayed_ops = 0usize;
+        let mut max_ts = checkpoint_ts;
+        for (ts, ops) in committed_ops(&records) {
+            if ts <= checkpoint_ts {
+                continue; // already inside the checkpoint snapshot
+            }
+            for (table_name, op) in &ops {
+                let handle = self.table(table_name)?;
+                let mut table = handle.write();
+                apply_update(&mut table, op, ts)?;
+            }
+            if ts > max_ts {
+                max_ts = ts;
+            }
+            replayed_batches += 1;
+            replayed_ops += ops.len();
+        }
+        self.oracle.restore(max_ts);
+        self.wal
+            .install_sink(Box::new(FileSink::create(&wal_path)?), next_lsn);
+        Ok(RecoveryReport {
+            checkpoint_rows,
+            checkpoint_ts,
+            replayed_batches,
+            replayed_ops,
+            torn_tail,
+            next_lsn,
+        })
+    }
+
+    /// Checkpoint + log truncation. **Quiescent callers only** (recovery,
+    /// startup, shutdown): a batch that commits between the checkpoint's
+    /// snapshot pin and the truncation would be lost. Where writers are
+    /// live, use [`Catalog::checkpoint`] — replay filters batches the
+    /// checkpoint already covers, so an untruncated log is always safe.
+    pub fn compact(&self, dir: impl AsRef<Path>) -> Result<CheckpointInfo> {
+        let info = self.checkpoint(&dir)?;
+        let wal_path = dir.as_ref().join(WAL_FILE);
+        std::fs::File::create(&wal_path)?.sync_data()?; // truncate to empty
+        let next_lsn = self.wal.next_lsn(); // LSNs stay monotone across rotation
+        self.wal
+            .install_sink(Box::new(FileSink::create(&wal_path)?), next_lsn);
+        sync_dir(dir.as_ref());
+        Ok(info)
+    }
+}
+
+/// Outcome of [`Catalog::checkpoint`] / [`Catalog::restore_checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointInfo {
+    /// Live rows written to / restored from the snapshot.
+    pub rows: usize,
+    /// The pinned snapshot timestamp the rows were read at.
+    pub ts: Timestamp,
+    /// WAL LSN current when the checkpoint started.
+    pub wal_lsn: u64,
+    /// Path of the checkpoint file.
+    pub path: PathBuf,
+}
+
+/// Outcome of [`Catalog::recover`].
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Rows restored from the checkpoint (0 when none existed).
+    pub checkpoint_rows: usize,
+    /// Snapshot timestamp of the restored checkpoint.
+    pub checkpoint_ts: Timestamp,
+    /// Committed WAL batches replayed on top of the checkpoint.
+    pub replayed_batches: usize,
+    /// Operations inside those batches.
+    pub replayed_ops: usize,
+    /// `Some` when the WAL had a torn/corrupt tail that was truncated.
+    pub torn_tail: Option<TornTail>,
+    /// Next LSN the attached WAL will append with.
+    pub next_lsn: u64,
+}
+
+/// Best-effort directory fsync so a rename survives power loss (Linux
+/// requires fsyncing the parent directory to persist the new directory
+/// entry; other platforms may not support opening directories).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
     }
 }
 
@@ -354,12 +553,19 @@ mod tests {
         assert_eq!(table.read().scan(catalog.oracle().read_ts()).count(), 2);
     }
 
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "shareddb-catalog-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn checkpoint_and_restore_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("shareddb-ckpt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("checkpoint.log");
-        let _ = std::fs::remove_file(&path);
+        let dir = temp_data_dir("roundtrip");
 
         let catalog = Catalog::new();
         catalog.create_table(item_def()).unwrap();
@@ -380,16 +586,200 @@ mod tests {
                 },
             )])
             .unwrap();
-        let written = catalog.checkpoint(&path).unwrap();
-        assert_eq!(written, 15);
+        let info = catalog.checkpoint(&dir).unwrap();
+        assert_eq!(info.rows, 15);
+        assert_eq!(info.path, dir.join(CHECKPOINT_FILE));
+        assert!(!dir.join(CHECKPOINT_TMP_FILE).exists());
 
         let recovered = Catalog::new();
         recovered.create_table(item_def()).unwrap();
-        let restored = recovered.restore_checkpoint(&path).unwrap();
-        assert_eq!(restored, 15);
+        let restored = recovered.restore_checkpoint(info.path).unwrap();
+        assert_eq!(restored.rows, 15);
+        assert_eq!(restored.ts, info.ts);
         let table = recovered.table("ITEM").unwrap();
         assert_eq!(table.read().live_count(), 15);
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_replays_wal_tail_after_checkpoint() {
+        let dir = temp_data_dir("replay");
+
+        // First life: durable catalog, some committed batches, a checkpoint,
+        // then more batches that only live in the WAL.
+        let catalog = Catalog::new();
+        catalog.create_table(item_def()).unwrap();
+        catalog.recover(&dir).unwrap(); // attach file WAL to empty dir
+        catalog
+            .apply_batch(&[(
+                "ITEM".into(),
+                UpdateOp::Insert {
+                    values: tuple![1i64, "a", 1.0f64],
+                },
+            )])
+            .unwrap();
+        catalog.checkpoint(&dir).unwrap();
+        catalog
+            .apply_batch(&[
+                (
+                    "ITEM".into(),
+                    UpdateOp::Insert {
+                        values: tuple![2i64, "b", 2.0f64],
+                    },
+                ),
+                (
+                    "ITEM".into(),
+                    UpdateOp::Update {
+                        assignments: vec![(2, Expr::lit(9.0f64))],
+                        predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                    },
+                ),
+            ])
+            .unwrap();
+        let next_lsn = catalog.wal().next_lsn();
+
+        // Second life: recover from disk.
+        let reborn = Catalog::new();
+        reborn.create_table(item_def()).unwrap();
+        let report = reborn.recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_rows, 1);
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(report.replayed_ops, 2);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(report.next_lsn, next_lsn);
+        let table = reborn.table("ITEM").unwrap();
+        {
+            let t = table.read();
+            let snap = reborn.snapshot();
+            let rows: Vec<_> = t.scan(snap).map(|(_, r)| r.clone()).collect();
+            assert_eq!(rows.len(), 2);
+        }
+        // The update replayed: item 1's cost is 9.0.
+        let snap = reborn.snapshot();
+        let t = table.read();
+        let cost: Vec<f64> = t
+            .scan(snap)
+            .filter(|(_, r)| r[0] == shareddb_common::Value::Int(1))
+            .map(|(_, r)| match r[2] {
+                shareddb_common::Value::Float(f) => f,
+                _ => panic!("expected float"),
+            })
+            .collect();
+        assert_eq!(cost, vec![9.0]);
+        drop(t);
+
+        // New commits after recovery order strictly after replayed ones and
+        // keep appending to the same log.
+        reborn
+            .apply_batch(&[(
+                "ITEM".into(),
+                UpdateOp::Insert {
+                    values: tuple![3i64, "c", 3.0f64],
+                },
+            )])
+            .unwrap();
+        assert!(reborn.wal().next_lsn() > next_lsn);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_truncates_torn_wal_tail() {
+        let dir = temp_data_dir("torn");
+
+        let catalog = Catalog::new();
+        catalog.create_table(item_def()).unwrap();
+        catalog.recover(&dir).unwrap();
+        for i in 0..3i64 {
+            catalog
+                .apply_batch(&[(
+                    "ITEM".into(),
+                    UpdateOp::Insert {
+                        values: tuple![i, format!("t{i}"), i as f64],
+                    },
+                )])
+                .unwrap();
+        }
+        drop(catalog);
+
+        // Tear the last record mid-frame.
+        let wal_path = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let reborn = Catalog::new();
+        reborn.create_table(item_def()).unwrap();
+        let report = reborn.recover(&dir).unwrap();
+        // The torn COMMIT frame drops the whole third batch (never a partial
+        // batch), and the file is physically truncated back to valid frames.
+        assert!(report.torn_tail.is_some());
+        assert_eq!(report.replayed_batches, 2);
+        let table = reborn.table("ITEM").unwrap();
+        assert_eq!(table.read().live_count(), 2);
+        assert!(std::fs::metadata(&wal_path).unwrap().len() < len - 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_truncates_wal_and_preserves_state() {
+        let dir = temp_data_dir("compact");
+
+        let catalog = Catalog::new();
+        catalog.create_table(item_def()).unwrap();
+        catalog.recover(&dir).unwrap();
+        // Bulk loads are unlogged; compact captures them in the checkpoint.
+        catalog
+            .bulk_load("ITEM", vec![tuple![1i64, "seed", 0.5f64]])
+            .unwrap();
+        catalog
+            .apply_batch(&[(
+                "ITEM".into(),
+                UpdateOp::Insert {
+                    values: tuple![2i64, "live", 2.0f64],
+                },
+            )])
+            .unwrap();
+        let lsn_before = catalog.wal().next_lsn();
+        let info = catalog.compact(&dir).unwrap();
+        assert_eq!(info.rows, 2);
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        // LSNs stay monotone across the rotation.
+        assert_eq!(catalog.wal().next_lsn(), lsn_before);
+
+        let reborn = Catalog::new();
+        reborn.create_table(item_def()).unwrap();
+        let report = reborn.recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_rows, 2);
+        assert_eq!(report.replayed_batches, 0);
+        assert_eq!(reborn.table("ITEM").unwrap().read().live_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_checkpoint_rejects_corruption() {
+        let dir = temp_data_dir("badckpt");
+
+        let catalog = Catalog::new();
+        catalog.create_table(item_def()).unwrap();
+        catalog
+            .bulk_load("ITEM", vec![tuple![1i64, "x", 1.0f64]])
+            .unwrap();
+        let info = catalog.checkpoint(&dir).unwrap();
+
+        // Flip one payload byte: checkpoints fail hard, never truncate.
+        let mut bytes = std::fs::read(&info.path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&info.path, &bytes).unwrap();
+
+        let reborn = Catalog::new();
+        reborn.create_table(item_def()).unwrap();
+        assert!(reborn.restore_checkpoint(&info.path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,10 +30,16 @@ pub mod update;
 pub mod wal;
 
 pub use btree::BTreeIndex;
-pub use catalog::{Catalog, IndexDef, TableDef};
+pub use catalog::{
+    Catalog, CheckpointInfo, IndexDef, RecoveryReport, TableDef, CHECKPOINT_FILE, WAL_FILE,
+};
 pub use clockscan::{ClockScan, ScanQuery, SegmentView};
 pub use index_probe::{IndexProbe, ProbeQuery, ProbeRange};
 pub use mvcc::{Snapshot, TimestampOracle};
 pub use table::{RowId, StoredRow, Table};
 pub use update::{UpdateOp, UpdateResult};
-pub use wal::{LogRecord, Wal, WalSink};
+pub use wal::{
+    scan_frames, FaultConfig, FaultSink, FileSink, LogRecord, MemorySink, SyncPolicy, TornTail,
+    Wal, WalConfig, WalScan, WalSink, WalStatsSnapshot, FRAME_HEADER_LEN, FRAME_MAGIC,
+    WAL_FORMAT_VERSION,
+};

@@ -101,6 +101,26 @@ impl TimestampOracle {
         Timestamp(self.next.fetch_add(1, Ordering::AcqRel))
     }
 
+    /// Restores the oracle after recovery: the committed watermark jumps to
+    /// `ts` (the largest replayed commit timestamp) and subsequent
+    /// [`TimestampOracle::next_commit_ts`] calls allocate strictly after it,
+    /// so post-recovery commits order after everything the log replayed.
+    pub fn restore(&self, ts: Timestamp) {
+        self.publish(ts);
+        let mut current = self.next.load(Ordering::Relaxed);
+        while current < ts.0 + 1 {
+            match self.next.compare_exchange_weak(
+                current,
+                ts.0 + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
     /// Publishes a commit timestamp: snapshots taken afterwards will see all
     /// versions written with timestamps `<= ts`.
     pub fn publish(&self, ts: Timestamp) {
@@ -174,5 +194,17 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(oracle.read_ts().ts, Timestamp(4000));
+    }
+
+    #[test]
+    fn restore_resumes_strictly_after_replayed_commits() {
+        let oracle = TimestampOracle::new();
+        oracle.restore(Timestamp(42));
+        assert_eq!(oracle.read_ts().ts, Timestamp(42));
+        assert!(oracle.next_commit_ts() > Timestamp(42));
+        // Restoring backwards is a no-op.
+        oracle.restore(Timestamp(3));
+        assert_eq!(oracle.read_ts().ts, Timestamp(42));
+        assert!(oracle.next_commit_ts() > Timestamp(43));
     }
 }
