@@ -23,6 +23,14 @@
 //! }
 //! ```
 //!
+//! A floor entry may additionally pin `"scan_segments"` and/or a
+//! `"heartbeat"` policy spec (matched verbatim against the point's
+//! `heartbeat` string). A top-level `"min_light_p99_improvement_pct"` turns
+//! on the adaptive-vs-fixed gate: every sweep point present under both a
+//! `fixed:*` and an `adaptive:*` heartbeat must show the adaptive policy
+//! improving `server_light_p99_us` by at least that much, without losing
+//! more than `"max_throughput_loss_pct"` (default 3) of throughput.
+//!
 //! A floor entry with no matching point in the bench output is itself a
 //! failure — a lane that silently stopped producing the point would
 //! otherwise pass forever. The JSON parser below is deliberately minimal
@@ -63,6 +71,13 @@ impl Json {
     fn arr(&self, key: &str) -> Option<&[Json]> {
         match self.get(key)? {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -281,18 +296,25 @@ fn main() {
     for floor in floors {
         let replicas = floor.num("replicas").unwrap_or(-1.0);
         let clients = floor.num("clients").unwrap_or(-1.0);
-        // Optional: a floor may pin a scan-segment sweep point; absent, the
-        // first matching (replicas, clients) point is checked regardless of
-        // its segment count (old baselines keep working against new output).
+        // Optional: a floor may pin a scan-segment sweep point and/or a
+        // heartbeat-policy spec; absent, the first matching
+        // (replicas, clients) point is checked regardless (old baselines
+        // keep working against new output).
         let scan_segments = floor.num("scan_segments");
-        let label = match scan_segments {
-            Some(s) => format!("replicas={replicas} segments={s} clients={clients}"),
-            None => format!("replicas={replicas} clients={clients}"),
-        };
+        let heartbeat = floor.str_of("heartbeat");
+        let mut label = format!("replicas={replicas}");
+        if let Some(s) = scan_segments {
+            label.push_str(&format!(" segments={s}"));
+        }
+        if let Some(hb) = heartbeat {
+            label.push_str(&format!(" heartbeat={hb}"));
+        }
+        label.push_str(&format!(" clients={clients}"));
         let Some(point) = points.iter().find(|p| {
             p.num("replicas") == Some(replicas)
                 && p.num("clients") == Some(clients)
                 && scan_segments.is_none_or(|s| p.num("scan_segments").unwrap_or(1.0) == s)
+                && heartbeat.is_none_or(|hb| p.str_of("heartbeat").unwrap_or("") == hb)
         }) else {
             println!("FAIL [{label}] point missing from {bench_path}");
             checks.push(Check {
@@ -413,6 +435,113 @@ fn main() {
                 bound: format!("<= {max_errors:.0}"),
                 pass,
             });
+        }
+    }
+
+    // Adaptive-vs-fixed heartbeat comparison *within this run*: when the
+    // baseline sets `min_light_p99_improvement_pct`, every sweep point that
+    // exists under both a `fixed:*` and an `adaptive:*` heartbeat must show
+    // the adaptive policy cutting the server-side light p99 by at least that
+    // much — and (guarded by `max_throughput_loss_pct`, default 3) without
+    // giving up more than a sliver of throughput. Both points come from the
+    // same process run on the same machine, so `slack_pct` (which absorbs
+    // runner-to-runner variance) deliberately does NOT widen these bounds —
+    // it would defeat the improvement requirement; pick the margin via
+    // `min_light_p99_improvement_pct` itself.
+    if let Some(min_improvement) = baseline.num("min_light_p99_improvement_pct") {
+        let max_loss = baseline.num("max_throughput_loss_pct").unwrap_or(3.0);
+        let mut pairs = 0usize;
+        for fixed in points {
+            let Some(hb_fixed) = fixed.str_of("heartbeat") else {
+                continue;
+            };
+            if !hb_fixed.starts_with("fixed:") {
+                continue;
+            }
+            let Some(adaptive) = points.iter().find(|p| {
+                p.str_of("heartbeat")
+                    .is_some_and(|h| h.starts_with("adaptive:"))
+                    && p.num("replicas") == fixed.num("replicas")
+                    && p.num("scan_segments") == fixed.num("scan_segments")
+                    && p.num("clients") == fixed.num("clients")
+            }) else {
+                continue;
+            };
+            pairs += 1;
+            let label = format!(
+                "replicas={} clients={} {} vs {}",
+                fixed.num("replicas").unwrap_or(-1.0),
+                fixed.num("clients").unwrap_or(-1.0),
+                adaptive.str_of("heartbeat").unwrap_or("?"),
+                hb_fixed,
+            );
+            let fixed_p99 = fixed.num("server_light_p99_us").unwrap_or(0.0);
+            let adaptive_p99 = adaptive.num("server_light_p99_us").unwrap_or(f64::MAX);
+            let bound = fixed_p99 * (1.0 - min_improvement / 100.0);
+            let delta_pct = if fixed_p99 > 0.0 {
+                (fixed_p99 - adaptive_p99) / fixed_p99 * 100.0
+            } else {
+                0.0
+            };
+            let pass = adaptive_p99 <= bound;
+            if pass {
+                println!(
+                    "PASS [{label}] adaptive server light p99 {adaptive_p99:.0}us <= \
+                     {bound:.0}us ({delta_pct:+.1}% vs fixed {fixed_p99:.0}us)"
+                );
+            } else {
+                println!(
+                    "FAIL [{label}] adaptive server light p99 {adaptive_p99:.0}us above \
+                     {bound:.0}us — needs >= {min_improvement:.0}% improvement over fixed \
+                     {fixed_p99:.0}us, measured {delta_pct:+.1}%"
+                );
+                failures += 1;
+            }
+            checks.push(Check {
+                label: label.clone(),
+                metric: "adaptive p99 delta",
+                measured: format!("{adaptive_p99:.0}us ({delta_pct:+.1}%)"),
+                bound: format!("<= {bound:.0}us"),
+                pass,
+            });
+            let fixed_tp = fixed.num("throughput_per_s").unwrap_or(0.0);
+            let adaptive_tp = adaptive.num("throughput_per_s").unwrap_or(0.0);
+            let tp_bound = fixed_tp * (1.0 - max_loss / 100.0);
+            let tp_pass = adaptive_tp >= tp_bound;
+            if tp_pass {
+                println!(
+                    "PASS [{label}] adaptive throughput {adaptive_tp:.0}/s >= {tp_bound:.0}/s \
+                     (fixed {fixed_tp:.0}/s, loss budget {max_loss:.0}%)"
+                );
+            } else {
+                println!(
+                    "FAIL [{label}] adaptive throughput {adaptive_tp:.0}/s below {tp_bound:.0}/s \
+                     — gave up more than {max_loss:.0}% vs fixed {fixed_tp:.0}/s"
+                );
+                failures += 1;
+            }
+            checks.push(Check {
+                label,
+                metric: "adaptive throughput",
+                measured: format!("{adaptive_tp:.0}/s"),
+                bound: format!(">= {tp_bound:.0}/s"),
+                pass: tp_pass,
+            });
+        }
+        if pairs == 0 {
+            // A lane that stopped sweeping both policies must not pass silently.
+            println!(
+                "FAIL [adaptive-vs-fixed] no (fixed, adaptive) heartbeat point pair in \
+                 {bench_path}"
+            );
+            checks.push(Check {
+                label: "adaptive-vs-fixed".into(),
+                metric: "pair",
+                measured: "missing".into(),
+                bound: "present".into(),
+                pass: false,
+            });
+            failures += 1;
         }
     }
     write_step_summary(&bench_path, slack, &checks, failures);

@@ -18,6 +18,9 @@
 //! `--scan-segments N[,M,...]` (intra-engine scan-segment counts to sweep,
 //! default `1` — env fallback `BENCH_SCAN_SEGMENTS`; each replica splits its
 //! shared scans into N hash segments executed on the engine's worker pool),
+//! `--heartbeat SPEC[;SPEC...]` (heartbeat policies to sweep, e.g.
+//! `fixed:2;adaptive:0.2,2,5` — `;`-separated because adaptive specs contain
+//! commas; env fallback `BENCH_HEARTBEAT`; default: the engine default),
 //! `--json PATH` (machine-readable results, default
 //! `BENCH_server_throughput.json`).
 //!
@@ -34,7 +37,7 @@
 //! `BENCH_metrics_scrape.prom` — exercises scrape-under-load overhead).
 //!
 //! Output: CSV on stdout
-//! (`replicas,clients,heavy,ok,errors,throughput_per_s,light_p50_us,light_p99_us,mean_latency_us,batches_per_s`)
+//! (`replicas,segments,heartbeat,clients,heavy,upd_clients,ok,updates,errors,throughput_per_s,light_p50_us,light_p99_us,mean_latency_us,batches_per_s`)
 //! plus the JSON file with per-replica engine statistics per point. The
 //! percentiles cover the **light** connections only (the tail the cluster is
 //! supposed to protect); `mean_latency_us` covers all statements including
@@ -47,7 +50,7 @@ use shareddb_client::Connection;
 use shareddb_cluster::ClusterConfig;
 use shareddb_common::Value;
 use shareddb_core::stats::StatementPhaseSnapshot;
-use shareddb_core::{EngineConfig, Phase};
+use shareddb_core::{EngineConfig, HeartbeatPolicy, Phase};
 use shareddb_server::{Server, ServerConfig};
 use shareddb_tpcw::schema::SUBJECTS;
 use shareddb_tpcw::{build_catalog, build_shared_plan};
@@ -59,6 +62,8 @@ use std::time::Instant;
 struct PointResult {
     replicas: usize,
     scan_segments: usize,
+    /// Canonical heartbeat-policy spec this point ran with.
+    heartbeat: String,
     clients: usize,
     heavy: usize,
     update_clients: usize,
@@ -125,7 +130,7 @@ fn phase_rows(statements: &[StatementPhaseSnapshot]) -> Vec<PhaseRow> {
 }
 
 fn main() {
-    let (replica_counts, segment_counts, json_path) = parse_args();
+    let (replica_counts, segment_counts, heartbeats, json_path) = parse_args();
     let scale = bench_scale();
     let duration = bench_duration();
     let max_clients = env_usize("SERVER_MAX_CLIENTS", 1024);
@@ -144,6 +149,7 @@ fn main() {
     print_header(&[
         "replicas",
         "segments",
+        "heartbeat",
         "clients",
         "heavy",
         "upd_clients",
@@ -158,38 +164,44 @@ fn main() {
     ]);
 
     let mut points: Vec<PointResult> = Vec::new();
-    for &scan_segments in &segment_counts {
-        for &replicas in &replica_counts {
-            let mut clients = min_clients.max(1);
-            while clients <= max_clients {
-                let point = run_point(
-                    replicas,
-                    scan_segments,
-                    clients,
-                    update_clients,
-                    &replicate,
-                    items,
-                    duration,
-                    &scale,
-                );
-                println!(
-                    "{},{},{},{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
-                    point.replicas,
-                    point.scan_segments,
-                    point.clients,
-                    point.heavy,
-                    point.update_clients,
-                    point.ok,
-                    point.updates_ok,
-                    point.errors,
-                    point.throughput_per_s,
-                    point.light_p50_us,
-                    point.light_p99_us,
-                    point.mean_latency_us,
-                    point.batches_per_s,
-                );
-                points.push(point);
-                clients *= 2;
+    for heartbeat in &heartbeats {
+        for &scan_segments in &segment_counts {
+            for &replicas in &replica_counts {
+                let mut clients = min_clients.max(1);
+                while clients <= max_clients {
+                    let point = run_point(
+                        replicas,
+                        scan_segments,
+                        heartbeat,
+                        clients,
+                        update_clients,
+                        &replicate,
+                        items,
+                        duration,
+                        &scale,
+                    );
+                    // The heartbeat spec is CSV-quoted: adaptive specs
+                    // contain commas.
+                    println!(
+                        "{},{},\"{}\",{},{},{},{},{},{},{:.1},{},{},{:.1},{:.1}",
+                        point.replicas,
+                        point.scan_segments,
+                        point.heartbeat,
+                        point.clients,
+                        point.heavy,
+                        point.update_clients,
+                        point.ok,
+                        point.updates_ok,
+                        point.errors,
+                        point.throughput_per_s,
+                        point.light_p50_us,
+                        point.light_p99_us,
+                        point.mean_latency_us,
+                        point.batches_per_s,
+                    );
+                    points.push(point);
+                    clients *= 2;
+                }
             }
         }
     }
@@ -205,6 +217,7 @@ fn main() {
 fn run_point(
     replicas: usize,
     scan_segments: usize,
+    heartbeat: &HeartbeatPolicy,
     clients: usize,
     update_clients: usize,
     replicate: &[String],
@@ -218,7 +231,9 @@ fn run_point(
         catalog,
         plan,
         registry,
-        EngineConfig::default().scan_segments(scan_segments),
+        EngineConfig::default()
+            .scan_segments(scan_segments)
+            .heartbeat_policy(*heartbeat),
         ServerConfig {
             max_inflight_per_session: 16,
             cluster: ClusterConfig {
@@ -470,6 +485,7 @@ fn run_point(
     let point = PointResult {
         replicas,
         scan_segments,
+        heartbeat: heartbeat.to_string(),
         clients,
         heavy,
         update_clients,
@@ -505,7 +521,7 @@ fn scrape_metrics(addr: std::net::SocketAddr) -> Option<String> {
     head.starts_with("HTTP/1.1 200").then(|| body.to_string())
 }
 
-fn parse_args() -> (Vec<usize>, Vec<usize>, String) {
+fn parse_args() -> (Vec<usize>, Vec<usize>, Vec<HeartbeatPolicy>, String) {
     let parse_counts = |list: &str, what: &str| -> Vec<usize> {
         list.split(',')
             .map(|n| {
@@ -516,11 +532,24 @@ fn parse_args() -> (Vec<usize>, Vec<usize>, String) {
             })
             .collect()
     };
+    // Heartbeat specs are `;`-separated: adaptive specs contain commas.
+    let parse_heartbeats = |list: &str, what: &str| -> Vec<HeartbeatPolicy> {
+        list.split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                HeartbeatPolicy::parse(s).unwrap_or_else(|e| usage(&format!("bad {what}: {e}")))
+            })
+            .collect()
+    };
     let mut replicas = vec![1usize];
     // The CLI flag wins over the env fallback (CI lanes set the env).
     let mut scan_segments = std::env::var("BENCH_SCAN_SEGMENTS")
         .map(|v| parse_counts(&v, "BENCH_SCAN_SEGMENTS"))
         .unwrap_or_else(|_| vec![1usize]);
+    let mut heartbeats = std::env::var("BENCH_HEARTBEAT")
+        .map(|v| parse_heartbeats(&v, "BENCH_HEARTBEAT"))
+        .unwrap_or_default();
     let mut json_path =
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_server_throughput.json".to_string());
     let mut args = std::env::args().skip(1);
@@ -536,19 +565,29 @@ fn parse_args() -> (Vec<usize>, Vec<usize>, String) {
                     .unwrap_or_else(|| usage("--scan-segments needs N"));
                 scan_segments = parse_counts(&list, "--scan-segments");
             }
+            "--heartbeat" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--heartbeat needs SPEC"));
+                heartbeats = parse_heartbeats(&list, "--heartbeat");
+            }
             "--json" => {
                 json_path = args.next().unwrap_or_else(|| usage("--json needs PATH"));
             }
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    (replicas, scan_segments, json_path)
+    if heartbeats.is_empty() {
+        heartbeats = vec![EngineConfig::default().heartbeat];
+    }
+    (replicas, scan_segments, heartbeats, json_path)
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: server_throughput [--replicas N[,M,...]] [--scan-segments N[,M,...]] [--json PATH]"
+        "usage: server_throughput [--replicas N[,M,...]] [--scan-segments N[,M,...]] \
+         [--heartbeat SPEC[;SPEC,...]] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -567,7 +606,8 @@ fn write_json(
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"replicas\": {}, \"scan_segments\": {}, \"clients\": {}, \
+            "    {{\"replicas\": {}, \"scan_segments\": {}, \"heartbeat\": \"{}\", \
+             \"clients\": {}, \
              \"heavy_clients\": {}, \
              \"update_clients\": {}, \"ok\": {}, \"updates_ok\": {}, \
              \"errors\": {}, \"throughput_per_s\": {:.1}, \"light_p50_us\": {}, \
@@ -576,6 +616,7 @@ fn write_json(
              \"per_replica\": [",
             p.replicas,
             p.scan_segments,
+            p.heartbeat,
             p.clients,
             p.heavy,
             p.update_clients,

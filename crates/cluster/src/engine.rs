@@ -18,6 +18,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// How long a fanned-out read waits for its session's write fence to
+/// resolve before pinning the fanout snapshot anyway (mirrors the engine
+/// coordinator's cap — a wedged writer must not hang readers).
+const FENCE_WAIT_CAP: Duration = Duration::from_secs(1);
+
 /// N engine replicas over one shared [`Catalog`], fronted by a [`Router`]
 /// that dispatches each admitted statement by type (see the crate docs).
 pub struct ClusterEngine {
@@ -134,6 +139,18 @@ impl ClusterEngine {
     ) -> Result<ClusterHandle> {
         let of = self.engines.len() as u32;
         let scatter_started = Instant::now();
+        // Read-your-writes: a fanned-out execution pins one snapshot for
+        // every partition, so that snapshot itself must already cover the
+        // session's last write — the per-engine fence deferral cannot help a
+        // query that brings its own (older) snapshot. Bounded wait, matching
+        // the engine coordinator's fence cap: a wedged writer must not hang
+        // the submitting session forever.
+        if let Some(fence) = &opts.read_after {
+            let waited = Instant::now();
+            while fence.committed_ts().is_none() && waited.elapsed() < FENCE_WAIT_CAP {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
         // One MVCC snapshot per fanned-out execution: every partition reads
         // the same version set, so the merged result is indistinguishable
         // from a single-engine execution at that snapshot even under
@@ -313,6 +330,30 @@ impl ClusterEngine {
     /// Per-replica admission-queue depths.
     pub fn queued_per_replica(&self) -> Vec<usize> {
         self.engines.iter().map(|e| e.queued()).collect()
+    }
+
+    /// Per-replica admission-lane depths, `(light, heavy)` per replica.
+    pub fn lane_depths_per_replica(&self) -> Vec<(usize, usize)> {
+        self.engines.iter().map(|e| e.lane_depths()).collect()
+    }
+
+    /// Per-replica heartbeat interval currently in effect (equals the
+    /// configured interval under a fixed policy; moves within `[min, max]`
+    /// under an adaptive one).
+    pub fn replica_heartbeats(&self) -> Vec<Duration> {
+        self.engines
+            .iter()
+            .map(|e| e.heartbeat_interval())
+            .collect()
+    }
+
+    /// Per-replica count of adaptive heartbeat adjustments (0 under a fixed
+    /// policy).
+    pub fn replica_heartbeat_adjustments(&self) -> Vec<u64> {
+        self.engines
+            .iter()
+            .map(|e| e.heartbeat_adjustments())
+            .collect()
     }
 
     /// Current route per statement type (name, route).
@@ -1272,7 +1313,7 @@ mod tests {
             registry,
             EngineConfig {
                 eager_heartbeat: false,
-                heartbeat: Duration::from_secs(30),
+                heartbeat: shareddb_core::HeartbeatPolicy::Fixed(Duration::from_secs(30)),
                 ..EngineConfig::default()
             },
             ClusterConfig::with_replicas(2),
@@ -1300,5 +1341,85 @@ mod tests {
             .submit("allItems", &[], opts)
             .expect("other replica should admit");
         drop(handles);
+    }
+
+    /// Read-your-writes across 4 replicas: a pipelined INSERT → SELECT on
+    /// the same session observes the write on every round when the read
+    /// carries the session's write fence, and provably reads stale without
+    /// it (the negative control routes to a replica whose batch forms before
+    /// the write replica's paced group commit).
+    #[test]
+    fn read_your_writes_across_replicas() {
+        let catalog = catalog();
+        let (plan, registry) = compile_workload(&catalog, WORKLOAD).unwrap();
+        let cluster = ClusterEngine::start(
+            catalog,
+            plan,
+            registry,
+            EngineConfig {
+                eager_heartbeat: false,
+                heartbeat: shareddb_core::HeartbeatPolicy::Fixed(Duration::from_millis(60)),
+                ..EngineConfig::default()
+            },
+            ClusterConfig::with_replicas(4),
+        )
+        .unwrap();
+        // Heat the write replica's pacing clock (updates pin to replica 0,
+        // like getItem) so the negative-control insert waits out the full
+        // 60ms pacing. The read statement's home replica stays cold — its
+        // first batch forms immediately.
+        cluster.execute_sync("getItem", &[Value::Int(0)]).unwrap();
+        // Negative control: unfenced pipelined write → read loses the race.
+        let write = cluster
+            .execute(
+                "addItem",
+                &[Value::Int(9_000), Value::text("HISTORY"), Value::Float(1.0)],
+            )
+            .unwrap();
+        let stale = cluster.execute_sync("allItems", &[]).unwrap();
+        assert_eq!(
+            stale.rows().len(),
+            200,
+            "unfenced pipelined read should miss the still-uncommitted insert"
+        );
+        write.wait().unwrap();
+        // Fenced rounds: 100% of N pipelined write→read pairs observe the
+        // session's write, whichever replica (or fanout) serves the read.
+        for round in 0..8i64 {
+            let fence = Arc::new(shareddb_core::WriteFence::new());
+            let write = cluster
+                .submit(
+                    "addItem",
+                    &[
+                        Value::Int(10_000 + round),
+                        Value::text("FICTION"),
+                        Value::Float(2.0),
+                    ],
+                    SubmitOptions {
+                        write_fence: Some(Arc::clone(&fence)),
+                        ..SubmitOptions::default()
+                    },
+                )
+                .unwrap();
+            let rows = cluster
+                .submit(
+                    "allItems",
+                    &[],
+                    SubmitOptions {
+                        read_after: Some(Arc::clone(&fence)),
+                        ..SubmitOptions::default()
+                    },
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert!(
+                rows.rows()
+                    .iter()
+                    .any(|r| r[0] == Value::Int(10_000 + round)),
+                "round {round}: fenced read missed the session's write"
+            );
+            write.wait().unwrap();
+        }
     }
 }

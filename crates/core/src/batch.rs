@@ -5,7 +5,7 @@
 //! producing an [`ActiveQuery`] (or [`ActiveUpdate`]); active queries queue up
 //! and are grouped into a [`QueryBatch`] at the next heartbeat (Section 3.2).
 
-use crate::engine::SubmitOptions;
+use crate::engine::{SubmitOptions, WriteFence};
 use crate::plan::OperatorId;
 use crate::plan::{
     ActivationTemplate, ComputedColumn, StatementKind, StatementSpec, UpdateTemplate,
@@ -112,6 +112,11 @@ pub struct ActiveQuery {
     pub segment_ok: bool,
     /// When the query was bound and enqueued (start of the batch-wait phase).
     pub enqueued: Instant,
+    /// Read-your-writes fence ([`SubmitOptions::read_after`]): the
+    /// coordinator defers this query until the fence's write is covered by
+    /// the committed watermark (or the covering update rides in the same
+    /// batch).
+    pub read_after: Option<std::sync::Arc<WriteFence>>,
 }
 
 /// One admitted update.
@@ -127,6 +132,9 @@ pub struct ActiveUpdate {
     pub op: UpdateOp,
     /// When the update was bound and enqueued (start of the batch-wait phase).
     pub enqueued: Instant,
+    /// Session write fence ([`SubmitOptions::write_fence`]): resolved by the
+    /// engine at the committed watermark once this update's batch group-commits.
+    pub write_fence: Option<std::sync::Arc<WriteFence>>,
 }
 
 /// One batch ("generation") of queries and updates processed by a heartbeat.
@@ -261,6 +269,7 @@ pub fn bind_query(
         activations,
         segment_ok: false,
         enqueued: Instant::now(),
+        read_after: opts.read_after.clone(),
     })
 }
 
@@ -308,6 +317,7 @@ pub fn bind_update(
         table: table.clone(),
         op,
         enqueued: Instant::now(),
+        write_fence: None,
     })
 }
 

@@ -1,15 +1,116 @@
 //! Engine configuration.
 
+use std::fmt;
 use std::time::Duration;
+
+/// How the coordinator picks the interval between two heartbeats.
+///
+/// The paper's central trade-off is batch size vs. latency: a longer
+/// heartbeat amortizes shared operators over more queries, a shorter one
+/// keeps light queries fast. `Fixed` pins the interval; `Adaptive` lets the
+/// coordinator steer it each batch between `min` and `max` from the
+/// admission-queue depth and the live light-query p99 (drawn from the
+/// engine's phase histograms), with hysteresis so it converges instead of
+/// oscillating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatPolicy {
+    /// Constant interval (the pre-controller behaviour).
+    Fixed(Duration),
+    /// Controller-steered interval.
+    Adaptive {
+        /// Lower bound of the interval (latency floor).
+        min: Duration,
+        /// Upper bound of the interval (amortization ceiling).
+        max: Duration,
+        /// Light-query p99 the controller defends: the interval shrinks while
+        /// the observed light p99 exceeds this target.
+        target_light_p99: Duration,
+    },
+}
+
+impl HeartbeatPolicy {
+    /// The interval the coordinator starts with: the fixed interval, or the
+    /// adaptive floor (latency-safe; the controller grows it under backlog).
+    pub fn initial_interval(&self) -> Duration {
+        match *self {
+            HeartbeatPolicy::Fixed(d) => d,
+            HeartbeatPolicy::Adaptive { min, .. } => min,
+        }
+    }
+
+    /// True for [`HeartbeatPolicy::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, HeartbeatPolicy::Adaptive { .. })
+    }
+
+    /// Parses the operator-facing spec syntax: `fixed:MS` or
+    /// `adaptive:MIN_MS,MAX_MS,TARGET_P99_MS` (fractional milliseconds
+    /// allowed, e.g. `fixed:0.5` or `adaptive:0.5,8,2`).
+    pub fn parse(spec: &str) -> Result<HeartbeatPolicy, String> {
+        let ms = |s: &str| -> Result<Duration, String> {
+            let v: f64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad millisecond value {s:?} in heartbeat spec"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("bad millisecond value {s:?} in heartbeat spec"));
+            }
+            Ok(Duration::from_nanos((v * 1_000_000.0) as u64))
+        };
+        match spec.trim().split_once(':') {
+            Some(("fixed", rest)) => Ok(HeartbeatPolicy::Fixed(ms(rest)?)),
+            Some(("adaptive", rest)) => {
+                let parts: Vec<&str> = rest.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "adaptive heartbeat spec {spec:?} needs MIN_MS,MAX_MS,TARGET_P99_MS"
+                    ));
+                }
+                let (min, max, target) = (ms(parts[0])?, ms(parts[1])?, ms(parts[2])?);
+                if min > max {
+                    return Err(format!("adaptive heartbeat spec {spec:?} has min > max"));
+                }
+                Ok(HeartbeatPolicy::Adaptive {
+                    min,
+                    max,
+                    target_light_p99: target,
+                })
+            }
+            _ => Err(format!(
+                "heartbeat spec {spec:?} is neither fixed:MS nor adaptive:MIN,MAX,TARGET"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for HeartbeatPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        match *self {
+            HeartbeatPolicy::Fixed(d) => write!(f, "fixed:{}", ms(d)),
+            HeartbeatPolicy::Adaptive {
+                min,
+                max,
+                target_light_p99,
+            } => write!(
+                f,
+                "adaptive:{},{},{}",
+                ms(min),
+                ms(max),
+                ms(target_light_p99)
+            ),
+        }
+    }
+}
 
 /// Configuration of the batched SharedDB runtime.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Interval between two heartbeats when queries keep arriving. The paper
-    /// uses heartbeats "in the order of one second or even less" for OLTP
-    /// workloads; the default here is much smaller because the reproduced
-    /// experiments run at laptop scale.
-    pub heartbeat: Duration,
+    /// Interval policy between two heartbeats when queries keep arriving. The
+    /// paper uses heartbeats "in the order of one second or even less" for
+    /// OLTP workloads; the default here is much smaller because the
+    /// reproduced experiments run at laptop scale.
+    pub heartbeat: HeartbeatPolicy,
     /// Maximum number of queries and updates admitted into one batch; `0`
     /// means unlimited. Bounding the batch bounds the latency of a cycle.
     pub max_batch_size: usize,
@@ -38,18 +139,28 @@ pub struct EngineConfig {
     /// to the exact pre-segmentation inline path: no pool, no merge step.
     /// `0` is rejected by [`crate::Engine::start`].
     pub scan_segments: usize,
+    /// Statement types forced into the *light* admission lane, overriding the
+    /// plan-shape classification (point lookups light, scans/joins/aggregates
+    /// heavy — see [`crate::Engine::statement_lane`]).
+    pub light_statements: Vec<String>,
+    /// Statement types forced into the *heavy* admission lane, overriding the
+    /// plan-shape classification. A type named in both override lists is
+    /// heavy (the conservative direction).
+    pub heavy_statements: Vec<String>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            heartbeat: Duration::from_millis(2),
+            heartbeat: HeartbeatPolicy::Fixed(Duration::from_millis(2)),
             max_batch_size: 0,
             core_budget: usize::MAX,
             eager_heartbeat: true,
             slow_query_threshold: None,
             trace_capacity: 1024,
             scan_segments: 1,
+            light_statements: Vec::new(),
+            heavy_statements: Vec::new(),
         }
     }
 }
@@ -63,9 +174,34 @@ impl EngineConfig {
         }
     }
 
-    /// Sets the heartbeat interval.
+    /// Sets a fixed heartbeat interval (shorthand for
+    /// [`HeartbeatPolicy::Fixed`]).
     pub fn heartbeat(mut self, interval: Duration) -> Self {
-        self.heartbeat = interval;
+        self.heartbeat = HeartbeatPolicy::Fixed(interval);
+        self
+    }
+
+    /// Sets the heartbeat policy (fixed or adaptive).
+    pub fn heartbeat_policy(mut self, policy: HeartbeatPolicy) -> Self {
+        self.heartbeat = policy;
+        self
+    }
+
+    /// Forces statement types into the light admission lane.
+    pub fn light_statements<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        names: I,
+    ) -> Self {
+        self.light_statements = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Forces statement types into the heavy admission lane.
+    pub fn heavy_statements<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        names: I,
+    ) -> Self {
+        self.heavy_statements = names.into_iter().map(Into::into).collect();
         self
     }
 
@@ -115,7 +251,43 @@ mod tests {
             .heartbeat(Duration::from_millis(10))
             .max_batch(100);
         assert_eq!(c.core_budget, 1); // clamped
-        assert_eq!(c.heartbeat, Duration::from_millis(10));
+        assert_eq!(
+            c.heartbeat,
+            HeartbeatPolicy::Fixed(Duration::from_millis(10))
+        );
         assert_eq!(c.max_batch_size, 100);
+        let c = c.heartbeat_policy(HeartbeatPolicy::Adaptive {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            target_light_p99: Duration::from_millis(4),
+        });
+        assert!(c.heartbeat.is_adaptive());
+        assert_eq!(c.heartbeat.initial_interval(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn heartbeat_policy_parses_and_round_trips() {
+        let fixed = HeartbeatPolicy::parse("fixed:2").unwrap();
+        assert_eq!(fixed, HeartbeatPolicy::Fixed(Duration::from_millis(2)));
+        let frac = HeartbeatPolicy::parse("fixed:0.5").unwrap();
+        assert_eq!(frac, HeartbeatPolicy::Fixed(Duration::from_micros(500)));
+        let adaptive = HeartbeatPolicy::parse("adaptive:0.5,8,2").unwrap();
+        assert_eq!(
+            adaptive,
+            HeartbeatPolicy::Adaptive {
+                min: Duration::from_micros(500),
+                max: Duration::from_millis(8),
+                target_light_p99: Duration::from_millis(2),
+            }
+        );
+        // The rendered form parses back to the same policy.
+        for p in [fixed, frac, adaptive] {
+            assert_eq!(HeartbeatPolicy::parse(&p.to_string()).unwrap(), p);
+        }
+        assert!(HeartbeatPolicy::parse("adaptive:8,1,2").is_err()); // min > max
+        assert!(HeartbeatPolicy::parse("adaptive:1,2").is_err()); // arity
+        assert!(HeartbeatPolicy::parse("exponential:3").is_err());
+        assert!(HeartbeatPolicy::parse("fixed:abc").is_err());
+        assert!(HeartbeatPolicy::parse("fixed:-1").is_err());
     }
 }

@@ -25,10 +25,10 @@
 
 use crate::batch::{bind_query, bind_update, Activation, ActiveQuery, ActiveUpdate, QueryBatch};
 use crate::budget::CoreBudget;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, HeartbeatPolicy};
 use crate::merge::{merge_results, MergeSpec};
 use crate::operators::{execute_operator, ExecContext};
-use crate::plan::{GlobalPlan, OperatorId, StatementRegistry};
+use crate::plan::{GlobalPlan, OperatorId, OperatorSpec, StatementKind, StatementRegistry};
 use crate::scatter::{scatter_spec, ScatterSpec};
 use crate::stats::{
     AttributionEntry, AttributionTable, EngineStats, EngineStatsSnapshot, OperatorStats,
@@ -41,11 +41,12 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use shareddb_common::agg::AggregateFunction;
 use shareddb_common::ids::{BatchId, QueryIdGenerator, TicketGenerator, TicketId};
+use shareddb_common::metrics::HistogramSnapshot;
 use shareddb_common::{Error, QTuple, QueryId, Result, Schema, Tuple, Value};
 use shareddb_storage::mvcc::Snapshot;
 use shareddb_storage::Catalog;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -217,10 +218,116 @@ enum Submission {
     Update(ActiveUpdate),
 }
 
+impl Submission {
+    fn statement_index(&self) -> usize {
+        match self {
+            Submission::Query(q) => q.statement_index,
+            Submission::Update(u) => u.statement_index,
+        }
+    }
+}
+
 struct PendingResult {
     sender: Sender<Result<QueryOutcome>>,
     submitted: Instant,
     waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+/// Admission lane of a statement type (see [`Engine::statement_lane`]).
+///
+/// The classification falls out of the plan shape: a query whose activations
+/// touch only index probes and filters is a point lookup (*light*); anything
+/// driving a table scan, join, sort, top-N, group-by, distinct or union is
+/// *heavy*. Updates always ride the light lane — they are group-commit
+/// appends whose latency gates read-your-writes fences, and keeping every
+/// update in one lane preserves their arrival order within a batch (Phase 1
+/// applies updates in batch order). [`EngineConfig::light_statements`] /
+/// [`EngineConfig::heavy_statements`] override the classification for query
+/// statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Latency-critical: point lookups and updates.
+    Light,
+    /// Throughput-bound: scans, joins, aggregates.
+    Heavy,
+}
+
+impl Lane {
+    /// Prometheus-friendly label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Light => "light",
+            Lane::Heavy => "heavy",
+        }
+    }
+}
+
+fn classify_statement(
+    spec: &crate::plan::StatementSpec,
+    plan: &GlobalPlan,
+    config: &EngineConfig,
+) -> Lane {
+    if matches!(spec.kind, StatementKind::Update { .. }) {
+        return Lane::Light;
+    }
+    if config.heavy_statements.iter().any(|n| n == &spec.name) {
+        return Lane::Heavy;
+    }
+    if config.light_statements.iter().any(|n| n == &spec.name) {
+        return Lane::Light;
+    }
+    let probe_only = spec.activations.iter().all(|(op, _)| {
+        matches!(
+            plan.node(*op).spec,
+            OperatorSpec::IndexProbe { .. } | OperatorSpec::Filter
+        )
+    });
+    if probe_only {
+        Lane::Light
+    } else {
+        Lane::Heavy
+    }
+}
+
+/// A session's last-write fence, the carrier of read-your-writes guarantees
+/// across engine replicas.
+///
+/// The submitter of an update attaches a fresh fence via
+/// [`SubmitOptions::write_fence`]; the engine resolves it to the committed
+/// MVCC watermark once the update's batch has group-committed (or failed —
+/// a failed write constrains no read). A later read in the same session
+/// carries the fence as [`SubmitOptions::read_after`]: any replica's
+/// coordinator holds the read out of its batch until the shared committed
+/// watermark covers the write, so a pipelined UPDATE → SELECT pair observes
+/// the write no matter which replica serves the read.
+#[derive(Debug, Default)]
+pub struct WriteFence {
+    /// Committed watermark covering the write, stored off by one so `0` can
+    /// mean "not yet resolved" even when the watermark itself is 0 (a write
+    /// that failed before anything ever committed constrains no read).
+    ts_plus_one: AtomicU64,
+}
+
+impl WriteFence {
+    /// An unresolved fence.
+    pub fn new() -> WriteFence {
+        WriteFence::default()
+    }
+
+    /// Marks the fence resolved at `ts` (the committed watermark covering
+    /// the write). Monotonic; resolving twice keeps the larger watermark.
+    pub fn resolve(&self, ts: u64) {
+        self.ts_plus_one
+            .fetch_max(ts.saturating_add(1), Ordering::Release);
+    }
+
+    /// The committed watermark covering the write, once resolved.
+    pub fn committed_ts(&self) -> Option<u64> {
+        match self.ts_plus_one.load(Ordering::Acquire) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
 }
 
 /// Options for [`Engine::submit`].
@@ -264,10 +371,39 @@ pub struct SubmitOptions {
     /// step recombines sum/count and drops the hidden columns); meaningless
     /// without a merge step consuming the partials.
     pub partial_aggregation: bool,
+    /// For updates: the session fence the engine resolves once this write's
+    /// batch has group-committed. The submitter keeps the [`Arc`] and
+    /// threads it into later reads of the same session as
+    /// [`SubmitOptions::read_after`].
+    pub write_fence: Option<Arc<WriteFence>>,
+    /// For queries: hold this read out of any batch until the session's last
+    /// write (the fence) is covered by the committed MVCC watermark — the
+    /// read-your-writes session guarantee. A read whose write rides in the
+    /// same batch is admitted directly (updates commit in Phase 1, before
+    /// the batch's snapshot is taken).
+    pub read_after: Option<Arc<WriteFence>>,
+}
+
+/// The two admission lanes. One mutex guards both, so the queue-depth bound
+/// spans the lanes exactly and a drain sees one consistent picture.
+#[derive(Default)]
+struct Lanes {
+    light: VecDeque<Submission>,
+    heavy: VecDeque<Submission>,
+}
+
+impl Lanes {
+    fn len(&self) -> usize {
+        self.light.len() + self.heavy.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.light.is_empty() && self.heavy.is_empty()
+    }
 }
 
 struct Admission {
-    queue: Mutex<VecDeque<Submission>>,
+    queue: Mutex<Lanes>,
     signal: Condvar,
 }
 
@@ -277,6 +413,16 @@ struct EngineInner {
     registry: StatementRegistry,
     config: EngineConfig,
     admission: Admission,
+    /// Admission lane per statement (registry index), precomputed at start.
+    lanes: Vec<Lane>,
+    /// Statement indices currently classified light — the set whose merged
+    /// `Total`-phase histogram the adaptive controller reads its p99 from.
+    light_indices: Vec<usize>,
+    /// Heartbeat interval currently in effect, µs: the adaptive controller's
+    /// latest decision, or the configured constant under a fixed policy.
+    heartbeat_us: AtomicU64,
+    /// Number of interval changes the adaptive controller has made.
+    heartbeat_adjustments: AtomicU64,
     pending: Mutex<HashMap<TicketId, PendingResult>>,
     query_ids: QueryIdGenerator,
     tickets: TicketGenerator,
@@ -380,15 +526,31 @@ impl Engine {
 
         let statement_names: Vec<String> = registry.iter().map(|s| s.name.clone()).collect();
         let trace = TraceJournal::new(config.trace_capacity);
+        // Lane classification is per statement type, precomputed once.
+        let lanes: Vec<Lane> = registry
+            .iter()
+            .map(|s| classify_statement(s, &plan, &config))
+            .collect();
+        let light_indices: Vec<usize> = lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Lane::Light)
+            .map(|(i, _)| i)
+            .collect();
+        let initial_heartbeat_us = config.heartbeat.initial_interval().as_micros() as u64;
         let inner = Arc::new(EngineInner {
             catalog: Arc::clone(&catalog),
             plan: plan.clone(),
             registry,
             config,
             admission: Admission {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(Lanes::default()),
                 signal: Condvar::new(),
             },
+            lanes,
+            light_indices,
+            heartbeat_us: AtomicU64::new(initial_heartbeat_us),
+            heartbeat_adjustments: AtomicU64::new(0),
             pending: Mutex::new(HashMap::new()),
             query_ids: QueryIdGenerator::new(),
             tickets: TicketGenerator::new(),
@@ -446,6 +608,11 @@ impl Engine {
         &self.inner.plan
     }
 
+    /// The statement registry the engine executes from.
+    pub fn registry(&self) -> &StatementRegistry {
+        &self.inner.registry
+    }
+
     /// Submits a statement execution; returns a handle to wait on.
     pub fn execute(&self, statement: &str, params: &[Value]) -> Result<QueryHandle> {
         self.submit(statement, params, SubmitOptions::default())
@@ -469,7 +636,9 @@ impl Engine {
         let (index, spec) = self.inner.registry.get(statement)?;
         let ticket = self.inner.tickets.next_id();
         let submission = if spec.is_update() {
-            Submission::Update(bind_update(spec, index, ticket, params)?)
+            let mut update = bind_update(spec, index, ticket, params)?;
+            update.write_fence = opts.write_fence.clone();
+            Submission::Update(update)
         } else {
             let query_id = self.inner.query_ids.next_id();
             let mut query = bind_query(spec, index, query_id, ticket, params, &opts)?;
@@ -492,6 +661,9 @@ impl Engine {
         );
         {
             let mut queue = self.inner.admission.queue.lock();
+            // The depth bound spans BOTH lanes, checked and enqueued under
+            // the one queue lock — adding lanes must not soften the exact
+            // admission bound.
             if let Some(max) = opts.max_queue_depth {
                 if queue.len() >= max {
                     drop(queue);
@@ -501,7 +673,10 @@ impl Engine {
                     )));
                 }
             }
-            queue.push_back(submission);
+            match self.inner.lanes.get(index).copied().unwrap_or(Lane::Heavy) {
+                Lane::Light => queue.light.push_back(submission),
+                Lane::Heavy => queue.heavy.push_back(submission),
+            }
         }
         self.inner.admission.signal.notify_one();
         self.inner
@@ -593,9 +768,36 @@ impl Engine {
         *self.inner.stats_epoch.lock() = Instant::now();
     }
 
-    /// Number of statements queued but not yet admitted into a batch.
+    /// Number of statements queued but not yet admitted into a batch
+    /// (both lanes).
     pub fn queued(&self) -> usize {
         self.inner.admission.queue.lock().len()
+    }
+
+    /// Depth of the two admission lanes as `(light, heavy)`.
+    pub fn lane_depths(&self) -> (usize, usize) {
+        let queue = self.inner.admission.queue.lock();
+        (queue.light.len(), queue.heavy.len())
+    }
+
+    /// The admission lane the statement at registry `index` is classified
+    /// into (point lookups and updates light, scans/joins/aggregates heavy,
+    /// overridable via [`EngineConfig::light_statements`] /
+    /// [`EngineConfig::heavy_statements`]).
+    pub fn statement_lane(&self, index: usize) -> Lane {
+        self.inner.lanes.get(index).copied().unwrap_or(Lane::Heavy)
+    }
+
+    /// The heartbeat interval currently in effect: the configured constant
+    /// under a fixed policy, or the adaptive controller's latest decision.
+    pub fn heartbeat_interval(&self) -> Duration {
+        Duration::from_micros(self.inner.heartbeat_us.load(Ordering::Relaxed))
+    }
+
+    /// Number of interval changes the adaptive heartbeat controller has made
+    /// (0 under a fixed policy).
+    pub fn heartbeat_adjustments(&self) -> u64 {
+        self.inner.heartbeat_adjustments.load(Ordering::Relaxed)
     }
 
     /// Stops the engine: drains nothing further, fails queued work with
@@ -832,34 +1034,178 @@ fn segment_activation(
 // Coordinator
 // ---------------------------------------------------------------------------
 
+/// Multiplicative steps of the adaptive heartbeat controller. Shrinking is
+/// stronger than growth and a dead band separates the two pressure
+/// thresholds, so the interval converges instead of oscillating.
+const HEARTBEAT_SHRINK: f64 = 0.75;
+const HEARTBEAT_GROW: f64 = 1.25;
+/// Queue pressure (admitted + still queued) at or above which the interval
+/// grows — a longer heavy cycle amortizes shared work over more queries.
+const GROW_PRESSURE: usize = 16;
+/// Queue pressure at or below which the interval shrinks back toward `min`.
+const SHRINK_PRESSURE: usize = 4;
+/// Fresh light-lane completions required before the controller rolls its
+/// p99 observation window.
+const WINDOW_MIN_SAMPLES: u64 = 8;
+/// How long a read defers on an unresolved (or uncovered) session write
+/// fence before being admitted anyway — a wedged writer must not hang
+/// readers forever.
+const FENCE_WAIT_CAP: Duration = Duration::from_secs(1);
+/// Pause between fence re-checks when every drained submission deferred.
+const FENCE_POLL: Duration = Duration::from_micros(100);
+
+/// The per-replica adaptive heartbeat controller (runs on the coordinator
+/// thread, one `step` per batch).
+///
+/// The control signal is the light lane's windowed p99 (diff of the
+/// cumulative Total-phase histogram over the light statement types) plus the
+/// admission-queue pressure; the actuator is the heavy-lane admission
+/// interval (the light lane is never gated, so a longer interval only
+/// *spaces out* heavy cycles). Light p99 over target or a standing backlog →
+/// grow: heavy batches run less often, each one amortizes the shared
+/// operators over more of the backlog, and fewer light queries land behind
+/// an in-flight heavy cycle. Near-idle with latency headroom → shrink back
+/// toward `min`, keeping heavy admission latency low when there is nothing
+/// to protect. Anything between the thresholds holds the interval
+/// (hysteresis), and the asymmetric step sizes bias toward meeting the SLO.
+struct HeartbeatController {
+    policy: HeartbeatPolicy,
+    /// Cumulative light-lane Total-phase histogram at the last window
+    /// rollover; diffed against the live histogram to get a windowed p99.
+    window_base: HistogramSnapshot,
+    /// When the current observation window opened.
+    window_started: Instant,
+    /// Largest admission pressure (batch size + remaining backlog) seen
+    /// during the current window.
+    peak_pressure: usize,
+    /// Light p99 of the last completed window, µs (0 until the first window
+    /// fills — the controller only grows once it has evidence of headroom).
+    light_p99_us: u64,
+}
+
+impl HeartbeatController {
+    fn new(policy: HeartbeatPolicy) -> HeartbeatController {
+        HeartbeatController {
+            policy,
+            window_base: HistogramSnapshot::default(),
+            window_started: Instant::now(),
+            peak_pressure: 0,
+            light_p99_us: 0,
+        }
+    }
+
+    /// One control step after a batch: `admitted` submissions were drained
+    /// into it and `backlog` remained queued. Returns the interval for the
+    /// next cycle and publishes it (and the adjustment counter) on `inner`.
+    ///
+    /// A decision is made at most once per observation window, and a window
+    /// closes only after spanning at least two heavy cycles at the current
+    /// interval — a shorter window mostly samples the gaps *between* heavy
+    /// admissions, reads a calm p99, and shrinks the interval right before
+    /// the next heavy cycle proves it wrong (the oscillation this rule
+    /// exists to prevent). Between rollovers the interval holds.
+    fn step(&mut self, inner: &EngineInner, admitted: usize, backlog: usize) -> Duration {
+        let HeartbeatPolicy::Adaptive {
+            min,
+            max,
+            target_light_p99,
+        } = self.policy
+        else {
+            return self.policy.initial_interval();
+        };
+        let interval = Duration::from_micros(inner.heartbeat_us.load(Ordering::Relaxed));
+        self.peak_pressure = self.peak_pressure.max(admitted + backlog);
+        if self.window_started.elapsed() < interval * 2 {
+            return interval;
+        }
+        let live = inner.stats.merged_phase(&inner.light_indices, Phase::Total);
+        let window = live.diff(&self.window_base);
+        let have_samples = window.count >= WINDOW_MIN_SAMPLES;
+        if !have_samples && self.peak_pressure < GROW_PRESSURE {
+            // Not enough light completions to judge the tail and no heavy
+            // backlog to react to: keep accumulating.
+            return interval;
+        }
+        if have_samples {
+            self.light_p99_us = window.percentile_us(0.99);
+        }
+        let target_us = target_light_p99.as_micros() as u64;
+        let proposed = if self.light_p99_us > target_us || self.peak_pressure >= GROW_PRESSURE {
+            interval.mul_f64(HEARTBEAT_GROW)
+        } else if self.peak_pressure <= SHRINK_PRESSURE && self.light_p99_us <= target_us / 2 {
+            interval.mul_f64(HEARTBEAT_SHRINK)
+        } else {
+            interval
+        };
+        self.window_base = live;
+        self.window_started = Instant::now();
+        self.peak_pressure = 0;
+        let next = Duration::from_micros(proposed.clamp(min, max).as_micros() as u64);
+        if next != interval {
+            inner
+                .heartbeat_us
+                .store(next.as_micros() as u64, Ordering::Relaxed);
+            inner.heartbeat_adjustments.fetch_add(1, Ordering::Relaxed);
+        }
+        next
+    }
+}
+
 fn coordinator_loop(inner: Arc<EngineInner>) {
     let mut batch_seq: u64 = 0;
-    let mut last_batch_start = Instant::now() - inner.config.heartbeat;
+    let adaptive = inner.config.heartbeat.is_adaptive();
+    let mut heartbeat = inner.config.heartbeat.initial_interval();
+    let mut controller = HeartbeatController::new(inner.config.heartbeat);
+    let mut last_batch_start = Instant::now() - heartbeat;
+    // The heavy lane has its own admission clock: gating it on
+    // `last_batch_start` would let continuous light traffic (which resets
+    // that clock every batch) postpone heavy work forever. This way a heavy
+    // batch is admitted at least once per interval no matter how busy the
+    // light lane is.
+    let mut last_heavy_admit = last_batch_start;
     loop {
-        // Wait for work (or shutdown).
-        let submissions = {
+        // Wait for work (or shutdown). Under an adaptive policy the interval
+        // gates only the *heavy* lane: light submissions open a batch
+        // immediately, heavy ones wait out the remainder of the interval so
+        // each shared heavy cycle amortizes over more of the backlog.
+        let (submissions, backlog, shutting_down) = {
             let mut queue = inner.admission.queue.lock();
             loop {
                 if inner.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                if !queue.is_empty() {
+                if adaptive {
+                    if !queue.light.is_empty() {
+                        break;
+                    }
+                    if !queue.heavy.is_empty() {
+                        let since = last_heavy_admit.elapsed();
+                        if since >= heartbeat {
+                            break;
+                        }
+                        inner
+                            .admission
+                            .signal
+                            .wait_for(&mut queue, heartbeat - since);
+                        continue;
+                    }
+                } else if !queue.is_empty() {
                     break;
                 }
-                inner
-                    .admission
-                    .signal
-                    .wait_for(&mut queue, inner.config.heartbeat);
+                inner.admission.signal.wait_for(&mut queue, heartbeat);
             }
-            if inner.shutdown.load(Ordering::Acquire) && queue.is_empty() {
+            let shutting_down = inner.shutdown.load(Ordering::Acquire);
+            if shutting_down && queue.is_empty() {
                 break;
             }
-            // Heartbeat pacing: in non-eager mode a new batch starts at most
-            // once per heartbeat interval, letting more work accumulate.
-            if !inner.config.eager_heartbeat {
+            // Heartbeat pacing (fixed policy): in non-eager mode a new batch
+            // starts at most once per heartbeat interval, letting more work
+            // accumulate. Adaptive pacing happened in the wait loop above and
+            // ignores the eager flag.
+            if !adaptive && !inner.config.eager_heartbeat {
                 let since = last_batch_start.elapsed();
-                if since < inner.config.heartbeat {
-                    let mut wait = inner.config.heartbeat - since;
+                if since < heartbeat {
+                    let mut wait = heartbeat - since;
                     drop(queue);
                     // Sleep in small slices so a shutdown (graceful drain)
                     // is observed promptly even with long heartbeats.
@@ -876,27 +1222,122 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
             } else {
                 inner.config.max_batch_size.min(queue.len())
             };
-            queue.drain(..limit).collect::<Vec<_>>()
+            // Light-first drain: light admissions never wait behind heavy
+            // backlog. The heavy lane joins when the policy allows it (fixed:
+            // always; adaptive: interval elapsed or draining for shutdown);
+            // when the batch is capped with both lanes waiting, one slot
+            // stays reserved for heavy work so a saturated light lane cannot
+            // starve the heavy lane either. Adaptive eligibility is purely
+            // clock-based: under a continuous light stream the light queue
+            // still empties at most drain instants, so an "admit heavy when
+            // no light is waiting" shortcut would defeat the pacing exactly
+            // when the SLO needs it.
+            let heavy_eligible =
+                !adaptive || shutting_down || last_heavy_admit.elapsed() >= heartbeat;
+            let light_take = if heavy_eligible && !queue.heavy.is_empty() {
+                queue.light.len().min(limit.saturating_sub(1))
+            } else {
+                queue.light.len().min(limit)
+            };
+            let heavy_take = if heavy_eligible {
+                queue.heavy.len().min(limit - light_take)
+            } else {
+                0
+            };
+            if heavy_take > 0 {
+                last_heavy_admit = Instant::now();
+            }
+            let mut drained: Vec<Submission> = queue.light.drain(..light_take).collect();
+            drained.extend(queue.heavy.drain(..heavy_take));
+            let backlog = queue.len();
+            (drained, backlog, shutting_down)
         };
-        if submissions.is_empty() {
+
+        // Read-your-writes: hold back any query whose session fence is not
+        // yet covered by the committed watermark — unless the covering
+        // update rides in this very batch (updates group-commit in Phase 1,
+        // before the batch snapshot is taken), the fence has been pending
+        // past `FENCE_WAIT_CAP`, or the engine is draining for shutdown.
+        let mut admitted: Vec<Submission> = Vec::with_capacity(submissions.len());
+        let mut deferred: Vec<Submission> = Vec::new();
+        let any_fenced = submissions
+            .iter()
+            .any(|s| matches!(s, Submission::Query(q) if q.read_after.is_some()));
+        if any_fenced && !shutting_down {
+            let watermark = inner.catalog.oracle().read_ts().ts.0;
+            let batch_fences: Vec<Arc<WriteFence>> = submissions
+                .iter()
+                .filter_map(|s| match s {
+                    Submission::Update(u) => u.write_fence.clone(),
+                    _ => None,
+                })
+                .collect();
+            for submission in submissions {
+                let held = match &submission {
+                    Submission::Query(q) => match &q.read_after {
+                        Some(fence) => {
+                            let covered = fence.committed_ts().is_some_and(|ts| ts <= watermark);
+                            let in_batch = batch_fences.iter().any(|f| Arc::ptr_eq(f, fence));
+                            !covered && !in_batch && q.enqueued.elapsed() < FENCE_WAIT_CAP
+                        }
+                        None => false,
+                    },
+                    Submission::Update(_) => false,
+                };
+                if held {
+                    deferred.push(submission);
+                } else {
+                    admitted.push(submission);
+                }
+            }
+        } else {
+            admitted = submissions;
+        }
+        let deferred_only = admitted.is_empty() && !deferred.is_empty();
+        if !deferred.is_empty() {
+            // Deferred queries go back to the *front* of their lanes in
+            // reverse drain order, preserving FIFO within each lane.
+            let mut queue = inner.admission.queue.lock();
+            for submission in deferred.into_iter().rev() {
+                let lane = inner
+                    .lanes
+                    .get(submission.statement_index())
+                    .copied()
+                    .unwrap_or(Lane::Heavy);
+                match lane {
+                    Lane::Light => queue.light.push_front(submission),
+                    Lane::Heavy => queue.heavy.push_front(submission),
+                }
+            }
+        }
+        if admitted.is_empty() {
+            if deferred_only {
+                // Only fenced reads are queued: their writes commit on some
+                // *other* replica, so briefly sleep instead of spinning on
+                // the watermark.
+                std::thread::sleep(FENCE_POLL);
+            }
             continue;
         }
+
         last_batch_start = Instant::now();
         batch_seq += 1;
+        let admitted_count = admitted.len();
         let mut batch = QueryBatch {
             id: BatchId(batch_seq),
             ..Default::default()
         };
-        for submission in submissions {
+        for submission in admitted {
             match submission {
                 Submission::Query(q) => batch.queries.push(q),
                 Submission::Update(u) => batch.updates.push(u),
             }
         }
-        process_batch(&inner, &batch);
+        process_batch(&inner, &batch, heartbeat);
         inner
             .stats
             .record_batch(batch.queries.len() + batch.updates.len());
+        heartbeat = controller.step(&inner, admitted_count, backlog);
     }
 
     // Fail everything still pending.
@@ -912,8 +1353,9 @@ fn coordinator_loop(inner: Arc<EngineInner>) {
     }
 }
 
-fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
+fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch, heartbeat: Duration) {
     let batch_started = Instant::now();
+    let heartbeat_us = heartbeat.as_micros() as u64;
     // The statement-type mix (computed only when tracing is on — it
     // allocates) is what the attribution table splits operator busy time by.
     let mix = if inner.trace.capacity() > 0 {
@@ -935,6 +1377,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
         queries: batch.queries.len(),
         updates: batch.updates.len(),
         mix,
+        heartbeat_us,
     });
 
     // Phase 1: apply the batch's updates in arrival order (one commit
@@ -945,7 +1388,17 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
             .iter()
             .map(|u| (u.table.clone(), u.op.clone()))
             .collect();
-        match inner.catalog.apply_batch(&ops) {
+        let applied = inner.catalog.apply_batch(&ops);
+        // Resolve session write fences at the watermark now covering this
+        // group commit — in the error path too: a failed write constrains no
+        // read, and a session must not block on it.
+        let watermark = inner.catalog.oracle().read_ts().ts.0;
+        for update in &batch.updates {
+            if let Some(fence) = &update.write_fence {
+                fence.resolve(watermark);
+            }
+        }
+        match applied {
             Ok(results) => {
                 for (update, result) in batch.updates.iter().zip(results) {
                     complete(
@@ -959,6 +1412,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                             enqueued: update.enqueued,
                             batch_started,
                             segments: 1,
+                            heartbeat_us,
                         }),
                     );
                 }
@@ -974,6 +1428,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
                             enqueued: update.enqueued,
                             batch_started,
                             segments: 1,
+                            heartbeat_us,
                         }),
                     );
                 }
@@ -1274,6 +1729,7 @@ fn process_batch(inner: &Arc<EngineInner>, batch: &QueryBatch) {
             enqueued: q.enqueued,
             batch_started,
             segments: if segmented { segments } else { 1 },
+            heartbeat_us,
         });
         let lane_error = if segmented { &seg_error } else { &batch_error };
         if let Some(error) = lane_error {
@@ -1477,6 +1933,8 @@ struct PhaseCtx {
     batch_started: Instant,
     /// Segment lanes the statement executed on (1 = whole lane).
     segments: u32,
+    /// Heartbeat interval in effect when the batch formed, µs.
+    heartbeat_us: u64,
 }
 
 fn complete(
@@ -1521,6 +1979,7 @@ fn complete(
                         admission: ctx.enqueued.duration_since(pending.submitted),
                         batch_wait,
                         execute,
+                        heartbeat_us: ctx.heartbeat_us,
                     });
                 }
             }
@@ -2024,5 +2483,294 @@ mod tests {
             Err(Error::DeadlineExceeded) | Ok(_) => {}
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    // -- priority admission lanes -------------------------------------------
+
+    /// Fixture registration order: usersByCountry=0, ordersOfUser=1,
+    /// userById=2, topOrders=3, addOrder=4, cancelOrders=5.
+    #[test]
+    fn lane_classification_follows_plan_shape_and_overrides() {
+        let engine = build_engine(EngineConfig::default());
+        // Probe-only shape is light; scans/joins/aggregates are heavy;
+        // updates are always light (group-commit appends that gate RYW).
+        assert!(matches!(engine.statement_lane(0), Lane::Heavy)); // group-by
+        assert!(matches!(engine.statement_lane(1), Lane::Heavy)); // join+sort
+        assert!(matches!(engine.statement_lane(2), Lane::Light)); // point probe
+        assert!(matches!(engine.statement_lane(3), Lane::Heavy)); // top-N scan
+        assert!(matches!(engine.statement_lane(4), Lane::Light)); // insert
+        assert!(matches!(engine.statement_lane(5), Lane::Light)); // delete
+
+        let engine = build_engine(
+            EngineConfig::default()
+                .heavy_statements(["userById"])
+                .light_statements(["topOrders"]),
+        );
+        assert!(matches!(engine.statement_lane(2), Lane::Heavy)); // overridden
+        assert!(matches!(engine.statement_lane(3), Lane::Light)); // overridden
+                                                                  // Updates ignore the overrides.
+        let engine = build_engine(EngineConfig::default().heavy_statements(["addOrder"]));
+        assert!(matches!(engine.statement_lane(4), Lane::Light));
+    }
+
+    /// A saturated heavy lane must not block light admissions — and the
+    /// exact queue-depth bound still spans both lanes.
+    #[test]
+    fn heavy_backlog_never_starves_light_admissions() {
+        // min == max pins the adaptive interval: heavy batches are admitted
+        // at most once per 300ms, light batches immediately.
+        let policy = HeartbeatPolicy::parse("adaptive:300,300,50").unwrap();
+        let engine = build_engine(EngineConfig::default().heartbeat_policy(policy));
+        // Burn the initially-eligible heavy admission slot.
+        engine
+            .execute_sync("topOrders", &[Value::Float(0.0)])
+            .unwrap();
+        // Saturate the heavy lane; these wait for the next heavy admission.
+        let heavy: Vec<_> = (0..16)
+            .map(|_| engine.execute("topOrders", &[Value::Float(0.0)]).unwrap())
+            .collect();
+        // Light queries sail past the heavy backlog.
+        let light_started = Instant::now();
+        for i in 0..10 {
+            let rows = engine.execute_sync("userById", &[Value::Int(i)]).unwrap();
+            assert_eq!(rows.rows().len(), 1);
+        }
+        assert!(
+            light_started.elapsed() < Duration::from_millis(250),
+            "light queries waited behind the gated heavy lane: {:?}",
+            light_started.elapsed()
+        );
+        let (_, heavy_depth) = engine.lane_depths();
+        assert!(
+            heavy_depth > 0,
+            "heavy lane should still be gated while light queries completed"
+        );
+        // The heavy lane drains once its interval elapses — no lost work.
+        for h in heavy {
+            h.wait().unwrap();
+        }
+
+        // Exact bound across both lanes: block the coordinator with a pinned
+        // heavy interval, fill the bound with heavy work, and watch a light
+        // submission be rejected with the same bound.
+        let policy = HeartbeatPolicy::parse("adaptive:400,400,50").unwrap();
+        let engine = build_engine(EngineConfig::default().heartbeat_policy(policy));
+        engine
+            .execute_sync("topOrders", &[Value::Float(0.0)])
+            .unwrap();
+        let opts = |_i: usize| SubmitOptions {
+            max_queue_depth: Some(4),
+            ..SubmitOptions::default()
+        };
+        let mut held = Vec::new();
+        for i in 0..4 {
+            held.push(
+                engine
+                    .submit("topOrders", &[Value::Float(0.0)], opts(i))
+                    .unwrap(),
+            );
+        }
+        assert!(matches!(
+            engine.submit("userById", &[Value::Int(1)], opts(4)),
+            Err(Error::Overloaded(_))
+        ));
+        for h in held {
+            h.wait().unwrap();
+        }
+    }
+
+    // -- adaptive heartbeat controller --------------------------------------
+
+    /// Heavy backlog with latency headroom grows the interval toward `max`;
+    /// a subsequent light-only phase drifts it back down to `min`.
+    #[test]
+    fn adaptive_interval_tracks_load() {
+        // Generous 50ms target: the tiny fixture never exceeds it, so the
+        // only active control rules are grow-under-pressure and
+        // drift-when-idle.
+        let policy = HeartbeatPolicy::parse("adaptive:0.5,20,50").unwrap();
+        let min = Duration::from_micros(500);
+        let engine = build_engine(EngineConfig::default().heartbeat_policy(policy));
+        assert_eq!(engine.heartbeat_interval(), min);
+        // Waves of concurrent heavy queries: pressure >= GROW_PRESSURE per
+        // batch, light p99 far under target/2.
+        for _ in 0..6 {
+            let wave: Vec<_> = (0..24)
+                .map(|_| engine.execute("topOrders", &[Value::Float(0.0)]).unwrap())
+                .collect();
+            for h in wave {
+                h.wait().unwrap();
+            }
+        }
+        let grown = engine.heartbeat_interval();
+        assert!(
+            grown > min,
+            "interval should grow under heavy backlog, still at {grown:?}"
+        );
+        assert!(engine.heartbeat_adjustments() > 0);
+        // Light-only phase: single-statement batches keep pressure under
+        // SHRINK_PRESSURE, so the interval decays back to the floor — one
+        // shrink step per observation window (each spanning twice the
+        // current interval), hence the deadline loop.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut i = 0i64;
+        while engine.heartbeat_interval() > min && Instant::now() < deadline {
+            engine
+                .execute_sync("userById", &[Value::Int(i % 100)])
+                .unwrap();
+            i += 1;
+        }
+        assert_eq!(
+            engine.heartbeat_interval(),
+            min,
+            "interval should drift back to min in a light phase"
+        );
+    }
+
+    /// The adaptive policy keeps light p99 under the target where a fixed
+    /// interval pinned at the adaptive `max` (the negative control)
+    /// violates it: light queries there wait out the full batch pacing.
+    #[test]
+    fn adaptive_meets_light_slo_where_fixed_max_does_not() {
+        let target = Duration::from_millis(5);
+        let light_p99 = |engine: &Engine| {
+            let light: Vec<usize> = (0..6)
+                .filter(|&i| matches!(engine.statement_lane(i), Lane::Light))
+                .collect();
+            engine
+                .inner
+                .stats
+                .merged_phase(&light, Phase::Total)
+                .percentile_us(0.99)
+        };
+        // Negative control: fixed interval at the adaptive max, non-eager,
+        // so every light query waits for the 10ms pacing.
+        let fixed = build_engine(EngineConfig {
+            heartbeat: HeartbeatPolicy::Fixed(Duration::from_millis(10)),
+            eager_heartbeat: false,
+            ..EngineConfig::default()
+        });
+        for i in 0..20 {
+            fixed
+                .execute_sync("userById", &[Value::Int(i % 100)])
+                .unwrap();
+        }
+        let fixed_p99 = light_p99(&fixed);
+        assert!(
+            fixed_p99 > target.as_micros() as u64,
+            "negative control: fixed-max pacing should violate the {target:?} target, p99 {fixed_p99}us"
+        );
+        // Adaptive with the same max admits light immediately.
+        let policy = HeartbeatPolicy::parse("adaptive:0.5,10,5").unwrap();
+        let adaptive = build_engine(EngineConfig::default().heartbeat_policy(policy));
+        for i in 0..20 {
+            adaptive
+                .execute_sync("userById", &[Value::Int(i % 100)])
+                .unwrap();
+        }
+        let adaptive_p99 = light_p99(&adaptive);
+        assert!(
+            adaptive_p99 <= target.as_micros() as u64,
+            "adaptive policy should keep light p99 under {target:?}, got {adaptive_p99}us"
+        );
+    }
+
+    // -- read-your-writes session fences ------------------------------------
+
+    /// Two engines over one shared catalog emulate two replicas: a slow
+    /// writer (50ms paced heartbeat) and a fast reader. A read carrying the
+    /// session's write fence observes the write on every round; the
+    /// unfenced negative control reads stale data.
+    #[test]
+    fn read_your_writes_fence_blocks_stale_reads() {
+        let writer = build_engine(EngineConfig {
+            heartbeat: HeartbeatPolicy::Fixed(Duration::from_millis(50)),
+            eager_heartbeat: false,
+            ..EngineConfig::default()
+        });
+        let reader = Engine::start(
+            writer.catalog(),
+            writer.plan().clone(),
+            registry_like(&writer),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        // Warm-up batch: the pacing clock starts already-elapsed, so the
+        // first submission would commit immediately; consume that slot.
+        writer.execute_sync("userById", &[Value::Int(0)]).unwrap();
+        // Negative control first (on pristine data): pipelined write → read
+        // without a fence races the writer's 50ms pacing and loses.
+        let handle = writer
+            .execute(
+                "addOrder",
+                &[Value::Int(20_000), Value::Int(1), Value::Float(1.0)],
+            )
+            .unwrap();
+        let rows = reader
+            .execute_sync("ordersOfUser", &[Value::text("user1")])
+            .unwrap();
+        assert!(
+            !rows.rows().iter().any(|r| r[4] == Value::Int(20_000)),
+            "unfenced pipelined read should miss the still-uncommitted write"
+        );
+        handle.wait().unwrap();
+        // Fenced rounds: 100% of N pipelined write→read pairs observe the
+        // session's write, whichever replica executes the read.
+        for round in 0..10i64 {
+            let fence = Arc::new(WriteFence::new());
+            let write = writer
+                .submit(
+                    "addOrder",
+                    &[Value::Int(30_000 + round), Value::Int(2), Value::Float(1.0)],
+                    SubmitOptions {
+                        write_fence: Some(Arc::clone(&fence)),
+                        ..SubmitOptions::default()
+                    },
+                )
+                .unwrap();
+            let rows = reader
+                .submit(
+                    "ordersOfUser",
+                    &[Value::text("user2")],
+                    SubmitOptions {
+                        read_after: Some(Arc::clone(&fence)),
+                        ..SubmitOptions::default()
+                    },
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert!(
+                rows.rows()
+                    .iter()
+                    .any(|r| r[4] == Value::Int(30_000 + round)),
+                "round {round}: fenced read missed the session's write"
+            );
+            write.wait().unwrap();
+        }
+    }
+
+    /// A fence resolved by a *failed* write must not wedge fenced readers.
+    #[test]
+    fn failed_write_releases_its_fence() {
+        let fence = WriteFence::new();
+        assert_eq!(fence.committed_ts(), None);
+        fence.resolve(0); // watermark 0: nothing ever committed
+        assert_eq!(fence.committed_ts(), Some(0));
+        fence.resolve(7);
+        assert_eq!(fence.committed_ts(), Some(7));
+        fence.resolve(3); // monotonic
+        assert_eq!(fence.committed_ts(), Some(7));
+    }
+
+    /// Rebuilds the writer fixture's registry for a second engine over the
+    /// same catalog and plan (registries are not cloneable through the
+    /// engine, so re-register the same statement specs).
+    fn registry_like(engine: &Engine) -> StatementRegistry {
+        let mut registry = StatementRegistry::new();
+        for spec in engine.registry().iter() {
+            registry.register(spec.clone()).unwrap();
+        }
+        registry
     }
 }

@@ -54,8 +54,8 @@ pub mod storage_ops;
 pub mod trace;
 
 pub use batch::{Activation, ActiveQuery, QueryBatch};
-pub use config::EngineConfig;
-pub use engine::{Engine, QueryOutcome, ResultSet, SubmitOptions};
+pub use config::{EngineConfig, HeartbeatPolicy};
+pub use engine::{Engine, Lane, QueryOutcome, ResultSet, SubmitOptions, WriteFence};
 pub use explain::{
     explain_statement, render_dot, render_explain_text, sharing_sets, AnalyzeData, ExplainNode,
     ExplainTree,

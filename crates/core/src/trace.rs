@@ -32,6 +32,10 @@ pub enum TraceEvent {
         /// counts omitted. This is the activation mix operator busy time is
         /// attributed by.
         mix: Vec<(usize, usize)>,
+        /// Heartbeat interval in effect when the batch formed, µs. Under an
+        /// adaptive heartbeat policy this is what attributes an SLO miss to
+        /// a controller decision.
+        heartbeat_us: u64,
     },
     /// All operators of one cycle completed (one event per batch).
     OperatorsFired {
@@ -149,10 +153,11 @@ impl std::fmt::Display for TraceEvent {
                 queries,
                 updates,
                 mix,
+                heartbeat_us,
             } => {
                 write!(
                     f,
-                    "batch {batch} formed: {queries} queries, {updates} updates"
+                    "batch {batch} formed: {queries} queries, {updates} updates, heartbeat {heartbeat_us}us"
                 )?;
                 if !mix.is_empty() {
                     write!(f, ", mix [")?;
@@ -209,6 +214,7 @@ mod tests {
                 queries: 1,
                 updates: 0,
                 mix: vec![(0, 1)],
+                heartbeat_us: 2000,
             });
         }
         let records = journal.snapshot();
@@ -228,6 +234,7 @@ mod tests {
             queries: 0,
             updates: 0,
             mix: Vec::new(),
+            heartbeat_us: 2000,
         });
         assert!(journal.snapshot().is_empty());
         assert_eq!(journal.pushed(), 0);
@@ -250,8 +257,10 @@ mod tests {
             queries: 6,
             updates: 1,
             mix: vec![(0, 4), (2, 3)],
+            heartbeat_us: 1500,
         };
         let s = format!("{formed}");
         assert!(s.contains("mix [#0\u{00d7}4, #2\u{00d7}3]"));
+        assert!(s.contains("heartbeat 1500us"));
     }
 }

@@ -100,6 +100,21 @@ impl ClusterBackend {
         self.cluster.queued_per_replica()
     }
 
+    /// Per-replica admission-lane depths, `(light, heavy)`.
+    pub fn lane_depths_per_replica(&self) -> Vec<(usize, usize)> {
+        self.cluster.lane_depths_per_replica()
+    }
+
+    /// Per-replica heartbeat interval currently in effect.
+    pub fn replica_heartbeats(&self) -> Vec<Duration> {
+        self.cluster.replica_heartbeats()
+    }
+
+    /// Per-replica adaptive-heartbeat adjustment counts.
+    pub fn replica_heartbeat_adjustments(&self) -> Vec<u64> {
+        self.cluster.replica_heartbeat_adjustments()
+    }
+
     /// Per-replica, per-statement phase histograms.
     pub fn replica_phase_stats(&self) -> Vec<Vec<StatementPhaseSnapshot>> {
         self.cluster.replica_phase_stats()

@@ -47,7 +47,7 @@ use shareddb_cluster::ClusterHandle;
 use shareddb_common::{DataType, Error, Value};
 use shareddb_core::stats::{OperatorStatsSnapshot, StatementPhaseSnapshot};
 use shareddb_core::{explain_statement, render_explain_text, AnalyzeData};
-use shareddb_core::{Phase, QueryOutcome, SubmitOptions};
+use shareddb_core::{Phase, QueryOutcome, SubmitOptions, WriteFence};
 use shareddb_sql::compile::{bind_adhoc, canonicalize, parse_explain};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -534,6 +534,11 @@ struct Conn {
     interest: Interest,
     /// Wakes the reactor when one of this connection's statements completes.
     waker: Arc<dyn Fn() + Send + Sync>,
+    /// Read-your-writes session fence: the latest update this session
+    /// submitted. Subsequent reads carry it as
+    /// [`SubmitOptions::read_after`], so whichever replica they land on
+    /// defers them until that write's group commit is visible.
+    last_write: Option<Arc<WriteFence>>,
     /// Unrecoverable socket or protocol failure: drop without flushing.
     dead: bool,
 }
@@ -832,6 +837,7 @@ impl Reactor {
                             frame_started: None,
                             interest,
                             waker,
+                            last_write: None,
                             dead: false,
                         },
                     );
@@ -1373,8 +1379,8 @@ impl Reactor {
             self.enqueue_reply(token, &error_frame(request_id, &Error::EngineShutdown));
             return;
         }
-        let (inflight, waker) = match self.conns.get(&token) {
-            Some(c) => (c.inflight, Arc::clone(&c.waker)),
+        let (inflight, waker, last_write) = match self.conns.get(&token) {
+            Some(c) => (c.inflight, Arc::clone(&c.waker), c.last_write.clone()),
             None => return,
         };
         // Per-session in-flight cap: a pipelining client beyond its budget is
@@ -1389,6 +1395,16 @@ impl Reactor {
             self.enqueue_reply(token, &error_frame(request_id, &e));
             return;
         }
+        // Read-your-writes: an update gets a fresh session fence (remembered
+        // on success), a query carries the session's latest fence so any
+        // replica it routes to waits for that write's commit to be visible.
+        let is_update = self
+            .shared
+            .registry
+            .get(statement)
+            .map(|(_, spec)| spec.is_update())
+            .unwrap_or(false);
+        let write_fence = is_update.then(|| Arc::new(WriteFence::new()));
         let guard = self.shared.engine.read().unwrap_or_else(|e| e.into_inner());
         // Global queue-depth backpressure: enforced inside the engine under
         // the admission-queue lock, so concurrent sessions cannot overshoot
@@ -1400,6 +1416,8 @@ impl Reactor {
                 SubmitOptions {
                     max_queue_depth: Some(self.shared.config.max_queue_depth),
                     completion_waker: Some(waker),
+                    write_fence: write_fence.clone(),
+                    read_after: if is_update { None } else { last_write },
                     ..SubmitOptions::default()
                 },
             ),
@@ -1416,6 +1434,9 @@ impl Reactor {
                     .unwrap_or(usize::MAX);
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.inflight += 1;
+                    if let Some(fence) = write_fence {
+                        conn.last_write = Some(fence);
+                    }
                     conn.replies.push_back(Reply::Pending {
                         request_id,
                         handle,

@@ -289,6 +289,37 @@ impl Shared {
             );
         }
 
+        // Adaptive heartbeat + priority admission: the interval each
+        // replica's coordinator is currently running (constant under a fixed
+        // policy), how often its controller moved it, and the depth of the
+        // two admission lanes.
+        let _ = writeln!(w, "# TYPE shareddb_heartbeat_interval_us gauge");
+        for (i, interval) in backend.replica_heartbeats().iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "shareddb_heartbeat_interval_us{{replica=\"{i}\"}} {}",
+                interval.as_micros()
+            );
+        }
+        let _ = writeln!(w, "# TYPE shareddb_heartbeat_adjustments counter");
+        for (i, adjustments) in backend.replica_heartbeat_adjustments().iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "shareddb_heartbeat_adjustments{{replica=\"{i}\"}} {adjustments}"
+            );
+        }
+        let _ = writeln!(w, "# TYPE shareddb_admission_lane_depth gauge");
+        for (i, (light, heavy)) in backend.lane_depths_per_replica().iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "shareddb_admission_lane_depth{{replica=\"{i}\",lane=\"light\"}} {light}"
+            );
+            let _ = writeln!(
+                w,
+                "shareddb_admission_lane_depth{{replica=\"{i}\",lane=\"heavy\"}} {heavy}"
+            );
+        }
+
         // Batch occupancy: how many statements each heartbeat batch carried
         // (the sharing opportunity the batcher actually realised).
         let _ = writeln!(w, "# TYPE shareddb_batch_occupancy summary");

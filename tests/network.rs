@@ -5,7 +5,7 @@
 
 use shareddb::client::{Connection, Outcome};
 use shareddb::common::{tuple, DataType, Error, Value};
-use shareddb::core::EngineConfig;
+use shareddb::core::{EngineConfig, HeartbeatPolicy};
 use shareddb::server::protocol::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use shareddb::server::{Server, ServerConfig};
 use shareddb::storage::{Catalog, TableDef};
@@ -64,7 +64,7 @@ fn concurrent_connections_share_one_batch() {
     // one batch.
     let engine_config = EngineConfig {
         eager_heartbeat: false,
-        heartbeat: Duration::from_millis(250),
+        heartbeat: HeartbeatPolicy::Fixed(Duration::from_millis(250)),
         ..EngineConfig::default()
     };
     let mut server = start_server(engine_config, ServerConfig::default());
@@ -155,7 +155,7 @@ fn backpressure_rejects_with_retryable_error() {
     // A glacial heartbeat keeps everything in flight for the whole test.
     let engine_config = EngineConfig {
         eager_heartbeat: false,
-        heartbeat: Duration::from_secs(30),
+        heartbeat: HeartbeatPolicy::Fixed(Duration::from_secs(30)),
         ..EngineConfig::default()
     };
     let server_config = ServerConfig {
@@ -215,7 +215,7 @@ fn backpressure_rejects_with_retryable_error() {
 fn queue_depth_backpressure_rejects() {
     let engine_config = EngineConfig {
         eager_heartbeat: false,
-        heartbeat: Duration::from_secs(30),
+        heartbeat: HeartbeatPolicy::Fixed(Duration::from_secs(30)),
         ..EngineConfig::default()
     };
     let server_config = ServerConfig {
@@ -303,7 +303,7 @@ fn admission_queue_bound_is_never_exceeded() {
     // A glacial heartbeat keeps everything queued for the whole test.
     let engine_config = EngineConfig {
         eager_heartbeat: false,
-        heartbeat: Duration::from_secs(30),
+        heartbeat: HeartbeatPolicy::Fixed(Duration::from_secs(30)),
         ..EngineConfig::default()
     };
     let server_config = ServerConfig {
@@ -430,7 +430,7 @@ fn shutdown_under_load_portable_poller() {
 fn run_shutdown_under_load(force_portable_poller: bool) {
     let engine_config = EngineConfig {
         eager_heartbeat: false,
-        heartbeat: Duration::from_secs(30),
+        heartbeat: HeartbeatPolicy::Fixed(Duration::from_secs(30)),
         ..EngineConfig::default()
     };
     let server_config = ServerConfig {
